@@ -1,0 +1,57 @@
+"""E6 — Proposition 5.1: program-in-UCQ containment via satisfiability.
+
+Times the containment decision for the transitive-closure family and
+the reduction construction itself.
+"""
+
+import pytest
+
+from repro.core.containment import (
+    containment_as_satisfiability,
+    program_contained_in_ucq,
+)
+from repro.cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_program, parse_rule
+
+
+def cq(source):
+    return ConjunctiveQuery.from_rule(parse_rule(source))
+
+
+TC = parse_program(
+    """
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    """,
+    query="t",
+)
+
+CONTAINED = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Z)."),))
+NOT_CONTAINED = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Y)."),))
+
+
+def test_containment_positive(benchmark):
+    assert benchmark(program_contained_in_ucq, TC, CONTAINED)
+
+
+def test_containment_negative(benchmark):
+    assert not benchmark(program_contained_in_ucq, TC, NOT_CONTAINED)
+
+
+def test_reduction_construction(benchmark):
+    marked, ics = benchmark(containment_as_satisfiability, TC, CONTAINED)
+    assert marked.query == "__ans__"
+    assert len(ics) == 1
+
+
+@pytest.mark.parametrize("members", [1, 2, 3])
+def test_containment_union_size(benchmark, members):
+    """Containment cost as the union grows."""
+    queries = [
+        cq("t(X, Y) :- e(X, Z)."),
+        cq("t(X, Y) :- e(Z, Y)."),
+        cq("t(X, Y) :- e(X, Z), e(Z, W)."),
+    ][:members]
+    union = UnionOfConjunctiveQueries(tuple(queries))
+    result = benchmark(program_contained_in_ucq, TC, union)
+    assert result  # every prefix includes the covering first member

@@ -1,0 +1,59 @@
+"""E9 — Theorem 5.1: growth of the adornment space.
+
+Satisfiability (and hence complete semantic optimization) has doubly
+exponential lower and upper bounds.  This bench measures how the
+bottom-up phase scales as the number of constraints and the number of
+mutually-recursive edge colors grow — the knob that drives the triplet
+combinatorics.
+"""
+
+import pytest
+
+from repro.core.adornments import compute_adornments
+from repro.core.rewrite import optimize
+from repro.datalog.parser import parse_constraints, parse_program
+
+
+def _colored_closure(colors: int):
+    """Transitive closure over `colors` edge predicates with chained
+    forbidden-successor constraints e0-after-e1, e1-after-e2, ..."""
+    names = [f"e{i}" for i in range(colors)]
+    rules = []
+    for name in names:
+        rules.append(f"p(X, Y) :- {name}(X, Y).")
+        rules.append(f"p(X, Y) :- {name}(X, Z), p(Z, Y).")
+    program = parse_program("\n".join(rules), query="p")
+    ic_lines = []
+    for first, second in zip(names, names[1:]):
+        ic_lines.append(f":- {first}(X, Y), {second}(Y, Z).")
+    constraints = parse_constraints("\n".join(ic_lines)) if ic_lines else []
+    return program, constraints
+
+
+@pytest.mark.parametrize("colors", [2, 3, 4])
+def test_adornment_growth(benchmark, colors):
+    program, constraints = _colored_closure(colors)
+    result = benchmark(compute_adornments, program, constraints)
+    benchmark.extra_info["adornments"] = len(result.adornments["p"])
+    benchmark.extra_info["adorned_rules"] = len(result.adorned_rules)
+
+
+@pytest.mark.parametrize("colors", [2, 3])
+def test_full_pipeline_growth(benchmark, colors):
+    program, constraints = _colored_closure(colors)
+    report = benchmark(optimize, program, constraints)
+    assert report.satisfiable
+    benchmark.extra_info["rewritten_rules"] = (
+        0 if report.program is None else len(report.program.rules)
+    )
+
+
+def test_adornment_counts_grow_monotonically():
+    """The structural claim behind the bound: more interacting
+    constraints -> strictly more adorned predicates."""
+    counts = []
+    for colors in (2, 3, 4):
+        program, constraints = _colored_closure(colors)
+        result = compute_adornments(program, constraints)
+        counts.append(len(result.adornments["p"]))
+    assert counts == sorted(counts) and counts[0] < counts[-1]

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Section 3's second example: pushing order constraints into recursion.
+
+Two ic's — "steps emanate from start points only at values >= 100" and
+"steps strictly increase" — jointly imply that no path relevant to the
+query ever visits a point below 100.  Discovering this requires looking
+across derivation trees (no single rule violates anything); the
+query-tree algorithm pushes ``X >= 100`` into the recursive path rules,
+so the below-threshold decoy region of the database is never explored.
+
+Run:  python examples/route_planning.py
+"""
+
+from repro import evaluate, optimize
+from repro.workloads import good_path_database, good_path_order_constraints
+
+
+def main() -> None:
+    program, constraints = good_path_order_constraints()
+    print("== Program ==")
+    print(program)
+    print("\n== Integrity constraints ==")
+    for ic in constraints:
+        print(ic)
+
+    report = optimize(program, constraints)
+    print("\n== Rewritten program (the paper's r1', r2', r3') ==")
+    print(report.program)
+    print()
+    print(report.summary())
+
+    for decoys in (0, 4, 16):
+        database = good_path_database(
+            num_chains=4,
+            chain_length=40,
+            below_threshold_chains=decoys,
+            seed=0,
+        )
+        original = evaluate(program, database)
+        rewritten = report.evaluation(database)
+        assert original.query_rows() == rewritten.query_rows()
+        print(
+            f"decoy chains={decoys:3d}  "
+            f"facts derived: {original.stats.facts_derived:6d} -> "
+            f"{rewritten.stats.facts_derived:6d}   "
+            f"rows scanned: {original.stats.rows_scanned:7d} -> "
+            f"{rewritten.stats.rows_scanned:7d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

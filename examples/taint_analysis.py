@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Semantic query optimization for static taint analysis.
+
+Datalog is the workhorse of declarative program analysis; this example
+shows the paper's machinery applying there.  Taint propagates from
+sources along flow edges; an alarm fires when taint reaches a sink.
+Two facts about the program model become integrity constraints:
+
+* no variable is both a source and a sink,
+* sanitizers have no outgoing flow edges.
+
+The optimizer then proves that the *zero-step* alarm derivation (a
+variable tainted directly at its source being itself a sink) is
+impossible, specializes ``taint`` into "just-sourced" and
+"flowed-at-least-once" variants, keeps only the latter under ``alarm``,
+and injects the ``not sanitizer(W)`` residue into the propagation rule.
+
+Run:  python examples/taint_analysis.py
+"""
+
+from repro import evaluate, optimize
+from repro.constraints import database_satisfies
+from repro.core import querytree_dot
+from repro.workloads import taint_analysis, taint_database
+
+
+def main() -> None:
+    program, constraints = taint_analysis()
+    print("== Analysis rules ==")
+    print(program)
+    print("\n== Program-model constraints ==")
+    for ic in constraints:
+        print(ic)
+
+    report = optimize(program, constraints)
+    print("\n== Rewritten analysis ==")
+    print(report.program)
+    print()
+    print(report.summary())
+
+    database = taint_database(variables=60, flows=150, sources=6, sinks=6, seed=7)
+    assert database_satisfies(constraints, database)
+    original = evaluate(program, database)
+    rewritten = report.evaluation(database)
+    assert original.query_rows() == rewritten.query_rows()
+    print("\n== Alarms ==")
+    print(sorted(v for (v,) in original.query_rows()))
+    print(
+        f"work: {original.stats.rows_scanned} -> "
+        f"{rewritten.stats.rows_scanned} rows scanned"
+    )
+
+    print("\n== Query tree as DOT (render with `dot -Tpng`) ==")
+    print(querytree_dot(report.tree)[:400] + "\n  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP-517 editable installs (``pip install -e .``) cannot build a wheel.
+``python setup.py develop`` installs an egg-link editable package with
+plain setuptools instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

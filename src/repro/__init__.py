@@ -1,0 +1,67 @@
+"""Reproduction of Levy & Sagiv, "Semantic Query Optimization in Datalog
+Programs" (PODS 1995).
+
+The public API is re-exported here.  The headline entry point is
+:func:`repro.optimize`, which rewrites a Datalog program so that it
+*completely incorporates* a set of integrity constraints (Theorem 4.1 /
+Theorem 4.2 of the paper); supporting decision procedures
+(satisfiability, query reachability, emptiness, containment in a union
+of conjunctive queries) live alongside it.
+"""
+
+__version__ = "1.0.0"
+
+from .constraints import IntegrityConstraint
+from .core import (
+    OptimizationReport,
+    is_empty_program,
+    is_query_reachable,
+    is_satisfiable,
+    optimize,
+    program_contained_in_ucq,
+)
+from .datalog import (
+    Atom,
+    Constant,
+    Database,
+    Literal,
+    OrderAtom,
+    Program,
+    Rule,
+    Variable,
+    evaluate,
+    evaluate_query,
+    parse_atom,
+    parse_constraints,
+    parse_facts,
+    parse_program,
+    parse_rule,
+    parse_rules,
+)
+
+__all__ = [
+    "__version__",
+    "IntegrityConstraint",
+    "OptimizationReport",
+    "is_empty_program",
+    "is_query_reachable",
+    "is_satisfiable",
+    "optimize",
+    "program_contained_in_ucq",
+    "Atom",
+    "Constant",
+    "Database",
+    "Literal",
+    "OrderAtom",
+    "Program",
+    "Rule",
+    "Variable",
+    "evaluate",
+    "evaluate_query",
+    "parse_atom",
+    "parse_constraints",
+    "parse_facts",
+    "parse_program",
+    "parse_rule",
+    "parse_rules",
+]

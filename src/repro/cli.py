@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``optimize``     rewrite a program to incorporate its constraints
+``run``          evaluate a program (optionally optimized) over facts
+``check``        check a fact base against integrity constraints
+``satisfiable``  decide satisfiability of the query predicate
+``empty``        decide program emptiness (Proposition 5.2)
+``contained``    decide containment of a program in a union of CQs
+
+File formats: programs and constraints use the textual syntax of
+:mod:`repro.datalog.parser` (rules ``head :- body.``, constraints
+``:- body.``); fact files hold ground facts ``p(1, 2).``.
+
+Examples::
+
+    python -m repro optimize program.dl --constraints ics.dl --query goodPath --explain
+    python -m repro run program.dl --constraints ics.dl --query p --data facts.dl --compare
+    python -m repro check ics.dl --data facts.dl
+    python -m repro satisfiable program.dl --constraints ics.dl --query p
+    python -m repro contained program.dl --query t --ucq queries.dl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .constraints.integrity import IntegrityConstraint, violations
+from .core.containment import program_contained_in_ucq
+from .core.emptiness import is_empty_program, unsatisfiable_initialization_rules
+from .core.reachability import is_satisfiable
+from .core.rewrite import optimize
+from .cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .datalog.database import Database
+from .datalog.evaluation import evaluate
+from .datalog.parser import parse_constraints, parse_facts, parse_program, parse_rules
+from .datalog.program import Program
+
+__all__ = ["main"]
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _load_program(args: argparse.Namespace) -> Program:
+    program = parse_program(_read(args.program), query=args.query)
+    if program.query is None:
+        raise SystemExit("error: --query is required for this command")
+    return program
+
+
+def _load_constraints(args: argparse.Namespace) -> list[IntegrityConstraint]:
+    if not getattr(args, "constraints", None):
+        return []
+    return parse_constraints(_read(args.constraints))
+
+
+def _load_database(path: str) -> Database:
+    return Database(parse_facts(_read(path)))
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    constraints = _load_constraints(args)
+    report = optimize(program, constraints)
+    if args.explain:
+        print(report.explain())
+    else:
+        print(report.summary())
+        print()
+        if report.program is not None:
+            print(report.program)
+        else:
+            print("% query unsatisfiable: the rewritten program is empty")
+    if args.dot:
+        from .core.visualize import querytree_dot
+
+        Path(args.dot).write_text(querytree_dot(report.tree, include_labels=True))
+        print(f"\nquery tree written to {args.dot} (render with dot -Tpng)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    constraints = _load_constraints(args)
+    database = _load_database(args.data)
+    original = evaluate(program, database)
+    print(f"answers ({len(original.query_rows())}):")
+    for row in sorted(original.query_rows(), key=repr):
+        print(f"  {program.query}{row!r}")
+    print(
+        f"work: {original.stats.probes} probes, "
+        f"{original.stats.rows_scanned} rows scanned, "
+        f"{original.stats.facts_derived} facts derived"
+    )
+    if args.compare:
+        report = optimize(program, constraints)
+        rewritten = report.evaluation(database)
+        if rewritten is None:
+            print("optimized: query unsatisfiable (empty program)")
+            return 0
+        match = rewritten.query_rows() == original.query_rows()
+        print(
+            f"optimized work: {rewritten.stats.probes} probes, "
+            f"{rewritten.stats.rows_scanned} rows scanned, "
+            f"{rewritten.stats.facts_derived} facts derived "
+            f"(answers {'match' if match else 'DIFFER — is the database consistent?'})"
+        )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    constraints = parse_constraints(_read(args.constraints_file))
+    database = _load_database(args.data)
+    bad = 0
+    for ic in constraints:
+        count = violations(ic, database)
+        if count:
+            bad += 1
+            print(f"VIOLATED ({count} instantiation(s)): {ic}")
+    if bad:
+        print(f"{bad} of {len(constraints)} constraints violated")
+        return 1
+    print(f"all {len(constraints)} constraints satisfied")
+    return 0
+
+
+def _cmd_satisfiable(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    constraints = _load_constraints(args)
+    answer = is_satisfiable(program, constraints)
+    print("satisfiable" if answer else "unsatisfiable")
+    return 0 if answer else 1
+
+
+def _cmd_empty(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    constraints = _load_constraints(args)
+    if is_empty_program(program, constraints):
+        print("empty: no IDB predicate is satisfiable")
+        for rule in unsatisfiable_initialization_rules(program, constraints):
+            print(f"  unsatisfiable initialization rule: {rule}")
+        return 1
+    print("nonempty")
+    return 0
+
+
+def _cmd_contained(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    rules = parse_rules(_read(args.ucq))
+    union = UnionOfConjunctiveQueries(
+        tuple(ConjunctiveQuery.from_rule(rule) for rule in rules)
+    )
+    answer = program_contained_in_ucq(program, union)
+    print("contained" if answer else "not contained")
+    return 0 if answer else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic query optimization in Datalog programs (PODS 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def program_command(name: str, help_text: str):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("program", help="program file (Datalog rules)")
+        cmd.add_argument("--constraints", help="integrity constraint file")
+        cmd.add_argument("--query", help="query predicate name")
+        return cmd
+
+    cmd = program_command("optimize", "rewrite a program to incorporate its constraints")
+    cmd.add_argument("--explain", action="store_true", help="print the full account")
+    cmd.add_argument("--dot", help="write the query tree as a DOT file")
+    cmd.set_defaults(func=_cmd_optimize)
+
+    cmd = program_command("run", "evaluate a program over a fact base")
+    cmd.add_argument("--data", required=True, help="fact file")
+    cmd.add_argument(
+        "--compare", action="store_true", help="also run the optimized program"
+    )
+    cmd.set_defaults(func=_cmd_run)
+
+    cmd = sub.add_parser("check", help="check facts against constraints")
+    cmd.add_argument("constraints_file", help="integrity constraint file")
+    cmd.add_argument("--data", required=True, help="fact file")
+    cmd.set_defaults(func=_cmd_check)
+
+    cmd = program_command("satisfiable", "decide query satisfiability (Thm 5.1)")
+    cmd.set_defaults(func=_cmd_satisfiable)
+
+    cmd = sub.add_parser("empty", help="decide program emptiness (Prop 5.2)")
+    cmd.add_argument("program", help="program file")
+    cmd.add_argument("--constraints", help="integrity constraint file")
+    cmd.set_defaults(func=_cmd_empty)
+
+    cmd = program_command("contained", "program ⊑ union of CQs (Prop 5.1)")
+    cmd.add_argument("--ucq", required=True, help="file of CQ rules over the query head")
+    cmd.set_defaults(func=_cmd_contained)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,417 @@
+"""Decision procedures for conjunctions of dense-order atoms.
+
+The paper's order atoms ``gamma theta delta`` (Section 2) are interpreted
+over a dense total order without endpoints.  This module provides, for a
+conjunction of such atoms over variables and constants:
+
+* :meth:`OrderConstraintSet.is_satisfiable` — exact satisfiability,
+* :meth:`OrderConstraintSet.entails` — exact entailment (by refutation),
+* :meth:`OrderConstraintSet.implied_equalities` — the partition of terms
+  forced equal (used to substitute ``X`` for ``Y`` whenever the order
+  atoms of a rule imply ``X = Y``, as the algorithm of Section 4.1
+  assumes),
+* :meth:`OrderConstraintSet.model` — a satisfying assignment of rational
+  values to variables (used to instantiate symbolic derivations and to
+  build canonical databases),
+* :meth:`OrderConstraintSet.project` — the strongest entailed atoms over
+  a given set of terms (used by order-constraint propagation).
+
+The algorithm is the classic one: merge ``=`` classes with union-find,
+build the strict/weak inequality digraph (with the true order among the
+constants added), condense to strongly connected components, and declare
+unsatisfiability exactly when an SCC contains a strict edge or the two
+sides of a ``!=`` atom.  Over dense orders without endpoints this test
+is sound and complete.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.atoms import OrderAtom, evaluate_comparison
+from ..datalog.terms import Constant, Term, Variable
+
+__all__ = ["OrderConstraintSet", "UnsatisfiableError"]
+
+
+class UnsatisfiableError(ValueError):
+    """Raised by operations that require a satisfiable constraint set."""
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float, Fraction)) and not isinstance(value, bool)
+
+
+class _Structure:
+    """The condensed constraint structure shared by all queries."""
+
+    __slots__ = (
+        "terms",
+        "class_of",
+        "classes",
+        "edges",
+        "neq_pairs",
+        "satisfiable",
+        "scc_of",
+        "scc_members",
+    )
+
+    def __init__(self, atoms: Sequence[OrderAtom]):
+        self.terms: list[Term] = []
+        seen: set[Term] = set()
+        for atom in atoms:
+            for term in (atom.left, atom.right):
+                if term not in seen:
+                    seen.add(term)
+                    self.terms.append(term)
+        parent: dict[Term, Term] = {t: t for t in self.terms}
+
+        def find(term: Term) -> Term:
+            root = term
+            while parent[root] != root:
+                root = parent[root]
+            while parent[term] != term:
+                parent[term], term = root, parent[term]
+            return root
+
+        def union(a: Term, b: Term) -> None:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return
+            # Prefer constants as representatives.
+            if isinstance(ra, Constant):
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+        satisfiable = True
+        for atom in atoms:
+            if atom.op == "=":
+                left, right = atom.left, atom.right
+                if isinstance(left, Constant) and isinstance(right, Constant):
+                    if left.value != right.value:
+                        satisfiable = False
+                union(left, right)
+        # Detect a class holding two constants with different values.
+        const_of_class: dict[Term, Constant] = {}
+        for term in self.terms:
+            if isinstance(term, Constant):
+                root = find(term)
+                existing = const_of_class.get(root)
+                if existing is not None and existing.value != term.value:
+                    satisfiable = False
+                const_of_class.setdefault(root, term)
+
+        self.class_of = {t: find(t) for t in self.terms}
+        self.classes = sorted({find(t) for t in self.terms}, key=str)
+        self.edges: set[tuple[Term, Term, bool]] = set()  # (src, dst, strict)
+        self.neq_pairs: set[frozenset[Term]] = set()
+        for atom in atoms:
+            op, left, right = atom.op, find(atom.left), find(atom.right)
+            if op in (">", ">="):
+                op = "<" if op == ">" else "<="
+                left, right = right, left
+            if op == "<":
+                self.edges.add((left, right, True))
+            elif op == "<=":
+                self.edges.add((left, right, False))
+            elif op == "!=":
+                if left == right:
+                    satisfiable = False
+                self.neq_pairs.add(frozenset((left, right)))
+        # Add the true order among comparable constant classes.
+        const_classes = [c for c in self.classes if c in const_of_class]
+        for i, ca in enumerate(const_classes):
+            for cb in const_classes[i + 1:]:
+                va, vb = const_of_class[ca].value, const_of_class[cb].value
+                if _is_numeric(va) == _is_numeric(vb):
+                    if evaluate_comparison(va, vb, "<"):
+                        self.edges.add((ca, cb, True))
+                    elif evaluate_comparison(vb, va, "<"):
+                        self.edges.add((cb, ca, True))
+                    # equal constant values in distinct classes cannot
+                    # happen: they were unioned above
+                else:
+                    # Different families: distinct domain elements.
+                    self.neq_pairs.add(frozenset((ca, cb)))
+
+        self.scc_of, components = _condense(self.classes, self.edges)
+        self.scc_members = components
+        if satisfiable:
+            for src, dst, strict in self.edges:
+                if strict and self.scc_of[src] == self.scc_of[dst]:
+                    satisfiable = False
+                    break
+        if satisfiable:
+            for pair in self.neq_pairs:
+                items = tuple(pair)
+                first = items[0]
+                second = items[1] if len(items) == 2 else items[0]
+                if self.scc_of[first] == self.scc_of[second]:
+                    satisfiable = False
+                    break
+        self.satisfiable = satisfiable
+
+
+def _condense(
+    nodes: Sequence[Term], edges: set[tuple[Term, Term, bool]]
+) -> tuple[dict[Term, int], list[list[Term]]]:
+    """Tarjan SCC condensation; returns (node -> scc id, components in reverse topo order)."""
+    adjacency: dict[Term, list[Term]] = {n: [] for n in nodes}
+    for src, dst, _ in edges:
+        adjacency[src].append(dst)
+    index: dict[Term, int] = {}
+    low: dict[Term, int] = {}
+    on_stack: set[Term] = set()
+    stack: list[Term] = []
+    counter = [0]
+    scc_of: dict[Term, int] = {}
+    components: list[list[Term]] = []
+
+    for start in nodes:
+        if start in index:
+            continue
+        work: list[tuple[Term, Iterator[Term]]] = [(start, iter(adjacency[start]))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                low[work[-1][0]] = min(low[work[-1][0]], low[node])
+            if low[node] == index[node]:
+                component: list[Term] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = len(components)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return scc_of, components
+
+
+class OrderConstraintSet:
+    """An immutable conjunction of dense-order atoms with decision procedures."""
+
+    __slots__ = ("atoms", "_structure")
+
+    def __init__(self, atoms: Iterable[OrderAtom] = ()):
+        self.atoms: tuple[OrderAtom, ...] = tuple(atoms)
+        self._structure: _Structure | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def with_atoms(self, more: Iterable[OrderAtom]) -> "OrderConstraintSet":
+        return OrderConstraintSet(self.atoms + tuple(more))
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(a) for a in self.atoms) + "}"
+
+    def _struct(self) -> _Structure:
+        if self._structure is None:
+            self._structure = _Structure(self.atoms)
+        return self._structure
+
+    # ------------------------------------------------------------------
+    # Decision procedures
+    # ------------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Exact satisfiability over a dense total order without endpoints."""
+        return self._struct().satisfiable
+
+    def entails(self, atom: OrderAtom) -> bool:
+        """Exact entailment, decided by refutation.
+
+        ``C |= a`` iff ``C and not a`` is unsatisfiable.  An unsatisfiable
+        set entails everything.
+        """
+        if not self.is_satisfiable():
+            return True
+        return not self.with_atoms([atom.negated()]).is_satisfiable()
+
+    def implied_equalities(self) -> list[frozenset[Term]]:
+        """Groups of terms forced equal (size >= 2 groups only).
+
+        Raises :class:`UnsatisfiableError` on an unsatisfiable set, where
+        "forced equal" is vacuous.
+        """
+        structure = self._struct()
+        if not structure.satisfiable:
+            raise UnsatisfiableError("constraint set is unsatisfiable")
+        groups: dict[int, set[Term]] = {}
+        for term in structure.terms:
+            root = structure.class_of[term]
+            groups.setdefault(structure.scc_of[root], set()).add(term)
+        return [frozenset(g) for g in groups.values() if len(g) >= 2]
+
+    def equality_substitution(self) -> dict[Variable, Term]:
+        """A substitution realizing the implied equalities.
+
+        Each forced-equal group maps its variables to the group's
+        constant if it has one, otherwise to the lexicographically first
+        variable.  Applying it to a rule performs the paper's "substitute
+        X for Y whenever the order atoms imply X = Y" preprocessing step.
+        """
+        mapping: dict[Variable, Term] = {}
+        for group in self.implied_equalities():
+            constants = sorted((t for t in group if isinstance(t, Constant)), key=str)
+            variables = sorted((t for t in group if isinstance(t, Variable)), key=lambda v: v.name)
+            representative: Term = constants[0] if constants else variables[0]
+            for var in variables:
+                if var != representative:
+                    mapping[var] = representative
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def model(self) -> dict[Variable, object] | None:
+        """A satisfying assignment, or ``None`` when unsatisfiable.
+
+        Variables constrained only through ``=``/``!=`` with string
+        constants receive those strings; all other variables receive
+        :class:`fractions.Fraction` values.  All weak edges are
+        strengthened to strict ones (always possible on a dense order
+        once forced equalities are merged), which also discharges every
+        ``!=`` atom.
+        """
+        structure = self._struct()
+        if not structure.satisfiable:
+            return None
+        scc_count = len(structure.scc_members)
+        # Value per SCC.  SCCs holding a constant are pinned to it.
+        pinned: dict[int, object] = {}
+        for component in range(scc_count):
+            for member in structure.scc_members[component]:
+                if isinstance(member, Constant):
+                    pinned[component] = member.value
+        # Build the SCC DAG.
+        successors: dict[int, set[int]] = {i: set() for i in range(scc_count)}
+        predecessors: dict[int, set[int]] = {i: set() for i in range(scc_count)}
+        for src, dst, _ in structure.edges:
+            a, b = structure.scc_of[src], structure.scc_of[dst]
+            if a != b:
+                successors[a].add(b)
+                predecessors[b].add(a)
+        # Order edges through non-numeric constants would need a merged
+        # order over mixed families; restrict models to the numeric case.
+        for src, dst, _ in structure.edges:
+            for end in (src, dst):
+                node = structure.scc_of[end]
+                value = pinned.get(node)
+                if value is not None and not _is_numeric(value):
+                    raise NotImplementedError(
+                        "model() supports non-numeric constants only in =/!= atoms"
+                    )
+        # scc ids from Tarjan come in reverse topological order.
+        topo_order = list(reversed(range(scc_count)))
+        # Upper bounds: the least pinned numeric value reachable from each SCC.
+        upper: dict[int, Fraction | None] = {i: None for i in range(scc_count)}
+        for node in reversed(topo_order):
+            bound = None
+            value = pinned.get(node)
+            if value is not None and _is_numeric(value):
+                bound = Fraction(value)
+            for succ in successors[node]:
+                succ_bound = upper[succ]
+                if succ_bound is not None and (bound is None or succ_bound < bound):
+                    bound = succ_bound
+            upper[node] = bound
+        # Assign each class a value strictly above all its predecessors and
+        # strictly below its least pinned upper bound, avoiding every value
+        # already taken (all weak edges were strengthened to strict after
+        # condensation, which also discharges the != atoms).  The interval
+        # is nonempty because strict cycles were excluded, and density
+        # guarantees room around the finitely many forbidden points.
+        values: dict[int, object] = {}
+        taken: set[Fraction] = {
+            Fraction(p) for p in pinned.values() if _is_numeric(p)
+        }
+        for node in topo_order:
+            if node in pinned:
+                values[node] = pinned[node]
+                continue
+            lower: Fraction | None = None
+            for pred in predecessors[node]:
+                pred_value = values.get(pred)
+                if pred_value is not None and _is_numeric(pred_value):
+                    candidate = Fraction(pred_value)
+                    if lower is None or candidate > lower:
+                        lower = candidate
+            hi = upper[node]
+            if lower is None and hi is None:
+                value = Fraction(0)
+            elif lower is None:
+                value = hi - 1  # type: ignore[operand-type]
+            elif hi is None:
+                value = lower + 1
+            else:
+                value = (lower + hi) / 2
+            while value in taken:
+                if hi is None:
+                    value += 1
+                else:
+                    value = (value + hi) / 2
+            taken.add(value)
+            values[node] = value
+        assignment: dict[Variable, object] = {}
+        for term in structure.terms:
+            if isinstance(term, Variable):
+                node = structure.scc_of[structure.class_of[term]]
+                assignment[term] = values[node]
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def project(self, terms: Sequence[Term]) -> frozenset[OrderAtom]:
+        """The strongest entailed atoms among ``terms`` (canonical form).
+
+        For every unordered pair the single strongest relation is
+        emitted: ``=`` beats ``<`` beats ``<=``/``!=`` (the latter two
+        can co-occur only as ``<``).  The result uses normalized
+        orientation so syntactic comparisons of projections are stable.
+        """
+        if not self.is_satisfiable():
+            raise UnsatisfiableError("projection of an unsatisfiable set is undefined")
+        entailed: set[OrderAtom] = set()
+        items = list(dict.fromkeys(terms))
+        for i, left in enumerate(items):
+            for right in items[i + 1:]:
+                if left == right:
+                    continue
+                if self.entails(OrderAtom(left, "=", right)):
+                    entailed.add(OrderAtom(left, "=", right).normalized())
+                    continue
+                if self.entails(OrderAtom(left, "<", right)):
+                    entailed.add(OrderAtom(left, "<", right).normalized())
+                elif self.entails(OrderAtom(right, "<", left)):
+                    entailed.add(OrderAtom(right, "<", left).normalized())
+                else:
+                    if self.entails(OrderAtom(left, "<=", right)):
+                        entailed.add(OrderAtom(left, "<=", right).normalized())
+                    elif self.entails(OrderAtom(right, "<=", left)):
+                        entailed.add(OrderAtom(right, "<=", left).normalized())
+                    if self.entails(OrderAtom(left, "!=", right)):
+                        entailed.add(OrderAtom(left, "!=", right).normalized())
+        return frozenset(entailed)

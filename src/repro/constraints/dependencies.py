@@ -1,0 +1,216 @@
+"""Classical data dependencies as integrity constraints.
+
+The paper's introduction: "Using ic's it is possible to express a
+variety of constraints, such as data dependencies (functional
+dependencies, multivalued dependencies and inclusion dependencies) as
+well as constraints involving comparisons."  This module provides the
+standard builders:
+
+* :func:`functional_dependency` — ``A -> B`` on a relation, the exact
+  shape of Theorem 5.5 (``:- e(X, Y1, Z1), e(X, Y2, Z2), Z1 != Z2``);
+* :func:`inclusion_dependency` — ``r[positions] ⊆ s[positions]`` via a
+  negated EDB atom;
+* :func:`multivalued_dependency` — ``X ->> Y`` via a negated witness
+  atom (the tuple the MVD demands must exist);
+* :func:`domain_constraint` — bounds on an attribute;
+* :func:`key_constraint` — an FD from a key to every other position;
+* :func:`disjointness_constraint` — two relations share no tuples.
+
+Each returns an :class:`IntegrityConstraint` usable with the whole
+optimizer stack (note Theorem 5.5: satisfiability w.r.t. fd's alone is
+already undecidable for ``{!=}``-programs, so the query-tree pipeline
+treats their ``!=`` atoms as non-local and they flow into residue
+injection only).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalog.atoms import Atom, Literal, OrderAtom
+from ..datalog.terms import Constant, Term, Variable
+from .integrity import IntegrityConstraint
+
+__all__ = [
+    "functional_dependency",
+    "key_constraint",
+    "inclusion_dependency",
+    "multivalued_dependency",
+    "domain_constraint",
+    "disjointness_constraint",
+]
+
+
+def _vars(prefix: str, arity: int) -> list[Variable]:
+    return [Variable(f"{prefix}{i}") for i in range(arity)]
+
+
+def functional_dependency(
+    predicate: str,
+    arity: int,
+    determinant: Sequence[int],
+    dependent: int,
+) -> IntegrityConstraint:
+    """The fd ``determinant -> dependent`` on ``predicate``.
+
+    Two tuples agreeing on the determinant positions must agree on the
+    dependent position: ``:- p(..), p(..), Z1 != Z2`` with the
+    determinant variables shared (Theorem 5.5's form).
+    """
+    if dependent in determinant:
+        raise ValueError("the dependent position cannot be part of the determinant")
+    _validate_positions(arity, [*determinant, dependent])
+    first = _vars("A", arity)
+    second = _vars("B", arity)
+    for position in determinant:
+        second[position] = first[position]
+    return IntegrityConstraint(
+        (
+            Literal(Atom(predicate, tuple(first))),
+            Literal(Atom(predicate, tuple(second))),
+            OrderAtom(first[dependent], "!=", second[dependent]),
+        )
+    )
+
+
+def key_constraint(
+    predicate: str, arity: int, key: Sequence[int]
+) -> list[IntegrityConstraint]:
+    """One fd per non-key position: the key determines the whole tuple."""
+    _validate_positions(arity, key)
+    return [
+        functional_dependency(predicate, arity, key, position)
+        for position in range(arity)
+        if position not in key
+    ]
+
+
+def inclusion_dependency(
+    source: str,
+    source_arity: int,
+    source_positions: Sequence[int],
+    target: str,
+    target_arity: int,
+    target_positions: Sequence[int],
+) -> IntegrityConstraint:
+    """``source[source_positions] ⊆ target[target_positions]``.
+
+    Expressed with a negated EDB atom whose non-shared positions are
+    covered by... Datalog safety requires every variable of the negated
+    atom to be bound, so the target's other positions must be
+    existential — the standard ic encoding uses the *full-width* target
+    only when ``target_positions`` covers it.  For partial-width
+    inclusions, project the target into a dedicated predicate first (as
+    deductive databases do); this builder enforces full coverage.
+    """
+    _validate_positions(source_arity, source_positions)
+    _validate_positions(target_arity, target_positions)
+    if len(source_positions) != len(target_positions):
+        raise ValueError("position lists must have equal length")
+    if len(set(target_positions)) != target_arity:
+        raise ValueError(
+            "inclusion dependencies need the target positions to cover the "
+            "target relation (project it into a helper predicate otherwise)"
+        )
+    source_vars = _vars("S", source_arity)
+    target_vars: list[Term] = [Variable(f"T{i}") for i in range(target_arity)]
+    for s_pos, t_pos in zip(source_positions, target_positions):
+        target_vars[t_pos] = source_vars[s_pos]
+    return IntegrityConstraint(
+        (
+            Literal(Atom(source, tuple(source_vars))),
+            Literal(Atom(target, tuple(target_vars)), positive=False),
+        )
+    )
+
+
+def multivalued_dependency(
+    predicate: str,
+    arity: int,
+    determinant: Sequence[int],
+    dependent: Sequence[int],
+) -> IntegrityConstraint:
+    """The mvd ``determinant ->> dependent``.
+
+    For any two tuples agreeing on the determinant, the swap tuple
+    (dependent values from the first, the rest from the second) must be
+    present — enforced by a negated EDB atom.
+    """
+    _validate_positions(arity, [*determinant, *dependent])
+    if set(determinant) & set(dependent):
+        raise ValueError("determinant and dependent positions must be disjoint")
+    first = _vars("A", arity)
+    second = _vars("B", arity)
+    for position in determinant:
+        second[position] = first[position]
+    witness: list[Term] = []
+    for position in range(arity):
+        if position in determinant or position in dependent:
+            witness.append(first[position])
+        else:
+            witness.append(second[position])
+    return IntegrityConstraint(
+        (
+            Literal(Atom(predicate, tuple(first))),
+            Literal(Atom(predicate, tuple(second))),
+            Literal(Atom(predicate, tuple(witness)), positive=False),
+        )
+    )
+
+
+def domain_constraint(
+    predicate: str,
+    arity: int,
+    position: int,
+    *,
+    lower: object | None = None,
+    upper: object | None = None,
+    strict_lower: bool = False,
+    strict_upper: bool = False,
+) -> list[IntegrityConstraint]:
+    """Bounds on one attribute: violations are values outside [lower, upper]."""
+    _validate_positions(arity, [position])
+    if lower is None and upper is None:
+        raise ValueError("at least one bound is required")
+    variables = _vars("X", arity)
+    constraints: list[IntegrityConstraint] = []
+    if lower is not None:
+        op = "<=" if strict_lower else "<"
+        constraints.append(
+            IntegrityConstraint(
+                (
+                    Literal(Atom(predicate, tuple(variables))),
+                    OrderAtom(variables[position], op, Constant(lower)),
+                )
+            )
+        )
+    if upper is not None:
+        op = ">=" if strict_upper else ">"
+        constraints.append(
+            IntegrityConstraint(
+                (
+                    Literal(Atom(predicate, tuple(variables))),
+                    OrderAtom(variables[position], op, Constant(upper)),
+                )
+            )
+        )
+    return constraints
+
+
+def disjointness_constraint(
+    first: str, second: str, arity: int
+) -> IntegrityConstraint:
+    """No tuple belongs to both relations."""
+    variables = _vars("X", arity)
+    return IntegrityConstraint(
+        (
+            Literal(Atom(first, tuple(variables))),
+            Literal(Atom(second, tuple(variables))),
+        )
+    )
+
+
+def _validate_positions(arity: int, positions: Sequence[int]) -> None:
+    for position in positions:
+        if not 0 <= position < arity:
+            raise ValueError(f"position {position} out of range for arity {arity}")

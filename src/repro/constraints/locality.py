@@ -1,0 +1,114 @@
+"""Locality of order atoms and negated atoms inside ic's (paper, Section 2).
+
+An order atom (or negated EDB atom) ``A`` in the body of an ic is
+*local* when at least one positive EDB atom of the body contains all of
+``A``'s variables.  The decidability frontier of the paper runs exactly
+along this line: the Section 4.2 algorithm handles ic's whose order and
+negated atoms are all local, while non-local atoms make satisfiability
+(and hence complete semantic query optimization) undecidable
+(Theorems 5.3-5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..datalog.atoms import Atom, Literal, OrderAtom
+from .integrity import IntegrityConstraint
+
+__all__ = [
+    "LocalAtom",
+    "is_local",
+    "local_atoms",
+    "nonlocal_atoms",
+    "is_fully_local",
+    "anchor_candidates",
+    "choose_anchor",
+]
+
+#: A local atom is an order atom or a (positive rendering of a) negated EDB atom.
+LocalAtomBody = Union[OrderAtom, Atom]
+
+
+@dataclass(frozen=True)
+class LocalAtom:
+    """A local atom ``l`` paired with its anchoring EDB atom ``a``.
+
+    Section 4.2 "associates each local atom l with one EDB atom a (from
+    the same ic) such that a includes all the variables of l" and then
+    works with the pair ``(a, l)``.  ``is_order`` distinguishes order
+    atoms from negated EDB atoms (whose ``atom`` field stores the
+    positive form).
+    """
+
+    anchor: Atom
+    atom: LocalAtomBody
+    is_order: bool
+
+    def __repr__(self) -> str:
+        rendered = repr(self.atom) if self.is_order else f"not {self.atom!r}"
+        return f"({self.anchor!r}, {rendered})"
+
+
+def _candidate_atoms(ic: IntegrityConstraint) -> list[tuple[LocalAtomBody, bool]]:
+    """The order atoms and negated atoms of the ic, tagged by kind."""
+    found: list[tuple[LocalAtomBody, bool]] = []
+    for item in ic.body:
+        if isinstance(item, OrderAtom):
+            found.append((item, True))
+        elif isinstance(item, Literal) and not item.positive:
+            found.append((item.atom, False))
+    return found
+
+
+def anchor_candidates(ic: IntegrityConstraint, atom: LocalAtomBody) -> list[Atom]:
+    """Positive EDB atoms of the ic containing all variables of ``atom``."""
+    needed = atom.variables()
+    return [
+        positive for positive in ic.positive_atoms if needed <= positive.variables()
+    ]
+
+
+def is_local(ic: IntegrityConstraint, atom: LocalAtomBody) -> bool:
+    """Whether ``atom`` is local within ``ic``."""
+    return bool(anchor_candidates(ic, atom))
+
+
+def choose_anchor(ic: IntegrityConstraint, atom: LocalAtomBody) -> Atom:
+    """Deterministically pick the anchoring EDB atom for a local atom.
+
+    The first candidate in body order is chosen, which keeps rewrites
+    stable across runs.
+    """
+    candidates = anchor_candidates(ic, atom)
+    if not candidates:
+        raise ValueError(f"atom {atom} is not local in {ic}")
+    return candidates[0]
+
+
+def local_atoms(ic: IntegrityConstraint) -> list[LocalAtom]:
+    """All local atoms of the ic, paired with their anchors."""
+    pairs: list[LocalAtom] = []
+    for atom, is_order in _candidate_atoms(ic):
+        if is_local(ic, atom):
+            pairs.append(LocalAtom(choose_anchor(ic, atom), atom, is_order))
+    return pairs
+
+
+def nonlocal_atoms(ic: IntegrityConstraint) -> list[LocalAtomBody]:
+    """Order/negated atoms of the ic that are *not* local."""
+    return [atom for atom, _ in _candidate_atoms(ic) if not is_local(ic, atom)]
+
+
+def is_fully_local(ic: IntegrityConstraint) -> bool:
+    """Whether every order and negated atom of the ic is local.
+
+    Plain ic's are trivially fully local.
+    """
+    return not nonlocal_atoms(ic)
+
+
+def all_fully_local(constraints: Iterable[IntegrityConstraint]) -> bool:
+    """Whether every ic in the collection is fully local."""
+    return all(is_fully_local(ic) for ic in constraints)

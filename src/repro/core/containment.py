@@ -1,0 +1,133 @@
+"""Containment of a Datalog program in a union of conjunctive queries.
+
+Proposition 5.1 makes satisfiability w.r.t. ic's and *non*-containment
+of a program in a UCQ LOGSPACE-interreducible.  Both reductions are
+implemented:
+
+* :func:`containment_as_satisfiability` — mark the head arguments of
+  the UCQ with fresh unary EDB predicates ``__g0__, ...``; the program
+  gets an extra 0-ary query ``__ans__() :- q(X0..), __g0__(X0), ...``
+  and each CQ becomes the ic ``:- body(Qi), __g0__(Y0), ...``.  The
+  program is **not** contained in the UCQ iff the marked query is
+  satisfiable w.r.t. the generated ic's.
+* :func:`satisfiability_as_noncontainment` — the converse direction:
+  each ic becomes a CQ over a fresh 0-ary answer predicate; the query is
+  satisfiable iff the extended program is not contained in that union.
+
+:func:`program_contained_in_ucq` is the user-facing test built on the
+first reduction.  It inherits the decidability frontier of the
+satisfiability procedure: exact when the CQs' order/negated atoms turn
+into *local* atoms of the generated ic's, raising
+:class:`~repro.core.local_atoms.NonLocalConstraintError` otherwise (the
+fragment where containment itself becomes undecidable — the "new
+decidability and undecidability results" the paper derives for [CV92]).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.integrity import IntegrityConstraint
+from ..cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..datalog.atoms import Atom, Literal
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable
+from .reachability import is_satisfiable
+
+__all__ = [
+    "program_contained_in_ucq",
+    "containment_as_satisfiability",
+    "satisfiability_as_noncontainment",
+]
+
+_ANSWER = "__ans__"
+
+
+def _marker(index: int) -> str:
+    return f"__g{index}__"
+
+
+def containment_as_satisfiability(
+    program: Program, union: UnionOfConjunctiveQueries
+) -> tuple[Program, list[IntegrityConstraint]]:
+    """The Proposition 5.1 reduction (non-containment -> satisfiability).
+
+    Returns ``(marked_program, ics)`` with 0-ary query ``__ans__``:
+    ``program ⊑ union`` iff ``__ans__`` is **un**satisfiable w.r.t. the
+    generated ic's.
+    """
+    if program.query is None:
+        raise ValueError("containment needs a program with a query predicate")
+    if union.head_predicate != program.query:
+        raise ValueError(
+            f"union head {union.head_predicate} differs from program query "
+            f"{program.query}"
+        )
+    arity = program.arity_of(program.query)
+    if union.head_arity != arity:
+        raise ValueError("arity mismatch between program query and union head")
+
+    head_vars = tuple(Variable(f"X{i}") for i in range(arity))
+    answer_body: list = [Literal(Atom(program.query, head_vars))]
+    answer_body += [
+        Literal(Atom(_marker(i), (head_vars[i],))) for i in range(arity)
+    ]
+    marked = Program(
+        list(program.rules) + [Rule(Atom(_ANSWER, ()), tuple(answer_body))],
+        _ANSWER,
+        validate=False,
+    )
+
+    constraints: list[IntegrityConstraint] = []
+    for query in union:
+        body: list = list(query.body)
+        for i, head_arg in enumerate(query.head.args):
+            body.append(Literal(Atom(_marker(i), (head_arg,))))
+        constraints.append(IntegrityConstraint(tuple(body)))
+    return marked, constraints
+
+
+def program_contained_in_ucq(
+    program: Program,
+    union: UnionOfConjunctiveQueries | Sequence[ConjunctiveQuery],
+    *,
+    max_adornments: int = 4096,
+) -> bool:
+    """Exact containment of a recursive program in a union of CQs.
+
+    For plain programs and CQs this is the [CV92] problem (2EXPTIME);
+    order atoms and negated EDB atoms are supported as long as the
+    induced ic's are fully local.
+    """
+    if not isinstance(union, UnionOfConjunctiveQueries):
+        union = UnionOfConjunctiveQueries(tuple(union))
+    marked, constraints = containment_as_satisfiability(program, union)
+    return not is_satisfiable(marked, constraints, max_adornments=max_adornments)
+
+
+def satisfiability_as_noncontainment(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> tuple[Program, UnionOfConjunctiveQueries]:
+    """The converse Proposition 5.1 reduction (satisfiability -> non-containment).
+
+    Returns ``(extended_program, union)`` over a fresh 0-ary answer
+    predicate: the original query is satisfiable w.r.t. the ic's iff the
+    extended program is **not** contained in the union.
+    """
+    if program.query is None:
+        raise ValueError("satisfiability needs a program with a query predicate")
+    arity = program.arity_of(program.query)
+    head_vars = tuple(Variable(f"X{i}") for i in range(arity))
+    extended = Program(
+        list(program.rules)
+        + [Rule(Atom(_ANSWER, ()), (Literal(Atom(program.query, head_vars)),))],
+        _ANSWER,
+        validate=False,
+    )
+    union = UnionOfConjunctiveQueries(
+        tuple(
+            ConjunctiveQuery(Atom(_ANSWER, ()), ic.body) for ic in constraints
+        )
+    )
+    return extended, union

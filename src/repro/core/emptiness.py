@@ -1,0 +1,268 @@
+"""Program emptiness (Proposition 5.2, Theorem 5.2).
+
+A program is *empty* w.r.t. a set of ic's when none of its IDB
+predicates is satisfiable on any consistent database.  Proposition 5.2
+reduces this to the initialization rules (those with no IDB subgoals):
+if every initialization rule is unsatisfiable, the first bottom-up
+iteration derives nothing and all IDB relations stay empty.
+
+Single-rule satisfiability w.r.t. the ic's is decided by the case
+analysis matching the four complexity classes of Theorem 5.2:
+
+* plain ic's, ``{not}``-program — freeze the body injectively and look
+  for a violating homomorphism (NP);
+* ``{theta}``-ic's / ``{theta,not}``-program — enumerate the ordered
+  partitions (linearizations) of the rule's terms consistent with its
+  order atoms (Pi2p for the emptiness complement);
+* ``{not}``-ic's — additionally search for a *repair*: a superset of the
+  frozen body over the same domain whose extra facts block the negated
+  subgoals of violated ic's (EXPSPACE-bounded enumeration);
+* ``{theta,not}``-ic's — both case analyses combined.
+
+The repair search is exact because a model can always be restricted to
+the facts over the frozen constants (ic's are safe, so violations only
+involve facts over the constants present).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..constraints.integrity import IntegrityConstraint
+from ..cq.configurations import Config, freeze_atoms, linearizations, partitions
+from ..cq.homomorphism import extend_homomorphism
+from ..datalog.atoms import Atom, OrderAtom
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Term, Variable
+from .order_propagation import normalize_rule
+
+__all__ = [
+    "rule_satisfiable_wrt",
+    "is_empty_program",
+    "unsatisfiable_initialization_rules",
+    "EmptinessTooLargeError",
+]
+
+
+class EmptinessTooLargeError(ValueError):
+    """The repair-search universe exceeded the configured bound."""
+
+
+def _rule_terms(rule: Rule) -> list[Term]:
+    ordered: list[Term] = []
+    seen: set[Term] = set()
+    for atom in [lit.atom for lit in rule.relational_literals] + [rule.head]:
+        for term in atom.args:
+            if term not in seen:
+                seen.add(term)
+                ordered.append(term)
+    for order_atom in rule.order_atoms:
+        for term in (order_atom.left, order_atom.right):
+            if term not in seen:
+                seen.add(term)
+                ordered.append(term)
+    return ordered
+
+
+def _constraint_constants(constraints: Sequence[IntegrityConstraint]) -> list[Constant]:
+    constants: list[Constant] = []
+    seen: set[Constant] = set()
+    for ic in constraints:
+        for constant in sorted(ic.constants(), key=repr):
+            if constant not in seen:
+                seen.add(constant)
+                constants.append(constant)
+    return constants
+
+
+def _violation(
+    ic: IntegrityConstraint,
+    facts: frozenset[Atom],
+    config: Config,
+    class_of_constants: dict[Constant, int],
+) -> list[Atom] | None:
+    """If ``ic`` fires on ``facts``, return the absent negated instances.
+
+    ``None`` means the ic is satisfied.  An empty list means the ic
+    fires with no negated atom available to repair it.
+    """
+    fact_list = sorted(facts, key=repr)
+    for constant in ic.constants():
+        if constant not in class_of_constants:
+            return None  # the ic mentions a constant outside the domain
+    for hom in extend_homomorphism(list(ic.positive_atoms), fact_list):
+        def image_class(term: Term) -> int:
+            if isinstance(term, Constant):
+                return class_of_constants[term]
+            value = hom.apply(term)
+            assert isinstance(value, Constant)
+            return value.value  # type: ignore[return-value]
+
+        order_ok = True
+        for order_atom in ic.order_atoms:
+            if not config.compare_classes(
+                image_class(order_atom.left), image_class(order_atom.right), order_atom.op
+            ):
+                order_ok = False
+                break
+        if not order_ok:
+            continue
+        absent: list[Atom] = []
+        fires = True
+        for atom in ic.negative_atoms:
+            ground = Atom(
+                atom.predicate, tuple(Constant(image_class(t)) for t in atom.args)
+            )
+            if ground in facts:
+                fires = False
+                break
+            absent.append(ground)
+        if fires:
+            return absent
+    return None
+
+
+def _repair_search(
+    base: frozenset[Atom],
+    forbidden: frozenset[Atom],
+    constraints: Sequence[IntegrityConstraint],
+    config: Config,
+    class_of_constants: dict[Constant, int],
+    memo: set[frozenset[Atom]],
+    depth_budget: int,
+) -> bool:
+    """Search for a consistent superset of ``base`` avoiding ``forbidden``."""
+    if base in memo:
+        return False
+    memo.add(base)
+    if depth_budget < 0:
+        raise EmptinessTooLargeError("repair search exceeded the fact budget")
+    for ic in constraints:
+        absent = _violation(ic, base, config, class_of_constants)
+        if absent is None:
+            continue
+        # The ic fires: repair by adding one of the absent negated facts.
+        for ground in absent:
+            if ground in forbidden:
+                continue
+            if _repair_search(
+                base | {ground},
+                forbidden,
+                constraints,
+                config,
+                class_of_constants,
+                memo,
+                depth_budget - 1,
+            ):
+                return True
+        return False
+    return True  # no ic fires: base is a model
+
+
+def rule_satisfiable_wrt(
+    rule: Rule,
+    constraints: Sequence[IntegrityConstraint],
+    *,
+    max_repair_facts: int = 64,
+) -> bool:
+    """Whether some consistent database makes the rule body true.
+
+    Exact for all four ``{theta, not}`` combinations of rule and ic
+    classes (see the module docstring).  ``max_repair_facts`` bounds the
+    repair-search depth; exceeding it raises
+    :class:`EmptinessTooLargeError`.
+    """
+    rule = normalize_rule(rule)
+    if rule is None:
+        return False
+    terms = _rule_terms(rule)
+    for constant in _constraint_constants(constraints):
+        if constant not in terms:
+            terms.append(constant)
+    need_order = bool(rule.order_atoms) or any(ic.order_atoms for ic in constraints)
+    need_repairs = any(ic.negative_atoms for ic in constraints)
+
+    positive_atoms = [lit.atom for lit in rule.positive_literals]
+    negative_atoms = [lit.atom for lit in rule.negative_literals]
+
+    if need_order:
+        partition_stream = partitions(terms)
+    else:
+        # Injective freeze suffices without order atoms (see docstring).
+        injective = {}
+        next_id = 0
+        for term in terms:
+            injective[term] = next_id
+            next_id += 1
+        partition_stream = iter([injective])
+
+    for class_of in partition_stream:
+        class_of_constants = {
+            t: c for t, c in class_of.items() if isinstance(t, Constant)
+        }
+        base = frozenset(freeze_atoms(positive_atoms, class_of))
+        forbidden = frozenset(freeze_atoms(negative_atoms, class_of))
+        if base & forbidden:
+            continue
+        if need_order:
+            config_stream = (
+                Config(class_of, pos) for pos in linearizations(class_of)
+            )
+        else:
+            config_stream = iter([Config(class_of, None)])
+        for config in config_stream:
+            if not config.satisfies(rule.order_atoms):
+                continue
+            if need_repairs:
+                memo: set[frozenset[Atom]] = set()
+                try:
+                    found = _repair_search(
+                        base,
+                        forbidden,
+                        constraints,
+                        config,
+                        class_of_constants,
+                        memo,
+                        max_repair_facts,
+                    )
+                except EmptinessTooLargeError:
+                    raise
+                if found:
+                    return True
+            else:
+                violated = any(
+                    _violation(ic, base, config, class_of_constants) is not None
+                    for ic in constraints
+                )
+                if not violated:
+                    return True
+    return False
+
+
+def unsatisfiable_initialization_rules(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> list[Rule]:
+    """The initialization rules that no consistent database can fire."""
+    return [
+        rule
+        for rule in program.initialization_rules()
+        if not rule_satisfiable_wrt(rule, constraints)
+    ]
+
+
+def is_empty_program(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> bool:
+    """Proposition 5.2: the program is empty iff its initialization rules are.
+
+    Works for ``{theta,not}``-programs against ``{theta,not}``-ic's,
+    with the complexity profile of Theorem 5.2.
+    """
+    initialization = program.initialization_rules()
+    if not initialization:
+        return True
+    return all(
+        not rule_satisfiable_wrt(rule, constraints) for rule in initialization
+    )

@@ -1,0 +1,246 @@
+"""Section 4.2: ic's with local order atoms and negated EDB atoms.
+
+The extension works in two steps:
+
+1. **Transfer** each local atom ``l`` (anchored at an EDB atom ``a`` of
+   the same ic that contains all of ``l``'s variables) into the program:
+   repeatedly, whenever a rule has an EDB atom ``a'`` admitting a
+   homomorphism ``h : a -> a'`` and neither ``h(l)`` nor ``not h(l)``
+   appears in its body, split the rule into two copies, one with
+   ``h(l)`` and one with ``not h(l)``.  The rewriting terminates because
+   it introduces no new variables.
+
+2. **Modify** the bottom-up phase: a triplet mapping an anchor ``a``
+   into an EDB atom of a rule is retained only if the corresponding
+   ``h(l)`` (for order atoms, by entailment) or ``not h(l)`` (for
+   negated atoms, syntactically) is in the rule.  This is wired through
+   :class:`repro.core.adornments.LocalAtomIndex`.
+
+Anchor choice: the paper associates each local atom with *one* EDB
+atom; any choice is correct (Theorem 4.2), but it determines where the
+case split lands and therefore where the derived constraints surface in
+the rewritten program.  The default policy anchors at the candidate
+whose predicate occurs in the most program rules — for the Section 3
+example this anchors ``X < 100`` at ``step`` and reproduces the paper's
+rewriting ``r1', r2'`` with ``X >= 100`` inside the recursive rules.
+
+Non-local atoms make the problem undecidable (Theorems 5.3-5.5);
+:func:`prepare_local_atoms` raises :class:`NonLocalConstraintError` for
+them.  The quasi-local escape hatch of the paper (order atoms whose full
+mappings always land inside a single rule node) is implemented as
+:func:`quasi_local_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constraints.dense_order import OrderConstraintSet
+from ..constraints.integrity import IntegrityConstraint
+from ..constraints.locality import nonlocal_atoms
+from ..cq.homomorphism import extend_homomorphism
+from ..datalog.atoms import Atom, Literal, OrderAtom
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable
+
+from .adornments import LocalAtomIndex, compute_adornments
+
+__all__ = [
+    "NonLocalConstraintError",
+    "LocalAtomPlan",
+    "prepare_local_atoms",
+    "split_rules_on_local_atoms",
+    "quasi_local_report",
+]
+
+
+class NonLocalConstraintError(ValueError):
+    """An ic has a non-local order or negated atom (undecidable fragment)."""
+
+
+@dataclass(frozen=True)
+class AnchoredAtom:
+    """A local atom with its chosen anchor (positional within the ic)."""
+
+    ic_index: int
+    anchor_index: int  # index into ic.positive_atoms
+    anchor: Atom
+    local_atom: object  # OrderAtom, or Atom (positive form of a negated atom)
+    is_order: bool
+
+
+@dataclass
+class LocalAtomPlan:
+    """Everything the main pipeline needs for the Section 4.2 extension."""
+
+    program: Program
+    index: LocalAtomIndex
+    anchored: list[AnchoredAtom]
+
+
+def _candidate_anchor_indices(
+    ic: IntegrityConstraint, atom_vars: set[Variable]
+) -> list[int]:
+    return [
+        i
+        for i, positive in enumerate(ic.positive_atoms)
+        if atom_vars <= positive.variables()
+    ]
+
+
+def _predicate_frequency(program: Program) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for rule in program.rules:
+        for predicate in {lit.predicate for lit in rule.positive_literals}:
+            counts[predicate] = counts.get(predicate, 0) + 1
+    return counts
+
+
+def _choose_anchors(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> list[AnchoredAtom]:
+    """Pick one anchor per local atom; raise for non-local atoms."""
+    frequency = _predicate_frequency(program)
+    anchored: list[AnchoredAtom] = []
+    for ic_index, ic in enumerate(constraints):
+        bad = nonlocal_atoms(ic)
+        if bad:
+            raise NonLocalConstraintError(
+                f"constraint {ic} has non-local atoms {bad}; satisfiability "
+                "for this fragment is undecidable (Theorems 5.3-5.5)"
+            )
+        local_candidates: list[tuple[object, bool]] = []
+        for item in ic.body:
+            if isinstance(item, OrderAtom):
+                local_candidates.append((item, True))
+            elif isinstance(item, Literal) and not item.positive:
+                local_candidates.append((item.atom, False))
+        for local_atom, is_order in local_candidates:
+            variables = (
+                local_atom.variables()
+                if isinstance(local_atom, (OrderAtom, Atom))
+                else set()
+            )
+            indices = _candidate_anchor_indices(ic, variables)
+            best = max(
+                indices,
+                key=lambda i: (
+                    frequency.get(ic.positive_atoms[i].predicate, 0),
+                    -i,
+                ),
+            )
+            anchored.append(
+                AnchoredAtom(ic_index, best, ic.positive_atoms[best], local_atom, is_order)
+            )
+    return anchored
+
+
+def split_rules_on_local_atoms(
+    program: Program, anchored: Sequence[AnchoredAtom]
+) -> Program:
+    """The case-splitting rewriting of Section 4.2.
+
+    Applies the (a, l) pairs to every rule until no EDB occurrence
+    admits a homomorphic image of an anchor whose local atom is
+    undetermined in the body.
+    """
+    idb = program.idb_predicates
+    rules = list(program.rules)
+    changed = True
+    while changed:
+        changed = False
+        next_rules: list[Rule] = []
+        for rule in rules:
+            split = _split_once(rule, anchored, idb)
+            if split is None:
+                next_rules.append(rule)
+            else:
+                next_rules.extend(split)
+                changed = True
+        rules = next_rules
+    return Program(rules, program.query, validate=False)
+
+
+def _split_once(
+    rule: Rule, anchored: Sequence[AnchoredAtom], idb: frozenset[str]
+) -> list[Rule] | None:
+    """Split ``rule`` on the first undetermined local-atom image, if any."""
+    order = OrderConstraintSet(rule.order_atoms)
+    negated_atoms = {lit.atom for lit in rule.negative_literals}
+    positive_atoms = {lit.atom for lit in rule.positive_literals}
+    for pair in anchored:
+        for literal in rule.positive_literals:
+            if literal.predicate in idb or literal.predicate != pair.anchor.predicate:
+                continue
+            for hom in extend_homomorphism([pair.anchor], [literal.atom]):
+                if pair.is_order:
+                    assert isinstance(pair.local_atom, OrderAtom)
+                    image = pair.local_atom.substitute(hom)
+                    if order.entails(image) or order.entails(image.negated()):
+                        continue
+                    return [
+                        rule.with_extra_conditions([image]),
+                        rule.with_extra_conditions([image.negated()]),
+                    ]
+                assert isinstance(pair.local_atom, Atom)
+                image_atom = pair.local_atom.substitute(hom)
+                if image_atom in negated_atoms or image_atom in positive_atoms:
+                    continue
+                return [
+                    rule.with_extra_conditions([Literal(image_atom, True)]),
+                    rule.with_extra_conditions([Literal(image_atom, False)]),
+                ]
+    return None
+
+
+def prepare_local_atoms(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> LocalAtomPlan:
+    """Run the Section 4.2 preparation; identity for plain ic's."""
+    anchored = _choose_anchors(program, constraints)
+    index = LocalAtomIndex()
+    for pair in anchored:
+        index.add(pair.ic_index, pair.anchor_index, pair.local_atom, pair.is_order)
+    if not anchored:
+        return LocalAtomPlan(program, index, anchored)
+    rewritten = split_rules_on_local_atoms(program, anchored)
+    return LocalAtomPlan(rewritten, index, anchored)
+
+
+@dataclass(frozen=True)
+class QuasiLocalFinding:
+    """One complete mapping inspected by the quasi-local test."""
+
+    ic_index: int
+    rule_index: int
+    quasi_local: bool
+
+
+def quasi_local_report(
+    program: Program, constraints: Sequence[IntegrityConstraint]
+) -> list[QuasiLocalFinding]:
+    """The Section 4.2 quasi-local test for ``{theta}``-ic's.
+
+    Runs the original algorithm mapping only EDB atoms, without treating
+    complete mappings as inconsistent, and checks for every complete
+    mapping whether each order atom of the ic has all its variables
+    mapped within a single rule node (visible in that rule's recorded
+    sigma).  If every finding is quasi-local, the ic set is quasi-local
+    with respect to the program and the Section 4.1 algorithm extended
+    with per-rule order checks is exact (paper, end of Section 4.2).
+    """
+    result = compute_adornments(
+        program, constraints, treat_complete_as_inconsistent=False
+    )
+    findings: list[QuasiLocalFinding] = []
+    for rule_index, derivation in result.inconsistencies:
+        ic = constraints[derivation.ic]
+        sigma_names = {name for name, _ in derivation.rule_sigma}
+        quasi = all(
+            {v.name for v in order_atom.variables()} <= sigma_names
+            for order_atom in ic.order_atoms
+        )
+        findings.append(QuasiLocalFinding(derivation.ic, rule_index, quasi))
+    return findings

@@ -1,0 +1,223 @@
+"""Satisfiability and query reachability w.r.t. integrity constraints.
+
+Satisfiability of the query predicate (Theorem 5.1) is decided by
+running the full optimization pipeline: the query tree encodes exactly
+the consistent derivations, so the query predicate is satisfiable iff
+the (pruned) forest retains a productive root.
+
+Query reachability of an atom ``p(alpha1, ..., alphan)`` is decided via
+the LOGSPACE reduction to satisfiability from [LMSS93] (paper,
+Section 2): build the *marked* program whose derivations of a fresh
+query predicate contain a marked path from the original query down to a
+``p``-node matching the atom, then test satisfiability.  The converse
+reduction (satisfiability of ``p`` equals reachability of a most
+general ``p``-atom in the program with query ``p``) is provided for
+cross-validation.
+
+Both are exact for ``{theta,not}``-programs with fully-local ic's; for
+ic's with non-local order or negated atoms the problem is undecidable
+(Theorems 5.3-5.5) and :class:`NonLocalConstraintError` is raised —
+:func:`bounded_satisfiability` offers a sound semi-decision procedure
+(derivation enumeration with consistency checks) for those fragments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..constraints.integrity import IntegrityConstraint
+from ..datalog.atoms import Atom, Literal
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Substitution, Term, Variable, fresh_variables
+from ..datalog.unify import unify_atoms
+from .emptiness import rule_satisfiable_wrt
+from .rewrite import optimize
+
+__all__ = [
+    "is_satisfiable",
+    "is_query_reachable",
+    "reachability_program",
+    "satisfiability_as_reachability",
+    "bounded_satisfiability",
+]
+
+_MARK_SUFFIX = "__marked"
+
+
+def is_satisfiable(
+    program: Program,
+    constraints: Sequence[IntegrityConstraint],
+    *,
+    max_adornments: int = 4096,
+) -> bool:
+    """Whether the query predicate has a nonempty answer on some consistent DB."""
+    report = optimize(
+        program,
+        constraints,
+        inject_residues=False,
+        max_adornments=max_adornments,
+    )
+    return report.satisfiable
+
+
+def reachability_program(program: Program, atom: Atom) -> Program:
+    """The marked program of the reachability-to-satisfiability reduction.
+
+    Its query predicate is satisfiable (w.r.t. any ic set) iff ``atom``
+    is query reachable in ``program`` — some consistent database admits
+    a derivation of the original query containing an instantiation of
+    ``atom``.
+    """
+    if program.query is None:
+        raise ValueError("reachability needs a program with a query predicate")
+    idb = program.idb_predicates
+    marked: list[Rule] = list(program.rules)
+
+    def marked_name(predicate: str) -> str:
+        return predicate + _MARK_SUFFIX
+
+    # Derivation trees have goal nodes for IDB *and* EDB subgoals, so the
+    # marked path may end at either kind.  Marking an IDB subgoal keeps
+    # propagating; marking an EDB subgoal bottoms out at the base rule.
+    markable = idb | ({atom.predicate} if atom.predicate not in idb else set())
+    for rule in program.rules:
+        positions = [
+            i
+            for i, item in enumerate(rule.body)
+            if isinstance(item, Literal) and item.positive and item.predicate in markable
+        ]
+        for position in positions:
+            literal = rule.body[position]
+            assert isinstance(literal, Literal)
+            if literal.predicate in idb:
+                replacement = Literal(Atom(marked_name(literal.predicate), literal.args))
+            elif literal.predicate == atom.predicate:
+                # EDB target: the fact must exist AND match the atom.
+                replacement = Literal(Atom(marked_name(literal.predicate), literal.args))
+            else:
+                continue
+            body = list(rule.body)
+            body[position] = replacement
+            if not literal.predicate in idb:
+                # Keep the original EDB literal too: the marked predicate
+                # only certifies the pattern match.
+                body.append(literal)
+            marked.append(
+                Rule(Atom(marked_name(rule.head.predicate), rule.head.args), tuple(body))
+            )
+    # The marked base: a node matching the atom (IDB: with a full
+    # subtree below it; EDB: the fact itself).
+    base_args = tuple(atom.args)
+    marked.append(
+        Rule(
+            Atom(marked_name(atom.predicate), base_args),
+            (Literal(Atom(atom.predicate, base_args)),),
+        )
+    )
+    return Program(marked, marked_name(program.query), validate=False)
+
+
+def is_query_reachable(
+    program: Program,
+    constraints: Sequence[IntegrityConstraint],
+    atom: Atom,
+    *,
+    max_adornments: int = 4096,
+) -> bool:
+    """Exact query reachability of ``atom`` (Section 2 definition)."""
+    reduced = reachability_program(program, atom)
+    if not reduced.rules_for(reduced.query):
+        # The marked query has no rules: the predicate never occurs in a
+        # derivation of the original query at all.
+        return False
+    return is_satisfiable(reduced, constraints, max_adornments=max_adornments)
+
+
+def satisfiability_as_reachability(
+    program: Program, constraints: Sequence[IntegrityConstraint], predicate: str
+) -> bool:
+    """The converse reduction: ``p`` satisfiable iff a most general
+    ``p``-atom is query reachable in the program re-rooted at ``p``."""
+    arity = program.arity_of(predicate)
+    rerooted = Program(program.rules, predicate)
+    atom = Atom(predicate, tuple(Variable(f"W{i}") for i in range(arity)))
+    return is_query_reachable(rerooted, constraints, atom)
+
+
+# ----------------------------------------------------------------------
+# Bounded semi-decision for the undecidable fragments
+# ----------------------------------------------------------------------
+def bounded_satisfiability(
+    program: Program,
+    constraints: Sequence[IntegrityConstraint],
+    *,
+    max_depth: int = 6,
+    max_repair_facts: int = 64,
+) -> bool | None:
+    """Search for a witness derivation of bounded depth.
+
+    Enumerates symbolic derivation trees of the query predicate up to
+    ``max_depth`` rule applications along any branch, flattens each into
+    a single conjunctive body, and checks consistency with the ic's via
+    the exact finite-model search of :mod:`repro.core.emptiness` (which
+    handles non-local order and negated atoms — on a *fixed finite*
+    derivation the question is decidable).
+
+    Returns ``True`` with a witness found, ``None`` when the budget is
+    exhausted without a witness (satisfiability remains unknown — the
+    fragment is undecidable, Theorems 5.3-5.5).
+    """
+    if program.query is None:
+        raise ValueError("bounded_satisfiability needs a query predicate")
+    idb = program.idb_predicates
+    query_arity = program.arity_of(program.query)
+    goal = Atom(program.query, tuple(Variable(f"V{i}") for i in range(query_arity)))
+
+    def expansions(atom: Atom, depth: int, counter: itertools.count):
+        """Yield flattened bodies (lists of body items) deriving ``atom``."""
+        if atom.predicate not in idb:
+            yield [Literal(atom)]
+            return
+        if depth <= 0:
+            return
+        for rule in program.rules_for(atom.predicate):
+            # Rename *every* rule variable so sibling expansions never share
+            # variables accidentally.
+            stamp = next(counter)
+            renaming = Substitution(
+                {v: Variable(f"D{stamp}_{v.name}") for v in rule.variables()}
+            )
+            fresh = rule.substitute(renaming)
+            unifier = unify_atoms(fresh.head, atom)
+            if unifier is None:
+                continue
+            instance = fresh.substitute(unifier)
+            sub_lists: list[list] = [[]]
+            feasible = True
+            for item in instance.body:
+                if isinstance(item, Literal) and item.positive and item.predicate in idb:
+                    expanded = list(expansions(item.atom, depth - 1, counter))
+                    if not expanded:
+                        feasible = False
+                        break
+                    sub_lists = [
+                        existing + extra
+                        for existing in sub_lists
+                        for extra in expanded
+                    ]
+                else:
+                    sub_lists = [existing + [item] for existing in sub_lists]
+            if not feasible:
+                continue
+            yield from sub_lists
+
+    for depth in range(1, max_depth + 1):
+        for body in expansions(goal, depth, itertools.count()):
+            witness = Rule(Atom("__witness__", ()), tuple(body))
+            if rule_satisfiable_wrt(
+                witness, constraints, max_repair_facts=max_repair_facts
+            ):
+                return True
+    return None

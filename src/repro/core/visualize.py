@@ -1,0 +1,113 @@
+"""Graphviz (DOT) export of query trees and predicate graphs.
+
+Figure 1 of the paper draws the final query tree; :func:`querytree_dot`
+produces the same picture as a DOT document (renderable with
+``dot -Tpng``).  Goal nodes become boxes (double border when they are
+roots, dashed when they are references to an expanded node), rule nodes
+become ellipses with the rule text; pruned (unproductive/unreachable)
+nodes are greyed out.
+
+:func:`dependency_dot` renders a program's predicate dependency graph —
+handy for understanding how the rewriting specialized the predicates.
+"""
+
+from __future__ import annotations
+
+from ..datalog.program import Program
+from .querytree import GoalNode, QueryTree, RuleNode
+
+__all__ = ["querytree_dot", "dependency_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def querytree_dot(tree: QueryTree, *, include_labels: bool = False) -> str:
+    """Render the query forest as a DOT digraph."""
+    lines = [
+        "digraph querytree {",
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    ids: dict[int, str] = {}
+    counter = [0]
+
+    def node_id(obj: object) -> str:
+        key = id(obj)
+        if key not in ids:
+            ids[key] = f"n{counter[0]}"
+            counter[0] += 1
+        return ids[key]
+
+    roots = set(id(root) for root in tree.roots)
+
+    def emit_goal(goal: GoalNode) -> None:
+        gid = node_id(goal)
+        label = repr(goal.atom)
+        if include_labels and not goal.is_edb:
+            residues = sorted(
+                t.render(tree.constraints) for t in goal.label if not t.is_trivial()
+            )
+            if residues:
+                label += "\\n" + "\\n".join(residues)
+        attributes = [f'label="{_escape(label)}"', "shape=box"]
+        if id(goal) in roots:
+            attributes.append("peripheries=2")
+        if goal.is_edb:
+            attributes.append('style=filled, fillcolor="#eef6ee"')
+        elif goal.reference is not None:
+            attributes.append("style=dashed")
+        elif not (goal.productive and goal.reachable):
+            attributes.append('color="#bbbbbb", fontcolor="#bbbbbb"')
+        lines.append(f"  {gid} [{', '.join(attributes)}];")
+        if goal.reference is not None:
+            lines.append(
+                f"  {gid} -> {node_id(goal.reference)} [style=dotted, constraint=false];"
+            )
+        for rule_node in goal.children:
+            emit_rule(rule_node)
+            lines.append(f"  {gid} -> {node_id(rule_node)};")
+
+    def emit_rule(rule_node: RuleNode) -> None:
+        rid = node_id(rule_node)
+        attributes = [f'label="{_escape(repr(rule_node.instance))}"', "shape=ellipse"]
+        if not (rule_node.productive and rule_node.reachable):
+            attributes.append('color="#bbbbbb", fontcolor="#bbbbbb"')
+        lines.append(f"  {rid} [{', '.join(attributes)}];")
+        for subgoal in rule_node.subgoals:
+            emit_goal(subgoal)
+            lines.append(f"  {rid} -> {node_id(subgoal)};")
+
+    for root in tree.roots:
+        emit_goal(root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependency_dot(program: Program) -> str:
+    """Render the predicate dependency graph of a program as DOT."""
+    lines = [
+        "digraph dependencies {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    idb = program.idb_predicates
+    for predicate in sorted(idb):
+        shape = "doublecircle" if predicate == program.query else "circle"
+        lines.append(f'  "{predicate}" [shape={shape}];')
+    for predicate in sorted(program.edb_predicates):
+        lines.append(f'  "{predicate}" [shape=box, style=filled, fillcolor="#eef6ee"];')
+    edges: set[tuple[str, str]] = set()
+    for rule in program.rules:
+        head = rule.head.predicate
+        for literal in rule.relational_literals:
+            style = "solid" if literal.positive else "dashed"
+            edge = (head, literal.predicate, style)
+            if edge not in edges:
+                edges.add(edge)
+                lines.append(
+                    f'  "{head}" -> "{literal.predicate}" [style={style}];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Conjunctive queries: homomorphisms, containment, minimization."""
+
+from .conjunctive import ConjunctiveQuery, FrozenBody, UnionOfConjunctiveQueries
+from .containment import (
+    ContainmentTooLargeError,
+    cq_contained,
+    cq_contained_in_union,
+    cq_equivalent,
+    ucq_contained,
+)
+from .homomorphism import (
+    all_homomorphisms,
+    extend_homomorphism,
+    find_homomorphism,
+    homomorphism_exists,
+)
+from .minimize import is_minimal, minimize_cq
+
+__all__ = [
+    "ConjunctiveQuery",
+    "FrozenBody",
+    "UnionOfConjunctiveQueries",
+    "ContainmentTooLargeError",
+    "cq_contained",
+    "cq_contained_in_union",
+    "cq_equivalent",
+    "ucq_contained",
+    "all_homomorphisms",
+    "extend_homomorphism",
+    "find_homomorphism",
+    "homomorphism_exists",
+    "is_minimal",
+    "minimize_cq",
+]

@@ -1,0 +1,112 @@
+"""Canonical-database configurations: partitions and linearizations.
+
+Shared by the containment tests (:mod:`repro.cq.containment`) and the
+emptiness/satisfiability case analyses (:mod:`repro.core.emptiness`).
+A *configuration* identifies some terms (a partition into classes, where
+distinct constants never merge) and, when order atoms are in play,
+totally orders the classes consistently with the real order among the
+constants (a linearization over the dense domain).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..datalog.atoms import Atom, OrderAtom
+from ..datalog.terms import Constant, Term, Variable
+
+__all__ = ["Config", "partitions", "linearizations", "freeze_atoms"]
+
+
+class Config:
+    """One configuration: a partition plus an optional linearization."""
+
+    __slots__ = ("class_of", "position")
+
+    def __init__(self, class_of: dict[Term, int], position: dict[int, int] | None):
+        self.class_of = class_of
+        self.position = position
+
+    def compare(self, left: Term, right: Term, op: str) -> bool:
+        """Evaluate ``left op right`` under this configuration."""
+        lc, rc = self.class_of[left], self.class_of[right]
+        return self.compare_classes(lc, rc, op)
+
+    def compare_classes(self, lc: int, rc: int, op: str) -> bool:
+        if op == "=":
+            return lc == rc
+        if op == "!=":
+            return lc != rc
+        if self.position is None:
+            raise ValueError("order comparison without a linearization")
+        lp, rp = self.position[lc], self.position[rc]
+        if op == "<":
+            return lp < rp
+        if op == "<=":
+            return lp <= rp
+        if op == ">":
+            return lp > rp
+        if op == ">=":
+            return lp >= rp
+        raise ValueError(f"unknown comparison {op!r}")
+
+    def satisfies(self, order_atoms: Sequence[OrderAtom]) -> bool:
+        return all(self.compare(a.left, a.right, a.op) for a in order_atoms)
+
+
+def partitions(terms: Sequence[Term]) -> Iterator[dict[Term, int]]:
+    """Enumerate identifications of the terms.
+
+    Each distinct constant owns its class and constants never merge;
+    variables may join any existing class or open a new one.
+    """
+    constants = [t for t in terms if isinstance(t, Constant)]
+    variables = [t for t in terms if isinstance(t, Variable)]
+    base: dict[Term, int] = {c: i for i, c in enumerate(constants)}
+
+    def assign(index: int, class_of: dict[Term, int], next_id: int) -> Iterator[dict[Term, int]]:
+        if index == len(variables):
+            yield dict(class_of)
+            return
+        var = variables[index]
+        for existing in range(next_id):
+            class_of[var] = existing
+            yield from assign(index + 1, class_of, next_id)
+        class_of[var] = next_id
+        yield from assign(index + 1, class_of, next_id + 1)
+        del class_of[var]
+
+    yield from assign(0, dict(base), len(constants))
+
+
+def _constant_order_ok(class_of: dict[Term, int], position: dict[int, int]) -> bool:
+    """The linearization must respect the real order among the constants."""
+    constant_classes: dict[int, Constant] = {}
+    for term, cls in class_of.items():
+        if isinstance(term, Constant):
+            constant_classes[cls] = term
+    items = sorted(constant_classes.items(), key=lambda kv: position[kv[0]])
+    for (_, const_a), (_, const_b) in zip(items, items[1:]):
+        if not const_a.comparable_with(const_b):
+            continue
+        if not OrderAtom(const_a, "<", const_b).holds():
+            return False
+    return True
+
+
+def linearizations(class_of: dict[Term, int]) -> Iterator[dict[int, int]]:
+    """All total orders of the classes consistent with the constants."""
+    classes = sorted(set(class_of.values()))
+    for perm in itertools.permutations(classes):
+        position = {cls: i for i, cls in enumerate(perm)}
+        if _constant_order_ok(class_of, position):
+            yield position
+
+
+def freeze_atoms(atoms: Sequence[Atom], class_of: dict[Term, int]) -> list[Atom]:
+    """Atoms over class-id constants (the canonical database encoding)."""
+    return [
+        Atom(atom.predicate, tuple(Constant(class_of[t]) for t in atom.args))
+        for atom in atoms
+    ]

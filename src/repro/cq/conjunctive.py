@@ -1,0 +1,207 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+A :class:`ConjunctiveQuery` is a single nonrecursive rule (select-
+project-join); a :class:`UnionOfConjunctiveQueries` is a finite set of
+CQs sharing one head predicate.  Queries may carry order atoms and
+negated EDB atoms, matching the classes the paper's Section 5 relates
+to satisfiability.
+
+Canonical databases (*freezing*) are produced here: variables become
+fresh constants, optionally after merging variables according to a
+partition — the ingredient of the containment tests in
+:mod:`repro.cq.containment`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.atoms import Atom, BodyItem, Literal, OrderAtom
+from ..datalog.database import Database, Row
+from ..datalog.evaluation import evaluate
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Substitution, Term, Variable
+
+__all__ = ["ConjunctiveQuery", "UnionOfConjunctiveQueries", "FrozenBody"]
+
+
+@dataclass(frozen=True)
+class FrozenBody:
+    """The result of freezing a CQ body under a substitution.
+
+    ``database`` holds the frozen positive atoms; ``forbidden`` the
+    frozen negated atoms (facts that must stay absent); ``order_atoms``
+    the ground order atoms that the freezing must satisfy; ``head_row``
+    the frozen head tuple.
+    """
+
+    database: Database
+    forbidden: tuple[Atom, ...]
+    order_atoms: tuple[OrderAtom, ...]
+    head_row: Row
+    assignment: Substitution
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``head :- body`` (nonrecursive, single rule)."""
+
+    head: Atom
+    body: tuple[BodyItem, ...]
+
+    def __init__(self, head: Atom, body: Iterable[BodyItem]):
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    @classmethod
+    def from_rule(cls, rule: Rule) -> "ConjunctiveQuery":
+        return cls(rule.head, rule.body)
+
+    def as_rule(self) -> Rule:
+        return Rule(self.head, self.body)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return tuple(i.atom for i in self.body if isinstance(i, Literal) and i.positive)
+
+    @property
+    def negative_atoms(self) -> tuple[Atom, ...]:
+        return tuple(i.atom for i in self.body if isinstance(i, Literal) and not i.positive)
+
+    @property
+    def order_atoms(self) -> tuple[OrderAtom, ...]:
+        return tuple(i for i in self.body if isinstance(i, OrderAtom))
+
+    def variables(self) -> set[Variable]:
+        variables = set(self.head.variables())
+        for item in self.body:
+            variables |= item.variables()
+        return variables
+
+    def terms(self) -> list[Term]:
+        """All distinct terms of the query, in first-occurrence order."""
+        ordered: list[Term] = []
+        seen: set[Term] = set()
+        for atom in (self.head, *self.positive_atoms, *self.negative_atoms):
+            for term in atom.args:
+                if term not in seen:
+                    seen.add(term)
+                    ordered.append(term)
+        for order_atom in self.order_atoms:
+            for term in (order_atom.left, order_atom.right):
+                if term not in seen:
+                    seen.add(term)
+                    ordered.append(term)
+        return ordered
+
+    def classification(self) -> frozenset[str]:
+        tags: set[str] = set()
+        if self.order_atoms:
+            tags.add("theta")
+        if self.negative_atoms:
+            tags.add("not")
+        return frozenset(tags)
+
+    def is_plain(self) -> bool:
+        return not self.classification()
+
+    def substitute(self, theta: Substitution) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(
+            self.head.substitute(theta),
+            tuple(item.substitute(theta) for item in self.body),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation and freezing
+    # ------------------------------------------------------------------
+    def answers(self, database: Database) -> frozenset[Row]:
+        """Evaluate the CQ over a database."""
+        program = Program([self.as_rule()], self.head.predicate)
+        return evaluate(program, database).query_rows()
+
+    def freeze(self, merge: Substitution | None = None) -> FrozenBody | None:
+        """Freeze the body into a canonical database.
+
+        ``merge`` optionally pre-identifies variables (a variable
+        partition).  Remaining variables become fresh symbolic constants
+        ``_c0, _c1, ...``.  Returns ``None`` when the freezing is
+        internally inconsistent: a frozen negated atom coincides with a
+        frozen positive atom (an atom would appear both positively and
+        negatively), or constants clash under ``merge``.  Ground order
+        atoms are *not* checked here (symbolic freeze constants carry no
+        order); callers handling order atoms use
+        :class:`~repro.constraints.dense_order.OrderConstraintSet`
+        directly.
+        """
+        query = self.substitute(merge) if merge is not None else self
+        mapping: dict[Variable, Term] = {}
+        counter = itertools.count()
+        for var in sorted(query.variables(), key=lambda v: v.name):
+            mapping[var] = Constant(f"_c{next(counter)}")
+        theta = Substitution(mapping)
+        positives = [a.substitute(theta) for a in query.positive_atoms]
+        negatives = [a.substitute(theta) for a in query.negative_atoms]
+        if set(positives) & set(negatives):
+            return None
+        database = Database(positives)
+        head = query.head.substitute(theta)
+        if not head.is_ground():
+            return None
+        head_row = tuple(arg.value for arg in head.args)  # type: ignore[union-attr]
+        order_atoms = tuple(a.substitute(theta) for a in query.order_atoms)
+        return FrozenBody(database, tuple(negatives), order_atoms, head_row, theta)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(item) for item in self.body)
+        return f"{self.head!r} :- {inner}."
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A union of CQs over one head predicate."""
+
+    queries: tuple[ConjunctiveQuery, ...]
+
+    def __init__(self, queries: Iterable[ConjunctiveQuery]):
+        queries = tuple(queries)
+        if not queries:
+            raise ValueError("a union of conjunctive queries needs at least one CQ")
+        heads = {(q.head.predicate, q.head.arity) for q in queries}
+        if len(heads) != 1:
+            raise ValueError(f"mismatched heads in union: {sorted(heads)}")
+        object.__setattr__(self, "queries", queries)
+
+    @property
+    def head_predicate(self) -> str:
+        return self.queries[0].head.predicate
+
+    @property
+    def head_arity(self) -> int:
+        return self.queries[0].head.arity
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def answers(self, database: Database) -> frozenset[Row]:
+        rows: set[Row] = set()
+        for query in self.queries:
+            rows |= query.answers(database)
+        return frozenset(rows)
+
+    def classification(self) -> frozenset[str]:
+        tags: set[str] = set()
+        for query in self.queries:
+            tags |= query.classification()
+        return frozenset(tags)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(q) for q in self.queries)

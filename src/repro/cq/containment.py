@@ -1,0 +1,299 @@
+"""Containment of (unions of) conjunctive queries.
+
+Three regimes, matching the paper's Section 5 complexity landscape:
+
+* **plain** CQs (no order atoms, no negation): the classic NP test —
+  ``q ⊑ ∪ Qi`` iff some ``Qi`` maps homomorphically into ``q`` with the
+  heads aligned [SY81];
+* **order atoms** present: the Klug-style case analysis — enumerate the
+  ordered partitions (linearizations) of the terms of ``q`` consistent
+  with the real order of the constants, and require that each
+  linearization satisfying ``q``'s order atoms admits some ``Qi`` whose
+  order atoms are entailed by it (Pi2p) [Klu88];
+* **negated EDB atoms** in the right-hand side: additionally enumerate
+  the databases over the canonical domain that extend ``q``'s frozen
+  positive body with facts over the predicates occurring negatively in
+  the right-hand side (the countermodel may need extra facts exactly to
+  block a negated subgoal) [LS93].
+
+All three are exact on their fragments; the general procedure is
+exponential by necessity.  :class:`ContainmentTooLargeError` guards
+against blow-ups beyond ``max_terms``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.atoms import Atom, OrderAtom
+from ..datalog.terms import Constant, Term, Variable
+from .configurations import Config, freeze_atoms, linearizations, partitions
+from .conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .homomorphism import extend_homomorphism
+
+__all__ = [
+    "cq_contained",
+    "cq_contained_in_union",
+    "ucq_contained",
+    "cq_equivalent",
+    "ContainmentTooLargeError",
+]
+
+
+class ContainmentTooLargeError(ValueError):
+    """The case analysis would exceed the configured size bound."""
+
+
+# ----------------------------------------------------------------------
+# Fast path: plain conjunctive queries
+# ----------------------------------------------------------------------
+def _plain_contained_in(query: ConjunctiveQuery, candidate: ConjunctiveQuery) -> bool:
+    """``query ⊑ candidate`` for plain CQs via head-aligned homomorphism."""
+    initial: dict[Variable, Term] = {}
+    for c_arg, q_arg in zip(candidate.head.args, query.head.args):
+        if isinstance(c_arg, Constant):
+            if c_arg != q_arg:
+                return False
+        else:
+            bound = initial.get(c_arg)
+            if bound is None:
+                initial[c_arg] = q_arg
+            elif bound != q_arg:
+                return False
+    for _ in extend_homomorphism(candidate.positive_atoms, query.positive_atoms, initial):
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# The general containment procedure
+# ----------------------------------------------------------------------
+def _candidate_produces(
+    candidate: ConjunctiveQuery,
+    database_atoms: list[Atom],
+    database_set: set[Atom],
+    head_classes: tuple[int, ...],
+    config: Config,
+    extra_constant_classes: dict[Constant, int],
+) -> bool:
+    """Whether ``candidate`` yields the canonical head row on the database."""
+    # Candidate constants must denote classes of the configuration.
+    local_class_of = dict(config.class_of)
+    for atom in (candidate.head, *candidate.positive_atoms, *candidate.negative_atoms):
+        for term in atom.args:
+            if isinstance(term, Constant) and term not in local_class_of:
+                cls = extra_constant_classes.get(term)
+                if cls is None:
+                    return False  # constant absent from the canonical domain
+                local_class_of[term] = cls
+    for order_atom in candidate.order_atoms:
+        for term in (order_atom.left, order_atom.right):
+            if isinstance(term, Constant) and term not in local_class_of:
+                cls = extra_constant_classes.get(term)
+                if cls is None:
+                    return False
+                local_class_of[term] = cls
+
+    initial: dict[Variable, Term] = {}
+    for c_arg, head_cls in zip(candidate.head.args, head_classes):
+        if isinstance(c_arg, Constant):
+            if local_class_of[c_arg] != head_cls:
+                return False
+        else:
+            target = Constant(head_cls)
+            bound = initial.get(c_arg)
+            if bound is None:
+                initial[c_arg] = target
+            elif bound != target:
+                return False
+    frozen_positives = [
+        Atom(a.predicate, tuple(
+            Constant(local_class_of[t]) if isinstance(t, Constant) else t
+            for t in a.args
+        ))
+        for a in candidate.positive_atoms
+    ]
+    for hom in extend_homomorphism(frozen_positives, database_atoms, initial):
+        def image_class(term: Term) -> int:
+            if isinstance(term, Constant):
+                return local_class_of[term]
+            value = hom.apply(term)
+            assert isinstance(value, Constant)
+            return value.value  # type: ignore[return-value]
+
+        ok = True
+        for order_atom in candidate.order_atoms:
+            lc, rc = image_class(order_atom.left), image_class(order_atom.right)
+            if config.position is None:
+                if order_atom.op == "=" and lc != rc:
+                    ok = False
+                elif order_atom.op == "!=" and lc == rc:
+                    ok = False
+                elif order_atom.op not in ("=", "!="):
+                    raise ValueError("order atom met without a linearization")
+            else:
+                lp, rp = config.position[lc], config.position[rc]
+                holds = {
+                    "<": lp < rp, "<=": lp <= rp, ">": lp > rp,
+                    ">=": lp >= rp, "=": lc == rc, "!=": lc != rc,
+                }[order_atom.op]
+                if not holds:
+                    ok = False
+            if not ok:
+                break
+        if not ok:
+            continue
+        negated_present = False
+        for atom in candidate.negative_atoms:
+            ground = Atom(atom.predicate, tuple(
+                Constant(image_class(t)) for t in atom.args
+            ))
+            if ground in database_set:
+                negated_present = True
+                break
+        if not negated_present:
+            return True
+    return False
+
+
+def cq_contained_in_union(
+    query: ConjunctiveQuery,
+    union: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery],
+    *,
+    max_terms: int = 10,
+) -> bool:
+    """Exact test of ``query ⊑ union`` over all databases (and dense orders).
+
+    Raises :class:`ContainmentTooLargeError` when the term universe
+    exceeds ``max_terms`` and a non-plain case analysis is required.
+    """
+    if not isinstance(union, UnionOfConjunctiveQueries):
+        union = UnionOfConjunctiveQueries(tuple(union))
+    if query.head.predicate != union.head_predicate or query.head.arity != union.head_arity:
+        return False
+
+    q_tags = query.classification()
+    u_tags = union.classification()
+    if not q_tags and not u_tags:
+        return any(_plain_contained_in(query, candidate) for candidate in union)
+
+    need_order = "theta" in (q_tags | u_tags)
+    rhs_negated_predicates: set[str] = set()
+    for candidate in union:
+        rhs_negated_predicates |= {a.predicate for a in candidate.negative_atoms}
+
+    terms = list(query.terms())
+    union_constants: list[Constant] = []
+    for candidate in union:
+        for atom in (candidate.head, *candidate.positive_atoms, *candidate.negative_atoms):
+            union_constants.extend(t for t in atom.args if isinstance(t, Constant))
+        for order_atom in candidate.order_atoms:
+            union_constants.extend(
+                t for t in (order_atom.left, order_atom.right) if isinstance(t, Constant)
+            )
+    for constant in union_constants:
+        if constant not in terms:
+            terms.append(constant)
+    if len(terms) > max_terms:
+        raise ContainmentTooLargeError(
+            f"{len(terms)} terms exceed max_terms={max_terms}; "
+            "raise the bound explicitly for larger case analyses"
+        )
+
+    negated_arities: dict[str, int] = {}
+    for candidate in union:
+        for atom in candidate.negative_atoms:
+            negated_arities[atom.predicate] = atom.arity
+
+    for class_of in partitions(terms):
+        configs: Iterable[Config]
+        if need_order:
+            configs = (Config(class_of, pos) for pos in linearizations(class_of))
+        else:
+            configs = (Config(class_of, None),)
+        for config in configs:
+            # Does the query produce its head row under this configuration?
+            satisfied = True
+            for order_atom in query.order_atoms:
+                if not config.compare(order_atom.left, order_atom.right, order_atom.op):
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+            positives = set(freeze_atoms(query.positive_atoms, class_of))
+            forbidden = set(freeze_atoms(query.negative_atoms, class_of))
+            if positives & forbidden:
+                continue  # the query body is inconsistent here
+            head_classes = tuple(class_of[t] for t in query.head.args)
+            extra_constant_classes = {
+                t: cls for t, cls in class_of.items() if isinstance(t, Constant)
+            }
+
+            # Candidate extra facts: only predicates negated on the rhs matter.
+            class_ids = sorted(set(class_of.values()))
+            extras_universe: list[Atom] = []
+            for predicate in sorted(rhs_negated_predicates):
+                arity = negated_arities[predicate]
+                for combo in itertools.product(class_ids, repeat=arity):
+                    atom = Atom(predicate, tuple(Constant(c) for c in combo))
+                    if atom not in positives and atom not in forbidden:
+                        extras_universe.append(atom)
+            if len(extras_universe) > 16:
+                raise ContainmentTooLargeError(
+                    f"{len(extras_universe)} candidate extra facts exceed the "
+                    "2^16 enumeration bound"
+                )
+
+            produced_everywhere = True
+            for mask in range(1 << len(extras_universe)):
+                extras = [
+                    extras_universe[i]
+                    for i in range(len(extras_universe))
+                    if mask & (1 << i)
+                ]
+                database_atoms = sorted(positives | set(extras), key=repr)
+                database_set = set(database_atoms)
+                if any(
+                    _candidate_produces(
+                        candidate, database_atoms, database_set,
+                        head_classes, config, extra_constant_classes,
+                    )
+                    for candidate in union
+                ):
+                    continue
+                produced_everywhere = False
+                break
+            if not produced_everywhere:
+                return False
+    return True
+
+
+def cq_contained(
+    first: ConjunctiveQuery, second: ConjunctiveQuery, *, max_terms: int = 10
+) -> bool:
+    """``first ⊑ second`` (exact, all fragments)."""
+    return cq_contained_in_union(
+        first, UnionOfConjunctiveQueries((second,)), max_terms=max_terms
+    )
+
+
+def cq_equivalent(
+    first: ConjunctiveQuery, second: ConjunctiveQuery, *, max_terms: int = 10
+) -> bool:
+    """Mutual containment."""
+    return cq_contained(first, second, max_terms=max_terms) and cq_contained(
+        second, first, max_terms=max_terms
+    )
+
+
+def ucq_contained(
+    first: UnionOfConjunctiveQueries,
+    second: UnionOfConjunctiveQueries,
+    *,
+    max_terms: int = 10,
+) -> bool:
+    """``first ⊑ second``: every member contained in the union."""
+    return all(
+        cq_contained_in_union(query, second, max_terms=max_terms) for query in first
+    )

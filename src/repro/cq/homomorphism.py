@@ -1,0 +1,123 @@
+"""Homomorphism search between sets of atoms.
+
+A homomorphism maps the variables of a *source* atom set to terms of a
+*target* atom set so that every source atom lands on some target atom.
+Target variables are treated as (frozen) constants — the standard
+canonical-database view.  This is the workhorse behind:
+
+* residue computation (partial mappings of an ic into a rule body),
+* conjunctive-query containment,
+* the complete-mapping test that detects unsatisfiable rules.
+
+The search is backtracking with target atoms indexed by predicate, most
+constrained source atom first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Substitution, Term, Variable
+
+__all__ = [
+    "find_homomorphism",
+    "all_homomorphisms",
+    "extend_homomorphism",
+    "homomorphism_exists",
+]
+
+
+def _match_into(
+    source: Atom, target: Atom, binding: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    """Try to map ``source`` onto ``target`` extending ``binding``.
+
+    Source constants must match target terms exactly; source variables
+    bind to target terms (variables of the target are frozen names).
+    """
+    if source.predicate != target.predicate or source.arity != target.arity:
+        return None
+    extended = dict(binding)
+    for s_arg, t_arg in zip(source.args, target.args):
+        if isinstance(s_arg, Constant):
+            if s_arg != t_arg:
+                return None
+        else:
+            bound = extended.get(s_arg)
+            if bound is None:
+                extended[s_arg] = t_arg
+            elif bound != t_arg:
+                return None
+    return extended
+
+
+def extend_homomorphism(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    initial: Mapping[Variable, Term] | None = None,
+) -> Iterator[Substitution]:
+    """Yield every homomorphism of ``source_atoms`` into ``target_atoms``.
+
+    ``initial`` pre-binds some source variables.  Yielded substitutions
+    cover exactly the variables of the source atoms plus the initial
+    bindings.  The same target atom may serve several source atoms.
+    """
+    by_predicate: dict[str, list[Atom]] = {}
+    for atom in target_atoms:
+        by_predicate.setdefault(atom.predicate, []).append(atom)
+    # Most-constrained-first: fewer candidate targets first, ties by
+    # arity descending so joins bind more variables early.
+    ordered = sorted(
+        source_atoms,
+        key=lambda a: (len(by_predicate.get(a.predicate, ())), -a.arity),
+    )
+
+    def search(index: int, binding: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
+        if index == len(ordered):
+            yield binding
+            return
+        atom = ordered[index]
+        for target in by_predicate.get(atom.predicate, ()):
+            extended = _match_into(atom, target, binding)
+            if extended is not None:
+                yield from search(index + 1, extended)
+
+    start = dict(initial) if initial else {}
+    for result in search(0, start):
+        yield Substitution(result)
+
+
+def find_homomorphism(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    initial: Mapping[Variable, Term] | None = None,
+) -> Substitution | None:
+    """The first homomorphism found, or ``None``."""
+    for hom in extend_homomorphism(source_atoms, target_atoms, initial):
+        return hom
+    return None
+
+
+def all_homomorphisms(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    initial: Mapping[Variable, Term] | None = None,
+) -> list[Substitution]:
+    """All homomorphisms, materialized (deduplicated)."""
+    seen: set[Substitution] = set()
+    result: list[Substitution] = []
+    for hom in extend_homomorphism(source_atoms, target_atoms, initial):
+        if hom not in seen:
+            seen.add(hom)
+            result.append(hom)
+    return result
+
+
+def homomorphism_exists(
+    source_atoms: Iterable[Atom],
+    target_atoms: Sequence[Atom],
+    initial: Mapping[Variable, Term] | None = None,
+) -> bool:
+    """Whether any homomorphism exists."""
+    return find_homomorphism(list(source_atoms), target_atoms, initial) is not None

@@ -1,0 +1,71 @@
+"""Minimization of conjunctive queries.
+
+For plain CQs the minimal equivalent query is the *core*: repeatedly
+drop a positive atom and keep the reduction whenever the smaller query
+is still equivalent.  For CQs with order atoms or negation the same
+greedy loop runs on top of the exact (exponential) containment test of
+:mod:`repro.cq.containment`; the result is subset-minimal though not
+necessarily a core in the classical sense.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Literal
+from .conjunctive import ConjunctiveQuery
+from .containment import cq_equivalent
+
+__all__ = ["minimize_cq", "is_minimal"]
+
+
+def _without_atom(query: ConjunctiveQuery, index: int) -> ConjunctiveQuery | None:
+    """Drop the ``index``-th positive literal; None when that breaks safety."""
+    positives = [
+        (i, item)
+        for i, item in enumerate(query.body)
+        if isinstance(item, Literal) and item.positive
+    ]
+    drop_position = positives[index][0]
+    body = tuple(item for i, item in enumerate(query.body) if i != drop_position)
+    reduced = ConjunctiveQuery(query.head, body)
+    remaining_vars = set()
+    for item in body:
+        if isinstance(item, Literal) and item.positive:
+            remaining_vars |= item.variables()
+    needed = set(query.head.variables())
+    for item in body:
+        if isinstance(item, Literal) and not item.positive:
+            needed |= item.variables()
+        elif not isinstance(item, Literal):
+            needed |= item.variables()
+    if not needed <= remaining_vars:
+        return None
+    return reduced
+
+
+def minimize_cq(query: ConjunctiveQuery, *, max_terms: int = 10) -> ConjunctiveQuery:
+    """A subset-minimal CQ equivalent to ``query``.
+
+    Greedy: repeatedly remove one positive atom while equivalence holds.
+    For plain CQs this computes the core (up to isomorphism).
+    """
+    current = query
+    progress = True
+    while progress:
+        progress = False
+        count = len(current.positive_atoms)
+        for index in range(count):
+            candidate = _without_atom(current, index)
+            if candidate is None:
+                continue
+            if cq_equivalent(current, candidate, max_terms=max_terms):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def is_minimal(query: ConjunctiveQuery, *, max_terms: int = 10) -> bool:
+    """Whether no positive atom can be dropped without changing the query."""
+    return len(minimize_cq(query, max_terms=max_terms).positive_atoms) == len(
+        query.positive_atoms
+    )

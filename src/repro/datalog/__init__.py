@@ -1,0 +1,71 @@
+"""Datalog substrate: IR, parser, storage and bottom-up evaluation engine."""
+
+from .atoms import Atom, BodyItem, Literal, OrderAtom
+from .bag import BagRelation, RecursiveProgramError, bag_equal, evaluate_bag
+from .database import Database, Relation
+from .evaluation import (
+    DerivationNode,
+    EvaluationResult,
+    EvaluationStats,
+    derivation_tree,
+    evaluate,
+    evaluate_query,
+)
+from .parser import (
+    ParseError,
+    parse_atom,
+    parse_constraints,
+    parse_facts,
+    parse_program,
+    parse_rule,
+    parse_rules,
+    parse_term,
+)
+from .pretty import format_constraints, format_program, format_rule, format_rules
+from .program import Program, ProgramError
+from .rules import Rule, UnsafeRuleError
+from .terms import Constant, Substitution, Term, Variable, fresh_variables
+from .unify import match_atom, unify_atoms, unify_terms
+
+__all__ = [
+    "Atom",
+    "BodyItem",
+    "BagRelation",
+    "RecursiveProgramError",
+    "bag_equal",
+    "evaluate_bag",
+    "Literal",
+    "OrderAtom",
+    "Database",
+    "Relation",
+    "DerivationNode",
+    "EvaluationResult",
+    "EvaluationStats",
+    "derivation_tree",
+    "evaluate",
+    "evaluate_query",
+    "ParseError",
+    "parse_atom",
+    "parse_constraints",
+    "parse_facts",
+    "parse_program",
+    "parse_rule",
+    "parse_rules",
+    "parse_term",
+    "format_constraints",
+    "format_program",
+    "format_rule",
+    "format_rules",
+    "Program",
+    "ProgramError",
+    "Rule",
+    "UnsafeRuleError",
+    "Constant",
+    "Substitution",
+    "Term",
+    "Variable",
+    "fresh_variables",
+    "match_atom",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,153 @@
+"""EDB storage: relations of ground tuples with on-demand hash indexes.
+
+A :class:`Database` maps EDB predicate names to :class:`Relation`
+objects.  Relations store tuples of plain Python values (the ``value``
+payloads of :class:`~repro.datalog.terms.Constant`) and build hash
+indexes lazily, keyed by the set of bound argument positions that a join
+probe uses.  This is the substrate the semi-naive engine
+(:mod:`repro.datalog.evaluation`) runs on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .terms import Constant
+
+__all__ = ["Relation", "Database"]
+
+Value = object
+Row = tuple
+
+
+class Relation:
+    """A set of same-arity tuples with lazily built hash indexes."""
+
+    __slots__ = ("arity", "_rows", "_indexes")
+
+    def __init__(self, arity: int, rows: Iterable[Row] = ()):
+        self.arity = arity
+        self._rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+        for row in rows:
+            self.add(row)
+
+    def add(self, row: Sequence[Value]) -> bool:
+        """Insert a tuple; return True when it was new."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(f"arity mismatch: expected {self.arity}, got {len(row)}")
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def probe(self, positions: tuple[int, ...], key: Row) -> list[Row]:
+        """Rows whose projection on ``positions`` equals ``key``.
+
+        Builds (and caches) a hash index for ``positions`` on first use.
+        An empty ``positions`` returns all rows.
+        """
+        if not positions:
+            return list(self._rows)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = defaultdict(list)
+            for row in self._rows:
+                index[tuple(row[i] for i in positions)].append(row)
+            self._indexes[positions] = dict(index)
+        return self._indexes[positions].get(key, [])
+
+    def copy(self) -> "Relation":
+        return Relation(self.arity, self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation(arity={self.arity}, rows={len(self._rows)})"
+
+
+class Database:
+    """A mapping from predicate names to relations (the EDB).
+
+    Construct from ground :class:`Atom` facts or ``(predicate, row)``
+    pairs; query with :meth:`relation` / :meth:`contains`.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._relations: dict[str, Relation] = {}
+        for fact in facts:
+            self.add_fact(fact)
+
+    @classmethod
+    def from_rows(cls, rows_by_predicate: Mapping[str, Iterable[Sequence[Value]]]) -> "Database":
+        """Build a database directly from raw value tuples."""
+        db = cls()
+        for predicate, rows in rows_by_predicate.items():
+            for row in rows:
+                db.add_row(predicate, tuple(row))
+        return db
+
+    def add_fact(self, fact: Atom) -> bool:
+        if not fact.is_ground():
+            raise ValueError(f"fact {fact} is not ground")
+        row = tuple(arg.value for arg in fact.args)  # type: ignore[union-attr]
+        return self.add_row(fact.predicate, row)
+
+    def add_row(self, predicate: str, row: Sequence[Value]) -> bool:
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = Relation(len(row))
+            self._relations[predicate] = relation
+        return relation.add(row)
+
+    def relation(self, predicate: str, arity: int | None = None) -> Relation:
+        """The relation for ``predicate`` (an empty one if absent)."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            if arity is None:
+                raise KeyError(f"unknown predicate {predicate} (pass arity for an empty relation)")
+            return Relation(arity)
+        return relation
+
+    def contains(self, predicate: str, row: Sequence[Value]) -> bool:
+        relation = self._relations.get(predicate)
+        return relation is not None and tuple(row) in relation
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    def facts(self) -> Iterator[Atom]:
+        """Iterate all stored facts as ground atoms."""
+        for predicate in sorted(self._relations):
+            for row in sorted(self._relations[predicate], key=repr):
+                yield Atom(predicate, tuple(Constant(v) for v in row))
+
+    def size(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def copy(self) -> "Database":
+        db = Database()
+        db._relations = {p: r.copy() for p, r in self._relations.items()}
+        return db
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}:{len(r)}" for p, r in sorted(self._relations.items()))
+        return f"Database({inner})"

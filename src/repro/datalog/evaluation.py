@@ -1,0 +1,548 @@
+"""Bottom-up evaluation: naive and semi-naive, with order atoms and negation.
+
+The engine evaluates a :class:`~repro.datalog.program.Program` over a
+:class:`~repro.datalog.database.Database` of EDB facts:
+
+* IDB predicates are computed SCC by SCC in topological order of the
+  dependency graph; within a recursive SCC, semi-naive (delta) iteration
+  is used.
+* Each rule is evaluated by a backtracking join.  The join order is
+  chosen greedily: filters (order atoms, negated EDB literals) run as
+  soon as their variables are bound; positive literals are chosen by the
+  number of bound argument positions.  Probes go through the lazily
+  indexed :meth:`Relation.probe`.
+* :class:`EvaluationStats` counts rule firings, index probes, rows
+  scanned and derived facts — the "join work" measure the benchmarks
+  report when comparing a program against its semantically optimized
+  rewriting.
+* With ``provenance=True`` the engine records, for each derived fact,
+  the first rule instantiation that produced it; :func:`derivation_tree`
+  then reconstructs a ground derivation tree in the paper's sense (goal
+  nodes alternating with rule nodes, EDB literals at the leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
+from .database import Database, Relation, Row
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Variable
+
+__all__ = [
+    "EvaluationStats",
+    "EvaluationResult",
+    "DerivationNode",
+    "evaluate",
+    "evaluate_query",
+    "derivation_tree",
+]
+
+
+@dataclass
+class EvaluationStats:
+    """Work counters accumulated during one evaluation."""
+
+    rule_firings: int = 0
+    probes: int = 0
+    rows_scanned: int = 0
+    facts_derived: int = 0
+    iterations: int = 0
+
+    def merge(self, other: "EvaluationStats") -> None:
+        self.rule_firings += other.rule_firings
+        self.probes += other.probes
+        self.rows_scanned += other.rows_scanned
+        self.facts_derived += other.facts_derived
+        self.iterations += other.iterations
+
+
+#: A ground fact key: (predicate, row of values).
+Fact = tuple[str, Row]
+
+
+@dataclass
+class EvaluationResult:
+    """The computed IDB plus statistics and (optionally) provenance."""
+
+    idb: dict[str, Relation]
+    stats: EvaluationStats
+    program: Program
+    database: Database
+    provenance: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = None
+
+    def relation(self, predicate: str) -> Relation:
+        """The computed relation for an IDB predicate (empty if none derived)."""
+        rel = self.idb.get(predicate)
+        if rel is not None:
+            return rel
+        try:
+            return Relation(self.program.arity_of(predicate))
+        except KeyError:
+            raise KeyError(f"unknown IDB predicate {predicate}") from None
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        return self.relation(predicate).rows()
+
+    def query_rows(self) -> frozenset[Row]:
+        if self.program.query is None:
+            raise ValueError("program has no query predicate")
+        return self.rows(self.program.query)
+
+
+class _RuleJoin:
+    """A compiled join plan for one rule with an optional delta subgoal."""
+
+    def __init__(self, rule: Rule, delta_index: int | None):
+        self.rule = rule
+        self.delta_index = delta_index
+        self.plan = self._order_body(rule, delta_index)
+
+    @staticmethod
+    def _order_body(rule: Rule, delta_index: int | None) -> list[tuple[object, bool]]:
+        """Greedy static join ordering.
+
+        Returns a list of (body item, is_delta) pairs.  The delta literal
+        (when present) is placed first; after every positive literal, all
+        newly evaluable filters are placed immediately.
+        """
+        positives = []
+        for idx, item in enumerate(rule.body):
+            if isinstance(item, Literal) and item.positive:
+                positives.append((idx, item))
+        filters = [
+            item
+            for item in rule.body
+            if isinstance(item, OrderAtom) or (isinstance(item, Literal) and not item.positive)
+        ]
+        plan: list[tuple[object, bool]] = []
+        bound: set[Variable] = set()
+        remaining_pos = positives[:]
+        remaining_filters = filters[:]
+
+        def flush_filters() -> None:
+            progressing = True
+            while progressing:
+                progressing = False
+                for item in list(remaining_filters):
+                    if item.variables() <= bound:
+                        plan.append((item, False))
+                        remaining_filters.remove(item)
+                        progressing = True
+
+        if delta_index is not None:
+            for pair in remaining_pos:
+                if pair[0] == delta_index:
+                    remaining_pos.remove(pair)
+                    plan.append((pair[1], True))
+                    bound |= pair[1].variables()
+                    break
+        flush_filters()
+        while remaining_pos:
+            best = max(
+                remaining_pos,
+                key=lambda pair: (
+                    sum(
+                        1
+                        for arg in pair[1].args
+                        if isinstance(arg, Constant) or arg in bound
+                    ),
+                    -len(pair[1].variables() - bound),
+                ),
+            )
+            remaining_pos.remove(best)
+            plan.append((best[1], False))
+            bound |= best[1].variables()
+            flush_filters()
+        flush_filters()
+        if remaining_filters:
+            # Safety guarantees this never happens for safe rules.
+            raise ValueError(f"rule {rule} has filters with unbound variables")
+        return plan
+
+
+def _probe_literal(
+    literal: Literal,
+    env: dict[Variable, object],
+    relation: Relation,
+    stats: EvaluationStats,
+) -> Iterable[dict[Variable, object]]:
+    """Yield extended environments matching ``literal`` against ``relation``."""
+    bound_positions: list[int] = []
+    key_values: list[object] = []
+    for i, arg in enumerate(literal.args):
+        if isinstance(arg, Constant):
+            bound_positions.append(i)
+            key_values.append(arg.value)
+        elif arg in env:
+            bound_positions.append(i)
+            key_values.append(env[arg])
+    stats.probes += 1
+    rows = relation.probe(tuple(bound_positions), tuple(key_values))
+    for row in rows:
+        stats.rows_scanned += 1
+        extended = dict(env)
+        consistent = True
+        for i, arg in enumerate(literal.args):
+            if isinstance(arg, Constant):
+                continue
+            current = extended.get(arg)
+            if current is None:
+                extended[arg] = row[i]
+            elif current != row[i]:
+                consistent = False
+                break
+        if consistent:
+            yield extended
+
+
+def _check_filter(item: object, env: Mapping[Variable, object], edb_lookup) -> bool:
+    """Evaluate a fully bound order atom or negated literal."""
+    if isinstance(item, OrderAtom):
+        left = item.left.value if isinstance(item.left, Constant) else env[item.left]
+        right = item.right.value if isinstance(item.right, Constant) else env[item.right]
+        return evaluate_comparison(left, right, item.op)
+    assert isinstance(item, Literal) and not item.positive
+    row = tuple(
+        arg.value if isinstance(arg, Constant) else env[arg] for arg in item.args
+    )
+    return not edb_lookup(item.predicate, row, len(row))
+
+
+def _run_join(
+    join: _RuleJoin,
+    env: dict[Variable, object],
+    step: int,
+    relation_of,
+    delta_relation: Relation | None,
+    edb_lookup,
+    stats: EvaluationStats,
+    out: list[dict[Variable, object]],
+) -> None:
+    """Depth-first execution of the compiled plan, appending result envs."""
+    if step == len(join.plan):
+        out.append(env)
+        return
+    item, is_delta = join.plan[step]
+    if isinstance(item, Literal) and item.positive:
+        relation = delta_relation if is_delta else relation_of(item.predicate, item.atom.arity)
+        for extended in _probe_literal(item, env, relation, stats):
+            _run_join(join, extended, step + 1, relation_of, delta_relation, edb_lookup, stats, out)
+    else:
+        if _check_filter(item, env, edb_lookup):
+            _run_join(join, env, step + 1, relation_of, delta_relation, edb_lookup, stats, out)
+
+
+def _sccs(graph: Mapping[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly connected components, returned in topological order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        work = [(node, iter(sorted(graph.get(node, ()))))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[current] = min(low[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                components.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def evaluate(
+    program: Program,
+    database: Database,
+    *,
+    provenance: bool = False,
+    max_iterations: int | None = None,
+    strategy: str = "seminaive",
+) -> EvaluationResult:
+    """Evaluate ``program`` bottom-up over ``database``.
+
+    Returns an :class:`EvaluationResult` with the full IDB.  With
+    ``provenance=True`` each derived fact remembers the first rule
+    instantiation that produced it (for :func:`derivation_tree`).
+    ``max_iterations`` bounds semi-naive rounds per SCC (used by tests
+    exploring non-terminating hypotheticals; normal evaluation always
+    terminates).
+
+    ``strategy`` selects ``"seminaive"`` (default, delta-driven) or
+    ``"naive"`` (re-evaluate every rule against the full relations each
+    round) — the naive mode exists as a correctness oracle and as the
+    baseline in the engine benchmarks.
+    """
+    if strategy == "naive":
+        return _evaluate_naive(program, database, provenance=provenance)
+    if strategy != "seminaive":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    stats = EvaluationStats()
+    idb: dict[str, Relation] = {
+        pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+    }
+    prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
+    idb_preds = program.idb_predicates
+
+    def relation_of(predicate: str, arity: int) -> Relation:
+        if predicate in idb_preds:
+            return idb[predicate]
+        return database.relation(predicate, arity)
+
+    def edb_lookup(predicate: str, row: Row, arity: int) -> bool:
+        return row in database.relation(predicate, arity)
+
+    def record(rule: Rule, env: dict[Variable, object]) -> bool:
+        head_row = tuple(
+            arg.value if isinstance(arg, Constant) else env[arg]
+            for arg in rule.head.args
+        )
+        relation = idb[rule.head.predicate]
+        if head_row in relation:
+            return False
+        relation.add(head_row)
+        stats.facts_derived += 1
+        if prov is not None:
+            supports: list[Fact] = []
+            for lit in rule.positive_literals:
+                row = tuple(
+                    arg.value if isinstance(arg, Constant) else env[arg]
+                    for arg in lit.args
+                )
+                supports.append((lit.predicate, row))
+            prov[(rule.head.predicate, head_row)] = (rule, tuple(supports))
+        return True
+
+    graph = program.dependency_graph()
+    for component in _sccs(graph):
+        members = set(component)
+        recursive = len(component) > 1 or any(
+            head in graph.get(head, set()) for head in component
+        )
+        rules = [r for r in program.rules if r.head.predicate in members]
+        if not recursive:
+            for rule in rules:
+                join = _RuleJoin(rule, None)
+                results: list[dict[Variable, object]] = []
+                _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+                stats.rule_firings += len(results)
+                for env in results:
+                    record(rule, env)
+            continue
+        # Semi-naive iteration inside a recursive SCC.
+        exit_rules = []
+        delta_joins: list[tuple[Rule, _RuleJoin]] = []
+        for rule in rules:
+            recursive_positions = [
+                i
+                for i, item in enumerate(rule.body)
+                if isinstance(item, Literal) and item.positive and item.predicate in members
+            ]
+            if not recursive_positions:
+                exit_rules.append(rule)
+            else:
+                for pos in recursive_positions:
+                    delta_joins.append((rule, _RuleJoin(rule, pos)))
+        delta: dict[str, Relation] = {
+            pred: Relation(program.arity_of(pred)) for pred in members
+        }
+        for rule in exit_rules:
+            join = _RuleJoin(rule, None)
+            results = []
+            _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+            stats.rule_firings += len(results)
+            for env in results:
+                if record(rule, env):
+                    head_row = tuple(
+                        arg.value if isinstance(arg, Constant) else env[arg]
+                        for arg in rule.head.args
+                    )
+                    delta[rule.head.predicate].add(head_row)
+        iterations = 0
+        while any(len(d) for d in delta.values()):
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                break
+            stats.iterations += 1
+            new_delta: dict[str, Relation] = {
+                pred: Relation(program.arity_of(pred)) for pred in members
+            }
+            for rule, join in delta_joins:
+                delta_item = join.plan[0][0]
+                assert isinstance(delta_item, Literal)
+                delta_rel = delta[delta_item.predicate]
+                if not len(delta_rel):
+                    continue
+                results = []
+                _run_join(join, {}, 0, relation_of, delta_rel, edb_lookup, stats, results)
+                stats.rule_firings += len(results)
+                for env in results:
+                    if record(rule, env):
+                        head_row = tuple(
+                            arg.value if isinstance(arg, Constant) else env[arg]
+                            for arg in rule.head.args
+                        )
+                        new_delta[rule.head.predicate].add(head_row)
+            delta = new_delta
+    return EvaluationResult(idb=idb, stats=stats, program=program, database=database, provenance=prov)
+
+
+def _evaluate_naive(
+    program: Program, database: Database, *, provenance: bool = False
+) -> EvaluationResult:
+    """Naive bottom-up evaluation: full re-evaluation until fixpoint."""
+    stats = EvaluationStats()
+    idb: dict[str, Relation] = {
+        pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+    }
+    prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
+    idb_preds = program.idb_predicates
+
+    def relation_of(predicate: str, arity: int) -> Relation:
+        if predicate in idb_preds:
+            return idb[predicate]
+        return database.relation(predicate, arity)
+
+    def edb_lookup(predicate: str, row: Row, arity: int) -> bool:
+        return row in database.relation(predicate, arity)
+
+    joins = [(rule, _RuleJoin(rule, None)) for rule in program.rules]
+    changed = True
+    while changed:
+        changed = False
+        stats.iterations += 1
+        for rule, join in joins:
+            results: list[dict[Variable, object]] = []
+            _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+            stats.rule_firings += len(results)
+            for env in results:
+                head_row = tuple(
+                    arg.value if isinstance(arg, Constant) else env[arg]
+                    for arg in rule.head.args
+                )
+                relation = idb[rule.head.predicate]
+                if head_row in relation:
+                    continue
+                relation.add(head_row)
+                stats.facts_derived += 1
+                changed = True
+                if prov is not None:
+                    supports = tuple(
+                        (
+                            lit.predicate,
+                            tuple(
+                                arg.value if isinstance(arg, Constant) else env[arg]
+                                for arg in lit.args
+                            ),
+                        )
+                        for lit in rule.positive_literals
+                    )
+                    prov[(rule.head.predicate, head_row)] = (rule, supports)
+    return EvaluationResult(
+        idb=idb, stats=stats, program=program, database=database, provenance=prov
+    )
+
+
+def evaluate_query(program: Program, database: Database) -> frozenset[Row]:
+    """Convenience wrapper: evaluate and return the query relation's rows."""
+    return evaluate(program, database).query_rows()
+
+
+@dataclass
+class DerivationNode:
+    """A node of a ground derivation tree (paper, Section 2).
+
+    Goal nodes carry a fact; the ``rule`` of an IDB goal node is the rule
+    node below it, with ``children`` being the goal nodes of the rule's
+    positive subgoals.  EDB goal nodes are leaves (``rule is None``).
+    """
+
+    predicate: str
+    row: Row
+    rule: Rule | None = None
+    children: list["DerivationNode"] = field(default_factory=list)
+
+    def leaves(self) -> list["DerivationNode"]:
+        if self.rule is None:
+            return [self]
+        result: list[DerivationNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def goal_nodes(self) -> list["DerivationNode"]:
+        """All goal nodes of the tree (this node included)."""
+        result = [self]
+        for child in self.children:
+            result.extend(child.goal_nodes())
+        return result
+
+    def render(self, indent: str = "") -> str:
+        label = f"{self.predicate}({', '.join(map(repr, self.row))})"
+        lines = [f"{indent}{label}" + ("" if self.rule is None else f"   [{self.rule!r}]")]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+
+def derivation_tree(result: EvaluationResult, predicate: str, row: Sequence[object]) -> DerivationNode:
+    """Reconstruct a derivation tree for a derived fact.
+
+    Requires the evaluation to have been run with ``provenance=True``.
+    The provenance records first derivations, so the reconstruction is
+    well-founded (no cycles).
+    """
+    if result.provenance is None:
+        raise ValueError("evaluation was run without provenance=True")
+    row = tuple(row)
+    idb_preds = result.program.idb_predicates
+
+    def build(fact: Fact) -> DerivationNode:
+        pred, fact_row = fact
+        if pred not in idb_preds:
+            return DerivationNode(pred, fact_row)
+        entry = result.provenance.get(fact)
+        if entry is None:
+            raise KeyError(f"fact {pred}{fact_row} was not derived")
+        rule, supports = entry
+        node = DerivationNode(pred, fact_row, rule=rule)
+        node.children = [build(s) for s in supports]
+        return node
+
+    return build((predicate, row))

@@ -1,0 +1,249 @@
+"""A parser for the textual Datalog syntax used throughout the project.
+
+Grammar (informally)::
+
+    program     := (statement)*
+    statement   := rule | constraint | fact
+    rule        := atom ":-" body "."
+    constraint  := ":-" body "."
+    fact        := atom "."
+    body        := bodyitem ("," bodyitem)*
+    bodyitem    := "not" atom | atom | term OP term
+    atom        := IDENT "(" term ("," term)* ")"
+    term        := VARIABLE | NUMBER | STRING | IDENT
+    OP          := "<" | "<=" | ">" | ">=" | "=" | "!=" | "<>"
+
+Variables begin with an uppercase letter or ``_``; lowercase identifiers
+are symbolic constants; numbers may be integers or floats; ``%`` starts
+a comment running to end of line.
+
+The module exposes :func:`parse_program`, :func:`parse_rules`,
+:func:`parse_rule`, :func:`parse_atom`, :func:`parse_constraints` and
+:func:`parse_facts`; the latter returns ground facts suitable for
+:class:`repro.datalog.database.Database`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .atoms import Atom, BodyItem, Literal, OrderAtom
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "ParseError",
+    "parse_program",
+    "parse_rules",
+    "parse_rule",
+    "parse_atom",
+    "parse_term",
+    "parse_constraints",
+    "parse_facts",
+]
+
+
+class ParseError(ValueError):
+    """Raised on any syntax error, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|%[^\n]*)
+  | (?P<ARROW>:-)
+  | (?P<OP><=|>=|!=|<>|<|>|=)
+  | (?P<NUMBER>-?\d+\.\d+|-?\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at position {pos}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind} but found {token.text!r} at position {token.pos}")
+        return token
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "EOF"
+
+    # -- grammar --------------------------------------------------------
+    def term(self) -> Term:
+        token = self._next()
+        if token.kind == "NUMBER":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        if token.kind == "IDENT":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(f"expected a term but found {token.text!r} at position {token.pos}")
+
+    def atom(self) -> Atom:
+        name = self._expect("IDENT")
+        if name.text[0].isupper():
+            raise ParseError(f"predicate names must be lowercase: {name.text!r} at position {name.pos}")
+        self._expect("LPAREN")
+        args: list[Term] = []
+        if self._peek().kind != "RPAREN":
+            args.append(self.term())
+            while self._peek().kind == "COMMA":
+                self._next()
+                args.append(self.term())
+        self._expect("RPAREN")
+        return Atom(name.text, tuple(args))
+
+    def body_item(self) -> BodyItem:
+        token = self._peek()
+        if token.kind == "IDENT" and token.text == "not":
+            self._next()
+            return Literal(self.atom(), positive=False)
+        # Could be an atom (ident followed by lparen) or an order atom.
+        if token.kind == "IDENT" and self._tokens[self._index + 1].kind == "LPAREN":
+            return Literal(self.atom(), positive=True)
+        left = self.term()
+        op_token = self._expect("OP")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        right = self.term()
+        return OrderAtom(left, op, right)
+
+    def body(self) -> tuple[BodyItem, ...]:
+        items = [self.body_item()]
+        while self._peek().kind == "COMMA":
+            self._next()
+            items.append(self.body_item())
+        return tuple(items)
+
+    def statement(self) -> Rule:
+        """One statement; constraints are returned as rules with head ``__false__()``."""
+        if self._peek().kind == "ARROW":
+            self._next()
+            body = self.body()
+            self._expect("DOT")
+            return Rule(Atom("__false__", ()), body)
+        head = self.atom()
+        if self._peek().kind == "DOT":
+            self._next()
+            return Rule(head, ())
+        self._expect("ARROW")
+        body = self.body()
+        self._expect("DOT")
+        return Rule(head, body)
+
+    def statements(self) -> Iterator[Rule]:
+        while not self.at_end():
+            yield self.statement()
+
+
+def parse_rules(source: str) -> list[Rule]:
+    """Parse a sequence of rules/facts (constraints are rejected here)."""
+    rules = list(_Parser(source).statements())
+    for rule in rules:
+        if rule.head.predicate == "__false__":
+            raise ParseError("integrity constraint found where a rule was expected; use parse_constraints")
+    return rules
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse exactly one rule."""
+    rules = parse_rules(source)
+    if len(rules) != 1:
+        raise ParseError(f"expected exactly one rule, found {len(rules)}")
+    return rules[0]
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single atom such as ``p(X, a, 3)``."""
+    parser = _Parser(source)
+    atom = parser.atom()
+    if not parser.at_end():
+        raise ParseError("trailing input after atom")
+    return atom
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(source)
+    term = parser.term()
+    if not parser.at_end():
+        raise ParseError("trailing input after term")
+    return term
+
+
+def parse_program(source: str, query: str | None = None) -> Program:
+    """Parse a full program (rules only) into a :class:`Program`."""
+    return Program(parse_rules(source), query)
+
+
+def parse_constraints(source: str):
+    """Parse ``:- body.`` statements into :class:`IntegrityConstraint` objects."""
+    from ..constraints.integrity import IntegrityConstraint
+
+    constraints = []
+    for rule in _Parser(source).statements():
+        if rule.head.predicate != "__false__":
+            raise ParseError(f"expected an integrity constraint (:- body.) but found rule {rule}")
+        constraints.append(IntegrityConstraint(rule.body))
+    return constraints
+
+
+def parse_facts(source: str) -> list[Atom]:
+    """Parse ground facts (``p(a, 1).`` lines) into ground atoms."""
+    facts = []
+    for rule in _Parser(source).statements():
+        if rule.body or rule.head.predicate == "__false__":
+            raise ParseError(f"expected a ground fact but found {rule}")
+        if not rule.head.is_ground():
+            raise ParseError(f"fact {rule.head} is not ground")
+        facts.append(rule.head)
+    return facts

@@ -1,0 +1,47 @@
+"""Pretty-printing of programs, rules and constraint sets.
+
+The ``repr`` of the IR classes is already parseable; this module adds
+aligned multi-line rendering and round-trip helpers used by the examples
+and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .program import Program
+from .rules import Rule
+
+__all__ = ["format_rule", "format_rules", "format_program", "format_constraints"]
+
+
+def format_rule(rule: Rule, *, indent: str = "") -> str:
+    """Render one rule with the body items comma-separated."""
+    return f"{indent}{rule!r}"
+
+
+def format_rules(rules: Sequence[Rule], *, indent: str = "") -> str:
+    """Render a list of rules, one per line."""
+    return "\n".join(format_rule(rule, indent=indent) for rule in rules)
+
+
+def format_program(program: Program, *, header: str | None = None) -> str:
+    """Render a program, grouping rules by head predicate."""
+    lines: list[str] = []
+    if header:
+        lines.append(f"% {header}")
+    seen: set[str] = set()
+    for rule in program.rules:
+        pred = rule.head.predicate
+        if pred not in seen and seen:
+            lines.append("")
+        seen.add(pred)
+        lines.append(format_rule(rule))
+    if program.query is not None:
+        lines.append(f"% query: {program.query}")
+    return "\n".join(lines)
+
+
+def format_constraints(constraints: Iterable[object]) -> str:
+    """Render integrity constraints, one per line."""
+    return "\n".join(repr(c) for c in constraints)

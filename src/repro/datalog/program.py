@@ -1,0 +1,220 @@
+"""Datalog programs: rule collections with EDB/IDB structure.
+
+A :class:`Program` bundles a set of rules with an optional distinguished
+query predicate, and derives the EDB/IDB split, the predicate dependency
+graph, recursion information and the *initialization rules* used by
+Proposition 5.2 (emptiness testing).
+
+The program classes of the paper are validated here:
+
+* negation may only be applied to EDB predicates (``{not}``-programs);
+* rules must be safe;
+* IDB predicates never occur in integrity constraints (checked in
+  :mod:`repro.constraints.integrity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Literal, OrderAtom
+from .rules import Rule, UnsafeRuleError
+
+__all__ = ["Program", "ProgramError", "PredicateInfo"]
+
+
+class ProgramError(ValueError):
+    """Raised when a rule set violates the paper's program classes."""
+
+
+@dataclass(frozen=True)
+class PredicateInfo:
+    """Derived facts about one predicate of a program."""
+
+    name: str
+    arity: int
+    is_idb: bool
+    is_recursive: bool
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered, immutable collection of safe rules plus a query predicate."""
+
+    rules: tuple[Rule, ...]
+    query: str | None = None
+    _pred_arity: Mapping[str, int] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __init__(self, rules: Iterable[Rule], query: str | None = None, *, validate: bool = True):
+        object.__setattr__(self, "rules", tuple(rules))
+        object.__setattr__(self, "query", query)
+        object.__setattr__(self, "_pred_arity", None)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            try:
+                rule.check_safe()
+            except UnsafeRuleError as exc:
+                raise ProgramError(str(exc)) from exc
+            for atom in [rule.head] + [lit.atom for lit in rule.relational_literals]:
+                known = arities.setdefault(atom.predicate, atom.arity)
+                if known != atom.arity:
+                    raise ProgramError(
+                        f"predicate {atom.predicate} used with arities {known} and {atom.arity}"
+                    )
+        idb = {rule.head.predicate for rule in self.rules}
+        for rule in self.rules:
+            for lit in rule.negative_literals:
+                if lit.predicate in idb:
+                    raise ProgramError(
+                        f"negated IDB subgoal {lit} in rule {rule}; only EDB negation is allowed"
+                    )
+        if self.query is not None and self.query not in idb:
+            raise ProgramError(f"query predicate {self.query} has no rules")
+
+    # ------------------------------------------------------------------
+    # Predicate structure
+    # ------------------------------------------------------------------
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    @property
+    def edb_predicates(self) -> frozenset[str]:
+        idb = self.idb_predicates
+        preds: set[str] = set()
+        for rule in self.rules:
+            preds |= {p for p in rule.body_predicates() if p not in idb}
+        return frozenset(preds)
+
+    def arity_of(self, predicate: str) -> int:
+        for rule in self.rules:
+            if rule.head.predicate == predicate:
+                return rule.head.arity
+            for lit in rule.relational_literals:
+                if lit.predicate == predicate:
+                    return lit.atom.arity
+        raise KeyError(predicate)
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        """All rules whose head predicate is ``predicate``."""
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def initialization_rules(self) -> tuple[Rule, ...]:
+        """Rules with no IDB predicate in the body (Proposition 5.2)."""
+        idb = self.idb_predicates
+        return tuple(
+            rule
+            for rule in self.rules
+            if not any(lit.predicate in idb for lit in rule.relational_literals)
+        )
+
+    # ------------------------------------------------------------------
+    # Dependency graph and recursion
+    # ------------------------------------------------------------------
+    def dependency_graph(self) -> dict[str, set[str]]:
+        """Map each IDB predicate to the IDB predicates its rules use."""
+        idb = self.idb_predicates
+        graph: dict[str, set[str]] = {p: set() for p in idb}
+        for rule in self.rules:
+            graph[rule.head.predicate] |= {
+                p for p in rule.body_predicates() if p in idb
+            }
+        return graph
+
+    def _reachable(self, start: str) -> set[str]:
+        graph = self.dependency_graph()
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in graph.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def is_recursive_predicate(self, predicate: str) -> bool:
+        """Whether ``predicate`` depends on itself (directly or mutually)."""
+        return predicate in self._reachable(predicate)
+
+    def is_recursive(self) -> bool:
+        return any(self.is_recursive_predicate(p) for p in self.idb_predicates)
+
+    def is_linear_recursive(self) -> bool:
+        """At most one recursive IDB subgoal per rule."""
+        for rule in self.rules:
+            head = rule.head.predicate
+            mutual = self._reachable(head) | {head}
+            recursive_subgoals = [
+                lit for lit in rule.relational_literals
+                if lit.predicate in self.idb_predicates and head in self._reachable(lit.predicate) | {lit.predicate}
+                and lit.predicate in mutual
+            ]
+            if len(recursive_subgoals) > 1:
+                return False
+        return True
+
+    def predicate_info(self) -> dict[str, PredicateInfo]:
+        infos: dict[str, PredicateInfo] = {}
+        for pred in sorted(self.idb_predicates):
+            infos[pred] = PredicateInfo(pred, self.arity_of(pred), True, self.is_recursive_predicate(pred))
+        for pred in sorted(self.edb_predicates):
+            infos[pred] = PredicateInfo(pred, self.arity_of(pred), False, False)
+        return infos
+
+    # ------------------------------------------------------------------
+    # Classification (Section 2 notation)
+    # ------------------------------------------------------------------
+    def has_order_atoms(self) -> bool:
+        return any(rule.order_atoms for rule in self.rules)
+
+    def has_negation(self) -> bool:
+        return any(rule.negative_literals for rule in self.rules)
+
+    def classification(self) -> frozenset[str]:
+        """The paper's class tag: subset of ``{"theta", "not"}``."""
+        tags: set[str] = set()
+        if self.has_order_atoms():
+            tags.add("theta")
+        if self.has_negation():
+            tags.add("not")
+        return frozenset(tags)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def with_query(self, query: str) -> "Program":
+        return Program(self.rules, query)
+
+    def with_rules(self, rules: Sequence[Rule]) -> "Program":
+        return Program(tuple(rules), self.query)
+
+    def relevant_rules(self) -> "Program":
+        """Restrict to rules reachable from the query predicate (if set).
+
+        No re-validation: the source program was already validated, and
+        a query left without rules (e.g. after pruning passes) is a
+        legitimate intermediate state the optimizer handles.
+        """
+        if self.query is None:
+            return self
+        keep = self._reachable(self.query) | {self.query}
+        return Program(
+            tuple(r for r in self.rules if r.head.predicate in keep),
+            self.query,
+            validate=False,
+        )
+
+    def __repr__(self) -> str:
+        lines = [repr(rule) for rule in self.rules]
+        if self.query is not None:
+            lines.append(f"% query: {self.query}")
+        return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Terms of the Datalog language: variables, constants and substitutions.
+
+Terms are immutable and hashable so they can live inside atoms, rules,
+frozensets and dictionary keys throughout the optimizer.  A
+:class:`Substitution` is a mapping from variables to terms with the usual
+apply/compose operations used by unification (:mod:`repro.datalog.unify`)
+and by homomorphism search (:mod:`repro.cq.homomorphism`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Union
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Substitution",
+    "fresh_variables",
+    "is_variable",
+    "is_constant",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable.
+
+    Variables are identified by name only; two ``Variable("X")`` objects
+    are the same variable.  Names conventionally start with an uppercase
+    letter or underscore (the parser enforces this; programmatic
+    construction may use any string).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant of the domain.
+
+    The wrapped ``value`` may be an ``int``, ``float`` or ``str``.  Dense
+    order comparisons (see :mod:`repro.constraints.dense_order`) are
+    defined between numbers, and between strings, but not across the two
+    families.
+    """
+
+    value: Union[int, float, str]
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return self.value if self.value[:1].islower() else f'"{self.value}"'
+        return repr(self.value)
+
+    def __str__(self) -> str:
+        return repr(self)
+
+    def comparable_with(self, other: "Constant") -> bool:
+        """Whether ``self`` and ``other`` live on the same dense order."""
+        self_numeric = isinstance(self.value, (int, float))
+        other_numeric = isinstance(other.value, (int, float))
+        return self_numeric == other_numeric
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True when ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True when ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Application is *not* recursive: each variable is replaced once by its
+    image.  Compose substitutions explicitly when idempotence is needed
+    (``unify`` always returns idempotent substitutions).
+    """
+
+    __slots__ = ("_mapping", "_hash")
+
+    def __init__(self, mapping: Mapping[Variable, Term] | None = None):
+        items = dict(mapping) if mapping else {}
+        for var, term in items.items():
+            if not isinstance(var, Variable):
+                raise TypeError(f"substitution key must be a Variable, got {var!r}")
+            if not isinstance(term, (Variable, Constant)):
+                raise TypeError(f"substitution value must be a Term, got {term!r}")
+        self._mapping = items
+        self._hash: int | None = None
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._mapping[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._mapping.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}->{t}" for v, t in sorted(self._mapping.items(), key=lambda p: p[0].name))
+        return "{" + inner + "}"
+
+    def apply(self, term: Term) -> Term:
+        """Return the image of ``term`` (terms not in the domain map to themselves)."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        return term
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying ``self`` then ``other``."""
+        composed: dict[Variable, Term] = {
+            var: other.apply(term) for var, term in self._mapping.items()
+        }
+        for var, term in other.items():
+            if var not in composed:
+                composed[var] = term
+        return Substitution(composed)
+
+    def extend(self, var: Variable, term: Term) -> "Substitution":
+        """Return a copy of ``self`` with the extra binding ``var -> term``."""
+        updated = dict(self._mapping)
+        updated[var] = term
+        return Substitution(updated)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return ``self`` restricted to the given variables."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v in keep})
+
+    def is_renaming(self) -> bool:
+        """Whether the substitution maps variables injectively to variables."""
+        images = list(self._mapping.values())
+        return all(isinstance(t, Variable) for t in images) and len(set(images)) == len(images)
+
+
+def fresh_variables(prefix: str = "V", *, avoid: Iterable[Variable] = ()) -> Iterator[Variable]:
+    """Yield an infinite stream of variables ``prefix0, prefix1, ...``.
+
+    Variables whose names collide with ``avoid`` are skipped, so the
+    stream is always fresh with respect to the given context.
+    """
+    taken = {v.name for v in avoid}
+    for i in itertools.count():
+        name = f"{prefix}{i}"
+        if name not in taken:
+            yield Variable(name)

@@ -1,0 +1,86 @@
+"""Unification of function-free atoms.
+
+Used by the query-tree construction (unifying program rules with goal
+nodes) and by the adornment machinery.  Because the language is
+function-free, unification is simple union-find over terms; the result
+is an idempotent most general unifier.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .atoms import Atom
+from .terms import Constant, Substitution, Term, Variable
+
+__all__ = ["unify_atoms", "unify_terms", "match_atom"]
+
+
+def _find(parent: dict[Term, Term], term: Term) -> Term:
+    root = term
+    while parent.get(root, root) != root:
+        root = parent[root]
+    while parent.get(term, term) != term:
+        parent[term], term = root, parent[term]
+    return root
+
+
+def _union(parent: dict[Term, Term], a: Term, b: Term) -> bool:
+    ra, rb = _find(parent, a), _find(parent, b)
+    if ra == rb:
+        return True
+    if isinstance(ra, Constant) and isinstance(rb, Constant):
+        return ra == rb
+    # Keep constants as representatives so classes resolve to values.
+    if isinstance(ra, Constant):
+        parent[rb] = ra
+    else:
+        parent[ra] = rb
+    return True
+
+
+def unify_terms(pairs: Sequence[tuple[Term, Term]]) -> Substitution | None:
+    """Unify a list of term pairs; return an mgu or ``None`` on clash."""
+    parent: dict[Term, Term] = {}
+    for left, right in pairs:
+        if not _union(parent, left, right):
+            return None
+    mapping: dict[Variable, Term] = {}
+    for term in parent:
+        if isinstance(term, Variable):
+            root = _find(parent, term)
+            if root != term:
+                mapping[term] = root
+    return Substitution(mapping)
+
+
+def unify_atoms(first: Atom, second: Atom) -> Substitution | None:
+    """Unify two atoms (same predicate, same arity) or return ``None``.
+
+    The caller is responsible for renaming the atoms apart if they must
+    not share variables.
+    """
+    if first.predicate != second.predicate or first.arity != second.arity:
+        return None
+    return unify_terms(list(zip(first.args, second.args)))
+
+
+def match_atom(pattern: Atom, target: Atom) -> Substitution | None:
+    """One-way matching: find ``theta`` with ``pattern.substitute(theta) == target``.
+
+    Unlike unification, variables of ``target`` are treated as constants.
+    Returns ``None`` when no such substitution exists.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    mapping: dict[Variable, Term] = {}
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        if isinstance(p_arg, Variable):
+            bound = mapping.get(p_arg)
+            if bound is None:
+                mapping[p_arg] = t_arg
+            elif bound != t_arg:
+                return None
+        elif p_arg != t_arg:
+            return None
+    return Substitution(mapping)

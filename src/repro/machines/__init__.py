@@ -1,0 +1,26 @@
+"""Two-counter machines and the Theorem 5.4 undecidability reduction."""
+
+from .reduction import ReductionArtifacts, build_reduction, consistent_database_for
+from .reduction_theta import build_reduction_theta, theta_database_for
+from .two_counter import (
+    Configuration,
+    Transition,
+    TwoCounterMachine,
+    busy_machine,
+    counting_machine,
+    looping_machine,
+)
+
+__all__ = [
+    "ReductionArtifacts",
+    "build_reduction",
+    "consistent_database_for",
+    "build_reduction_theta",
+    "theta_database_for",
+    "Configuration",
+    "Transition",
+    "TwoCounterMachine",
+    "busy_machine",
+    "counting_machine",
+    "looping_machine",
+]

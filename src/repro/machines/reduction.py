@@ -1,0 +1,239 @@
+"""The Theorem 5.4 construction: 2-counter halting as satisfiability.
+
+Given a two-counter machine, build the Datalog program and the set of
+``{not}``-ic's from the paper's appendix, such that the query predicate
+``halt`` is satisfiable w.r.t. the ic's iff the machine halts.
+
+EDB predicates:
+
+* ``succ(X, Y)``, ``zero(X)`` — a (sound, not necessarily complete)
+  representation of the non-negative integers;
+* ``cnfg(T, C1, C2, S)`` — machine configurations: time, counters, state;
+* ``dom(X)`` — the active domain;
+* ``eq(X, Y)`` / ``neq(X, Y)`` — an EDB rendering of equality and of
+  "separated by at least one successor step", replacing the ``!=`` of
+  the Theorem 5.3 proof with negated-EDB machinery.
+
+The ic's are transcribed from the appendix; counter updates use negated
+``succ`` atoms directly (e.g. incrementing is checked with
+``not succ(C1, C1')``), the natural encoding in the ``{not}`` setting.
+The transition ic's are generated per machine transition, with states
+encoded as chains ``zero(Z), succ(Z, V1), ..., succ(V_{j-1}, S)``.
+
+These ic's contain *non-local* negated atoms (e.g. the closure of
+``cnfg`` under ``eq``), which is exactly why this fragment is
+undecidable: the query-tree algorithm does not apply, and no algorithm
+can (Theorem 5.4).  The executable evidence is
+:func:`consistent_database_for`, which encodes a halting run as an EDB
+that satisfies every ic and makes the program derive ``halt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constraints.integrity import IntegrityConstraint
+from ..datalog.atoms import Atom, Literal, OrderAtom
+from ..datalog.database import Database
+from ..datalog.parser import parse_constraints
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from .two_counter import DEC, INC, NOP, Configuration, TwoCounterMachine
+
+__all__ = ["ReductionArtifacts", "build_reduction", "consistent_database_for"]
+
+
+@dataclass(frozen=True)
+class ReductionArtifacts:
+    """The program and ic's produced by the Theorem 5.4 construction."""
+
+    machine: TwoCounterMachine
+    program: Program
+    constraints: tuple[IntegrityConstraint, ...]
+
+
+def _state_chain(state: int, terminal: Variable, prefix: str) -> list[Literal]:
+    """The ``S = j`` shorthand: zero(Z), succ(Z, V1), ..., succ(., S)."""
+    if state == 0:
+        return [Literal(Atom("zero", (terminal,)))]
+    items: list[Literal] = []
+    previous = Variable(f"{prefix}Z")
+    items.append(Literal(Atom("zero", (previous,))))
+    for step in range(1, state + 1):
+        current = terminal if step == state else Variable(f"{prefix}V{step}")
+        items.append(Literal(Atom("succ", (previous, current))))
+        previous = current
+    return items
+
+
+def _structural_constraints() -> list[IntegrityConstraint]:
+    """The machine-independent ic's of the appendix."""
+    return parse_constraints(
+        """
+        % the domain covers every constant used by succ, zero and cnfg
+        :- succ(X, Y), not dom(X).
+        :- succ(X, Y), not dom(Y).
+        :- zero(X), not dom(X).
+        :- cnfg(T, C1, C2, S), not dom(T).
+        :- cnfg(T, C1, C2, S), not dom(C1).
+        :- cnfg(T, C1, C2, S), not dom(C2).
+        :- cnfg(T, C1, C2, S), not dom(S).
+
+        % eq is reflexive on dom, symmetric and transitively closed
+        :- dom(X), not eq(X, X).
+        :- eq(X, Y), not eq(Y, X).
+        :- eq(X, Z), eq(Z, Y), not eq(X, Y).
+
+        % all zeros are equal; nothing equal to a zero is a non-zero
+        :- zero(X), zero(Y), not eq(X, Y).
+        :- zero(X), eq(X, Y), not zero(Y).
+
+        % neq contains (eq ; succ ; eq) and is transitively closed
+        :- eq(X, X1), succ(X1, Y1), eq(Y1, Y), not neq(X, Y).
+        :- eq(X, X1), neq(X1, Z), eq(Z, Z1), neq(Z1, Y1), eq(Y1, Y), not neq(X, Y).
+
+        % every two domain elements are equal or not equal, never both.
+        % neq is kept *directed* (the strict successor order): the paper's
+        % symmetric reading is unsatisfiable on two or more ordered
+        % elements, because neq(a,b), neq(b,a) would compose under the
+        % transitivity ic to the forbidden neq(a,a).  Totality therefore
+        % accepts either orientation.
+        :- eq(X, Y), neq(X, Y).
+        :- dom(X), dom(Y), not eq(X, Y), not neq(X, Y), not neq(Y, X).
+
+        % successors and predecessors of equal elements are equal
+        % (checked in both neq orientations)
+        :- succ(X, Y), succ(X1, Z), eq(X, X1), neq(Y, Z).
+        :- succ(X, Y), succ(X1, Z), eq(X, X1), neq(Z, Y).
+        :- succ(Y, X), succ(Z, X1), eq(X, X1), neq(Y, Z).
+        :- succ(Y, X), succ(Z, X1), eq(X, X1), neq(Z, Y).
+
+        % a zero has no predecessor
+        :- succ(X, Y), zero(Y).
+
+        % configurations at time zero have zeros everywhere
+        :- cnfg(T, C1, C2, S), zero(T), not zero(C1).
+        :- cnfg(T, C1, C2, S), zero(T), not zero(C2).
+        :- cnfg(T, C1, C2, S), zero(T), not zero(S).
+
+        % cnfg is closed under equality
+        :- cnfg(T, C1, C2, S), eq(T, T1), eq(C1, D1), eq(C2, D2), eq(S, S1),
+           not cnfg(T1, D1, D2, S1).
+        """
+    )
+
+
+def _transition_constraints(machine: TwoCounterMachine) -> list[IntegrityConstraint]:
+    """Per-transition ic's: state and counter updates must be correct."""
+    T, T1 = Variable("T"), Variable("T1")
+    C1, C2, S = Variable("C1"), Variable("C2"), Variable("S")
+    D1, D2, S1 = Variable("D1"), Variable("D2"), Variable("S1")
+    constraints: list[IntegrityConstraint] = []
+    for (state, c1_zero, c2_zero), transition in sorted(machine.transitions.items()):
+        preconditions: list = [
+            Literal(Atom("cnfg", (T, C1, C2, S))),
+            Literal(Atom("cnfg", (T1, D1, D2, S1))),
+            Literal(Atom("succ", (T, T1))),
+        ]
+        preconditions += _state_chain(state, S, "s")
+        preconditions.append(
+            Literal(Atom("zero", (C1,)), positive=c1_zero)
+        )
+        preconditions.append(
+            Literal(Atom("zero", (C2,)), positive=c2_zero)
+        )
+        # Wrong successor state: S1 differs from the encoding of next_state.
+        # neq is directed, so both orientations are checked.
+        S2 = Variable("S2")
+        state_check = _state_chain(transition.next_state, S2, "t")
+        for left, right in ((S1, S2), (S2, S1)):
+            constraints.append(
+                IntegrityConstraint(
+                    tuple(preconditions)
+                    + tuple(state_check)
+                    + (Literal(Atom("neq", (left, right))),)
+                )
+            )
+        # Wrong counter updates.
+        for counter, counter_next, op in ((C1, D1, transition.op1), (C2, D2, transition.op2)):
+            if op == INC:
+                violations = [Literal(Atom("succ", (counter, counter_next)), positive=False)]
+            elif op == DEC:
+                violations = [Literal(Atom("succ", (counter_next, counter)), positive=False)]
+            else:
+                violations = [
+                    Literal(Atom("neq", (counter, counter_next))),
+                    Literal(Atom("neq", (counter_next, counter))),
+                ]
+            for violation in violations:
+                constraints.append(
+                    IntegrityConstraint(tuple(preconditions) + (violation,))
+                )
+    return constraints
+
+
+def _reachability_program(machine: TwoCounterMachine) -> Program:
+    """The appendix's program: reach/1 plus the halt query."""
+    T, T1 = Variable("T"), Variable("T1")
+    C1, C2, S = Variable("C1"), Variable("C2"), Variable("S")
+    D1, D2, S1 = Variable("D1"), Variable("D2"), Variable("S1")
+    rules = [
+        Rule(
+            Atom("reach", (T,)),
+            (Literal(Atom("cnfg", (T, C1, C2, S))), Literal(Atom("zero", (T,)))),
+        ),
+        Rule(
+            Atom("reach", (T1,)),
+            (
+                Literal(Atom("reach", (T,))),
+                Literal(Atom("succ", (T, T1))),
+                Literal(Atom("cnfg", (T1, D1, D2, S1))),
+            ),
+        ),
+        Rule(
+            Atom("halt", ()),
+            tuple(
+                [Literal(Atom("reach", (T,))), Literal(Atom("cnfg", (T, C1, C2, S)))]
+                + _state_chain(machine.halt_state, S, "h")
+            ),
+        ),
+    ]
+    return Program(rules, "halt")
+
+
+def build_reduction(machine: TwoCounterMachine) -> ReductionArtifacts:
+    """Build the Theorem 5.4 artifacts for a machine."""
+    constraints = tuple(_structural_constraints() + _transition_constraints(machine))
+    return ReductionArtifacts(machine, _reachability_program(machine), constraints)
+
+
+def consistent_database_for(
+    machine: TwoCounterMachine, trace: Sequence[Configuration]
+) -> Database:
+    """Encode a halting run as an EDB satisfying all ic's.
+
+    The domain is ``0 .. N`` for the largest value occurring in the
+    trace (times, counters, states); ``succ`` is the true successor chain,
+    ``eq`` the identity, ``neq`` every ordered pair of distinct values.
+    """
+    largest = machine.num_states - 1
+    for config in trace:
+        largest = max(largest, config.time, config.counter1, config.counter2, config.state)
+    rows: dict[str, list[tuple]] = {
+        "zero": [(0,)],
+        "dom": [(i,) for i in range(largest + 1)],
+        "succ": [(i, i + 1) for i in range(largest)],
+        "eq": [(i, i) for i in range(largest + 1)],
+        "neq": [
+            (i, j)
+            for i in range(largest + 1)
+            for j in range(largest + 1)
+            if i < j
+        ],
+        "cnfg": [
+            (c.time, c.counter1, c.counter2, c.state) for c in trace
+        ],
+    }
+    return Database.from_rows(rows)

@@ -1,0 +1,142 @@
+"""The Theorem 5.3 shape: 2-counter halting with ``{!=}``-ic's.
+
+Theorem 5.3 (via [LMSS93, vdM92b]) states that satisfiability is
+already undecidable when the ic's may use ``!=`` — no negated EDB atoms
+needed.  This module builds that variant of the appendix construction:
+the ``dom``/``eq``/``neq`` apparatus of Theorem 5.4 (which exists to
+*simulate* disequality with negated EDB atoms) collapses back into
+plain ``!=`` order atoms:
+
+* ``succ`` is forced functional and injective with ``!=``;
+* ``zero`` is forced unique;
+* configurations are unique per time and transition-correct, with
+  "wrong value" expressed as ``!=`` against the forced value.
+
+As in Theorem 5.4, the honest encoding of a halting run satisfies every
+ic and derives ``halt()``; tampered encodings are rejected.  The ``!=``
+atoms relate variables of different body atoms, i.e. they are
+*non-local* — exactly the frontier where Theorem 5.3 places
+undecidability.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.integrity import IntegrityConstraint
+from ..datalog.atoms import Atom, Literal, OrderAtom
+from ..datalog.database import Database
+from ..datalog.parser import parse_constraints
+from ..datalog.terms import Variable
+from .reduction import ReductionArtifacts, _reachability_program, _state_chain
+from .two_counter import DEC, INC, NOP, Configuration, TwoCounterMachine
+
+__all__ = ["build_reduction_theta", "theta_database_for"]
+
+
+def _structural_theta_constraints() -> list[IntegrityConstraint]:
+    return parse_constraints(
+        """
+        % succ is a partial injection (sound successor representation)
+        :- succ(X, Y), succ(X, Z), Y != Z.
+        :- succ(Y, X), succ(Z, X), Y != Z.
+        :- succ(X, X).
+
+        % zero is unique and has no predecessor
+        :- zero(X), zero(Y), X != Y.
+        :- succ(X, Y), zero(Y).
+
+        % at most one configuration per time instant
+        :- cnfg(T, C1, C2, S), cnfg(T, D1, D2, S1), C1 != D1.
+        :- cnfg(T, C1, C2, S), cnfg(T, D1, D2, S1), C2 != D2.
+        :- cnfg(T, C1, C2, S), cnfg(T, D1, D2, S1), S != S1.
+
+        % the configuration at time zero is all zeros
+        :- cnfg(T, C1, C2, S), zero(T), zero(Z), C1 != Z.
+        :- cnfg(T, C1, C2, S), zero(T), zero(Z), C2 != Z.
+        :- cnfg(T, C1, C2, S), zero(T), zero(Z), S != Z.
+        """
+    )
+
+
+def _transition_theta_constraints(
+    machine: TwoCounterMachine,
+) -> list[IntegrityConstraint]:
+    T, T1 = Variable("T"), Variable("T1")
+    C1, C2, S = Variable("C1"), Variable("C2"), Variable("S")
+    D1, D2, S1 = Variable("D1"), Variable("D2"), Variable("S1")
+    Z = Variable("Z")
+    constraints: list[IntegrityConstraint] = []
+    for (state, c1_zero, c2_zero), transition in sorted(machine.transitions.items()):
+        preconditions: list = [
+            Literal(Atom("cnfg", (T, C1, C2, S))),
+            Literal(Atom("cnfg", (T1, D1, D2, S1))),
+            Literal(Atom("succ", (T, T1))),
+        ]
+        preconditions += _state_chain(state, S, "s")
+        # Counter sign tests, via != against the unique zero.
+        preconditions.append(Literal(Atom("zero", (Z,))))
+        if c1_zero:
+            preconditions.append(OrderAtom(C1, "=", Z))
+        else:
+            preconditions.append(OrderAtom(C1, "!=", Z))
+        if c2_zero:
+            preconditions.append(OrderAtom(C2, "=", Z))
+        else:
+            preconditions.append(OrderAtom(C2, "!=", Z))
+        # Wrong successor state.
+        S2 = Variable("S2")
+        constraints.append(
+            IntegrityConstraint(
+                tuple(preconditions)
+                + tuple(_state_chain(transition.next_state, S2, "t"))
+                + (OrderAtom(S1, "!=", S2),)
+            )
+        )
+        # Wrong counter updates, via a succ witness and !=.
+        for counter, counter_next, op, tag in (
+            (C1, D1, transition.op1, "u"),
+            (C2, D2, transition.op2, "v"),
+        ):
+            witness = Variable(f"{tag}W")
+            if op == INC:
+                extra = (
+                    Literal(Atom("succ", (counter, witness))),
+                    OrderAtom(counter_next, "!=", witness),
+                )
+            elif op == DEC:
+                extra = (
+                    Literal(Atom("succ", (witness, counter))),
+                    OrderAtom(counter_next, "!=", witness),
+                )
+            else:
+                extra = (OrderAtom(counter, "!=", counter_next),)
+            constraints.append(IntegrityConstraint(tuple(preconditions) + extra))
+    return constraints
+
+
+def build_reduction_theta(machine: TwoCounterMachine) -> ReductionArtifacts:
+    """Build the Theorem 5.3 (``{!=}``-ic) artifacts for a machine.
+
+    The program is the same ``reach``/``halt`` program as Theorem 5.4's;
+    only the ic's differ (order atoms instead of negated EDB atoms).
+    """
+    constraints = tuple(
+        _structural_theta_constraints() + _transition_theta_constraints(machine)
+    )
+    return ReductionArtifacts(machine, _reachability_program(machine), constraints)
+
+
+def theta_database_for(
+    machine: TwoCounterMachine, trace: Sequence[Configuration]
+) -> Database:
+    """Encode a halting run for the ``{!=}`` variant (no eq/neq/dom)."""
+    largest = machine.num_states - 1
+    for config in trace:
+        largest = max(largest, config.time, config.counter1, config.counter2, config.state)
+    rows = {
+        "zero": [(0,)],
+        "succ": [(i, i + 1) for i in range(largest)],
+        "cnfg": [(c.time, c.counter1, c.counter2, c.state) for c in trace],
+    }
+    return Database.from_rows(rows)

@@ -1,0 +1,191 @@
+"""Two-counter (Minsky) machines: the undecidability substrate.
+
+The appendix of the paper reduces the halting problem of two-counter
+machines to satisfiability of a Datalog query w.r.t. ``{not}``-ic's
+(Theorem 5.4).  This module provides the machine model and a simulator;
+:mod:`repro.machines.reduction` builds the paper's construction on top.
+
+A machine has states ``0 .. num_states-1`` with a distinguished halting
+state, two counters starting at zero, and a deterministic transition
+function keyed by (state, counter1 == 0, counter2 == 0).  Each
+transition names a successor state and one operation per counter
+(increment, decrement or leave).  Two-counter machines are Turing
+complete, hence halting is undecidable — which is exactly the lever of
+Theorems 5.3-5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Op",
+    "Transition",
+    "TwoCounterMachine",
+    "Configuration",
+    "counting_machine",
+    "looping_machine",
+    "busy_machine",
+]
+
+#: Counter operations.
+INC, DEC, NOP = "inc", "dec", "nop"
+Op = str
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition: successor state and per-counter operations."""
+
+    next_state: int
+    op1: Op
+    op2: Op
+
+    def __post_init__(self) -> None:
+        for op in (self.op1, self.op2):
+            if op not in (INC, DEC, NOP):
+                raise ValueError(f"unknown counter operation {op!r}")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration: time step, counters, state."""
+
+    time: int
+    counter1: int
+    counter2: int
+    state: int
+
+
+@dataclass(frozen=True)
+class TwoCounterMachine:
+    """A deterministic two-counter machine.
+
+    ``transitions`` maps ``(state, c1_is_zero, c2_is_zero)`` to a
+    :class:`Transition`.  Missing keys mean the machine is *stuck* (it
+    does not halt).  ``halt_state`` has no outgoing transitions.
+    """
+
+    num_states: int
+    halt_state: int
+    transitions: Mapping[tuple[int, bool, bool], Transition]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.halt_state < self.num_states:
+            raise ValueError("halt state out of range")
+        for (state, _, _), transition in self.transitions.items():
+            if state == self.halt_state:
+                raise ValueError("the halting state must have no transitions")
+            if not 0 <= state < self.num_states:
+                raise ValueError(f"state {state} out of range")
+            if not 0 <= transition.next_state < self.num_states:
+                raise ValueError(f"state {transition.next_state} out of range")
+
+    def step(self, config: Configuration) -> Configuration | None:
+        """One deterministic step; None when stuck or halted."""
+        if config.state == self.halt_state:
+            return None
+        key = (config.state, config.counter1 == 0, config.counter2 == 0)
+        transition = self.transitions.get(key)
+        if transition is None:
+            return None
+        counter1 = _apply(config.counter1, transition.op1)
+        counter2 = _apply(config.counter2, transition.op2)
+        if counter1 < 0 or counter2 < 0:
+            return None  # decrement of zero: stuck
+        return Configuration(config.time + 1, counter1, counter2, transition.next_state)
+
+    def run(self, max_steps: int) -> list[Configuration]:
+        """The trace from the initial configuration, up to ``max_steps``."""
+        trace = [Configuration(0, 0, 0, 0)]
+        while len(trace) <= max_steps:
+            nxt = self.step(trace[-1])
+            if nxt is None:
+                break
+            trace.append(nxt)
+        return trace
+
+    def halts(self, max_steps: int) -> bool | None:
+        """True/False when decided within the budget, None when unknown."""
+        trace = self.run(max_steps)
+        if trace[-1].state == self.halt_state:
+            return True
+        if self.step(trace[-1]) is None:
+            return False  # stuck without halting
+        return None  # budget exhausted
+
+    def trace_if_halts(self, max_steps: int) -> list[Configuration] | None:
+        trace = self.run(max_steps)
+        return trace if trace[-1].state == self.halt_state else None
+
+
+def _apply(value: int, op: Op) -> int:
+    if op == INC:
+        return value + 1
+    if op == DEC:
+        return value - 1
+    return value
+
+
+# ----------------------------------------------------------------------
+# Canonical example machines
+# ----------------------------------------------------------------------
+def counting_machine(target: int = 3) -> TwoCounterMachine:
+    """Increment counter 1 ``target`` times, then halt.
+
+    States: ``0 .. target`` count progress; ``target + 1`` is the halt
+    state, entered as soon as state ``target`` is reached.
+    """
+    transitions: dict[tuple[int, bool, bool], Transition] = {}
+    halt = target + 1
+    for state in range(target):
+        for c1_zero in (True, False):
+            for c2_zero in (True, False):
+                transitions[(state, c1_zero, c2_zero)] = Transition(state + 1, INC, NOP)
+    for c1_zero in (True, False):
+        for c2_zero in (True, False):
+            transitions[(target, c1_zero, c2_zero)] = Transition(halt, NOP, NOP)
+    return TwoCounterMachine(halt + 1, halt, transitions)
+
+
+def looping_machine() -> TwoCounterMachine:
+    """Increment counter 1 forever — never halts."""
+    transitions = {
+        (0, True, True): Transition(0, INC, NOP),
+        (0, False, True): Transition(0, INC, NOP),
+        (0, True, False): Transition(0, INC, NOP),
+        (0, False, False): Transition(0, INC, NOP),
+    }
+    return TwoCounterMachine(2, 1, transitions)
+
+
+def busy_machine(rounds: int = 2) -> TwoCounterMachine:
+    """Transfer counter 1 to counter 2 and back, ``rounds`` times, then halt.
+
+    Exercises increments, decrements and zero tests together; the run
+    length grows with ``rounds``.
+    """
+    # State 0: pump counter1 up to `rounds`.
+    # State 1: move counter1 into counter2 (dec c1 / inc c2).
+    # State 2: move counter2 back into counter1.
+    # State 3: halt.
+    transitions: dict[tuple[int, bool, bool], Transition] = {}
+    pump = rounds
+    # Use counter2 as the pump budget tracker via states instead: simpler —
+    # states 0..rounds-1 pump, then hand over to the transfer loop.
+    machine_states = rounds + 3
+    halt = machine_states - 1
+    transfer_a = rounds  # dec c1 / inc c2 until c1 == 0
+    transfer_b = rounds + 1  # dec c2 / inc c1 until c2 == 0
+    for state in range(rounds):
+        for c1_zero in (True, False):
+            for c2_zero in (True, False):
+                transitions[(state, c1_zero, c2_zero)] = Transition(state + 1, INC, NOP)
+    for c2_zero in (True, False):
+        transitions[(transfer_a, False, c2_zero)] = Transition(transfer_a, DEC, INC)
+        transitions[(transfer_a, True, c2_zero)] = Transition(transfer_b, NOP, NOP)
+    for c1_zero in (True, False):
+        transitions[(transfer_b, c1_zero, False)] = Transition(transfer_b, INC, DEC)
+        transitions[(transfer_b, c1_zero, True)] = Transition(halt, NOP, NOP)
+    return TwoCounterMachine(machine_states, halt, transitions)

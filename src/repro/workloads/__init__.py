@@ -1,0 +1,39 @@
+"""Canonical paper workloads: programs, constraints, EDB generators."""
+
+from .generators import (
+    ab_database,
+    ab_inconsistent_database,
+    chain_steps,
+    flight_database,
+    good_path_bidirectional_database,
+    good_path_database,
+    good_path_inconsistent_database,
+    same_generation_database,
+    taint_database,
+)
+from .programs import (
+    ab_transitive_closure,
+    flight_routes,
+    good_path,
+    good_path_order_constraints,
+    same_generation,
+    taint_analysis,
+)
+
+__all__ = [
+    "ab_database",
+    "ab_inconsistent_database",
+    "chain_steps",
+    "flight_database",
+    "good_path_bidirectional_database",
+    "good_path_database",
+    "good_path_inconsistent_database",
+    "same_generation_database",
+    "taint_database",
+    "ab_transitive_closure",
+    "flight_routes",
+    "good_path",
+    "good_path_order_constraints",
+    "same_generation",
+    "taint_analysis",
+]

@@ -1,0 +1,265 @@
+"""Synthetic EDB generators for the canonical workloads.
+
+All generators are seeded and deterministic, and produce databases
+*consistent* with the constraint sets of
+:mod:`repro.workloads.programs` (each documents which); inconsistent
+variants for violation-detection tests are provided alongside.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..datalog.database import Database
+
+__all__ = [
+    "chain_steps",
+    "good_path_database",
+    "good_path_inconsistent_database",
+    "ab_database",
+    "ab_inconsistent_database",
+    "same_generation_database",
+    "flight_database",
+]
+
+
+def chain_steps(length: int, start: int = 0, stride: int = 1) -> list[tuple[int, int]]:
+    """A monotone chain of ``step`` edges."""
+    return [(start + i * stride, start + (i + 1) * stride) for i in range(length)]
+
+
+def good_path_database(
+    num_chains: int = 4,
+    chain_length: int = 20,
+    *,
+    below_threshold_chains: int = 2,
+    threshold: int = 100,
+    seed: int = 0,
+) -> Database:
+    """EDB for the Section 3 good-path workload.
+
+    ``num_chains`` monotone step chains start at or above ``threshold``
+    (their first nodes are start points, last nodes end points), plus
+    ``below_threshold_chains`` decoy chains living strictly below the
+    threshold (no start points there, consistent with ic (1)).  All
+    chains increase strictly, satisfying ic (2), and every end point
+    exceeds every start point, satisfying the Example 3.1 ic.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    top = threshold
+    starts: list[int] = []
+    ends: list[int] = []
+    for _ in range(num_chains):
+        base = top + rng.randint(1, 5)
+        for left, right in chain_steps(chain_length, start=base):
+            db.add_row("step", (left, right))
+        starts.append(base)
+        ends.append(base + chain_length)
+        top = base + chain_length
+    # Decoy chains entirely below the threshold: reachable step data that
+    # the optimized program never has to touch.
+    low = -1000
+    for _ in range(below_threshold_chains):
+        base = low + rng.randint(1, 5)
+        length = min(chain_length, (threshold - 10 - base))
+        for left, right in chain_steps(max(length, 1), start=base):
+            if right < threshold:
+                db.add_row("step", (left, right))
+        low = base + chain_length
+    # Start points above max start? ensure ends dominate all starts.
+    for value in starts:
+        db.add_row("startPoint", (value,))
+    floor = max(starts)
+    for value in ends:
+        if value > floor:
+            db.add_row("endPoint", (value,))
+    return db
+
+
+def good_path_bidirectional_database(
+    num_chains: int = 4, chain_length: int = 20, *, seed: int = 0
+) -> Database:
+    """Good-path EDB where paths also descend below the start points.
+
+    Each start point roots an ascending chain ending in an end point
+    *and* a descending chain leading nowhere.  The Example 3.1 residue
+    ``Y > X`` pays here: without it, every descending path tuple
+    reaches the ``endPoint`` probe of the goodPath rule; with it, the
+    probe is skipped.  Consistent with the Example 3.1 ic (all end
+    points top all start points).
+    """
+    rng = random.Random(seed)
+    db = Database()
+    starts: list[int] = []
+    tops: list[int] = []
+    base = 0
+    for _ in range(num_chains):
+        start = base + chain_length + rng.randint(1, 4)
+        for left, right in chain_steps(chain_length, start=start):
+            db.add_row("step", (left, right))
+        for left, right in chain_steps(chain_length, start=start - chain_length):
+            db.add_row("step", (right, left))  # descending branch
+        starts.append(start)
+        tops.append(start + chain_length)
+        base = start + chain_length
+    floor = max(starts)
+    for start in starts:
+        db.add_row("startPoint", (start,))
+    for top in tops:
+        if top > floor:
+            db.add_row("endPoint", (top,))
+    return db
+
+
+def good_path_inconsistent_database(seed: int = 0) -> Database:
+    """A small database violating ic (2) (a non-increasing step)."""
+    db = good_path_database(num_chains=1, chain_length=3, seed=seed)
+    db.add_row("step", (200, 150))
+    return db
+
+
+def ab_database(
+    num_b: int = 30, num_a: int = 30, *, branching: int = 2, seed: int = 0
+) -> Database:
+    """EDB for the a/b running example.
+
+    ``b``-edges live on nodes ``0 .. num_b`` and ``a``-edges on nodes
+    ``num_b .. num_b + num_a``: a ``b``-edge may be followed by an
+    ``a``-edge (at the boundary node) but never vice versa, so the ic
+    ``:- a(X, Y), b(Y, Z)`` holds.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    for left in range(num_b):
+        for _ in range(branching):
+            right = rng.randint(left + 1, num_b)
+            db.add_row("b", (left, right))
+    base = num_b
+    for left in range(base, base + num_a):
+        for _ in range(branching):
+            right = rng.randint(left + 1, base + num_a)
+            db.add_row("a", (left, right))
+    return db
+
+
+def ab_inconsistent_database(seed: int = 0) -> Database:
+    """An a-edge followed by a b-edge — violates the running example's ic."""
+    db = ab_database(num_b=5, num_a=5, seed=seed)
+    db.add_row("a", (1, 2))  # lands inside the b zone
+    return db
+
+
+def same_generation_database(
+    depth: int = 4, fanout: int = 2, *, seed: int = 0
+) -> Database:
+    """Two disjoint complete family trees plus sibling links at the roots.
+
+    Left-tree nodes are positive, right-tree nodes negative; the trees
+    are disjoint and no sibling edge crosses from left to right,
+    matching the same-generation ic's.
+    """
+    db = Database()
+
+    def build(sign: int) -> list[int]:
+        # Node ids: sign * (1 .. number of nodes) in BFS order.
+        nodes = [sign * 1]
+        frontier = [sign * 1]
+        next_id = 2
+        for _ in range(depth):
+            fresh: list[int] = []
+            for parent_node in frontier:
+                for _ in range(fanout):
+                    child = sign * next_id
+                    next_id += 1
+                    db.add_row("parent", (child, parent_node))
+                    fresh.append(child)
+            nodes.extend(fresh)
+            frontier = fresh
+        return nodes
+
+    left = build(1)
+    right = build(-1)
+    for node in left:
+        db.add_row("leftTree", (node,))
+    for node in right:
+        db.add_row("rightTree", (node,))
+    # Sibling links only inside the left tree and only right-to-left at
+    # the roots — crossing left->right pairs are forbidden by the ic's.
+    db.add_row("sibling", (1, 1))
+    db.add_row("sibling", (-1, 1))
+    return db
+
+
+def taint_database(
+    variables: int = 40,
+    flows: int = 80,
+    *,
+    sources: int = 4,
+    sinks: int = 4,
+    sanitizers: int = 4,
+    seed: int = 0,
+) -> Database:
+    """A dataflow graph for the taint workload, consistent with its ic's.
+
+    Variable ids ``0 .. variables-1``; sources, sinks and sanitizers are
+    disjoint id ranges; no flow edge leaves a sanitizer.
+    """
+    if sources + sinks + sanitizers > variables:
+        raise ValueError("role ranges exceed the variable count")
+    rng = random.Random(seed)
+    db = Database()
+    source_ids = range(sources)
+    sink_ids = range(sources, sources + sinks)
+    sanitizer_ids = range(sources + sinks, sources + sinks + sanitizers)
+    for v in source_ids:
+        db.add_row("source", (v,))
+    for v in sink_ids:
+        db.add_row("sink", (v,))
+    for v in sanitizer_ids:
+        db.add_row("sanitizer", (v,))
+    sanitizer_set = set(sanitizer_ids)
+    for _ in range(flows):
+        origin = rng.randrange(variables)
+        if origin in sanitizer_set:
+            continue  # sanitizers have no outgoing flow (ic 2)
+        target = rng.randrange(variables)
+        if origin != target:
+            db.add_row("flow", (origin, target))
+    return db
+
+
+def flight_database(
+    cities: int = 20,
+    segments: int = 60,
+    *,
+    hubs: Sequence[int] = (0, 1),
+    seed: int = 0,
+) -> Database:
+    """EDB for the flight-routes workload, consistent with its ic's.
+
+    ``a`` segments never *arrive* at a hub (so no ``a``-then-``b``-from-
+    hub pattern can occur), fares are positive, and a couple of
+    origin/destination cities are marked.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    hub_set = set(hubs)
+    for hub in hubs:
+        db.add_row("hub", (hub,))
+    for _ in range(segments):
+        source = rng.randrange(cities)
+        target = rng.randrange(cities)
+        if source == target:
+            continue
+        fare = rng.randint(50, 500)
+        if rng.random() < 0.5 and target not in hub_set:
+            db.add_row("segment_a", (source, target, fare))
+        else:
+            db.add_row("segment_b", (source, target, fare))
+    db.add_row("origin", (2,))
+    db.add_row("origin", (3,))
+    db.add_row("destination", (cities - 1,))
+    db.add_row("destination", (cities - 2,))
+    return db

@@ -1,0 +1,152 @@
+"""Canonical programs and constraint sets from the paper (and companions).
+
+Each factory returns ``(program, constraints)`` ready for
+:func:`repro.optimize` — these are the workloads the examples, tests and
+benchmarks share.
+"""
+
+from __future__ import annotations
+
+from ..constraints.integrity import IntegrityConstraint
+from ..datalog.parser import parse_constraints, parse_program
+from ..datalog.program import Program
+
+__all__ = [
+    "good_path",
+    "good_path_order_constraints",
+    "ab_transitive_closure",
+    "same_generation",
+    "flight_routes",
+    "taint_analysis",
+]
+
+
+def good_path() -> tuple[Program, list[IntegrityConstraint]]:
+    """Example 3.1: paths between start and end points, with the
+    end-points-dominate-start-points ic (residue ``Y <= X``)."""
+    program = parse_program(
+        """
+        path(X, Y) :- step(X, Y).
+        path(X, Y) :- step(X, Z), path(Z, Y).
+        goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+        """,
+        query="goodPath",
+    )
+    constraints = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+    return program, constraints
+
+
+def good_path_order_constraints() -> tuple[Program, list[IntegrityConstraint]]:
+    """Section 3, second example: ic's (1) and (2) push ``X >= 100``
+    into the recursive rules (the paper's ``r1', r2', r3'``)."""
+    program, _ = good_path()
+    constraints = parse_constraints(
+        """
+        :- startPoint(X), endPoint(Y), Y <= X.
+        :- startPoint(X), step(X, Y), X < 100.
+        :- step(X, Y), X >= Y.
+        """
+    )
+    return program, constraints
+
+
+def ab_transitive_closure() -> tuple[Program, list[IntegrityConstraint]]:
+    """The Section 4 running example (Figure 1): the transitive closure
+    of ``a``- and ``b``-edges, where an ``a``-edge is never followed by a
+    ``b``-edge."""
+    program = parse_program(
+        """
+        p(X, Y) :- a(X, Y).
+        p(X, Y) :- b(X, Y).
+        p(X, Y) :- a(X, Z), p(Z, Y).
+        p(X, Y) :- b(X, Z), p(Z, Y).
+        """,
+        query="p",
+    )
+    constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+    return program, constraints
+
+
+def same_generation() -> tuple[Program, list[IntegrityConstraint]]:
+    """The classic same-generation program over a parent relation, with
+    an ic keeping the two family trees disjoint."""
+    program = parse_program(
+        """
+        sg(X, Y) :- sibling(X, Y).
+        sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).
+        query(X, Y) :- leftTree(X), sg(X, Y), rightTree(Y).
+        """,
+        query="query",
+    )
+    constraints = parse_constraints(
+        """
+        :- leftTree(X), rightTree(X).
+        :- sibling(X, Y), leftTree(X), rightTree(Y).
+        """
+    )
+    return program, constraints
+
+
+def taint_analysis() -> tuple[Program, list[IntegrityConstraint]]:
+    """Static taint tracking over a dataflow graph.
+
+    Rules: values are tainted at sources and propagate along flow
+    edges; an alarm fires when a tainted value reaches a sink.  The
+    program-model ic's:
+
+    * no variable is both a source and a sink (sources are inputs,
+      sinks are outputs) — which makes the zero-step alarm derivation
+      (``sink(V), taint(V) via source(V)``) inconsistent: the optimizer
+      specializes ``taint`` and keeps only the at-least-one-flow-step
+      variant under ``alarm``;
+    * sanitizers have no outgoing flow (sanitization yields a fresh
+      value), giving a negated-EDB residue ``not sanitizer(W)`` in the
+      propagation rule.
+    """
+    program = parse_program(
+        """
+        taint(V) :- source(V).
+        taint(V) :- flow(W, V), taint(W).
+        alarm(V) :- sink(V), taint(V).
+        """,
+        query="alarm",
+    )
+    constraints = parse_constraints(
+        """
+        :- source(V), sink(V).
+        :- flow(W, V), sanitizer(W).
+        """
+    )
+    return program, constraints
+
+
+def flight_routes() -> tuple[Program, list[IntegrityConstraint]]:
+    """A data-integration flavored workload (cf. the paper's motivation
+    [CGMH+94, LSK95]): routes composed from two airline feeds, with
+    hub discipline and fare monotonicity as ic's.
+
+    * ``segment_a`` / ``segment_b`` — two heterogeneous sources of
+      flight segments ``(From, To, Fare)``;
+    * budget airline ``b`` never departs from a hub after an ``a``
+      leg landed there: ``:- segment_a(X, H, F1), hub(H),
+      segment_b(H, Y, F2).``
+    * fares are positive.
+    """
+    program = parse_program(
+        """
+        leg(X, Y, F) :- segment_a(X, Y, F).
+        leg(X, Y, F) :- segment_b(X, Y, F).
+        route(X, Y) :- leg(X, Y, F).
+        route(X, Y) :- leg(X, Z, F), route(Z, Y).
+        trip(X, Y) :- origin(X), route(X, Y), destination(Y).
+        """,
+        query="trip",
+    )
+    constraints = parse_constraints(
+        """
+        :- segment_a(X, H, F1), hub(H), segment_b(H, Y, F2).
+        :- segment_a(X, Y, F), F <= 0.
+        :- segment_b(X, Y, F), F <= 0.
+        """
+    )
+    return program, constraints

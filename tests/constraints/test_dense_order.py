@@ -1,0 +1,239 @@
+"""Dense-order solver tests, including a brute-force completeness check."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.dense_order import OrderConstraintSet, UnsatisfiableError
+from repro.datalog.atoms import COMPARISONS, OrderAtom, evaluate_comparison
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def oc(*atoms):
+    return OrderConstraintSet(atoms)
+
+
+class TestSatisfiability:
+    def test_empty_is_satisfiable(self):
+        assert oc().is_satisfiable()
+
+    def test_strict_cycle_unsat(self):
+        assert not oc(OrderAtom(X, "<", Y), OrderAtom(Y, "<", X)).is_satisfiable()
+
+    def test_weak_cycle_sat(self):
+        assert oc(OrderAtom(X, "<=", Y), OrderAtom(Y, "<=", X)).is_satisfiable()
+
+    def test_weak_cycle_with_neq_unsat(self):
+        assert not oc(
+            OrderAtom(X, "<=", Y), OrderAtom(Y, "<=", X), OrderAtom(X, "!=", Y)
+        ).is_satisfiable()
+
+    def test_self_neq_unsat(self):
+        assert not oc(OrderAtom(X, "!=", X)).is_satisfiable()
+
+    def test_eq_then_strict_unsat(self):
+        assert not oc(OrderAtom(X, "=", Y), OrderAtom(X, "<", Y)).is_satisfiable()
+
+    def test_constant_window(self):
+        assert oc(OrderAtom(X, ">", Constant(3)), OrderAtom(X, "<", Constant(5))).is_satisfiable()
+
+    def test_constant_window_empty_via_order(self):
+        # Dense order: strictly between 3 and 5 there are points, but not
+        # when bounds flip.
+        assert not oc(
+            OrderAtom(X, "<", Constant(3)), OrderAtom(X, ">", Constant(5))
+        ).is_satisfiable()
+
+    def test_dense_between_adjacent_integers(self):
+        # 3 < X < 4 is satisfiable on a dense order (unlike the integers).
+        assert oc(OrderAtom(X, ">", Constant(3)), OrderAtom(X, "<", Constant(4))).is_satisfiable()
+
+    def test_constant_equality_conflict(self):
+        assert not oc(OrderAtom(Constant(1), "=", Constant(2))).is_satisfiable()
+
+    def test_equal_constants(self):
+        assert oc(OrderAtom(Constant(1), "=", Constant(1))).is_satisfiable()
+
+    def test_string_constants_neq(self):
+        assert oc(OrderAtom(X, "=", Constant("a")), OrderAtom(X, "!=", Constant("b"))).is_satisfiable()
+        assert not oc(
+            OrderAtom(X, "=", Constant("a")), OrderAtom(X, "=", Constant("b"))
+        ).is_satisfiable()
+
+    def test_mixed_families_distinct(self):
+        assert not oc(OrderAtom(Constant(1), "=", Constant("a"))).is_satisfiable()
+
+    def test_transitive_strict_chain(self):
+        assert not oc(
+            OrderAtom(X, "<", Y), OrderAtom(Y, "<", Z), OrderAtom(Z, "<=", X)
+        ).is_satisfiable()
+
+
+class TestEntailment:
+    def test_weak_from_strict(self):
+        assert oc(OrderAtom(X, "<", Y)).entails(OrderAtom(X, "<=", Y))
+
+    def test_neq_from_strict(self):
+        assert oc(OrderAtom(X, "<", Y)).entails(OrderAtom(X, "!=", Y))
+
+    def test_strict_from_weak_and_neq(self):
+        assert oc(OrderAtom(X, "<=", Y), OrderAtom(X, "!=", Y)).entails(OrderAtom(X, "<", Y))
+
+    def test_transitivity(self):
+        assert oc(OrderAtom(X, "<", Y), OrderAtom(Y, "<", Z)).entails(OrderAtom(X, "<", Z))
+
+    def test_through_constants(self):
+        assert oc(OrderAtom(X, "<=", Constant(5)), OrderAtom(Constant(5), "<", Constant(7))).entails(
+            OrderAtom(X, "<", Constant(7))
+        )
+
+    def test_not_entailed(self):
+        assert not oc(OrderAtom(X, "<=", Y)).entails(OrderAtom(X, "<", Y))
+
+    def test_unsat_entails_everything(self):
+        unsat = oc(OrderAtom(X, "<", X))
+        assert unsat.entails(OrderAtom(Y, "=", Z))
+
+    def test_equality_substitution_direction(self):
+        assert oc(OrderAtom(X, "=", Y)).entails(OrderAtom(Y, "=", X))
+
+
+class TestImpliedEqualities:
+    def test_weak_cycle_merges(self):
+        groups = oc(OrderAtom(X, "<=", Y), OrderAtom(Y, "<=", X)).implied_equalities()
+        assert groups == [frozenset({X, Y})]
+
+    def test_constant_representative(self):
+        mapping = oc(OrderAtom(X, "=", Constant(3))).equality_substitution()
+        assert mapping == {X: Constant(3)}
+
+    def test_variable_representative_lexicographic(self):
+        mapping = oc(OrderAtom(Y, "=", X)).equality_substitution()
+        assert mapping == {Y: X}
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(UnsatisfiableError):
+            oc(OrderAtom(X, "<", X)).implied_equalities()
+
+    def test_no_equalities(self):
+        assert oc(OrderAtom(X, "<", Y)).implied_equalities() == []
+
+
+class TestModel:
+    def test_model_satisfies_constraints(self):
+        constraints = oc(
+            OrderAtom(X, "<", Y),
+            OrderAtom(Y, "<=", Z),
+            OrderAtom(X, ">", Constant(2)),
+            OrderAtom(Z, "<", Constant(10)),
+        )
+        model = constraints.model()
+        assert model is not None
+        values = {X: model[X], Y: model[Y], Z: model[Z]}
+        assert values[X] < values[Y] <= values[Z]
+        assert 2 < values[X] and values[Z] < 10
+
+    def test_model_none_when_unsat(self):
+        assert oc(OrderAtom(X, "<", X)).model() is None
+
+    def test_model_with_neq_only(self):
+        model = oc(OrderAtom(X, "!=", Y)).model()
+        assert model is not None and model[X] != model[Y]
+
+    def test_model_with_string_equality(self):
+        model = oc(OrderAtom(X, "=", Constant("tok"))).model()
+        assert model == {X: "tok"}
+
+    def test_string_order_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            oc(OrderAtom(X, "<", Constant("zzz"))).model()
+
+
+class TestProjection:
+    def test_projection_strongest(self):
+        constraints = oc(OrderAtom(X, "<", Y), OrderAtom(Y, "<", Z))
+        projected = constraints.project([X, Z])
+        assert OrderAtom(X, "<", Z).normalized() in projected
+
+    def test_projection_keeps_equalities(self):
+        constraints = oc(OrderAtom(X, "=", Y))
+        projected = constraints.project([X, Y])
+        assert OrderAtom(X, "=", Y).normalized() in projected
+
+    def test_projection_of_unsat_raises(self):
+        with pytest.raises(UnsatisfiableError):
+            oc(OrderAtom(X, "<", X)).project([X])
+
+
+# ----------------------------------------------------------------------
+# Brute-force cross-validation
+# ----------------------------------------------------------------------
+# Two variables over constants {0, 1}: a quarter-step grid on [-2, 3]
+# provides at least two distinct values inside every interval the
+# constants carve out, making the brute force complete for this family.
+GRID = [Fraction(n, 4) for n in range(-8, 13)]
+TERMS = [X, Y, Constant(0), Constant(1)]
+
+
+def brute_force_satisfiable(atoms) -> bool:
+    variables = sorted({t for a in atoms for t in (a.left, a.right) if isinstance(t, Variable)},
+                       key=lambda v: v.name)
+    for assignment in itertools.product(GRID, repeat=len(variables)):
+        env = dict(zip(variables, assignment))
+
+        def value(term):
+            return env[term] if isinstance(term, Variable) else Fraction(term.value)
+
+        if all(evaluate_comparison(value(a.left), value(a.right), a.op) for a in atoms):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            OrderAtom,
+            st.sampled_from(TERMS),
+            st.sampled_from(list(COMPARISONS)),
+            st.sampled_from(TERMS),
+        ),
+        max_size=5,
+    )
+)
+def test_solver_agrees_with_brute_force(atoms):
+    constraints = OrderConstraintSet(atoms)
+    assert constraints.is_satisfiable() == brute_force_satisfiable(atoms)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            OrderAtom,
+            st.sampled_from(TERMS),
+            st.sampled_from(list(COMPARISONS)),
+            st.sampled_from(TERMS),
+        ),
+        max_size=5,
+    )
+)
+def test_model_satisfies_all_atoms(atoms):
+    constraints = OrderConstraintSet(atoms)
+    model = constraints.model()
+    if model is None:
+        assert not constraints.is_satisfiable()
+        return
+
+    def value(term):
+        if isinstance(term, Variable):
+            return model[term]
+        return term.value
+
+    for atom in atoms:
+        assert evaluate_comparison(value(atom.left), value(atom.right), atom.op)

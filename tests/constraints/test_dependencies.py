@@ -1,0 +1,167 @@
+"""Dependency-builder tests: fd's, ind's, mvd's, domain, disjointness."""
+
+import pytest
+
+from repro.constraints.dependencies import (
+    disjointness_constraint,
+    domain_constraint,
+    functional_dependency,
+    inclusion_dependency,
+    key_constraint,
+    multivalued_dependency,
+)
+from repro.constraints.integrity import database_satisfies
+from repro.datalog.database import Database
+
+
+class TestFunctionalDependency:
+    def test_theorem_55_shape(self):
+        fd = functional_dependency("e", 3, [0], 2)
+        assert len(fd.positive_atoms) == 2
+        assert len(fd.order_atoms) == 1
+        assert fd.order_atoms[0].op == "!="
+
+    def test_checking(self):
+        fd = functional_dependency("emp", 2, [0], 1)
+        ok = Database.from_rows({"emp": [(1, "sales"), (2, "dev"), (1, "sales")]})
+        bad = Database.from_rows({"emp": [(1, "sales"), (1, "dev")]})
+        assert database_satisfies([fd], ok)
+        assert not database_satisfies([fd], bad)
+
+    def test_composite_determinant(self):
+        fd = functional_dependency("r", 3, [0, 1], 2)
+        ok = Database.from_rows({"r": [(1, 2, 9), (1, 3, 8)]})
+        bad = Database.from_rows({"r": [(1, 2, 9), (1, 2, 8)]})
+        assert database_satisfies([fd], ok)
+        assert not database_satisfies([fd], bad)
+
+    def test_dependent_in_determinant_rejected(self):
+        with pytest.raises(ValueError):
+            functional_dependency("r", 2, [0], 0)
+
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            functional_dependency("r", 2, [5], 1)
+
+
+class TestKeyConstraint:
+    def test_one_fd_per_nonkey_position(self):
+        fds = key_constraint("r", 4, [0])
+        assert len(fds) == 3
+
+    def test_checking(self):
+        fds = key_constraint("r", 3, [0])
+        ok = Database.from_rows({"r": [(1, "a", "b"), (2, "a", "b")]})
+        bad = Database.from_rows({"r": [(1, "a", "b"), (1, "a", "c")]})
+        assert database_satisfies(fds, ok)
+        assert not database_satisfies(fds, bad)
+
+
+class TestInclusionDependency:
+    def test_checking(self):
+        ind = inclusion_dependency("order_item", 2, [1], "product", 1, [0])
+        ok = Database.from_rows(
+            {"order_item": [(1, 10), (2, 11)], "product": [(10,), (11,), (12,)]}
+        )
+        bad = Database.from_rows({"order_item": [(1, 99)], "product": [(10,)]})
+        assert database_satisfies([ind], ok)
+        assert not database_satisfies([ind], bad)
+
+    def test_reordered_positions(self):
+        ind = inclusion_dependency("r", 2, [0, 1], "s", 2, [1, 0])
+        ok = Database.from_rows({"r": [(1, 2)], "s": [(2, 1)]})
+        bad = Database.from_rows({"r": [(1, 2)], "s": [(1, 2)]})
+        assert database_satisfies([ind], ok)
+        assert not database_satisfies([ind], bad)
+
+    def test_partial_target_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_dependency("r", 2, [0], "s", 2, [0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_dependency("r", 2, [0, 1], "s", 1, [0])
+
+
+class TestMultivaluedDependency:
+    def test_checking(self):
+        # course ->> book (independent of lecturer): positions (course, book, lecturer)
+        mvd = multivalued_dependency("teaches", 3, [0], [1])
+        ok = Database.from_rows(
+            {
+                "teaches": [
+                    ("db", "ullman", "alice"),
+                    ("db", "date", "bob"),
+                    ("db", "ullman", "bob"),
+                    ("db", "date", "alice"),
+                ]
+            }
+        )
+        bad = Database.from_rows(
+            {
+                "teaches": [
+                    ("db", "ullman", "alice"),
+                    ("db", "date", "bob"),
+                ]
+            }
+        )
+        assert database_satisfies([mvd], ok)
+        assert not database_satisfies([mvd], bad)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            multivalued_dependency("r", 3, [0], [0, 1])
+
+
+class TestDomainConstraint:
+    def test_bounds(self):
+        ics = domain_constraint("price", 2, 1, lower=0, upper=100)
+        assert len(ics) == 2
+        ok = Database.from_rows({"price": [("x", 5), ("y", 100)]})
+        too_low = Database.from_rows({"price": [("x", -1)]})
+        too_high = Database.from_rows({"price": [("x", 101)]})
+        assert database_satisfies(ics, ok)
+        assert not database_satisfies(ics, too_low)
+        assert not database_satisfies(ics, too_high)
+
+    def test_strict_bounds(self):
+        ics = domain_constraint("v", 1, 0, lower=0, strict_lower=True)
+        boundary = Database.from_rows({"v": [(0,)]})
+        assert not database_satisfies(ics, boundary)
+
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            domain_constraint("v", 1, 0)
+
+
+class TestDisjointness:
+    def test_checking(self):
+        ic = disjointness_constraint("left", "right", 1)
+        ok = Database.from_rows({"left": [(1,)], "right": [(2,)]})
+        bad = Database.from_rows({"left": [(1,)], "right": [(1,)]})
+        assert database_satisfies([ic], ok)
+        assert not database_satisfies([ic], bad)
+
+
+class TestIntegrationWithOptimizer:
+    def test_fd_flows_into_residue_injection(self):
+        """Theorem 5.5 territory: the fd's != atom is non-local, so the
+        optimizer reports incomplete incorporation but still optimizes."""
+        from repro.core.rewrite import optimize
+        from repro.datalog.parser import parse_program
+
+        program = parse_program("q(X, Y) :- e(X, Y, Z).", query="q")
+        fd = functional_dependency("e", 3, [0, 1], 2)
+        report = optimize(program, [fd])
+        assert report.satisfiable
+        assert not report.complete
+        assert fd in report.residue_only_constraints
+
+    def test_disjointness_prunes_rule(self):
+        from repro.core.rewrite import optimize
+        from repro.datalog.parser import parse_program
+
+        program = parse_program("q(X) :- left(X), right(X).", query="q")
+        ic = disjointness_constraint("left", "right", 1)
+        report = optimize(program, [ic])
+        assert not report.satisfiable

@@ -1,0 +1,93 @@
+"""Integrity-constraint tests: checking, classification, safety."""
+
+import pytest
+
+from repro.constraints.integrity import (
+    IntegrityConstraint,
+    check_no_idb,
+    database_satisfies,
+    violations,
+)
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_constraints, parse_program
+from repro.datalog.rules import UnsafeRuleError
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            IntegrityConstraint(())
+
+    def test_unsafe_order_variable_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_constraints(":- e(X), X < Y.")
+
+    def test_unsafe_negated_variable_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_constraints(":- e(X), not f(X, Y).")
+
+    def test_views(self):
+        ic = parse_constraints(":- e(X, Y), not f(Y), X < Y.")[0]
+        assert len(ic.positive_atoms) == 1
+        assert len(ic.negative_atoms) == 1
+        assert len(ic.order_atoms) == 1
+        assert ic.predicates() == {"e", "f"}
+
+    def test_classification(self):
+        plain = parse_constraints(":- e(X, Y), f(Y).")[0]
+        assert plain.is_plain() and plain.classification() == frozenset()
+        theta = parse_constraints(":- e(X, Y), X < Y.")[0]
+        assert theta.classification() == {"theta"}
+        both = parse_constraints(":- e(X, Y), not f(X), X < Y.")[0]
+        assert both.classification() == {"theta", "not"}
+
+    def test_repr_parses_back(self):
+        ic = parse_constraints(":- e(X, Y), not f(Y), X < Y.")[0]
+        assert parse_constraints(repr(ic))[0] == ic
+
+
+class TestChecking:
+    def test_plain_violation_counting(self):
+        ic = parse_constraints(":- a(X, Y), b(Y, Z).")[0]
+        db = Database.from_rows({"a": [(1, 2), (3, 4)], "b": [(2, 5), (2, 6)]})
+        assert violations(ic, db) == 2
+
+    def test_satisfied(self):
+        ic = parse_constraints(":- a(X, Y), b(Y, Z).")[0]
+        db = Database.from_rows({"a": [(1, 2)], "b": [(3, 4)]})
+        assert database_satisfies([ic], db)
+
+    def test_order_constraint_checking(self):
+        ic = parse_constraints(":- step(X, Y), X >= Y.")[0]
+        good = Database.from_rows({"step": [(1, 2), (2, 3)]})
+        bad = Database.from_rows({"step": [(1, 2), (3, 3)]})
+        assert database_satisfies([ic], good)
+        assert not database_satisfies([ic], bad)
+
+    def test_negated_constraint_checking(self):
+        ic = parse_constraints(":- member(X), not registered(X).")[0]
+        ok = Database.from_rows({"member": [(1,)], "registered": [(1,)]})
+        bad = Database.from_rows({"member": [(1,), (2,)], "registered": [(1,)]})
+        assert database_satisfies([ic], ok)
+        assert not database_satisfies([ic], bad)
+
+    def test_functional_dependency(self):
+        # Theorem 5.5's fd shape: same key, different value.
+        ic = parse_constraints(":- e(X, Y1), e(X, Y2), Y1 != Y2.")[0]
+        functional = Database.from_rows({"e": [(1, 2), (3, 4)]})
+        broken = Database.from_rows({"e": [(1, 2), (1, 5)]})
+        assert database_satisfies([ic], functional)
+        assert not database_satisfies([ic], broken)
+
+
+class TestNoIdb:
+    def test_idb_in_constraint_rejected(self):
+        program = parse_program("p(X) :- e(X).", query="p")
+        ics = parse_constraints(":- p(X), f(X).")
+        with pytest.raises(ValueError):
+            check_no_idb(ics, program)
+
+    def test_edb_only_accepted(self):
+        program = parse_program("p(X) :- e(X).", query="p")
+        ics = parse_constraints(":- e(X), f(X).")
+        check_no_idb(ics, program)

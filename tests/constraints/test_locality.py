@@ -1,0 +1,74 @@
+"""Locality analysis tests (paper, Section 2)."""
+
+import pytest
+
+from repro.constraints.locality import (
+    all_fully_local,
+    anchor_candidates,
+    choose_anchor,
+    is_fully_local,
+    is_local,
+    local_atoms,
+    nonlocal_atoms,
+)
+from repro.datalog.parser import parse_constraints
+
+
+class TestLocality:
+    def test_paper_example_local(self):
+        # The paper's own example: X < Y is local in :- e(X,Y), e(Y,Z), X < Y.
+        ic = parse_constraints(":- e(X, Y), e(Y, Z), X < Y.")[0]
+        order_atom = ic.order_atoms[0]
+        assert is_local(ic, order_atom)
+
+    def test_paper_example_nonlocal(self):
+        # ... while X < Z would not be local in the same ic.
+        ic = parse_constraints(":- e(X, Y), e(Y, Z), X < Z.")[0]
+        assert not is_local(ic, ic.order_atoms[0])
+        assert nonlocal_atoms(ic) == [ic.order_atoms[0]]
+
+    def test_example_31_constraint_nonlocal(self):
+        # Example 3.1's ic relates variables of two different atoms.
+        ic = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")[0]
+        assert not is_fully_local(ic)
+
+    def test_section3_constraints_local(self):
+        ics = parse_constraints(
+            ":- startPoint(X), step(X, Y), X < 100. :- step(X, Y), X >= Y."
+        )
+        assert all(is_fully_local(ic) for ic in ics)
+        assert all_fully_local(ics)
+
+    def test_negated_atom_locality(self):
+        local = parse_constraints(":- e(X, Y), not f(X, Y).")[0]
+        assert is_fully_local(local)
+        nonlocal_ic = parse_constraints(":- e(X), g(Y), not f(X, Y).")[0]
+        assert not is_fully_local(nonlocal_ic)
+
+    def test_plain_is_trivially_local(self):
+        ic = parse_constraints(":- a(X, Y), b(Y, Z).")[0]
+        assert is_fully_local(ic)
+        assert local_atoms(ic) == []
+
+
+class TestAnchors:
+    def test_candidates(self):
+        ic = parse_constraints(":- startPoint(X), step(X, Y), X < 100.")[0]
+        candidates = anchor_candidates(ic, ic.order_atoms[0])
+        assert {a.predicate for a in candidates} == {"startPoint", "step"}
+
+    def test_choose_anchor_stable(self):
+        ic = parse_constraints(":- startPoint(X), step(X, Y), X < 100.")[0]
+        assert choose_anchor(ic, ic.order_atoms[0]).predicate == "startPoint"
+
+    def test_choose_anchor_nonlocal_raises(self):
+        ic = parse_constraints(":- e(X, Y), e(Y, Z), X < Z.")[0]
+        with pytest.raises(ValueError):
+            choose_anchor(ic, ic.order_atoms[0])
+
+    def test_local_atoms_pairing(self):
+        ic = parse_constraints(":- step(X, Y), X >= Y.")[0]
+        pairs = local_atoms(ic)
+        assert len(pairs) == 1
+        assert pairs[0].anchor.predicate == "step"
+        assert pairs[0].is_order

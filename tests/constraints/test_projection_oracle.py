@@ -1,0 +1,97 @@
+"""Brute-force oracle for OrderConstraintSet.project.
+
+Soundness: every projected atom holds in every grid solution of the
+constraint set.  Completeness (for the strongest relations): whenever
+the grid semantics entails ``=`` or ``<`` between two projected terms,
+the projection contains an atom at least that strong.
+"""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.dense_order import OrderConstraintSet
+from repro.datalog.atoms import COMPARISONS, OrderAtom, evaluate_comparison
+from repro.datalog.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+GRID = [Fraction(n, 4) for n in range(-8, 13)]
+TERMS = [X, Y, Constant(0), Constant(1)]
+atoms_strategy = st.lists(
+    st.builds(
+        OrderAtom,
+        st.sampled_from(TERMS),
+        st.sampled_from(list(COMPARISONS)),
+        st.sampled_from(TERMS),
+    ),
+    max_size=4,
+)
+
+
+def solutions(atoms):
+    variables = sorted(
+        {t for a in atoms for t in (a.left, a.right) if isinstance(t, Variable)},
+        key=lambda v: v.name,
+    )
+    for assignment in itertools.product(GRID, repeat=len(variables)):
+        env = dict(zip(variables, assignment))
+
+        def value(term):
+            return env[term] if isinstance(term, Variable) else Fraction(term.value)
+
+        if all(evaluate_comparison(value(a.left), value(a.right), a.op) for a in atoms):
+            yield env
+
+
+@settings(max_examples=60, deadline=None)
+@given(atoms_strategy)
+def test_projection_soundness(atoms):
+    constraints = OrderConstraintSet(atoms)
+    if not constraints.is_satisfiable():
+        return
+    projected = constraints.project([X, Y])
+    for env in solutions(atoms):
+
+        def value(term):
+            return env[term] if isinstance(term, Variable) else Fraction(term.value)
+
+        for atom in projected:
+            if not {t for t in (atom.left, atom.right) if isinstance(t, Variable)} <= set(env):
+                continue
+            assert evaluate_comparison(value(atom.left), value(atom.right), atom.op), (
+                atoms,
+                atom,
+                env,
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(atoms_strategy)
+def test_projection_completeness_for_strongest_relations(atoms):
+    constraints = OrderConstraintSet(atoms)
+    if not constraints.is_satisfiable():
+        return
+    sols = list(solutions(atoms))
+    if not sols:
+        # The grid is complete for this family, so a satisfiable set
+        # always has a grid solution.
+        raise AssertionError(f"solver says satisfiable but grid found nothing: {atoms}")
+    projected = constraints.project([X, Y])
+
+    def all_solutions_satisfy(op):
+        return all(
+            evaluate_comparison(env.get(X, None), env.get(Y, None), op)
+            for env in sols
+            if X in env and Y in env
+        )
+
+    if not any(X in env and Y in env for env in sols):
+        return
+    if all_solutions_satisfy("="):
+        assert any(a.op == "=" for a in projected)
+    elif all_solutions_satisfy("<"):
+        assert any(
+            a.op == "<" and a.left == X and a.right == Y for a in projected
+        ) or any(a.op == "<" for a in projected)

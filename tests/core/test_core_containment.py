@@ -1,0 +1,93 @@
+"""E6 — Proposition 5.1: program-in-UCQ containment and its reductions."""
+
+import pytest
+
+from repro.core.containment import (
+    containment_as_satisfiability,
+    program_contained_in_ucq,
+    satisfiability_as_noncontainment,
+)
+from repro.core.reachability import is_satisfiable
+from repro.cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+from repro.workloads.programs import ab_transitive_closure
+
+
+def cq(source: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_rule(parse_rule(source))
+
+
+TC = parse_program(
+    """
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    """,
+    query="t",
+)
+
+
+class TestProgramInUcq:
+    def test_tc_contained_in_edge_from_source(self):
+        # Every t-path starts with an edge out of X.
+        union = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Z)."),))
+        assert program_contained_in_ucq(TC, union)
+
+    def test_tc_not_contained_in_single_edge(self):
+        union = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Y)."),))
+        assert not program_contained_in_ucq(TC, union)
+
+    def test_tc_contained_in_edge_union(self):
+        # ... but edges-or-two-step-prefixes also fails (paths can be longer),
+        # while edge-out-of-X OR edge-into-Y covers everything.
+        union = UnionOfConjunctiveQueries(
+            (cq("t(X, Y) :- e(X, Z)."), cq("t(X, Y) :- e(Z, Y)."))
+        )
+        assert program_contained_in_ucq(TC, union)
+
+    def test_nonrecursive_plain_case(self):
+        program = parse_program("q(X) :- a(X, Y), b(Y, X).", query="q")
+        union = UnionOfConjunctiveQueries((cq("q(X) :- a(X, Y)."),))
+        assert program_contained_in_ucq(program, union)
+        union2 = UnionOfConjunctiveQueries((cq("q(X) :- a(X, X)."),))
+        assert not program_contained_in_ucq(program, union2)
+
+    def test_head_mismatch_rejected(self):
+        union = UnionOfConjunctiveQueries((cq("other(X, Y) :- e(X, Y)."),))
+        with pytest.raises(ValueError):
+            program_contained_in_ucq(TC, union)
+
+    def test_sequence_argument_accepted(self):
+        assert program_contained_in_ucq(TC, [cq("t(X, Y) :- e(X, Z).")])
+
+
+class TestReductionStructure:
+    def test_marked_program(self):
+        union = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Z)."),))
+        marked, ics = containment_as_satisfiability(TC, union)
+        assert marked.query == "__ans__"
+        assert len(ics) == 1
+        # The generated ic carries the marker atoms.
+        assert {"__g0__", "__g1__"} <= ics[0].predicates()
+
+    def test_roundtrip_direction_a(self):
+        """Satisfiability of the running example equals non-containment of
+        its Proposition 5.1 companion."""
+        program, constraints = ab_transitive_closure()
+        extended, union = satisfiability_as_noncontainment(program, constraints)
+        assert is_satisfiable(program, constraints) == (
+            not program_contained_in_ucq(extended, union)
+        )
+
+    def test_roundtrip_direction_a_unsatisfiable(self):
+        program = parse_program("q(X) :- a(X, Y), b(Y, Z).", query="q")
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        extended, union = satisfiability_as_noncontainment(program, constraints)
+        assert not is_satisfiable(program, constraints)
+        assert program_contained_in_ucq(extended, union)
+
+    def test_cross_validation_both_reductions(self):
+        """non-containment -> satisfiability -> non-containment closes."""
+        union = UnionOfConjunctiveQueries((cq("t(X, Y) :- e(X, Y)."),))
+        marked, ics = containment_as_satisfiability(TC, union)
+        # t is not contained in single-edge, so __ans__ must be satisfiable.
+        assert is_satisfiable(marked, ics)

@@ -1,0 +1,179 @@
+"""E7 — Proposition 5.2 and Theorem 5.2: program emptiness in all four
+program/ic classes."""
+
+import pytest
+
+from repro.core.emptiness import (
+    is_empty_program,
+    rule_satisfiable_wrt,
+    unsatisfiable_initialization_rules,
+)
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+
+
+class TestRuleSatisfiabilityPlain:
+    """Class 1: {not}-program, plain ic's (NP)."""
+
+    def test_plain_rule_no_constraints(self):
+        assert rule_satisfiable_wrt(parse_rule("q(X) :- e(X, Y)."), [])
+
+    def test_violating_rule(self):
+        rule = parse_rule("q(X) :- a(X, Y), b(Y, X).")
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert not rule_satisfiable_wrt(rule, ics)
+
+    def test_non_violating_rule(self):
+        rule = parse_rule("q(X) :- a(X, Y).")
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_negated_body_atom_consistent(self):
+        rule = parse_rule("q(X) :- a(X, Y), not b(Y, X).")
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_negated_body_atom_clashing_with_positive(self):
+        rule = parse_rule("q(X) :- a(X, X), not a(X, X).")
+        assert not rule_satisfiable_wrt(rule, [])
+
+    def test_repeated_variable_ic(self):
+        rule = parse_rule("q(X) :- e(X, X).")
+        ics = parse_constraints(":- e(X, X).")
+        assert not rule_satisfiable_wrt(rule, ics)
+        # Distinct variables escape the ic.
+        assert rule_satisfiable_wrt(parse_rule("q(X) :- e(X, Y)."), ics)
+
+
+class TestRuleSatisfiabilityOrder:
+    """Class 3: {theta,not}-program, {theta}-ic's (Pi2p complement)."""
+
+    def test_order_rule_unsat_by_itself(self):
+        assert not rule_satisfiable_wrt(
+            parse_rule("q(X) :- e(X, Y), X < Y, Y < X."), []
+        )
+
+    def test_theta_ic_blocks_entailed_shape(self):
+        rule = parse_rule("q(X) :- step(X, Y), X > Y.")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        assert not rule_satisfiable_wrt(rule, ics)
+
+    def test_theta_ic_allows_other_linearization(self):
+        rule = parse_rule("q(X) :- step(X, Y).")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_theta_ics_cover_all_linearizations(self):
+        rule = parse_rule("q(X) :- step(X, Y).")
+        ics = parse_constraints(
+            ":- step(X, Y), X >= Y. :- step(X, Y), X < Y."
+        )
+        assert not rule_satisfiable_wrt(rule, ics)
+
+    def test_constants_in_order_ics(self):
+        rule = parse_rule("q(X) :- v(X), X > 10.")
+        ics = parse_constraints(":- v(X), X > 5.")
+        assert not rule_satisfiable_wrt(rule, ics)
+        ics2 = parse_constraints(":- v(X), X > 20.")
+        assert rule_satisfiable_wrt(rule, ics2)
+
+    def test_merging_required(self):
+        # Only X = Y instantiations survive the ic; the rule is still
+        # satisfiable by merging.
+        rule = parse_rule("q(X) :- e(X, Y).")
+        ics = parse_constraints(":- e(X, Y), X != Y.")
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_merging_blocked_by_rule_order_atom(self):
+        rule = parse_rule("q(X) :- e(X, Y), X < Y.")
+        ics = parse_constraints(":- e(X, Y), X != Y.")
+        assert not rule_satisfiable_wrt(rule, ics)
+
+
+class TestRuleSatisfiabilityNegatedIcs:
+    """Classes 2 and 4: {not}-ic's (repair search, EXPSPACE bound)."""
+
+    def test_repair_with_supporting_fact(self):
+        rule = parse_rule("q(X) :- member(X).")
+        ics = parse_constraints(":- member(X), not registered(X).")
+        # Add registered(c) to repair: satisfiable.
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_repair_blocked_by_rule_negation(self):
+        rule = parse_rule("q(X) :- member(X), not registered(X).")
+        ics = parse_constraints(":- member(X), not registered(X).")
+        assert not rule_satisfiable_wrt(rule, ics)
+
+    def test_cascading_repairs(self):
+        rule = parse_rule("q(X) :- member(X).")
+        ics = parse_constraints(
+            """
+            :- member(X), not registered(X).
+            :- registered(X), not vetted(X).
+            """
+        )
+        assert rule_satisfiable_wrt(rule, ics)
+
+    def test_cascading_repairs_blocked(self):
+        rule = parse_rule("q(X) :- member(X), not vetted(X).")
+        ics = parse_constraints(
+            """
+            :- member(X), not registered(X).
+            :- registered(X), not vetted(X).
+            """
+        )
+        assert not rule_satisfiable_wrt(rule, ics)
+
+    def test_combined_order_and_negation(self):
+        rule = parse_rule("q(X) :- v(X), X > 5.")
+        ics = parse_constraints(":- v(X), not w(X), X > 3.")
+        assert rule_satisfiable_wrt(rule, ics)  # add w(c)
+
+    def test_combined_unsatisfiable(self):
+        rule = parse_rule("q(X) :- v(X), not w(X), X > 5.")
+        ics = parse_constraints(":- v(X), not w(X), X > 3.")
+        assert not rule_satisfiable_wrt(rule, ics)
+
+
+class TestProgramEmptiness:
+    def test_proposition_52(self):
+        """Emptiness is decided by the initialization rules alone, even
+        for recursive programs."""
+        program = parse_program(
+            """
+            p(X, Y) :- a(X, Y), b(Y, X).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            """,
+            query="p",
+        )
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        # The only initialization rule violates the ic; the recursive rule
+        # can then never fire either.
+        assert is_empty_program(program, ics)
+
+    def test_nonempty_program(self):
+        program = parse_program(
+            """
+            p(X, Y) :- a(X, Y).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            """,
+            query="p",
+        )
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert not is_empty_program(program, ics)
+
+    def test_unsatisfiable_initialization_rules_listing(self):
+        program = parse_program(
+            """
+            p(X) :- a(X, Y), b(Y, X).
+            q(X) :- a(X, Y).
+            """,
+        )
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        bad = unsatisfiable_initialization_rules(program, ics)
+        assert len(bad) == 1
+        assert bad[0].head.predicate == "p"
+
+    def test_program_without_rules_is_empty(self):
+        program = parse_program("p(X) :- a(X, Y), b(Y, X).")
+        ics = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert is_empty_program(program, ics)

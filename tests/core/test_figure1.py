@@ -1,0 +1,99 @@
+"""F1: exact reproduction of Figure 1 (the final query tree) and of the
+bottom-up adornments p1, p2, p3 with rules s1-s6."""
+
+from repro.core.adornments import compute_adornments
+from repro.core.querytree import build_query_tree
+from repro.core.rewrite import optimize
+from repro.datalog.parser import parse_constraints, parse_program
+from repro.workloads.programs import ab_transitive_closure
+
+
+def setup_module(module):
+    module.program, module.constraints = ab_transitive_closure()
+    module.result = compute_adornments(module.program, module.constraints)
+
+
+class TestBottomUpPhase:
+    def test_three_adornments(self):
+        """The paper derives exactly p1, p2 and p3."""
+        assert len(result.adornments["p"]) == 3
+
+    def test_adornment_residues(self):
+        """p1 = {b unmapped}, p2 = {a unmapped}, p3 = both triplets."""
+        summaries = []
+        for adornment in result.adornments["p"]:
+            nontrivial = [t for t in adornment if not t.is_trivial()]
+            summaries.append(sorted(tuple(sorted(t.unmapped)) for t in nontrivial))
+        assert summaries == [[(1,)], [(0,)], [(0,), (1,)]]
+
+    def test_six_adorned_rules(self):
+        """P1 consists of s1 .. s6."""
+        assert len(result.adorned_rules) == 6
+
+    def test_rule_shapes_match_paper(self):
+        names = {}
+        for index, adornment in enumerate(result.adornments["p"], start=1):
+            names[adornment] = f"p{index}"
+        shapes = set()
+        for adorned in result.adorned_rules:
+            head = names[adorned.head_adornment]
+            body = []
+            for literal, sub in zip(
+                adorned.rule.positive_literals, adorned.subgoal_adornments
+            ):
+                body.append(literal.predicate if sub is None else names[sub])
+            shapes.add((head, tuple(body)))
+        assert shapes == {
+            ("p1", ("a",)),            # s1
+            ("p2", ("b",)),            # s2
+            ("p1", ("a", "p1")),       # s3
+            ("p2", ("b", "p2")),       # s4
+            ("p3", ("b", "p1")),       # s5
+            ("p3", ("b", "p3")),       # s6
+        }
+
+    def test_inconsistent_combinations_recorded(self):
+        """Using p2 in r3 (and p3 in r3) yields empty residues."""
+        assert len(result.inconsistencies) >= 2
+
+
+class TestTopDownPhase:
+    def test_forest_has_three_roots(self):
+        tree = build_query_tree(result)
+        assert len(tree.roots) == 3
+        assert all(root.productive and root.reachable for root in tree.roots)
+
+    def test_labels_equal_adornments(self):
+        """In this example the labels remain identical to the adornments
+        (after removing redundant triplets, per the paper's remark)."""
+        from repro.core.adornments import prune_redundant
+
+        tree = build_query_tree(result)
+        for goal in tree.all_goal_nodes():
+            if goal.is_edb or goal.reference is not None:
+                continue
+            assert prune_redundant(goal.label) == prune_redundant(goal.adornment)
+
+    def test_render_mentions_residues(self):
+        tree = build_query_tree(result)
+        text = tree.render()
+        assert "b(Y, Z)" in text and "a(X, Y)" in text
+
+
+class TestRewriting:
+    def test_rewritten_program_shape(self):
+        report = optimize(program, constraints)
+        rewritten = report.program
+        assert rewritten is not None
+        # 6 adorned rules + 3 query bridges.
+        assert len(rewritten.rules) == 9
+        # No rule joins an a-edge onto a b-closure: the a-then-b pattern
+        # is gone.
+        for rule in rewritten.rules:
+            predicates = [lit.predicate for lit in rule.positive_literals]
+            if "a" in predicates:
+                assert all(not p.startswith("p_2") for p in predicates)
+
+    def test_complete_incorporation_flag(self):
+        report = optimize(program, constraints)
+        assert report.complete and report.satisfiable

@@ -1,0 +1,42 @@
+"""Resource-guard behaviour: the doubly-exponential blow-ups fail loudly."""
+
+import pytest
+
+from repro.core.adornments import compute_adornments
+from repro.core.emptiness import EmptinessTooLargeError, rule_satisfiable_wrt
+from repro.core.rewrite import optimize
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+
+
+class TestAdornmentGuard:
+    def test_max_adornments_enforced(self):
+        # Three interacting colors exceed a max of 2 adorned variants.
+        names = ["e0", "e1", "e2"]
+        rules = []
+        for name in names:
+            rules.append(f"p(X, Y) :- {name}(X, Y).")
+            rules.append(f"p(X, Y) :- {name}(X, Z), p(Z, Y).")
+        program = parse_program("\n".join(rules), query="p")
+        constraints = parse_constraints(
+            ":- e0(X, Y), e1(Y, Z). :- e1(X, Y), e2(Y, Z)."
+        )
+        with pytest.raises(RuntimeError):
+            compute_adornments(program, constraints, max_adornments=2)
+        # The same limit flows through optimize().
+        with pytest.raises(RuntimeError):
+            optimize(program, constraints, max_adornments=2)
+        # And a generous limit succeeds.
+        assert optimize(program, constraints, max_adornments=64).satisfiable
+
+
+class TestRepairGuard:
+    def test_repair_budget_enforced(self):
+        # A repair chain longer than the budget.
+        rule = parse_rule("q(X) :- p0(X).")
+        lines = []
+        for i in range(5):
+            lines.append(f":- p{i}(X), not p{i + 1}(X).")
+        constraints = parse_constraints("\n".join(lines))
+        assert rule_satisfiable_wrt(rule, constraints, max_repair_facts=10)
+        with pytest.raises(EmptinessTooLargeError):
+            rule_satisfiable_wrt(rule, constraints, max_repair_facts=2)

@@ -1,0 +1,146 @@
+"""E5 — Section 4.2: local order/negated atoms in ic's (Theorem 4.2)."""
+
+import pytest
+
+from repro.constraints.integrity import database_satisfies
+from repro.core.local_atoms import (
+    NonLocalConstraintError,
+    prepare_local_atoms,
+    quasi_local_report,
+    split_rules_on_local_atoms,
+)
+from repro.core.rewrite import optimize
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_constraints, parse_program
+from repro.workloads.generators import good_path_database
+from repro.workloads.programs import good_path_order_constraints
+
+
+class TestCaseSplitting:
+    def test_order_atom_split(self):
+        program = parse_program("q(X, Y) :- step(X, Y).", query="q")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        plan = prepare_local_atoms(program, ics)
+        rules = plan.program.rules_for("q")
+        assert len(rules) == 2
+        ops = {rule.order_atoms[0].op for rule in rules}
+        assert ops == {">=", "<"}
+
+    def test_negated_atom_split(self):
+        program = parse_program("q(X) :- member(X).", query="q")
+        ics = parse_constraints(":- member(X), not registered(X).")
+        plan = prepare_local_atoms(program, ics)
+        rules = plan.program.rules_for("q")
+        assert len(rules) == 2
+        polarities = set()
+        for rule in rules:
+            for literal in rule.relational_literals:
+                if literal.predicate == "registered":
+                    polarities.add(literal.positive)
+        assert polarities == {True, False}
+
+    def test_split_skipped_when_determined(self):
+        program = parse_program("q(X, Y) :- step(X, Y), X < Y.", query="q")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        plan = prepare_local_atoms(program, ics)
+        # X < Y already entails the negation of X >= Y: no split needed.
+        assert len(plan.program.rules_for("q")) == 1
+
+    def test_split_terminates_with_repeated_predicates(self):
+        program = parse_program("q(X, Z) :- step(X, Y), step(Y, Z).", query="q")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        plan = prepare_local_atoms(program, ics)
+        # Two occurrences -> up to four cases.
+        assert 1 <= len(plan.program.rules_for("q")) <= 4
+
+    def test_index_populated(self):
+        program = parse_program("q(X, Y) :- step(X, Y).", query="q")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        plan = prepare_local_atoms(program, ics)
+        assert plan.index
+        assert len(plan.anchored) == 1
+
+    def test_nonlocal_raises(self):
+        program = parse_program("q(X) :- e(X, Y).", query="q")
+        ics = parse_constraints(":- e(X, Y), e(Y, Z), X < Z.")
+        with pytest.raises(NonLocalConstraintError):
+            prepare_local_atoms(program, ics)
+
+
+class TestSection3Example:
+    """The paper's Section 3 rewriting: X >= 100 lands inside the
+    recursive path rules and the below-threshold paths disappear."""
+
+    def test_rewritten_shape(self):
+        program, constraints = good_path_order_constraints()
+        report = optimize(program, constraints)
+        rewritten = report.program
+        assert rewritten is not None
+        path_rules = [
+            rule
+            for rule in rewritten.rules
+            if any(l.predicate == "step" for l in rule.positive_literals)
+        ]
+        assert path_rules, "expected surviving step rules"
+        for rule in path_rules:
+            rendered = repr(rule)
+            assert ">= 100" in rendered or "100 <=" in rendered
+
+    def test_decoy_chains_never_touched(self):
+        program, constraints = good_path_order_constraints()
+        database = good_path_database(num_chains=2, chain_length=8, seed=1)
+        assert database_satisfies(constraints, database)
+        report = optimize(program, constraints)
+        original = evaluate(program, database)
+        rewritten = report.evaluation(database)
+        assert rewritten.query_rows() == original.query_rows()
+        # The optimized program derives strictly fewer intermediate facts:
+        # it never builds paths starting below the threshold.
+        assert rewritten.stats.facts_derived < original.stats.facts_derived
+
+    def test_equivalence_with_negated_local_atoms(self):
+        program = parse_program(
+            """
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+            safe(X, Y) :- source(X), reach(X, Y).
+            """,
+            query="safe",
+        )
+        ics = parse_constraints(":- edge(X, Y), not open_gate(X).")
+        report = optimize(program, ics)
+        database = Database.from_rows(
+            {
+                "edge": [(1, 2), (2, 3)],
+                "open_gate": [(1,), (2,)],
+                "source": [(1,)],
+            }
+        )
+        assert database_satisfies(ics, database)
+        assert report.evaluate(database) == evaluate(program, database).query_rows()
+
+
+class TestQuasiLocal:
+    def test_quasi_local_positive(self):
+        # The order atom spans a single ic atom: complete mappings land
+        # inside one rule node.
+        program = parse_program("q(X, Y) :- step(X, Y), X >= Y.", query="q")
+        ics = parse_constraints(":- step(X, Y), X >= Y.")
+        findings = quasi_local_report(program, ics)
+        assert findings and all(f.quasi_local for f in findings)
+
+    def test_quasi_local_negative(self):
+        # X < Z spans two ic atoms mapped at different depths of the
+        # recursion: not quasi-local.
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, Z), t(Z, Y).
+            """,
+            query="t",
+        )
+        ics = parse_constraints(":- e(X, Y), e(Y, Z), X < Z.")
+        findings = quasi_local_report(program, ics)
+        assert findings
+        assert any(not f.quasi_local for f in findings)

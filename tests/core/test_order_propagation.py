@@ -1,0 +1,119 @@
+"""Order-propagation (LMSS93-style preprocessing) tests."""
+
+from repro.core.order_propagation import normalize_rule, propagate_order_constraints
+from repro.datalog.atoms import OrderAtom
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Constant, Variable
+
+
+class TestNormalizeRule:
+    def test_unsatisfiable_rule_dropped(self):
+        assert normalize_rule(parse_rule("q(X) :- e(X, Y), X < Y, Y < X.")) is None
+
+    def test_forced_equality_substituted(self):
+        rule = normalize_rule(parse_rule("q(X, Y) :- e(X, Y), X <= Y, Y <= X."))
+        assert rule is not None
+        assert rule.head.args[0] == rule.head.args[1]
+
+    def test_constant_equality_substituted(self):
+        rule = normalize_rule(parse_rule("q(X) :- e(X), X = 5."))
+        assert rule is not None
+        assert rule.head.args[0] == Constant(5)
+
+    def test_untouched_when_clean(self):
+        rule = parse_rule("q(X) :- e(X, Y), X < Y.")
+        assert normalize_rule(rule) == rule
+
+
+class TestPropagation:
+    def test_projection_of_simple_filter(self):
+        program = parse_program("q(X) :- e(X), X > 10.", query="q")
+        outcome = propagate_order_constraints(program)
+        projection = outcome.projection("q")
+        assert projection is not None
+        placeholder = Variable("__a0")
+        assert any(
+            atom.normalized() == OrderAtom(placeholder, ">", Constant(10)).normalized()
+            for atom in projection
+        )
+
+    def test_context_unsat_rule_pruned(self):
+        program = parse_program(
+            """
+            base(X) :- e(X), X > 10.
+            q(X) :- base(X), X < 5.
+            """,
+            query="q",
+        )
+        outcome = propagate_order_constraints(program)
+        assert not outcome.program.rules_for("q")
+        assert outcome.projection("q") is None
+
+    def test_projection_intersects_across_rules(self):
+        program = parse_program(
+            """
+            q(X) :- e(X), X > 10.
+            q(X) :- f(X), X > 3.
+            """,
+            query="q",
+        )
+        outcome = propagate_order_constraints(program)
+        projection = outcome.projection("q")
+        placeholder = Variable("__a0")
+        # Only the weaker bound X > 3 survives the meet.
+        atoms = {a.normalized() for a in projection}
+        assert OrderAtom(Constant(3), "<", placeholder).normalized() in atoms
+        assert OrderAtom(Constant(10), "<", placeholder).normalized() not in atoms
+
+    def test_push_into_callers(self):
+        program = parse_program(
+            """
+            base(X) :- e(X), X > 10.
+            q(X, Y) :- base(X), g(X, Y).
+            """,
+            query="q",
+        )
+        outcome = propagate_order_constraints(program, push=True)
+        q_rule = outcome.program.rules_for("q")[0]
+        assert any(
+            atom.normalized() == OrderAtom(Constant(10), "<", Variable("X")).normalized()
+            for atom in q_rule.order_atoms
+        )
+
+    def test_no_push_option(self):
+        program = parse_program(
+            """
+            base(X) :- e(X), X > 10.
+            q(X, Y) :- base(X), g(X, Y).
+            """,
+            query="q",
+        )
+        outcome = propagate_order_constraints(program, push=False)
+        assert not outcome.program.rules_for("q")[0].order_atoms
+
+    def test_recursive_fixpoint_terminates(self):
+        program = parse_program(
+            """
+            up(X, Y) :- e(X, Y), X < Y.
+            up(X, Y) :- e(X, Z), X < Z, up(Z, Y).
+            """,
+            query="up",
+        )
+        outcome = propagate_order_constraints(program)
+        projection = outcome.projection("up")
+        assert projection is not None
+        # Every up-fact satisfies arg0 < arg1.
+        atoms = {a.normalized() for a in projection}
+        assert OrderAtom(Variable("__a0"), "<", Variable("__a1")).normalized() in atoms
+
+    def test_dropped_rules_reported(self):
+        program = parse_program(
+            """
+            q(X) :- e(X), X < 3, X > 5.
+            q(X) :- f(X).
+            """,
+            query="q",
+        )
+        outcome = propagate_order_constraints(program)
+        assert len(outcome.dropped_rules) == 1
+        assert len(outcome.program.rules) == 1

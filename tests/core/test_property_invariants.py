@@ -1,0 +1,210 @@
+"""Property-based invariants over random programs, ic's and databases.
+
+Random family: transitive-closure-style programs over k binary edge
+colors with random extra projection rules, plain two-atom ic's, and
+random databases *repaired* to consistency by deleting violation
+supports.  Checked invariants:
+
+* Theorem 4.1 equivalence on consistent databases;
+* structural adornment invariants (trivial triplet present, frontier
+  variables covered by sigma, inconsistent combinations excluded);
+* query-tree structural invariants (references resolve to expanded
+  nodes, surviving rule nodes have surviving subgoals);
+* agreement between the decision procedures (evaluation witnesses imply
+  satisfiability; emptiness implies empty evaluation; containment
+  implies answer inclusion).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.integrity import IntegrityConstraint, database_satisfies
+from repro.core.adornments import compute_adornments, trivial_triplet
+from repro.core.emptiness import is_empty_program
+from repro.core.querytree import build_query_tree
+from repro.core.reachability import is_satisfiable
+from repro.core.rewrite import optimize
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+COLORS = ["a", "b", "c"]
+
+
+def make_program(rng: random.Random) -> Program:
+    """A random closure program over 2-3 edge colors."""
+    colors = COLORS[: rng.randint(2, 3)]
+    lines = []
+    for color in colors:
+        lines.append(f"p(X, Y) :- {color}(X, Y).")
+    for color in colors:
+        if rng.random() < 0.8:
+            lines.append(f"p(X, Y) :- {color}(X, Z), p(Z, Y).")
+    lines.append("q(X, Y) :- p(X, Y).")
+    if rng.random() < 0.5:
+        lines.append(f"q(X, Y) :- p(X, Z), {rng.choice(colors)}(Z, Y).")
+    return parse_program("\n".join(lines), query="q")
+
+
+def make_constraints(rng: random.Random, program: Program) -> list[IntegrityConstraint]:
+    """Random plain two-atom ic's over the program's edge predicates."""
+    predicates = sorted(program.edb_predicates)
+    constraints = []
+    for _ in range(rng.randint(1, 2)):
+        first, second = rng.choice(predicates), rng.choice(predicates)
+        X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+        shape = rng.randrange(3)
+        if shape == 0:  # chained: first then second
+            body = (Literal(Atom(first, (X, Y))), Literal(Atom(second, (Y, Z))))
+        elif shape == 1:  # same source
+            body = (Literal(Atom(first, (X, Y))), Literal(Atom(second, (X, Z))))
+        else:  # loop
+            body = (Literal(Atom(first, (X, X))),)
+        ic = IntegrityConstraint(body)
+        if ic not in constraints:
+            constraints.append(ic)
+    return constraints
+
+
+def make_database(rng: random.Random, program: Program) -> Database:
+    db = Database()
+    for predicate in sorted(program.edb_predicates):
+        for _ in range(rng.randint(0, 8)):
+            db.add_row(predicate, (rng.randint(0, 4), rng.randint(0, 4)))
+    return db
+
+
+def repair(database: Database, constraints: list[IntegrityConstraint]) -> Database:
+    """Delete supports of violations until the database is consistent.
+
+    Plain ic's are monotone, so deletion always terminates.
+    """
+    current = {
+        predicate: set(database.relation(predicate, 2))
+        for predicate in database.predicates()
+    }
+    changed = True
+    while changed:
+        changed = False
+        db = Database.from_rows(current)
+        for ic in constraints:
+            witness = _violation_witness(ic, db)
+            if witness is not None:
+                predicate, row = witness
+                current[predicate].discard(row)
+                changed = True
+                break
+    return Database.from_rows(current)
+
+
+def _violation_witness(ic: IntegrityConstraint, database: Database):
+    head_vars = tuple(sorted(ic.variables(), key=lambda v: v.name))
+    rule = Rule(Atom("__w__", head_vars), ic.body)
+    program = Program([rule], "__w__", validate=False)
+    rows = evaluate(program, database).rows("__w__")
+    for row in rows:
+        assignment = dict(zip(head_vars, row))
+        atom = ic.positive_atoms[0]
+        ground = tuple(
+            assignment[t] if isinstance(t, Variable) else t.value for t in atom.args
+        )
+        return atom.predicate, ground
+    return None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_theorem_41_equivalence(seed):
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    database = repair(make_database(rng, program), constraints)
+    assert database_satisfies(constraints, database)
+    report = optimize(program, constraints)
+    assert report.evaluate(database) == evaluate(program, database).query_rows()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_adornment_invariants(seed):
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    result = compute_adornments(program, constraints)
+    for predicate, adornments in result.adornments.items():
+        for adornment in adornments:
+            for ic_index, ic in enumerate(constraints):
+                assert trivial_triplet(ic_index, ic) in adornment
+            for triplet in adornment:
+                # No inconsistent triplet survives into an adornment.
+                assert triplet.unmapped
+    for adorned in result.adorned_rules:
+        # Registered head adornments only.
+        key = (adorned.rule.head.predicate, adorned.head_adornment)
+        assert key in result.adornment_ids
+        for derivation in adorned.derivations:
+            assert derivation.unmapped  # inconsistent combos excluded
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_query_tree_invariants(seed):
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    tree = build_query_tree(compute_adornments(program, constraints))
+    for goal in tree.all_goal_nodes():
+        resolved = goal.resolved()
+        if goal.reference is not None:
+            # References point to expanded nodes of the same class.
+            assert resolved.class_key() == goal.class_key()
+            assert not goal.children
+        for rule_node in goal.children:
+            if rule_node.productive and rule_node.reachable:
+                for subgoal in rule_node.subgoals:
+                    target = subgoal.resolved()
+                    assert target.is_edb or (target.productive and target.reachable)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_evaluation_witness_implies_satisfiable(seed):
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    database = repair(make_database(rng, program), constraints)
+    rows = evaluate(program, database).query_rows()
+    if rows:
+        assert is_satisfiable(program, constraints)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_emptiness_implies_empty_evaluation(seed):
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    if not is_empty_program(program, constraints):
+        return
+    database = repair(make_database(rng, program), constraints)
+    result = evaluate(program, database)
+    for predicate in program.idb_predicates:
+        assert not result.rows(predicate)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_rewriting_subset_on_arbitrary_databases(seed):
+    """Soundness direction that needs no consistency: P' ⊆ P always."""
+    rng = random.Random(seed)
+    program = make_program(rng)
+    constraints = make_constraints(rng, program)
+    database = make_database(rng, program)  # possibly inconsistent
+    report = optimize(program, constraints)
+    assert report.evaluate(database) <= evaluate(program, database).query_rows()

@@ -1,0 +1,150 @@
+"""Satisfiability and query-reachability tests (Theorem 5.1, Section 2)."""
+
+import pytest
+
+from repro.core.reachability import (
+    bounded_satisfiability,
+    is_query_reachable,
+    is_satisfiable,
+    reachability_program,
+    satisfiability_as_reachability,
+)
+from repro.datalog.parser import parse_atom, parse_constraints, parse_program
+from repro.workloads.programs import ab_transitive_closure
+
+
+class TestSatisfiability:
+    def test_running_example_satisfiable(self):
+        program, constraints = ab_transitive_closure()
+        assert is_satisfiable(program, constraints)
+
+    def test_forbidden_join_unsatisfiable(self):
+        program = parse_program("q(X) :- a(X, Y), b(Y, Z).", query="q")
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert not is_satisfiable(program, constraints)
+
+    def test_recursive_unsatisfiable(self):
+        # Reaching the target requires crossing a forbidden join.
+        program = parse_program(
+            """
+            p(X, Y) :- a(X, Y).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            q(X, Y) :- p(X, Z), b(Z, Y).
+            """,
+            query="q",
+        )
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert not is_satisfiable(program, constraints)
+
+    def test_no_constraints_always_satisfiable(self):
+        program = parse_program("q(X) :- e(X, X).", query="q")
+        assert is_satisfiable(program, [])
+
+    def test_local_order_constraint(self):
+        program = parse_program(
+            "q(X) :- start(X), step(X, Y), X < 100, X >= Y.", query="q"
+        )
+        constraints = parse_constraints(":- step(X, Y), X >= Y.")
+        assert not is_satisfiable(program, constraints)
+
+
+class TestReachability:
+    def test_reachable_atom(self):
+        program, constraints = ab_transitive_closure()
+        assert is_query_reachable(program, constraints, parse_atom("p(U, V)"))
+
+    def test_marked_program_structure(self):
+        program, constraints = ab_transitive_closure()
+        marked = reachability_program(program, parse_atom("p(U, V)"))
+        assert marked.query == "p__marked"
+        assert len(marked.rules) > len(program.rules)
+
+    def test_edb_atom_reachability(self):
+        """Derivation trees have EDB goal nodes too (Section 2): both
+        edge relations appear in derivations of p."""
+        program, constraints = ab_transitive_closure()
+        assert is_query_reachable(program, constraints, parse_atom("a(U, V)"))
+        assert is_query_reachable(program, constraints, parse_atom("b(U, V)"))
+
+    def test_unused_edb_atom_unreachable(self):
+        program = parse_program("q(X) :- e(X, Y).", query="q")
+        assert not is_query_reachable(program, [], parse_atom("f(U)"))
+
+    def test_edb_atom_with_constants(self):
+        program = parse_program("q(X) :- low(X), X < 10.", query="q")
+        assert is_query_reachable(program, [], parse_atom("low(5)"))
+        assert not is_query_reachable(program, [], parse_atom("low(50)"))
+
+    def test_unreachable_subgoal(self):
+        # r is defined but never appears under the query.
+        program = parse_program(
+            """
+            q(X) :- a(X, Y).
+            r(X) :- b(X, Y).
+            """,
+            query="q",
+        )
+        assert not is_query_reachable(program, [], parse_atom("r(U)"))
+
+    def test_reachability_with_constants(self):
+        program = parse_program(
+            """
+            p(X) :- low(X), X < 10.
+            q(X) :- p(X).
+            """,
+            query="q",
+        )
+        assert is_query_reachable(program, [], parse_atom("p(U)"))
+        # p(50) can never be part of a derivation: the rule requires < 10.
+        assert not is_query_reachable(program, [], parse_atom("p(50)"))
+        assert is_query_reachable(program, [], parse_atom("p(5)"))
+
+    def test_round_trip_with_satisfiability(self):
+        program, constraints = ab_transitive_closure()
+        assert satisfiability_as_reachability(program, constraints, "p") == \
+            is_satisfiable(program, constraints)
+
+    def test_reachability_blocked_by_constraints(self):
+        program = parse_program(
+            """
+            mid(Y) :- a(X, Y), b(Y, Z).
+            q(Y) :- mid(Y).
+            """,
+            query="q",
+        )
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert not is_query_reachable(program, constraints, parse_atom("mid(U)"))
+
+
+class TestBoundedSatisfiability:
+    def test_witness_found(self):
+        program = parse_program("q(X) :- e(X, Y).", query="q")
+        constraints = parse_constraints(":- e(X, Y), f(Z, W), X != W.")
+        assert bounded_satisfiability(program, constraints, max_depth=2) is True
+
+    def test_budget_exhausted_returns_none(self):
+        # Unsatisfiable with a nonlocal constraint: search cannot prove it.
+        program = parse_program("q(X) :- e(X, Y), f(Y, X).", query="q")
+        constraints = parse_constraints(":- e(X, Y), f(Y, Z), X != X.")
+        # The ic is vacuous (X != X never fires as written it's per
+        # mapping) — actually X != X is unsatisfiable, so the ic never
+        # fires and the query is satisfiable.
+        assert bounded_satisfiability(program, constraints, max_depth=2) is True
+
+    def test_recursive_witness(self):
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, Z), t(Z, Y).
+            q(X, Y) :- t(X, Y), mark(Y).
+            """,
+            query="q",
+        )
+        constraints = parse_constraints(":- e(X, Y), mark(X), X != Y.")
+        result = bounded_satisfiability(program, constraints, max_depth=3)
+        assert result is True
+
+    def test_unsat_within_budget_returns_none(self):
+        program = parse_program("q(X) :- a(X, Y), b(Y, X).", query="q")
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        assert bounded_satisfiability(program, constraints, max_depth=3) is None

@@ -1,0 +1,127 @@
+"""Residue tests (CGM88 / paper Section 3, Example 3.1)."""
+
+from repro.core.residues import (
+    constrain_program,
+    constrain_rule,
+    injectable_conditions,
+    residues_for_rule,
+    rule_violates,
+)
+from repro.datalog.atoms import Literal, OrderAtom
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+from repro.datalog.terms import Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestResidueEnumeration:
+    def test_single_partial_mapping(self):
+        rule = parse_rule("q(X) :- a(X, Y).")
+        ic = parse_constraints(":- a(X, Y), c(Y).")[0]
+        residues = residues_for_rule(rule, ic)
+        assert len(residues) == 1
+        assert len(residues[0].literals) == 1
+        assert residues[0].literals[0].predicate == "c"
+
+    def test_trivial_residue_included_on_demand(self):
+        rule = parse_rule("q(X) :- a(X, Y).")
+        ic = parse_constraints(":- a(X, Y), c(Y).")[0]
+        residues = residues_for_rule(rule, ic, include_trivial=True)
+        assert any(len(r.literals) == 2 for r in residues)
+
+    def test_empty_residue_on_full_mapping(self):
+        rule = parse_rule("q(X) :- a(X, Y), c(Y).")
+        ic = parse_constraints(":- a(X, Y), c(Y).")[0]
+        assert any(r.is_empty for r in residues_for_rule(rule, ic))
+
+    def test_multiple_mappings(self):
+        rule = parse_rule("q(X) :- a(X, Y), a(Y, X).")
+        ic = parse_constraints(":- a(X, Y), c(Y).")[0]
+        residues = residues_for_rule(rule, ic)
+        images = {r.literals[0] for r in residues if len(r.literals) == 1}
+        assert len(images) == 2  # c(Y) and c(X) under the two mappings
+
+    def test_variable_capture_avoided(self):
+        # The ic's variables collide with the rule's; renaming must keep
+        # the unmapped variable distinct from the rule's X.
+        rule = parse_rule("q(X) :- a(X, X).")
+        ic = parse_constraints(":- a(Y, Y), c(X).")[0]
+        residues = residues_for_rule(rule, ic)
+        assert len(residues) == 1
+        free = residues[0].free_variables()
+        assert len(free) == 1
+        assert next(iter(free)) != X
+
+
+class TestViolationDetection:
+    def test_plain_violation(self):
+        rule = parse_rule("bad(X) :- a(X, Y), b(Y, X).")
+        ic = parse_constraints(":- a(X, Y), b(Y, X).")[0]
+        assert rule_violates(rule, ic)
+
+    def test_no_violation_with_partial(self):
+        rule = parse_rule("ok(X) :- a(X, Y).")
+        ic = parse_constraints(":- a(X, Y), b(Y, X).")[0]
+        assert not rule_violates(rule, ic)
+
+    def test_order_entailment_required(self):
+        ic = parse_constraints(":- step(X, Y), X >= Y.")[0]
+        violating = parse_rule("bad(X) :- step(X, Y), X > Y.")
+        assert rule_violates(violating, ic)
+        fine = parse_rule("ok(X) :- step(X, Y), X < Y.")
+        assert not rule_violates(fine, ic)
+
+    def test_negated_atom_matching(self):
+        ic = parse_constraints(":- member(X), not registered(X).")[0]
+        violating = parse_rule("bad(X) :- member(X), not registered(X).")
+        assert rule_violates(violating, ic)
+        fine = parse_rule("ok(X) :- member(X), registered(X).")
+        assert not rule_violates(fine, ic)
+
+
+class TestInjection:
+    def test_example_31(self):
+        """Example 3.1: the residue Y <= X injects Y > X into r3."""
+        program = parse_program(
+            """
+            path(X, Y) :- step(X, Y).
+            path(X, Y) :- step(X, Z), path(Z, Y).
+            goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+            """,
+            query="goodPath",
+        )
+        ics = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+        optimized = constrain_program(program, ics)
+        good_path_rule = optimized.rules_for("goodPath")[0]
+        assert OrderAtom(Y, ">", X) in good_path_rule.order_atoms
+        # The recursive path rules are untouched (no interaction).
+        assert optimized.rules_for("path") == program.rules_for("path")
+
+    def test_injectable_negated_edb(self):
+        rule = parse_rule("q(X) :- a(X, Y).")
+        ics = parse_constraints(":- a(X, Y), c(Y).")
+        conditions = injectable_conditions(rule, ics)
+        assert conditions == [Literal(parse_rule("q(X) :- c(Y).").body[0].atom, False)]
+
+    def test_injectable_positive_from_negated_ic(self):
+        rule = parse_rule("q(X) :- member(X).")
+        ics = parse_constraints(":- member(X), not registered(X).")
+        conditions = injectable_conditions(rule, ics)
+        assert len(conditions) == 1
+        assert conditions[0].positive and conditions[0].predicate == "registered"
+
+    def test_entailed_condition_skipped(self):
+        rule = parse_rule("q(X, Y) :- startPoint(X), endPoint(Y), Y > X.")
+        ics = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+        assert injectable_conditions(rule, ics) == []
+
+    def test_unsatisfiable_rule_removed(self):
+        rule = parse_rule("bad(X) :- a(X, Y), b(Y, X).")
+        ics = parse_constraints(":- a(X, Y), b(Y, X).")
+        assert constrain_rule(rule, ics) is None
+
+    def test_conditions_making_order_unsat_remove_rule(self):
+        rule = parse_rule("q(X, Y) :- startPoint(X), endPoint(Y), Y < X.")
+        ics = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+        # Residue injection adds Y > X, contradicting Y < X.
+        assert constrain_rule(rule, ics) is None

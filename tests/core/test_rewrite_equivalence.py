@@ -1,0 +1,159 @@
+"""E4 — Theorem 4.1: on every database satisfying the ic's, the original
+and rewritten programs compute the same query relation.
+
+Deterministic cases cover the paper's examples; a hypothesis property
+sweeps random consistent databases for each workload family.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.integrity import database_satisfies
+from repro.core.rewrite import optimize
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_constraints, parse_program
+from repro.workloads.generators import (
+    ab_database,
+    flight_database,
+    good_path_bidirectional_database,
+    good_path_database,
+    same_generation_database,
+    taint_database,
+)
+from repro.workloads.programs import (
+    ab_transitive_closure,
+    flight_routes,
+    good_path,
+    good_path_order_constraints,
+    same_generation,
+    taint_analysis,
+)
+
+WORKLOADS = {
+    "good_path": (good_path, lambda seed: good_path_database(seed=seed)),
+    "good_path_bidir": (
+        good_path,
+        lambda seed: good_path_bidirectional_database(seed=seed),
+    ),
+    "good_path_order": (
+        good_path_order_constraints,
+        lambda seed: good_path_database(seed=seed),
+    ),
+    "ab": (ab_transitive_closure, lambda seed: ab_database(seed=seed)),
+    "same_generation": (
+        same_generation,
+        lambda seed: same_generation_database(seed=seed % 3 + 2, fanout=2),
+    ),
+    "flights": (flight_routes, lambda seed: flight_database(seed=seed)),
+    "taint": (taint_analysis, lambda seed: taint_database(seed=seed)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_equivalence_on_canonical_database(name):
+    factory, dbf = WORKLOADS[name]
+    program, constraints = factory()
+    database = dbf(0)
+    assert database_satisfies(constraints, database)
+    report = optimize(program, constraints)
+    original = evaluate(program, database).query_rows()
+    assert report.evaluate(database) == original
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_equivalence_random_databases(name, seed):
+    factory, dbf = WORKLOADS[name]
+    program, constraints = factory()
+    database = dbf(seed)
+    assert database_satisfies(constraints, database)
+    report = optimize(program, constraints)
+    original = evaluate(program, database).query_rows()
+    assert report.evaluate(database) == original
+
+
+class TestRandomEdgePrograms:
+    """Random consistent databases for the a/b family built fact by fact."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_ab_random_consistent_facts(self, seed):
+        program, constraints = ab_transitive_closure()
+        rng = random.Random(seed)
+        a_edges, b_edges = set(), set()
+        for _ in range(rng.randint(0, 14)):
+            kind = rng.choice("ab")
+            edge = (rng.randint(0, 5), rng.randint(0, 5))
+            if kind == "a":
+                a_edges.add(edge)
+            else:
+                b_edges.add(edge)
+        # Repair to consistency: drop b-edges that start where an a-edge ends.
+        a_targets = {y for _, y in a_edges}
+        b_edges = {(x, y) for x, y in b_edges if x not in a_targets}
+        database = Database.from_rows({"a": a_edges, "b": b_edges})
+        assert database_satisfies(constraints, database)
+        report = optimize(program, constraints)
+        assert report.evaluate(database) == evaluate(program, database).query_rows()
+
+
+class TestRewritingNeverOverproduces:
+    """Even on *inconsistent* databases the rewriting is sound in one
+    direction: it derives a subset of the original answers (it only
+    removed derivations)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_subset_on_arbitrary_databases(self, seed):
+        program, constraints = ab_transitive_closure()
+        rng = random.Random(seed)
+        database = Database.from_rows(
+            {
+                "a": {(rng.randint(0, 4), rng.randint(0, 4)) for _ in range(6)},
+                "b": {(rng.randint(0, 4), rng.randint(0, 4)) for _ in range(6)},
+            }
+        )
+        report = optimize(program, constraints)
+        assert report.evaluate(database) <= evaluate(program, database).query_rows()
+
+
+class TestUnsatisfiableQueries:
+    def test_query_requiring_forbidden_join(self):
+        program = parse_program("q(X) :- a(X, Y), b(Y, Z).", query="q")
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        report = optimize(program, constraints)
+        assert not report.satisfiable
+        assert report.program is None
+        assert report.evaluate(Database.from_rows({"a": [(1, 2)]})) == frozenset()
+
+    def test_order_contradiction(self):
+        program = parse_program(
+            "q(X) :- start(X), step(X, Y), X < 100, X >= Y.", query="q"
+        )
+        constraints = parse_constraints(":- step(X, Y), X >= Y.")
+        report = optimize(program, constraints)
+        assert not report.satisfiable
+
+
+class TestReportSurface:
+    def test_summary_strings(self):
+        program, constraints = ab_transitive_closure()
+        report = optimize(program, constraints)
+        text = report.summary()
+        assert "original rules: 4" in text
+        assert "query satisfiable: True" in text
+
+    def test_render_tree_nonempty(self):
+        program, constraints = ab_transitive_closure()
+        report = optimize(program, constraints)
+        assert "rule" in report.render_tree()
+
+    def test_requires_query(self):
+        program = parse_program("p(X) :- e(X).")
+        with pytest.raises(ValueError):
+            optimize(program, [])

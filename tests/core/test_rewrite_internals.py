@@ -1,0 +1,107 @@
+"""Edge cases of the rewriting pipeline: naming collisions, dedup,
+multi-root bridging, options."""
+
+from repro.core.rewrite import _canonical_rule_key, optimize
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+
+
+class TestCanonicalRuleKey:
+    def test_alpha_equivalent_rules_collide(self):
+        first = parse_rule("p(X, Y) :- e(X, Z), f(Z, Y).")
+        second = parse_rule("p(A, B) :- e(A, C), f(C, B).")
+        assert _canonical_rule_key(first) == _canonical_rule_key(second)
+
+    def test_different_structure_distinct(self):
+        first = parse_rule("p(X, Y) :- e(X, Z), f(Z, Y).")
+        second = parse_rule("p(X, Y) :- e(X, Z), f(Y, Z).")
+        assert _canonical_rule_key(first) != _canonical_rule_key(second)
+
+    def test_order_atoms_and_negation_in_key(self):
+        base = parse_rule("p(X) :- e(X, Y).")
+        with_filter = parse_rule("p(X) :- e(X, Y), X < Y.")
+        with_negation = parse_rule("p(X) :- e(X, Y), not f(X).")
+        keys = {
+            _canonical_rule_key(base),
+            _canonical_rule_key(with_filter),
+            _canonical_rule_key(with_negation),
+        }
+        assert len(keys) == 3
+
+    def test_constants_in_key(self):
+        first = parse_rule("p(X) :- e(X, 1).")
+        second = parse_rule("p(X) :- e(X, 2).")
+        assert _canonical_rule_key(first) != _canonical_rule_key(second)
+
+
+class TestNamingCollisions:
+    def test_existing_predicate_name_avoided(self):
+        """A user predicate already named p_1 must not clash with the
+        generated specialization names."""
+        program = parse_program(
+            """
+            p(X, Y) :- a(X, Y).
+            p(X, Y) :- b(X, Y).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            p(X, Y) :- b(X, Z), p(Z, Y).
+            q(X, Y) :- p(X, Y), p_1(X).
+            """,
+            query="q",
+        )
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        report = optimize(program, constraints)
+        assert report.program is not None
+        database = Database.from_rows(
+            {"a": [(1, 2)], "b": [(3, 1)], "p_1": [(1,), (3,)]}
+        )
+        assert report.evaluate(database) == evaluate(program, database).query_rows()
+
+
+class TestOptions:
+    def test_no_injection_keeps_equivalence(self):
+        program = parse_program(
+            """
+            path(X, Y) :- step(X, Y).
+            path(X, Y) :- step(X, Z), path(Z, Y).
+            goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+            """,
+            query="goodPath",
+        )
+        constraints = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+        report = optimize(program, constraints, inject_residues=False)
+        database = Database.from_rows(
+            {"step": [(1, 2), (2, 3)], "startPoint": [(1,)], "endPoint": [(3,)]}
+        )
+        assert report.evaluate(database) == {(1, 3)}
+        # Without injection there is no Y > X anywhere.
+        assert all(not rule.order_atoms for rule in report.program.rules)
+
+    def test_no_propagation_keeps_equivalence(self):
+        from repro.workloads.generators import good_path_database
+        from repro.workloads.programs import good_path_order_constraints
+
+        program, constraints = good_path_order_constraints()
+        report = optimize(program, constraints, propagate_orders=False)
+        database = good_path_database(seed=2)
+        assert report.evaluate(database) == evaluate(program, database).query_rows()
+
+    def test_multi_root_bridging(self):
+        """Each surviving query adornment gets its own bridge rule."""
+        program = parse_program(
+            """
+            p(X, Y) :- a(X, Y).
+            p(X, Y) :- b(X, Y).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            p(X, Y) :- b(X, Z), p(Z, Y).
+            """,
+            query="p",
+        )
+        constraints = parse_constraints(":- a(X, Y), b(Y, Z).")
+        report = optimize(program, constraints)
+        bridges = [
+            rule
+            for rule in report.program.rules
+            if rule.head.predicate == "p" and len(rule.positive_literals) == 1
+        ]
+        assert len(bridges) == 3

@@ -1,0 +1,59 @@
+"""DOT export tests."""
+
+from repro.core.adornments import compute_adornments
+from repro.core.querytree import build_query_tree
+from repro.core.visualize import dependency_dot, querytree_dot
+from repro.datalog.parser import parse_program
+from repro.workloads.programs import ab_transitive_closure
+
+
+class TestQuerytreeDot:
+    def setup_method(self):
+        program, constraints = ab_transitive_closure()
+        self.tree = build_query_tree(compute_adornments(program, constraints))
+
+    def test_valid_digraph_structure(self):
+        dot = querytree_dot(self.tree)
+        assert dot.startswith("digraph querytree {")
+        assert dot.endswith("}")
+        assert dot.count("[") == dot.count("]")
+
+    def test_roots_double_bordered(self):
+        dot = querytree_dot(self.tree)
+        assert dot.count("peripheries=2") == len(self.tree.roots)
+
+    def test_edb_leaves_filled(self):
+        dot = querytree_dot(self.tree)
+        assert "#eef6ee" in dot
+
+    def test_reference_edges_dotted(self):
+        dot = querytree_dot(self.tree)
+        assert "style=dotted" in dot
+
+    def test_labels_included_on_demand(self):
+        plain = querytree_dot(self.tree)
+        labeled = querytree_dot(self.tree, include_labels=True)
+        assert len(labeled) > len(plain)
+        assert "b(Y, Z)" in labeled
+
+    def test_rule_text_present(self):
+        dot = querytree_dot(self.tree)
+        assert "p(V0, V1) :- a(V0, V1)." in dot.replace('\\"', '"')
+
+
+class TestDependencyDot:
+    def test_structure(self):
+        program = parse_program(
+            "p(X) :- e(X), not f(X). q(X) :- p(X).", query="q"
+        )
+        dot = dependency_dot(program)
+        assert '"q" [shape=doublecircle]' in dot
+        assert '"p" [shape=circle]' in dot
+        assert '"e" [shape=box' in dot
+        assert '"q" -> "p" [style=solid]' in dot
+        assert '"p" -> "f" [style=dashed]' in dot
+
+    def test_deduplicated_edges(self):
+        program = parse_program("p(X) :- e(X, Y), e(Y, X).")
+        dot = dependency_dot(program)
+        assert dot.count('"p" -> "e"') == 1

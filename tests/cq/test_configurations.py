@@ -1,0 +1,88 @@
+"""Direct tests for the partition/linearization machinery."""
+
+import math
+
+import pytest
+
+from repro.cq.configurations import Config, freeze_atoms, linearizations, partitions
+from repro.datalog.atoms import OrderAtom
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+#: Bell numbers B1..B4.
+BELL = {1: 1, 2: 2, 3: 5, 4: 15}
+
+
+class TestPartitions:
+    def test_variable_only_counts_are_bell_numbers(self):
+        for n, expected in BELL.items():
+            terms = [Variable(f"V{i}") for i in range(n)]
+            assert len(list(partitions(terms))) == expected
+
+    def test_constants_never_merge(self):
+        for partition in partitions([Constant(1), Constant(2), X]):
+            assert partition[Constant(1)] != partition[Constant(2)]
+
+    def test_variable_may_join_constant(self):
+        found = False
+        for partition in partitions([Constant(1), X]):
+            if partition[X] == partition[Constant(1)]:
+                found = True
+        assert found
+
+    def test_deterministic(self):
+        first = [dict(p) for p in partitions([X, Y])]
+        second = [dict(p) for p in partitions([X, Y])]
+        assert first == second
+
+
+class TestLinearizations:
+    def test_counts_without_constants(self):
+        partition = {X: 0, Y: 1, Z: 2}
+        assert len(list(linearizations(partition))) == math.factorial(3)
+
+    def test_constants_pin_their_order(self):
+        partition = {Constant(1): 0, Constant(2): 1, X: 2}
+        for position in linearizations(partition):
+            assert position[0] < position[1]  # class of 1 before class of 2
+
+    def test_incomparable_families_free(self):
+        partition = {Constant(1): 0, Constant("a"): 1}
+        assert len(list(linearizations(partition))) == 2
+
+
+class TestConfig:
+    def test_compare_equalities(self):
+        config = Config({X: 0, Y: 0, Z: 1}, None)
+        assert config.compare(X, Y, "=")
+        assert config.compare(X, Z, "!=")
+
+    def test_compare_order(self):
+        config = Config({X: 0, Y: 1}, {0: 0, 1: 1})
+        assert config.compare(X, Y, "<")
+        assert config.compare(Y, X, ">")
+        assert config.compare(X, Y, "<=")
+        assert not config.compare(Y, X, "<=")
+
+    def test_order_without_linearization_raises(self):
+        config = Config({X: 0, Y: 1}, None)
+        with pytest.raises(ValueError):
+            config.compare(X, Y, "<")
+
+    def test_satisfies(self):
+        config = Config({X: 0, Y: 1}, {0: 0, 1: 1})
+        assert config.satisfies([OrderAtom(X, "<", Y), OrderAtom(X, "!=", Y)])
+        assert not config.satisfies([OrderAtom(Y, "<", X)])
+
+
+class TestFreezeAtoms:
+    def test_classes_become_constants(self):
+        frozen = freeze_atoms([parse_atom("e(X, Y)")], {X: 0, Y: 1})
+        assert frozen[0].args == (Constant(0), Constant(1))
+
+    def test_merged_classes_share_constant(self):
+        frozen = freeze_atoms([parse_atom("e(X, Y)")], {X: 0, Y: 0})
+        assert frozen[0].args == (Constant(0), Constant(0))

@@ -1,0 +1,85 @@
+"""ConjunctiveQuery / UCQ object tests: views, evaluation, freezing."""
+
+import pytest
+
+from repro.cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+
+
+def cq(source: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_rule(parse_rule(source))
+
+
+class TestViews:
+    def test_partitioned_body(self):
+        query = cq("q(X) :- e(X, Y), not f(Y), X < Y.")
+        assert len(query.positive_atoms) == 1
+        assert len(query.negative_atoms) == 1
+        assert len(query.order_atoms) == 1
+        assert query.classification() == {"theta", "not"}
+
+    def test_terms_order_stable(self):
+        query = cq("q(X) :- e(X, Y), f(Z, 3).")
+        names = [str(t) for t in query.terms()]
+        assert names == ["X", "Y", "Z", "3"]
+
+    def test_variables(self):
+        query = cq("q(X) :- e(X, Y).")
+        assert query.variables() == {Variable("X"), Variable("Y")}
+
+    def test_round_trip_rule(self):
+        rule = parse_rule("q(X) :- e(X, Y), X < Y.")
+        assert ConjunctiveQuery.from_rule(rule).as_rule() == rule
+
+
+class TestEvaluation:
+    def test_answers(self):
+        query = cq("q(X) :- e(X, Y), e(Y, X).")
+        db = Database.from_rows({"e": [(1, 2), (2, 1), (3, 4)]})
+        assert query.answers(db) == {(1,), (2,)}
+
+    def test_union_answers(self):
+        union = UnionOfConjunctiveQueries((cq("q(X) :- a(X)."), cq("q(X) :- b(X).")))
+        db = Database.from_rows({"a": [(1,)], "b": [(2,)]})
+        assert union.answers(db) == {(1,), (2,)}
+
+    def test_union_head_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries((cq("q(X) :- a(X)."), cq("r(X) :- b(X).")))
+
+    def test_union_needs_members(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries(())
+
+
+class TestFreeze:
+    def test_freeze_produces_canonical_database(self):
+        query = cq("q(X) :- e(X, Y), f(Y).")
+        frozen = query.freeze()
+        assert frozen is not None
+        assert frozen.database.size() == 2
+        assert len(frozen.head_row) == 1
+
+    def test_freeze_detects_pos_neg_clash(self):
+        query = cq("q(X) :- e(X, X), not e(X, X).")
+        assert query.freeze() is None
+
+    def test_freeze_with_merge(self):
+        from repro.datalog.terms import Substitution
+
+        query = cq("q(X) :- e(X, Y).")
+        merged = query.freeze(
+            Substitution({Variable("Y"): Variable("X")})
+        )
+        assert merged is not None
+        # e(c, c): a single fact with both positions equal.
+        fact = next(iter(merged.database.relation("e")))
+        assert fact[0] == fact[1]
+
+    def test_freeze_records_order_atoms(self):
+        query = cq("q(X) :- e(X, Y), X < Y.")
+        frozen = query.freeze()
+        assert frozen is not None
+        assert len(frozen.order_atoms) == 1

@@ -1,0 +1,183 @@
+"""Containment tests for all three fragments, plus a soundness property:
+whenever containment holds, answers agree on random databases."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.cq.containment import (
+    ContainmentTooLargeError,
+    cq_contained,
+    cq_contained_in_union,
+    cq_equivalent,
+    ucq_contained,
+)
+from repro.cq.minimize import is_minimal, minimize_cq
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_rule
+
+
+def cq(source: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_rule(parse_rule(source))
+
+
+class TestPlainContainment:
+    def test_longer_path_contained_in_shorter(self):
+        assert cq_contained(cq("q(X) :- e(X, Y), e(Y, Z)."), cq("q(X) :- e(X, Y)."))
+        assert not cq_contained(cq("q(X) :- e(X, Y)."), cq("q(X) :- e(X, Y), e(Y, Z)."))
+
+    def test_self_containment(self):
+        query = cq("q(X, Y) :- e(X, Z), f(Z, Y).")
+        assert cq_contained(query, query)
+
+    def test_head_constants(self):
+        assert cq_contained(cq("q(1) :- e(1, Y)."), cq("q(X) :- e(X, Y)."))
+        assert not cq_contained(cq("q(X) :- e(X, Y)."), cq("q(1) :- e(1, Y)."))
+
+    def test_body_constants(self):
+        assert cq_contained(cq("q(X) :- e(X, 5)."), cq("q(X) :- e(X, Y)."))
+        assert not cq_contained(cq("q(X) :- e(X, Y)."), cq("q(X) :- e(X, 5)."))
+
+    def test_different_head_predicates(self):
+        assert not cq_contained(cq("q(X) :- e(X)."), cq("r(X) :- e(X)."))
+
+    def test_cycle_contained_in_path(self):
+        assert cq_contained(cq("q(X) :- e(X, X)."), cq("q(X) :- e(X, Y)."))
+        assert not cq_contained(cq("q(X) :- e(X, Y)."), cq("q(X) :- e(X, X)."))
+
+
+class TestUnionContainment:
+    def test_needs_the_whole_union(self):
+        union = UnionOfConjunctiveQueries(
+            (cq("q(X) :- e(X, Y), X < Y."), cq("q(X) :- e(X, Y), X >= Y."))
+        )
+        assert cq_contained_in_union(cq("q(X) :- e(X, Y)."), union)
+        # No single member suffices.
+        for member in union:
+            assert not cq_contained(cq("q(X) :- e(X, Y)."), member)
+
+    def test_plain_union_member_test(self):
+        union = UnionOfConjunctiveQueries(
+            (cq("q(X) :- a(X)."), cq("q(X) :- b(X)."))
+        )
+        assert cq_contained_in_union(cq("q(X) :- a(X), c(X)."), union)
+        assert not cq_contained_in_union(cq("q(X) :- c(X)."), union)
+
+    def test_ucq_contained(self):
+        first = UnionOfConjunctiveQueries((cq("q(X) :- a(X)."),))
+        second = UnionOfConjunctiveQueries(
+            (cq("q(X) :- a(X)."), cq("q(X) :- b(X)."))
+        )
+        assert ucq_contained(first, second)
+        assert not ucq_contained(second, first)
+
+
+class TestOrderContainment:
+    def test_strict_in_weak(self):
+        assert cq_contained(cq("q(X) :- e(X, Y), X < Y."), cq("q(X) :- e(X, Y), X <= Y."))
+        assert not cq_contained(cq("q(X) :- e(X, Y), X <= Y."), cq("q(X) :- e(X, Y), X < Y."))
+
+    def test_constants_split_the_line(self):
+        union = UnionOfConjunctiveQueries(
+            (cq("q(X) :- e(X), X < 5."), cq("q(X) :- e(X), X >= 5."))
+        )
+        assert cq_contained_in_union(cq("q(X) :- e(X)."), union)
+
+    def test_equality_via_order(self):
+        assert cq_contained(cq("q(X) :- e(X, Y), X = Y."), cq("q(X) :- e(X, X)."))
+        assert cq_contained(cq("q(X) :- e(X, X)."), cq("q(X) :- e(X, Y), X = Y."))
+
+    def test_unsatisfiable_query_contained_in_anything(self):
+        empty = cq("q(X) :- e(X, Y), X < Y, Y < X.")
+        assert cq_contained(empty, cq("q(X) :- f(X)."))
+
+    def test_neq_union(self):
+        union = UnionOfConjunctiveQueries(
+            (cq("q(X) :- e(X, Y), X != Y."), cq("q(X) :- e(X, X)."))
+        )
+        assert cq_contained_in_union(cq("q(X) :- e(X, Y)."), union)
+
+
+class TestNegationContainment:
+    def test_adding_negation_weakens(self):
+        assert cq_contained(cq("q(X) :- e(X, Y), not f(X)."), cq("q(X) :- e(X, Y)."))
+        assert not cq_contained(cq("q(X) :- e(X, Y)."), cq("q(X) :- e(X, Y), not f(X)."))
+
+    def test_negation_union_covers(self):
+        union = UnionOfConjunctiveQueries(
+            (cq("q(X) :- e(X), not f(X)."), cq("q(X) :- e(X), f(X)."))
+        )
+        assert cq_contained_in_union(cq("q(X) :- e(X)."), union)
+
+    def test_negation_on_both_sides(self):
+        first = cq("q(X) :- e(X), not f(X), not g(X).")
+        second = cq("q(X) :- e(X), not f(X).")
+        assert cq_contained(first, second)
+        assert not cq_contained(second, first)
+
+
+class TestGuards:
+    def test_too_many_terms(self):
+        big = cq("q(A) :- e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), A < B.")
+        with pytest.raises(ContainmentTooLargeError):
+            cq_contained(big, cq("q(X) :- e(X, Y), X < Y."), max_terms=4)
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        query = cq("q(X) :- e(X, Y), e(X, Z).")
+        assert len(minimize_cq(query).positive_atoms) == 1
+
+    def test_core_triangle(self):
+        # A 3-cycle does not fold onto anything smaller.
+        query = cq("q(X) :- e(X, Y), e(Y, Z), e(Z, X).")
+        assert is_minimal(query)
+
+    def test_minimize_keeps_equivalence(self):
+        query = cq("q(X) :- e(X, Y), e(X, Z), f(Y).")
+        minimized = minimize_cq(query)
+        assert cq_equivalent(query, minimized)
+
+    def test_head_variable_atoms_kept(self):
+        query = cq("q(X, Y) :- e(X, Y), e(X, Z).")
+        minimized = minimize_cq(query)
+        assert len(minimized.positive_atoms) == 1
+        assert minimized.head.variables() <= minimized.positive_atoms[0].variables()
+
+
+# ----------------------------------------------------------------------
+# Soundness property: containment implies answer inclusion.
+# ----------------------------------------------------------------------
+CANDIDATES = [
+    "q(X) :- e(X, Y).",
+    "q(X) :- e(X, Y), e(Y, Z).",
+    "q(X) :- e(X, X).",
+    "q(X) :- e(X, Y), X < Y.",
+    "q(X) :- e(X, Y), X <= Y.",
+    "q(X) :- e(X, Y), not f(X).",
+    "q(X) :- e(X, Y), f(X).",
+    "q(X) :- e(Y, X).",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(CANDIDATES),
+    st.sampled_from(CANDIDATES),
+    st.integers(0, 10_000),
+)
+def test_containment_implies_answer_inclusion(first_src, second_src, seed):
+    first, second = cq(first_src), cq(second_src)
+    if not cq_contained(first, second):
+        return
+    rng = random.Random(seed)
+    db = Database.from_rows(
+        {
+            "e": {(rng.randint(0, 3), rng.randint(0, 3)) for _ in range(5)},
+            "f": {(rng.randint(0, 3),) for _ in range(2)},
+        }
+    )
+    assert first.answers(db) <= second.answers(db)

@@ -1,0 +1,68 @@
+"""Homomorphism-search tests."""
+
+from repro.cq.homomorphism import (
+    all_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+)
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Constant, Variable
+
+
+def atoms(*sources):
+    return [parse_atom(s) for s in sources]
+
+
+class TestFindHomomorphism:
+    def test_identity(self):
+        hom = find_homomorphism(atoms("e(X, Y)"), atoms("e(X, Y)"))
+        assert hom is not None
+
+    def test_folding_onto_one_atom(self):
+        # Both source atoms map onto the single target atom.
+        hom = find_homomorphism(atoms("e(X, Y)", "e(Y, Z)"), atoms("e(A, A)"))
+        assert hom is not None
+        assert hom.apply(Variable("X")) == Variable("A")
+        assert hom.apply(Variable("Z")) == Variable("A")
+
+    def test_no_hom_between_chain_shapes(self):
+        assert find_homomorphism(atoms("e(X, X)"), atoms("e(A, B)")) is None
+
+    def test_constants_must_match(self):
+        assert find_homomorphism(atoms("e(1, X)"), atoms("e(2, Y)")) is None
+        assert find_homomorphism(atoms("e(1, X)"), atoms("e(1, Y)")) is not None
+
+    def test_initial_binding_respected(self):
+        initial = {Variable("X"): Variable("B")}
+        hom = find_homomorphism(atoms("e(X, Y)"), atoms("e(A, B)", "e(B, C)"), initial)
+        assert hom is not None
+        assert hom.apply(Variable("X")) == Variable("B")
+        assert hom.apply(Variable("Y")) == Variable("C")
+
+    def test_initial_binding_can_block(self):
+        initial = {Variable("X"): Variable("Z9")}
+        assert find_homomorphism(atoms("e(X, Y)"), atoms("e(A, B)"), initial) is None
+
+
+class TestAllHomomorphisms:
+    def test_counts(self):
+        homs = all_homomorphisms(atoms("e(X, Y)"), atoms("e(A, B)", "e(B, C)"))
+        assert len(homs) == 2
+
+    def test_multi_atom_join(self):
+        homs = all_homomorphisms(
+            atoms("e(X, Y)", "e(Y, Z)"), atoms("e(A, B)", "e(B, C)")
+        )
+        # X->A,Y->B,Z->C is the only 2-step path.
+        assert len(homs) == 1
+
+    def test_deduplication(self):
+        homs = all_homomorphisms(atoms("e(X, Y)", "e(X, Y)"), atoms("e(A, B)"))
+        assert len(homs) == 1
+
+    def test_exists(self):
+        assert homomorphism_exists(atoms("e(X, X)"), atoms("e(A, A)"))
+        assert not homomorphism_exists(atoms("f(X)"), atoms("e(A, A)"))
+
+    def test_empty_source_trivial(self):
+        assert homomorphism_exists([], atoms("e(A, B)"))

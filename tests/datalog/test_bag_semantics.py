@@ -1,0 +1,181 @@
+"""Bag-semantics substrate tests + the duplicates extension claim.
+
+The paper defers SQO for duplicate-sensitive queries to future work;
+here we verify the executable half of the story: residue-negation
+injection preserves bag semantics on constraint-consistent databases
+(the injected conditions hold for every instantiation), while the
+support always matches set semantics.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.residues import constrain_program
+from repro.datalog.bag import (
+    BagRelation,
+    RecursiveProgramError,
+    bag_equal,
+    evaluate_bag,
+)
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_constraints, parse_program
+
+
+class TestBagRelation:
+    def test_multiplicities_accumulate(self):
+        bag = BagRelation(1)
+        bag.add((1,))
+        bag.add((1,), 2)
+        assert bag.multiplicity((1,)) == 3
+        assert bag.total() == 3
+        assert len(bag) == 1
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            BagRelation(2).add((1,))
+
+    def test_positive_multiplicity_required(self):
+        with pytest.raises(ValueError):
+            BagRelation(1).add((1,), 0)
+
+    def test_equality(self):
+        assert BagRelation(1, [(1,), (1,)]) == BagRelation(1, [(1,), (1,)])
+        assert BagRelation(1, [(1,)]) != BagRelation(1, [(1,), (1,)])
+
+
+class TestEvaluateBag:
+    def test_join_multiplicities_multiply(self):
+        program = parse_program("q(X, Z) :- r(X, Y), s(Y, Z).")
+        edb = {
+            "r": BagRelation(2, [(1, 2), (1, 2)]),  # multiplicity 2
+            "s": BagRelation(2, [(2, 3), (2, 3), (2, 3)]),  # multiplicity 3
+        }
+        result = evaluate_bag(program, edb)
+        assert result["q"].multiplicity((1, 3)) == 6
+
+    def test_union_all_adds(self):
+        program = parse_program("q(X) :- r(X). q(X) :- s(X).")
+        edb = {"r": BagRelation(1, [(1,)]), "s": BagRelation(1, [(1,)])}
+        result = evaluate_bag(program, edb)
+        assert result["q"].multiplicity((1,)) == 2
+
+    def test_projection_accumulates(self):
+        program = parse_program("q(X) :- r(X, Y).")
+        edb = {"r": BagRelation(2, [(1, 2), (1, 3)])}
+        result = evaluate_bag(program, edb)
+        assert result["q"].multiplicity((1,)) == 2
+
+    def test_filters_and_negation(self):
+        program = parse_program("q(X) :- r(X, Y), X < Y, not bad(X).")
+        edb = {
+            "r": BagRelation(2, [(1, 2), (3, 2), (4, 5)]),
+            "bad": BagRelation(1, [(4,)]),
+        }
+        result = evaluate_bag(program, edb)
+        assert result["q"].support() == {(1,)}
+
+    def test_plain_database_input(self):
+        program = parse_program("q(X) :- r(X, Y).")
+        result = evaluate_bag(program, Database.from_rows({"r": [(1, 2)]}))
+        assert result["q"].multiplicity((1,)) == 1
+
+    def test_recursion_rejected(self):
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
+        with pytest.raises(RecursiveProgramError):
+            evaluate_bag(program, Database())
+
+    def test_layered_idb(self):
+        program = parse_program(
+            "mid(X, Z) :- r(X, Y), r(Y, Z). top(X) :- mid(X, Z), mark(Z)."
+        )
+        edb = {
+            "r": BagRelation(2, [(1, 2), (2, 3), (2, 3)]),
+            "mark": BagRelation(1, [(3,)]),
+        }
+        result = evaluate_bag(program, edb)
+        assert result["mid"].multiplicity((1, 3)) == 2
+        assert result["top"].multiplicity((1,)) == 2
+
+    def test_oracle_cross_product(self):
+        """Brute-force oracle: count join assignments directly."""
+        rng = random.Random(0)
+        rows_r = [(rng.randint(0, 2), rng.randint(0, 2)) for _ in range(6)]
+        rows_s = [(rng.randint(0, 2), rng.randint(0, 2)) for _ in range(6)]
+        program = parse_program("q(X, Z) :- r(X, Y), s(Y, Z).")
+        edb = {"r": BagRelation(2, rows_r), "s": BagRelation(2, rows_s)}
+        result = evaluate_bag(program, edb)
+        expected = {}
+        for (x, y1), (y2, z) in itertools.product(rows_r, rows_s):
+            if y1 == y2:
+                expected[(x, z)] = expected.get((x, z), 0) + 1
+        assert dict(result["q"].counts) == expected
+
+
+class TestSupportMatchesSetSemantics:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_support_equals_set_evaluation(self, seed):
+        rng = random.Random(seed)
+        program = parse_program(
+            """
+            mid(X, Z) :- e(X, Y), e(Y, Z).
+            q(X) :- mid(X, Z), v(Z).
+            """,
+            query="q",
+        )
+        database = Database.from_rows(
+            {
+                "e": {(rng.randint(0, 3), rng.randint(0, 3)) for _ in range(8)},
+                "v": {(rng.randint(0, 3),) for _ in range(2)},
+            }
+        )
+        bags = evaluate_bag(program, database)
+        sets = evaluate(program, database)
+        for predicate in program.idb_predicates:
+            assert bags[predicate].support() == sets.rows(predicate)
+
+
+class TestDuplicatesExtensionClaim:
+    def test_residue_injection_preserves_bags(self):
+        """On consistent databases the injected conditions hold for every
+        instantiation, so multiplicities are untouched — the duplicates
+        extension works for residue injection."""
+        program = parse_program(
+            "good(X, Y) :- startPoint(X), hop(X, Y), endPoint(Y).",
+            query="good",
+        )
+        constraints = parse_constraints(":- startPoint(X), endPoint(Y), Y <= X.")
+        optimized = constrain_program(program, constraints)
+        # The rewriting added Y > X.
+        assert optimized.rules[0].order_atoms
+        database = Database.from_rows(
+            {
+                "startPoint": [(1,), (2,)],
+                "endPoint": [(5,), (6,)],
+                "hop": [(1, 5), (1, 6), (2, 5)],
+            }
+        )
+        original = evaluate_bag(program, database)
+        rewritten = evaluate_bag(optimized, database)
+        assert bag_equal(original, rewritten)
+
+    def test_union_all_duplication_hazard(self):
+        """Why the full extension is nontrivial: overlapping
+        specializations unioned back together change multiplicities."""
+        single = parse_program("q(X) :- r(X).")
+        split = parse_program(
+            """
+            q_lo(X) :- r(X), X <= 5.
+            q_hi(X) :- r(X), X >= 5.
+            q(X) :- q_lo(X).
+            q(X) :- q_hi(X).
+            """
+        )
+        edb = {"r": BagRelation(1, [(5,)])}
+        assert evaluate_bag(single, edb)["q"].multiplicity((5,)) == 1
+        assert evaluate_bag(split, edb)["q"].multiplicity((5,)) == 2

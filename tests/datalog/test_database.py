@@ -1,0 +1,85 @@
+"""Storage-layer tests: relations, indexes, databases."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database, Relation
+from repro.datalog.terms import Constant
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        rel = Relation(2)
+        assert rel.add((1, 2))
+        assert not rel.add((1, 2))  # duplicate
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+        assert len(rel) == 1
+
+    def test_arity_checked(self):
+        rel = Relation(2)
+        with pytest.raises(ValueError):
+            rel.add((1,))
+
+    def test_probe_full_scan(self):
+        rel = Relation(2, [(1, 2), (3, 4)])
+        assert sorted(rel.probe((), ())) == [(1, 2), (3, 4)]
+
+    def test_probe_indexed(self):
+        rel = Relation(2, [(1, 2), (1, 3), (2, 3)])
+        assert sorted(rel.probe((0,), (1,))) == [(1, 2), (1, 3)]
+        assert rel.probe((0, 1), (2, 3)) == [(2, 3)]
+        assert rel.probe((1,), (9,)) == []
+
+    def test_index_updated_on_insert(self):
+        rel = Relation(2, [(1, 2)])
+        assert rel.probe((0,), (1,)) == [(1, 2)]  # builds the index
+        rel.add((1, 5))
+        assert sorted(rel.probe((0,), (1,))) == [(1, 2), (1, 5)]
+
+    def test_copy_independent(self):
+        rel = Relation(1, [(1,)])
+        clone = rel.copy()
+        clone.add((2,))
+        assert len(rel) == 1 and len(clone) == 2
+
+    def test_zero_arity(self):
+        rel = Relation(0)
+        rel.add(())
+        assert () in rel and len(rel) == 1
+
+
+class TestDatabase:
+    def test_add_fact_and_contains(self):
+        db = Database([Atom("e", (Constant(1), Constant(2)))])
+        assert db.contains("e", (1, 2))
+        assert not db.contains("e", (2, 1))
+        assert not db.contains("missing", (1,))
+
+    def test_nonground_fact_rejected(self):
+        from repro.datalog.terms import Variable
+
+        with pytest.raises(ValueError):
+            Database([Atom("e", (Variable("X"),))])
+
+    def test_from_rows(self):
+        db = Database.from_rows({"e": [(1, 2), (2, 3)], "v": [(1,)]})
+        assert db.size() == 3
+        assert db.predicates() == {"e", "v"}
+
+    def test_relation_missing_needs_arity(self):
+        db = Database()
+        with pytest.raises(KeyError):
+            db.relation("nope")
+        assert len(db.relation("nope", 2)) == 0
+
+    def test_facts_iteration_ground(self):
+        db = Database.from_rows({"e": [(1, 2)]})
+        facts = list(db.facts())
+        assert facts == [Atom("e", (Constant(1), Constant(2)))]
+
+    def test_copy_independent(self):
+        db = Database.from_rows({"e": [(1, 2)]})
+        clone = db.copy()
+        clone.add_row("e", (3, 4))
+        assert db.size() == 1 and clone.size() == 2

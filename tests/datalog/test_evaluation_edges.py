@@ -1,0 +1,69 @@
+"""Evaluation edge cases not covered by the main engine tests."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_facts, parse_program
+
+
+class TestMaxIterations:
+    def test_bounded_iterations_truncate_closure(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+        )
+        db = Database.from_rows({"e": [(i, i + 1) for i in range(10)]})
+        full = evaluate(program, db)
+        bounded = evaluate(program, db, max_iterations=2)
+        assert bounded.rows("t") < full.rows("t")
+
+    def test_unbounded_by_default(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+        )
+        db = Database.from_rows({"e": [(i, i + 1) for i in range(10)]})
+        assert len(evaluate(program, db).rows("t")) == 55
+
+
+class TestDuplicateBodyItems:
+    def test_repeated_literal_harmless(self):
+        program = parse_program("q(X) :- e(X, Y), e(X, Y).", query="q")
+        db = Database.from_rows({"e": [(1, 2)]})
+        assert evaluate(program, db).query_rows() == {(1,)}
+
+    def test_contradictory_filters_empty(self):
+        program = parse_program("q(X) :- e(X, Y), X < Y, Y < X.", query="q")
+        db = Database.from_rows({"e": [(1, 2)]})
+        assert evaluate(program, db).query_rows() == frozenset()
+
+
+class TestGroundRules:
+    def test_fact_rule_derives(self):
+        program = parse_program("q(1, 2). q(X, Y) :- e(X, Y).", query="q")
+        db = Database.from_rows({"e": [(5, 6)]})
+        assert evaluate(program, db).query_rows() == {(1, 2), (5, 6)}
+
+    def test_ground_order_atom_filter(self):
+        program = parse_program("q(X) :- e(X), 1 < 2.", query="q")
+        db = Database.from_rows({"e": [(1,)]})
+        assert evaluate(program, db).query_rows() == {(1,)}
+        program2 = parse_program("q(X) :- e(X), 2 < 1.", query="q")
+        assert evaluate(program2, db).query_rows() == frozenset()
+
+
+class TestStringValues:
+    def test_string_constants_flow(self):
+        program = parse_program('q(X) :- name(X, "New York").', query="q")
+        db = Database(parse_facts('name(1, "New York"). name(2, "Boston").'))
+        assert evaluate(program, db).query_rows() == {(1,)}
+
+    def test_string_order_comparison(self):
+        program = parse_program("q(X) :- tag(X, T), T < zz.", query="q")
+        db = Database(parse_facts("tag(1, aa). tag(2, zzz)."))
+        assert evaluate(program, db).query_rows() == {(1,)}
+
+    def test_mixed_type_comparison_raises(self):
+        program = parse_program("q(X) :- tag(X, T), T < 5.", query="q")
+        db = Database(parse_facts("tag(1, aa)."))
+        with pytest.raises(TypeError):
+            evaluate(program, db)

@@ -1,0 +1,137 @@
+"""Parser tests: round trips and error reporting."""
+
+import pytest
+
+from repro.datalog.atoms import Literal, OrderAtom
+from repro.datalog.parser import (
+    ParseError,
+    parse_atom,
+    parse_constraints,
+    parse_facts,
+    parse_program,
+    parse_rule,
+    parse_rules,
+    parse_term,
+)
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTerms:
+    def test_variable_uppercase(self):
+        assert parse_term("Xyz") == Variable("Xyz")
+
+    def test_variable_underscore(self):
+        assert parse_term("_x") == Variable("_x")
+
+    def test_symbol_constant(self):
+        assert parse_term("abc") == Constant("abc")
+
+    def test_integer(self):
+        assert parse_term("42") == Constant(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-7") == Constant(-7)
+
+    def test_float(self):
+        assert parse_term("3.5") == Constant(3.5)
+
+    def test_quoted_string(self):
+        assert parse_term('"Hello World"') == Constant("Hello World")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("1 2")
+
+
+class TestAtoms:
+    def test_simple(self):
+        atom = parse_atom("e(X, 1, abc)")
+        assert atom.predicate == "e"
+        assert atom.args == (Variable("X"), Constant(1), Constant("abc"))
+
+    def test_zero_arity(self):
+        assert parse_atom("halt()").args == ()
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("Pred(X)")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rules("e(1, 2).")[0]
+        assert rule.is_fact()
+
+    def test_rule_with_all_item_kinds(self):
+        rule = parse_rule("p(X) :- e(X, Y), not f(Y), X < Y, Y != 3.")
+        assert len(rule.positive_literals) == 1
+        assert len(rule.negative_literals) == 1
+        assert len(rule.order_atoms) == 2
+
+    def test_neq_alias(self):
+        rule = parse_rule("p(X) :- e(X, Y), X <> Y.")
+        assert rule.order_atoms[0].op == "!="
+
+    def test_comments_ignored(self):
+        rules = parse_rules("% header\np(X) :- e(X). % trailing\n")
+        assert len(rules) == 1
+
+    def test_roundtrip_through_repr(self):
+        source = "p(X, Y) :- e(X, Z), not f(Z), Z <= Y, q(Z, Y)."
+        rule = parse_rule(source)
+        assert parse_rule(repr(rule)) == rule
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rules("p(X) :- e(X)")
+
+    def test_constraint_rejected_in_parse_rules(self):
+        with pytest.raises(ParseError):
+            parse_rules(":- e(X, X).")
+
+    def test_multiple_statements(self):
+        rules = parse_rules("p(X) :- e(X). q(X) :- p(X).")
+        assert [r.head.predicate for r in rules] == ["p", "q"]
+
+
+class TestConstraintsAndFacts:
+    def test_constraints(self):
+        constraints = parse_constraints(":- e(X, Y), f(Y). :- g(X), X < 5.")
+        assert len(constraints) == 2
+        assert constraints[1].order_atoms[0] == OrderAtom(Variable("X"), "<", Constant(5))
+
+    def test_rule_rejected_in_constraints(self):
+        with pytest.raises(ParseError):
+            parse_constraints("p(X) :- e(X).")
+
+    def test_facts(self):
+        facts = parse_facts('e(1, 2). name("New York").')
+        assert facts[0].args == (Constant(1), Constant(2))
+        assert facts[1].args == (Constant("New York"),)
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(ParseError):
+            parse_facts("e(X, 1).")
+
+    def test_rule_rejected_in_facts(self):
+        with pytest.raises(ParseError):
+            parse_facts("p(X) :- e(X).")
+
+
+class TestProgramParsing:
+    def test_program_with_query(self):
+        program = parse_program("p(X) :- e(X).", query="p")
+        assert program.query == "p"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- e(X) & f(X).")
+
+    def test_repr_roundtrip(self):
+        source = """
+        path(X, Y) :- step(X, Y).
+        path(X, Y) :- step(X, Z), path(Z, Y).
+        """
+        program = parse_program(source)
+        again = parse_program(repr(program))
+        assert again.rules == program.rules

@@ -1,0 +1,51 @@
+"""Pretty-printer tests."""
+
+from repro.datalog.parser import parse_constraints, parse_program, parse_rule
+from repro.datalog.pretty import (
+    format_constraints,
+    format_program,
+    format_rule,
+    format_rules,
+)
+
+
+class TestFormatting:
+    def test_format_rule_with_indent(self):
+        rule = parse_rule("p(X) :- e(X, Y), X < Y.")
+        assert format_rule(rule, indent="  ") == "  p(X) :- e(X, Y), X < Y."
+
+    def test_format_rules_one_per_line(self):
+        rules = [parse_rule("p(X) :- e(X)."), parse_rule("q(X) :- p(X).")]
+        text = format_rules(rules)
+        assert text.splitlines() == ["p(X) :- e(X).", "q(X) :- p(X)."]
+
+    def test_format_program_groups_by_head(self):
+        program = parse_program(
+            """
+            p(X) :- e(X).
+            p(X) :- f(X).
+            q(X) :- p(X).
+            """,
+            query="q",
+        )
+        text = format_program(program)
+        lines = text.splitlines()
+        # A blank line between the p-group and the q-group.
+        assert "" in lines
+        assert lines[-1] == "% query: q"
+
+    def test_format_program_header(self):
+        program = parse_program("p(X) :- e(X).")
+        assert format_program(program, header="demo").startswith("% demo")
+
+    def test_format_constraints(self):
+        constraints = parse_constraints(":- a(X), b(X). :- c(X), X < 3.")
+        text = format_constraints(constraints)
+        assert text.splitlines() == [":- a(X), b(X).", ":- c(X), X < 3."]
+
+    def test_formatted_program_parses_back(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).", query="p"
+        )
+        again = parse_program(format_program(program))
+        assert again.rules == program.rules

@@ -1,0 +1,96 @@
+"""Hypothesis fuzz: repr of randomly built IR objects parses back equal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import COMPARISONS, Atom, Literal, OrderAtom
+from repro.datalog.parser import (
+    parse_atom,
+    parse_constraints,
+    parse_program,
+    parse_rule,
+)
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "W", "Long_Name0")])
+constants = st.one_of(
+    st.integers(-50, 50).map(Constant),
+    st.sampled_from(["a", "b", "tok", "newYork"]).map(Constant),
+    st.sampled_from(["Quoted Value", "Hello World"]).map(Constant),
+)
+terms = st.one_of(variables, constants)
+#: Fixed arities so random programs never mix arities per predicate.
+PREDICATE_ARITIES = {"e": 1, "f": 2, "edge": 2, "long_pred2": 3}
+predicates = st.sampled_from(sorted(PREDICATE_ARITIES))
+
+
+@st.composite
+def atoms(draw):
+    predicate = draw(predicates)
+    arity = PREDICATE_ARITIES[predicate]
+    args = tuple(draw(terms) for _ in range(arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def order_atoms(draw):
+    return OrderAtom(draw(terms), draw(st.sampled_from(list(COMPARISONS))), draw(terms))
+
+
+@st.composite
+def safe_rules(draw):
+    """Random safe rules: order/negated vars restricted to positive vars."""
+    positives = draw(st.lists(atoms(), min_size=1, max_size=3))
+    bound = sorted(
+        {v for atom in positives for v in atom.variables()}, key=lambda v: v.name
+    )
+    body = [Literal(a) for a in positives]
+    if bound:
+        bound_terms = st.one_of(st.sampled_from(bound), constants)
+        for _ in range(draw(st.integers(0, 2))):
+            body.append(
+                OrderAtom(
+                    draw(bound_terms),
+                    draw(st.sampled_from(list(COMPARISONS))),
+                    draw(bound_terms),
+                )
+            )
+        if draw(st.booleans()):
+            negated_args = (draw(bound_terms), draw(bound_terms))
+            body.append(Literal(Atom("neg_pred", negated_args), positive=False))
+        head_pool = st.one_of(st.sampled_from(bound), constants)
+        head_args = (draw(head_pool), draw(head_pool))
+    else:
+        head_args = (draw(constants), draw(constants))
+    return Rule(Atom("head_p", head_args), tuple(body))
+
+
+@settings(max_examples=150, deadline=None)
+@given(atoms())
+def test_atom_roundtrip(atom):
+    assert parse_atom(repr(atom)) == atom
+
+
+@settings(max_examples=150, deadline=None)
+@given(safe_rules())
+def test_rule_roundtrip(rule):
+    assert parse_rule(repr(rule)) == rule
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(safe_rules(), min_size=1, max_size=4))
+def test_program_roundtrip(rules):
+    program = Program(rules)
+    assert parse_program(repr(program)).rules == program.rules
+
+
+@settings(max_examples=80, deadline=None)
+@given(safe_rules())
+def test_constraint_roundtrip(rule):
+    from repro.constraints.integrity import IntegrityConstraint
+
+    constraint = IntegrityConstraint(rule.body)
+    parsed = parse_constraints(repr(constraint))
+    assert parsed == [constraint]

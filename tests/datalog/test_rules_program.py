@@ -1,0 +1,148 @@
+"""Unit tests for rules (safety) and programs (structure)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal, OrderAtom
+from repro.datalog.parser import parse_program, parse_rule, parse_rules
+from repro.datalog.program import Program, ProgramError
+from repro.datalog.rules import Rule, UnsafeRuleError, limited_variables
+from repro.datalog.terms import Constant, Substitution, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestSafety:
+    def test_plain_rule_safe(self):
+        assert parse_rule("p(X) :- e(X, Y).").is_safe()
+
+    def test_head_variable_unlimited(self):
+        rule = Rule(Atom("p", (X, Y)), (Literal(Atom("e", (X,))),))
+        assert not rule.is_safe()
+        with pytest.raises(UnsafeRuleError):
+            rule.check_safe()
+
+    def test_negated_variable_unlimited(self):
+        rule = Rule(
+            Atom("p", (X,)),
+            (Literal(Atom("e", (X,))), Literal(Atom("f", (Y,)), positive=False)),
+        )
+        assert not rule.is_safe()
+
+    def test_order_variable_unlimited(self):
+        rule = Rule(Atom("p", (X,)), (Literal(Atom("e", (X,))), OrderAtom(Y, "<", X)))
+        assert not rule.is_safe()
+
+    def test_equality_limits_through_constant(self):
+        rule = parse_rule("p(X) :- X = 5.")
+        assert rule.is_safe()
+
+    def test_equality_chain_limits(self):
+        rule = parse_rule("p(X) :- e(Y), X = Z, Z = Y.")
+        assert rule.is_safe()
+
+    def test_limited_variables_fixpoint(self):
+        body = (OrderAtom(X, "=", Constant(1)), OrderAtom(Y, "=", X))
+        assert limited_variables(body) == {X, Y}
+
+
+class TestRuleViews:
+    def test_partitions_of_body(self):
+        rule = parse_rule("p(X) :- e(X, Y), not f(Y), X < Y.")
+        assert len(rule.positive_literals) == 1
+        assert len(rule.negative_literals) == 1
+        assert len(rule.order_atoms) == 1
+        assert rule.body_predicates() == {"e", "f"}
+
+    def test_rename_apart(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        renamed = rule.rename_apart([X])
+        assert X not in renamed.variables()
+        assert renamed.head.predicate == "p"
+
+    def test_rename_apart_noop_without_clash(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        assert rule.rename_apart([Variable("Other")]) is rule
+
+    def test_with_extra_conditions_dedups(self):
+        rule = parse_rule("p(X) :- e(X, Y), X < Y.")
+        extended = rule.with_extra_conditions([OrderAtom(X, "<", Y), OrderAtom(Y, ">", X)])
+        # X < Y is already present; Y > X is syntactically different, kept.
+        assert len(extended.order_atoms) == 2
+
+    def test_is_fact(self):
+        assert parse_rules("p(1).")[0].is_fact()
+        assert not parse_rule("p(X) :- e(X).").is_fact()
+
+    def test_substitute(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        ground = rule.substitute(Substitution({X: Constant(1), Y: Constant(2)}))
+        assert ground.head.is_ground()
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        program = parse_program("p(X) :- e(X). q(X) :- p(X), f(X).")
+        assert program.idb_predicates == {"p", "q"}
+        assert program.edb_predicates == {"e", "f"}
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p(X) :- e(X). p(X, Y) :- e(X), e(Y).")
+
+    def test_negated_idb_rejected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p(X) :- e(X). q(X) :- e(X), not p(X).")
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p(X) :- e(X).", query="missing")
+
+    def test_recursion_detection(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- e(X, Z), p(Z, Y). q(X) :- p(X, X)."
+        )
+        assert program.is_recursive_predicate("p")
+        assert not program.is_recursive_predicate("q")
+        assert program.is_recursive()
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            "even(X) :- zero(X). even(X) :- succ(Y, X), odd(Y). odd(X) :- succ(Y, X), even(Y)."
+        )
+        assert program.is_recursive_predicate("even")
+        assert program.is_recursive_predicate("odd")
+
+    def test_initialization_rules(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- e(X, Z), p(Z, Y)."
+        )
+        init = program.initialization_rules()
+        assert len(init) == 1
+        assert init[0].body_predicates() == {"e"}
+
+    def test_classification(self):
+        plain = parse_program("p(X) :- e(X).")
+        assert plain.classification() == frozenset()
+        theta = parse_program("p(X) :- e(X), X < 5.")
+        assert theta.classification() == {"theta"}
+        both = parse_program("p(X) :- e(X), X < 5, not f(X).")
+        assert both.classification() == {"theta", "not"}
+
+    def test_relevant_rules(self):
+        program = parse_program(
+            "p(X) :- e(X). q(X) :- p(X). r(X) :- f(X).", query="q"
+        )
+        relevant = program.relevant_rules()
+        assert relevant.idb_predicates == {"p", "q"}
+
+    def test_linear_recursive(self):
+        linear = parse_program("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
+        assert linear.is_linear_recursive()
+        nonlinear = parse_program("t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), t(Z, Y).")
+        assert not nonlinear.is_linear_recursive()
+
+    def test_predicate_info(self):
+        program = parse_program("p(X, Y) :- e(X, Y). p(X, Y) :- e(X, Z), p(Z, Y).")
+        info = program.predicate_info()
+        assert info["p"].is_idb and info["p"].is_recursive and info["p"].arity == 2
+        assert not info["e"].is_idb

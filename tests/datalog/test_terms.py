@@ -1,0 +1,126 @@
+"""Unit tests for terms and substitutions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.terms import (
+    Constant,
+    Substitution,
+    Variable,
+    fresh_variables,
+    is_constant,
+    is_variable,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_repr(self):
+        assert repr(Variable("Abc")) == "Abc"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+        assert Constant("a") != Constant(3)
+
+    def test_repr_lowercase_symbol(self):
+        assert repr(Constant("abc")) == "abc"
+
+    def test_repr_numeric(self):
+        assert repr(Constant(5)) == "5"
+
+    def test_repr_nonsymbol_string_quoted(self):
+        assert repr(Constant("Abc")) == '"Abc"'
+
+    def test_comparable_families(self):
+        assert Constant(1).comparable_with(Constant(2.5))
+        assert Constant("a").comparable_with(Constant("b"))
+        assert not Constant(1).comparable_with(Constant("a"))
+
+    def test_predicates(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("X"))
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant(1))
+
+
+class TestSubstitution:
+    def test_apply_bound_and_unbound(self):
+        theta = Substitution({Variable("X"): Constant(1)})
+        assert theta.apply(Variable("X")) == Constant(1)
+        assert theta.apply(Variable("Y")) == Variable("Y")
+        assert theta.apply(Constant(9)) == Constant(9)
+
+    def test_rejects_bad_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({Constant(1): Constant(2)})  # type: ignore[dict-item]
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(TypeError):
+            Substitution({Variable("X"): "raw"})  # type: ignore[dict-item]
+
+    def test_compose_applies_second_to_images(self):
+        first = Substitution({Variable("X"): Variable("Y")})
+        second = Substitution({Variable("Y"): Constant(7)})
+        composed = first.compose(second)
+        assert composed.apply(Variable("X")) == Constant(7)
+        assert composed.apply(Variable("Y")) == Constant(7)
+
+    def test_compose_keeps_second_only_bindings(self):
+        first = Substitution({Variable("X"): Constant(1)})
+        second = Substitution({Variable("Z"): Constant(2)})
+        composed = first.compose(second)
+        assert composed[Variable("Z")] == Constant(2)
+        assert composed[Variable("X")] == Constant(1)
+
+    def test_extend_and_restrict(self):
+        theta = Substitution().extend(Variable("X"), Constant(1)).extend(
+            Variable("Y"), Constant(2)
+        )
+        restricted = theta.restrict([Variable("X")])
+        assert dict(restricted) == {Variable("X"): Constant(1)}
+
+    def test_is_renaming(self):
+        assert Substitution({Variable("X"): Variable("Y")}).is_renaming()
+        assert not Substitution({Variable("X"): Constant(1)}).is_renaming()
+        assert not Substitution(
+            {Variable("X"): Variable("Z"), Variable("Y"): Variable("Z")}
+        ).is_renaming()
+
+    def test_equality_and_hash(self):
+        a = Substitution({Variable("X"): Constant(1)})
+        b = Substitution({Variable("X"): Constant(1)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.dictionaries(
+        st.sampled_from([Variable(n) for n in "XYZW"]),
+        st.sampled_from([Constant(i) for i in range(4)]),
+    ))
+    def test_mapping_protocol(self, mapping):
+        theta = Substitution(mapping)
+        assert len(theta) == len(mapping)
+        assert dict(theta) == mapping
+
+
+class TestFreshVariables:
+    def test_avoids_collisions(self):
+        stream = fresh_variables("V", avoid=[Variable("V0"), Variable("V2")])
+        assert [next(stream) for _ in range(3)] == [
+            Variable("V1"),
+            Variable("V3"),
+            Variable("V4"),
+        ]
+
+    def test_prefix(self):
+        stream = fresh_variables("Fresh")
+        assert next(stream) == Variable("Fresh0")

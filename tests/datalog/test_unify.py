@@ -1,0 +1,61 @@
+"""Unification and matching tests."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import match_atom, unify_atoms, unify_terms
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestUnifyAtoms:
+    def test_basic(self):
+        theta = unify_atoms(parse_atom("e(X, Y)"), parse_atom("e(a, Z)"))
+        assert theta is not None
+        assert theta.apply(X) == Constant("a")
+        assert theta.apply(Y) == theta.apply(Z)
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(parse_atom("e(X)"), parse_atom("f(X)")) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(parse_atom("e(X)"), parse_atom("e(X, Y)")) is None
+
+    def test_constant_clash(self):
+        assert unify_atoms(parse_atom("e(1, X)"), parse_atom("e(2, Y)")) is None
+
+    def test_repeated_variable_forces_equality(self):
+        theta = unify_atoms(parse_atom("e(X, X)"), parse_atom("e(1, Y)"))
+        assert theta is not None
+        assert theta.apply(X) == Constant(1)
+        assert theta.apply(Y) == Constant(1)
+
+    def test_unification_result_unifies(self):
+        first, second = parse_atom("e(X, Y, X)"), parse_atom("e(Z, 3, W)")
+        theta = unify_atoms(first, second)
+        assert theta is not None
+        assert first.substitute(theta) == second.substitute(theta)
+
+    def test_cross_constant_via_chain(self):
+        assert unify_terms([(X, Constant(1)), (X, Y), (Y, Constant(2))]) is None
+        theta = unify_terms([(X, Constant(1)), (X, Y)])
+        assert theta is not None and theta.apply(Y) == Constant(1)
+
+
+class TestMatchAtom:
+    def test_matching_one_way(self):
+        theta = match_atom(parse_atom("e(X, Y)"), parse_atom("e(1, 2)"))
+        assert theta is not None
+        assert theta.apply(X) == Constant(1)
+
+    def test_target_variables_frozen(self):
+        # X in the target is a frozen name, not unifiable with a constant.
+        assert match_atom(parse_atom("e(1)"), parse_atom("e(X)")) is None
+
+    def test_repeated_pattern_variable(self):
+        assert match_atom(parse_atom("e(X, X)"), parse_atom("e(1, 2)")) is None
+        theta = match_atom(parse_atom("e(X, X)"), parse_atom("e(1, 1)"))
+        assert theta is not None
+
+    def test_pattern_constant_must_match(self):
+        assert match_atom(parse_atom("e(1, X)"), parse_atom("e(2, 3)")) is None

@@ -1,0 +1,102 @@
+"""E8 — the Theorem 5.4 construction: halting as satisfiability.
+
+For a halting machine the encoded run is a consistent EDB on which the
+program derives ``halt``; tampering with the encoding violates the
+ic's; the structural ic's police eq/neq/succ discipline.
+"""
+
+import pytest
+
+from repro.constraints.integrity import database_satisfies, violations
+from repro.datalog.evaluation import evaluate
+from repro.machines.reduction import build_reduction, consistent_database_for
+from repro.machines.two_counter import busy_machine, counting_machine
+
+
+def halts_and_derives(machine):
+    trace = machine.trace_if_halts(500)
+    assert trace is not None
+    artifacts = build_reduction(machine)
+    database = consistent_database_for(machine, trace)
+    consistent = database_satisfies(artifacts.constraints, database)
+    result = evaluate(artifacts.program, database)
+    return consistent, len(result.relation("halt")) > 0, artifacts, database
+
+
+class TestHaltingDirection:
+    def test_counting_machine(self):
+        consistent, halt, _, _ = halts_and_derives(counting_machine(3))
+        assert consistent and halt
+
+    def test_busy_machine(self):
+        consistent, halt, _, _ = halts_and_derives(busy_machine(2))
+        assert consistent and halt
+
+    def test_reach_covers_all_times(self):
+        machine = counting_machine(2)
+        trace = machine.trace_if_halts(100)
+        artifacts = build_reduction(machine)
+        database = consistent_database_for(machine, trace)
+        result = evaluate(artifacts.program, database)
+        assert result.rows("reach") == {(c.time,) for c in trace}
+
+    def test_program_is_not_class_restricted(self):
+        artifacts = build_reduction(counting_machine(1))
+        # The *program* is plain datalog; the ic's carry the negation.
+        assert artifacts.program.classification() == frozenset()
+        assert any(ic.has_negation() for ic in artifacts.constraints)
+
+    def test_constraints_are_not_fully_local(self):
+        """The undecidable fragment: non-local negated atoms are present."""
+        from repro.constraints.locality import is_fully_local
+
+        artifacts = build_reduction(counting_machine(1))
+        assert any(not is_fully_local(ic) for ic in artifacts.constraints)
+
+
+class TestTamperDetection:
+    @pytest.fixture()
+    def setup(self):
+        machine = counting_machine(3)
+        trace = machine.trace_if_halts(100)
+        artifacts = build_reduction(machine)
+        return machine, trace, artifacts
+
+    def _violated(self, artifacts, database):
+        return any(violations(ic, database) for ic in artifacts.constraints)
+
+    def test_wrong_state_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("cnfg", (2, 2, 0, 1))  # state should be 2 at t=2
+        assert self._violated(artifacts, database)
+
+    def test_wrong_counter_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("cnfg", (2, 4, 0, 2))  # counter1 jumped by 2
+        assert self._violated(artifacts, database)
+
+    def test_nonzero_initial_configuration_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("cnfg", (0, 1, 0, 0))
+        assert self._violated(artifacts, database)
+
+    def test_succ_into_zero_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("succ", (3, 0))
+        assert self._violated(artifacts, database)
+
+    def test_missing_domain_entry_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("succ", (98, 99))  # constants outside dom
+        assert self._violated(artifacts, database)
+
+    def test_eq_neq_conflict_detected(self, setup):
+        machine, trace, artifacts = setup
+        database = consistent_database_for(machine, trace)
+        database.add_row("eq", (0, 1))  # 0 = 1 conflicts with neq(0, 1)
+        assert self._violated(artifacts, database)

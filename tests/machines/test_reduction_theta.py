@@ -1,0 +1,95 @@
+"""Theorem 5.3 variant: the {!=}-ic reduction."""
+
+import pytest
+
+from repro.constraints.integrity import database_satisfies, violations
+from repro.constraints.locality import is_fully_local
+from repro.datalog.evaluation import evaluate
+from repro.machines.reduction_theta import build_reduction_theta, theta_database_for
+from repro.machines.two_counter import busy_machine, counting_machine
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    machine = counting_machine(3)
+    trace = machine.trace_if_halts(200)
+    return machine, trace, build_reduction_theta(machine)
+
+
+class TestHaltingDirection:
+    def test_consistent_and_halting(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        assert database_satisfies(art.constraints, database)
+        assert len(evaluate(art.program, database).relation("halt")) > 0
+
+    def test_busy_machine(self):
+        machine = busy_machine(2)
+        trace = machine.trace_if_halts(300)
+        art = build_reduction_theta(machine)
+        database = theta_database_for(machine, trace)
+        assert database_satisfies(art.constraints, database)
+        assert len(evaluate(art.program, database).relation("halt")) > 0
+
+    def test_only_order_atoms_no_negation(self, artifacts):
+        """The Theorem 5.3 class: {!=}-ic's, no negated EDB atoms."""
+        _, _, art = artifacts
+        assert all(not ic.has_negation() for ic in art.constraints)
+        assert any(ic.has_order_atoms() for ic in art.constraints)
+
+    def test_constraints_are_nonlocal(self, artifacts):
+        """The != atoms span different body atoms: the undecidable frontier."""
+        _, _, art = artifacts
+        assert any(not is_fully_local(ic) for ic in art.constraints)
+
+    def test_smaller_than_theorem_54_encoding(self, artifacts):
+        """No dom/eq/neq machinery: fewer ic's and a much smaller EDB."""
+        from repro.machines.reduction import build_reduction, consistent_database_for
+
+        machine, trace, art = artifacts
+        full = build_reduction(machine)
+        assert len(art.constraints) < len(full.constraints)
+        assert theta_database_for(machine, trace).size() < consistent_database_for(
+            machine, trace
+        ).size()
+
+
+class TestTamperDetection:
+    def _violated(self, art, database):
+        return any(violations(ic, database) for ic in art.constraints)
+
+    def test_wrong_state(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("cnfg", (2, 2, 0, 1))
+        assert self._violated(art, database)
+
+    def test_wrong_counter(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("cnfg", (1, 2, 0, 1))
+        assert self._violated(art, database)
+
+    def test_branching_succ(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("succ", (0, 3))
+        assert self._violated(art, database)
+
+    def test_two_zeros(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("zero", (2,))
+        assert self._violated(art, database)
+
+    def test_self_loop_succ(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("succ", (3, 3))
+        assert self._violated(art, database)
+
+    def test_nonzero_initial(self, artifacts):
+        machine, trace, art = artifacts
+        database = theta_database_for(machine, trace)
+        database.add_row("cnfg", (0, 1, 0, 0))
+        assert self._violated(art, database)

@@ -1,0 +1,81 @@
+"""Two-counter machine model and simulator tests."""
+
+import pytest
+
+from repro.machines.two_counter import (
+    DEC,
+    INC,
+    NOP,
+    Configuration,
+    Transition,
+    TwoCounterMachine,
+    busy_machine,
+    counting_machine,
+    looping_machine,
+)
+
+
+class TestModelValidation:
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Transition(0, "bump", NOP)
+
+    def test_halt_state_range(self):
+        with pytest.raises(ValueError):
+            TwoCounterMachine(2, 5, {})
+
+    def test_halt_state_must_be_final(self):
+        with pytest.raises(ValueError):
+            TwoCounterMachine(
+                2, 1, {(1, True, True): Transition(0, NOP, NOP)}
+            )
+
+    def test_transition_state_range(self):
+        with pytest.raises(ValueError):
+            TwoCounterMachine(
+                2, 1, {(0, True, True): Transition(7, NOP, NOP)}
+            )
+
+
+class TestSimulator:
+    def test_counting_machine_trace(self):
+        machine = counting_machine(3)
+        trace = machine.run(100)
+        assert trace[0] == Configuration(0, 0, 0, 0)
+        assert trace[-1].state == machine.halt_state
+        assert trace[-1].counter1 == 3
+
+    def test_halts_decision(self):
+        assert counting_machine(2).halts(100) is True
+        assert looping_machine().halts(50) is None  # runs forever
+        assert busy_machine(3).halts(200) is True
+
+    def test_stuck_machine_detected(self):
+        # A machine whose only transition decrements a zero counter.
+        machine = TwoCounterMachine(
+            2, 1, {(0, True, True): Transition(0, DEC, NOP)}
+        )
+        assert machine.halts(10) is False
+
+    def test_trace_if_halts(self):
+        assert counting_machine(1).trace_if_halts(50) is not None
+        assert looping_machine().trace_if_halts(10) is None
+
+    def test_busy_machine_transfers(self):
+        machine = busy_machine(2)
+        trace = machine.trace_if_halts(200)
+        assert trace is not None
+        # The pump loads counter1 with 2 before transfer.
+        assert max(c.counter1 for c in trace) == 2
+        assert max(c.counter2 for c in trace) == 2
+        # Counters drain through DEC steps.
+        assert any(c.counter1 == 0 and c.counter2 == 2 for c in trace)
+
+    def test_time_strictly_increases(self):
+        trace = busy_machine(2).run(200)
+        times = [c.time for c in trace]
+        assert times == list(range(len(trace)))
+
+    def test_run_respects_budget(self):
+        trace = looping_machine().run(7)
+        assert len(trace) == 8  # initial configuration + 7 steps

@@ -1,0 +1,124 @@
+"""CLI tests: every command end to end via temp files."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+p(X, Y) :- a(X, Y).
+p(X, Y) :- b(X, Y).
+p(X, Y) :- a(X, Z), p(Z, Y).
+p(X, Y) :- b(X, Z), p(Z, Y).
+"""
+
+CONSTRAINTS = ":- a(X, Y), b(Y, Z)."
+
+FACTS = """
+a(3, 4). a(4, 5).
+b(1, 2). b(2, 3).
+"""
+
+BAD_FACTS = FACTS + "\na(2, 1).\n"
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    for name, content in {
+        "program.dl": PROGRAM,
+        "ics.dl": CONSTRAINTS,
+        "facts.dl": FACTS,
+        "bad_facts.dl": BAD_FACTS,
+        "unsat.dl": "q(X) :- a(X, Y), b(Y, Z).",
+        "ucq.dl": "p(X, Y) :- a(X, Z). p(X, Y) :- b(X, Z).",
+    }.items():
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+class TestOptimize:
+    def test_summary(self, files, capsys):
+        assert main(["optimize", files["program.dl"], "--constraints", files["ics.dl"], "--query", "p"]) == 0
+        out = capsys.readouterr().out
+        assert "original rules: 4" in out
+        assert "p_1" in out
+
+    def test_explain(self, files, capsys):
+        assert main([
+            "optimize", files["program.dl"], "--constraints", files["ics.dl"],
+            "--query", "p", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== Adornments ==" in out
+        assert "== Query tree ==" in out
+        assert "== Rewritten program P' ==" in out
+
+    def test_unsatisfiable_program(self, files, capsys):
+        assert main([
+            "optimize", files["unsat.dl"], "--constraints", files["ics.dl"], "--query", "q",
+        ]) == 0
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_query_required(self, files):
+        with pytest.raises(SystemExit):
+            main(["optimize", files["program.dl"], "--constraints", files["ics.dl"]])
+
+
+class TestRun:
+    def test_answers_printed(self, files, capsys):
+        assert main([
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "answers (10):" in out
+        assert "p(1, 5)" in out
+
+    def test_compare(self, files, capsys):
+        assert main([
+            "run", files["program.dl"], "--constraints", files["ics.dl"],
+            "--query", "p", "--data", files["facts.dl"], "--compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "optimized work:" in out
+        assert "answers match" in out
+
+
+class TestCheck:
+    def test_satisfied(self, files, capsys):
+        assert main(["check", files["ics.dl"], "--data", files["facts.dl"]]) == 0
+        assert "satisfied" in capsys.readouterr().out
+
+    def test_violated(self, files, capsys):
+        assert main(["check", files["ics.dl"], "--data", files["bad_facts.dl"]]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestDecisionCommands:
+    def test_satisfiable(self, files, capsys):
+        assert main([
+            "satisfiable", files["program.dl"], "--constraints", files["ics.dl"], "--query", "p",
+        ]) == 0
+        assert "satisfiable" in capsys.readouterr().out
+
+    def test_unsatisfiable(self, files, capsys):
+        assert main([
+            "satisfiable", files["unsat.dl"], "--constraints", files["ics.dl"], "--query", "q",
+        ]) == 1
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_empty(self, files, capsys):
+        assert main(["empty", files["unsat.dl"], "--constraints", files["ics.dl"]]) == 1
+        out = capsys.readouterr().out
+        assert "empty" in out and "initialization rule" in out
+
+    def test_nonempty(self, files, capsys):
+        assert main(["empty", files["program.dl"], "--constraints", files["ics.dl"]]) == 0
+        assert "nonempty" in capsys.readouterr().out
+
+    def test_contained(self, files, capsys):
+        assert main([
+            "contained", files["program.dl"], "--query", "p", "--ucq", files["ucq.dl"],
+        ]) == 0
+        assert "contained" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""CLI --dot flag and machine helper coverage."""
+
+import pytest
+
+from repro.cli import main
+from repro.machines.reduction import _state_chain
+from repro.datalog.terms import Variable
+
+
+class TestDotFlag:
+    def test_dot_file_written(self, tmp_path, capsys):
+        program = tmp_path / "program.dl"
+        program.write_text(
+            """
+            p(X, Y) :- a(X, Y).
+            p(X, Y) :- b(X, Y).
+            p(X, Y) :- a(X, Z), p(Z, Y).
+            p(X, Y) :- b(X, Z), p(Z, Y).
+            """
+        )
+        ics = tmp_path / "ics.dl"
+        ics.write_text(":- a(X, Y), b(Y, Z).")
+        out = tmp_path / "tree.dot"
+        assert main([
+            "optimize", str(program), "--constraints", str(ics),
+            "--query", "p", "--dot", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert text.startswith("digraph querytree {")
+        assert "peripheries=2" in text
+        assert "query tree written" in capsys.readouterr().out
+
+
+class TestStateChain:
+    def test_zero_state(self):
+        chain = _state_chain(0, Variable("S"), "x")
+        assert len(chain) == 1
+        assert chain[0].predicate == "zero"
+        assert chain[0].args == (Variable("S"),)
+
+    def test_positive_state(self):
+        chain = _state_chain(3, Variable("S"), "x")
+        # zero(Z), succ(Z, V1), succ(V1, V2), succ(V2, S)
+        assert len(chain) == 4
+        assert chain[0].predicate == "zero"
+        assert all(item.predicate == "succ" for item in chain[1:])
+        assert chain[-1].args[1] == Variable("S")
+
+    def test_chain_is_connected(self):
+        chain = _state_chain(2, Variable("S"), "k")
+        assert chain[1].args[0] == chain[0].args[0]
+        assert chain[2].args[0] == chain[1].args[1]

@@ -1,0 +1,109 @@
+"""Workload sanity: generated databases are consistent with their ic's,
+scale with parameters, and are deterministic per seed."""
+
+import pytest
+
+from repro.constraints.integrity import database_satisfies
+from repro.datalog.evaluation import evaluate
+from repro.workloads.generators import (
+    ab_database,
+    ab_inconsistent_database,
+    chain_steps,
+    flight_database,
+    good_path_database,
+    good_path_inconsistent_database,
+    same_generation_database,
+)
+from repro.workloads.programs import (
+    ab_transitive_closure,
+    flight_routes,
+    good_path,
+    good_path_order_constraints,
+    same_generation,
+)
+
+
+class TestChainSteps:
+    def test_length_and_monotonicity(self):
+        steps = chain_steps(5, start=10)
+        assert len(steps) == 5
+        assert all(left < right for left, right in steps)
+        assert steps[0] == (10, 11)
+
+    def test_stride(self):
+        assert chain_steps(2, start=0, stride=3) == [(0, 3), (3, 6)]
+
+
+class TestGoodPathWorkload:
+    def test_consistent_with_all_constraint_sets(self):
+        db = good_path_database(seed=3)
+        _, plain = good_path()
+        _, ordered = good_path_order_constraints()
+        assert database_satisfies(plain, db)
+        assert database_satisfies(ordered, db)
+
+    def test_query_nonempty(self):
+        program, _ = good_path()
+        db = good_path_database(seed=0)
+        assert evaluate(program, db).query_rows()
+
+    def test_inconsistent_variant(self):
+        _, ordered = good_path_order_constraints()
+        assert not database_satisfies(ordered, good_path_inconsistent_database())
+
+    def test_deterministic(self):
+        first = good_path_database(seed=7)
+        second = good_path_database(seed=7)
+        assert first.relation("step").rows() == second.relation("step").rows()
+
+    def test_scales(self):
+        small = good_path_database(num_chains=2, chain_length=5)
+        large = good_path_database(num_chains=6, chain_length=30)
+        assert large.size() > small.size()
+
+
+class TestAbWorkload:
+    def test_consistent(self):
+        _, constraints = ab_transitive_closure()
+        assert database_satisfies(constraints, ab_database(seed=5))
+
+    def test_inconsistent_variant(self):
+        _, constraints = ab_transitive_closure()
+        assert not database_satisfies(constraints, ab_inconsistent_database())
+
+    def test_has_mixed_paths(self):
+        program, _ = ab_transitive_closure()
+        db = ab_database(num_b=10, num_a=10, seed=1)
+        rows = evaluate(program, db).query_rows()
+        # Some path crosses from the b-zone into the a-zone.
+        assert any(x < 10 and y > 10 for x, y in rows)
+
+
+class TestSameGenerationWorkload:
+    def test_consistent(self):
+        _, constraints = same_generation()
+        assert database_satisfies(constraints, same_generation_database())
+
+    def test_tree_shape(self):
+        db = same_generation_database(depth=3, fanout=2)
+        # Complete binary trees of depth 3: 15 nodes each side.
+        assert len(db.relation("leftTree")) == 15
+        assert len(db.relation("rightTree")) == 15
+        assert len(db.relation("parent")) == 28
+
+
+class TestFlightWorkload:
+    def test_consistent(self):
+        _, constraints = flight_routes()
+        assert database_satisfies(constraints, flight_database(seed=2))
+
+    def test_a_segments_avoid_hub_arrivals(self):
+        db = flight_database(seed=0, hubs=(0, 1))
+        for row in db.relation("segment_a", 3):
+            assert row[1] not in (0, 1)
+
+    def test_fares_positive(self):
+        db = flight_database(seed=0)
+        for pred in ("segment_a", "segment_b"):
+            for row in db.relation(pred, 3):
+                assert row[2] > 0
