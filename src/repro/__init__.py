@@ -20,6 +20,14 @@ from .core import (
     optimize,
     program_contained_in_ucq,
 )
+from .magic import (
+    MagicProgram,
+    PipelineReport,
+    assert_equivalent,
+    check_equivalence,
+    magic_transform,
+    run_pipeline,
+)
 from .datalog import (
     Atom,
     Constant,
@@ -48,6 +56,12 @@ __all__ = [
     "is_satisfiable",
     "optimize",
     "program_contained_in_ucq",
+    "MagicProgram",
+    "PipelineReport",
+    "assert_equivalent",
+    "check_equivalence",
+    "magic_transform",
+    "run_pipeline",
     "Atom",
     "Constant",
     "Database",

@@ -5,6 +5,8 @@ Commands
 
 ``optimize``     rewrite a program to incorporate its constraints
 ``run``          evaluate a program (optionally optimized) over facts
+``magic``        magic-sets transformation for a bound query atom
+``pipeline``     chain the semantic rewrite and magic sets (either order)
 ``check``        check a fact base against integrity constraints
 ``satisfiable``  decide satisfiability of the query predicate
 ``empty``        decide program emptiness (Proposition 5.2)
@@ -18,6 +20,9 @@ Examples::
 
     python -m repro optimize program.dl --constraints ics.dl --query goodPath --explain
     python -m repro run program.dl --constraints ics.dl --query p --data facts.dl --compare
+    python -m repro magic program.dl --goal 'p(1, Y)' --data facts.dl --compare
+    python -m repro pipeline program.dl --constraints ics.dl --goal 'p(1, Y)' \
+        --order magic-first --data facts.dl --compare
     python -m repro check ics.dl --data facts.dl
     python -m repro satisfiable program.dl --constraints ics.dl --query p
     python -m repro contained program.dl --query t --ucq queries.dl
@@ -38,8 +43,11 @@ from .core.rewrite import optimize
 from .cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
 from .datalog.database import Database
 from .datalog.evaluation import evaluate
-from .datalog.parser import parse_constraints, parse_facts, parse_program, parse_rules
+from .datalog.parser import parse_atom, parse_constraints, parse_facts, parse_program, parse_rules
 from .datalog.program import Program
+from .magic import check_equivalence, get_sips, magic_transform, run_pipeline
+from .magic.pipeline import PIPELINE_ORDERS
+from .magic.sips import STRATEGIES
 
 __all__ = ["main"]
 
@@ -115,6 +123,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_goal(args: argparse.Namespace):
+    try:
+        return parse_atom(args.goal)
+    except Exception as exc:
+        raise SystemExit(f"error: cannot parse --goal {args.goal!r}: {exc}")
+
+
+def _print_work(label: str, stats) -> None:
+    print(
+        f"{label}: {stats.probes} probes, {stats.rows_scanned} rows scanned, "
+        f"{stats.facts_derived} facts derived"
+    )
+
+
+def _cmd_magic(args: argparse.Namespace) -> int:
+    goal = _load_goal(args)
+    program = parse_program(_read(args.program), query=goal.predicate)
+    mp = magic_transform(program, goal, sips=get_sips(args.sips))
+    print(mp.summary())
+    print()
+    print(mp.program)
+    if args.data:
+        database = _load_database(args.data)
+        check = check_equivalence(program, mp, goal, database)
+        print(f"\nanswers ({len(check.transformed_answers)}):")
+        for row in sorted(check.transformed_answers, key=repr):
+            print(f"  {goal.predicate}{row!r}")
+        _print_work("magic work", check.transformed_stats)
+        if args.compare:
+            _print_work("original work", check.original_stats)
+            print("answers match" if check.equivalent else "answers DIFFER")
+            return 0 if check.equivalent else 1
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    goal = _load_goal(args)
+    program = parse_program(_read(args.program), query=goal.predicate)
+    constraints = _load_constraints(args)
+    report = run_pipeline(
+        program, constraints, goal, order=args.order, sips=get_sips(args.sips)
+    )
+    print(report.summary())
+    print()
+    if report.program is None:
+        print("% query unsatisfiable: the pipeline produced an empty program")
+    else:
+        print(report.program)
+    if args.data:
+        database = _load_database(args.data)
+        check = check_equivalence(program, report, goal, database)
+        print(f"\nanswers ({len(check.transformed_answers)}):")
+        for row in sorted(check.transformed_answers, key=repr):
+            print(f"  {goal.predicate}{row!r}")
+        _print_work("pipeline work", check.transformed_stats)
+        if args.compare:
+            _print_work("original work", check.original_stats)
+            print(
+                "answers match"
+                if check.equivalent
+                else "answers DIFFER — is the database consistent?"
+            )
+            return 0 if check.equivalent else 1
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     constraints = parse_constraints(_read(args.constraints_file))
     database = _load_database(args.data)
@@ -187,6 +261,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true", help="also run the optimized program"
     )
     cmd.set_defaults(func=_cmd_run)
+
+    cmd = sub.add_parser("magic", help="magic-sets transformation for a bound query atom")
+    cmd.add_argument("program", help="program file (Datalog rules)")
+    cmd.add_argument("--goal", required=True, help="query atom, e.g. 'p(1, Y)'")
+    cmd.add_argument(
+        "--sips", default="left-to-right", choices=sorted(STRATEGIES),
+        help="sideways information passing strategy",
+    )
+    cmd.add_argument("--data", help="fact file (evaluate the magic program)")
+    cmd.add_argument(
+        "--compare", action="store_true",
+        help="also evaluate the original program and compare answers",
+    )
+    cmd.set_defaults(func=_cmd_magic)
+
+    cmd = sub.add_parser(
+        "pipeline", help="semantic rewrite + magic sets, chained in either order"
+    )
+    cmd.add_argument("program", help="program file (Datalog rules)")
+    cmd.add_argument("--constraints", help="integrity constraint file")
+    cmd.add_argument("--goal", required=True, help="query atom, e.g. 'p(1, Y)'")
+    cmd.add_argument(
+        "--order", default="semantic-first", choices=PIPELINE_ORDERS,
+        help="stage ordering",
+    )
+    cmd.add_argument(
+        "--sips", default="left-to-right", choices=sorted(STRATEGIES),
+        help="sideways information passing strategy",
+    )
+    cmd.add_argument("--data", help="fact file (evaluate the final program)")
+    cmd.add_argument(
+        "--compare", action="store_true",
+        help="also evaluate the original program and compare answers",
+    )
+    cmd.set_defaults(func=_cmd_pipeline)
 
     cmd = sub.add_parser("check", help="check facts against constraints")
     cmd.add_argument("constraints_file", help="integrity constraint file")

@@ -59,6 +59,33 @@ class EvaluationStats:
         self.facts_derived += other.facts_derived
         self.iterations += other.iterations
 
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (benchmark ``extra_info`` payloads)."""
+        return {
+            "rule_firings": self.rule_firings,
+            "probes": self.probes,
+            "rows_scanned": self.rows_scanned,
+            "facts_derived": self.facts_derived,
+            "iterations": self.iterations,
+        }
+
+    def compare(self, other: "EvaluationStats") -> dict[str, float]:
+        """Per-counter ratios ``other / self`` (1.0 when both are zero).
+
+        The benchmarks report these as work ratios of a transformed
+        program against its baseline: a ratio below 1.0 on
+        ``facts_derived`` means the transformation derived fewer facts.
+        """
+        ratios: dict[str, float] = {}
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        for key, value in mine.items():
+            if value == 0:
+                ratios[key] = 1.0 if theirs[key] == 0 else float("inf")
+            else:
+                ratios[key] = theirs[key] / value
+        return ratios
+
 
 #: A ground fact key: (predicate, row of values).
 Fact = tuple[str, Row]

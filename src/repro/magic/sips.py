@@ -1,0 +1,184 @@
+"""Sideways information passing strategies (SIPS) over rule bodies.
+
+A SIPS decides, for one rule evaluated under a head binding pattern,
+the order in which body items are processed — and therefore which
+bindings "pass sideways" into each subgoal.  The adornment propagation
+(:mod:`repro.magic.adorn`) and the magic transformation
+(:mod:`repro.magic.transform`) both follow the same strategy, so the
+demand the magic predicates compute matches what a top-down engine
+using that strategy would actually ask.
+
+A strategy is a plain callable ``(rule, bound) -> tuple[BodyItem, ...]``
+returning a permutation of ``rule.body``, where ``bound`` is the set of
+head variables bound by the adornment.  Two strategies ship by default:
+
+* :func:`left_to_right` — the textbook default: body items keep their
+  declared order;
+* :func:`most_bound_first` — greedy: always pick next the positive
+  literal with the most bound argument positions (mirroring the
+  engine's own join planner), pulling filters forward as soon as they
+  are evaluable.
+
+Binding propagation through a body prefix is shared here as
+:func:`bound_after` / :func:`binding_profile`: positive literals bind
+their variables, ``=`` order atoms propagate bindings across the
+equality, and other filters bind nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Sequence
+
+from ..datalog.atoms import BodyItem, Literal, OrderAtom
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable, is_variable
+
+__all__ = [
+    "SipsStrategy",
+    "STRATEGIES",
+    "get_sips",
+    "left_to_right",
+    "most_bound_first",
+    "bound_after",
+    "binding_profile",
+    "check_permutation",
+]
+
+#: A SIPS: ``(rule, bound head variables) -> body permutation``.
+SipsStrategy = Callable[[Rule, frozenset], tuple[BodyItem, ...]]
+
+
+def bound_after(item: BodyItem, bound: frozenset) -> frozenset:
+    """The bound-variable set after processing ``item`` with ``bound`` held.
+
+    Positive literals bind all their variables; an ``=`` order atom
+    propagates a binding from a bound (or constant) side to a variable
+    on the other side; negated literals and non-equality order atoms
+    are pure filters and bind nothing.
+    """
+    if isinstance(item, Literal):
+        if item.positive:
+            return bound | item.variables()
+        return bound
+    if isinstance(item, OrderAtom) and item.op == "=":
+        extra: set[Variable] = set()
+        left_held = isinstance(item.left, Constant) or item.left in bound
+        right_held = isinstance(item.right, Constant) or item.right in bound
+        if left_held and is_variable(item.right):
+            extra.add(item.right)  # type: ignore[arg-type]
+        if right_held and is_variable(item.left):
+            extra.add(item.left)  # type: ignore[arg-type]
+        if extra:
+            return bound | extra
+    return bound
+
+
+def binding_profile(
+    body: Sequence[BodyItem], bound: frozenset
+) -> list[frozenset]:
+    """The bound-variable set *before* each item of ``body`` in order."""
+    profile: list[frozenset] = []
+    current = frozenset(bound)
+    for item in body:
+        profile.append(current)
+        current = bound_after(item, current)
+    return profile
+
+
+def _evaluable(item: BodyItem, bound: frozenset) -> bool:
+    """Whether a filter can run (or an ``=`` atom can bind) at this point."""
+    if isinstance(item, OrderAtom) and item.op == "=":
+        left_held = isinstance(item.left, Constant) or item.left in bound
+        right_held = isinstance(item.right, Constant) or item.right in bound
+        return left_held or right_held
+    return item.variables() <= bound
+
+
+def left_to_right(rule: Rule, bound: frozenset) -> tuple[BodyItem, ...]:
+    """The default SIPS: process the body in its declared order."""
+    return rule.body
+
+
+def most_bound_first(rule: Rule, bound: frozenset) -> tuple[BodyItem, ...]:
+    """Greedy SIPS mirroring the engine's join planner.
+
+    Positive literals are picked by the number of bound argument
+    positions (ties broken toward fewer fresh variables, then declared
+    order); filters and binding ``=`` atoms are flushed into the order
+    as soon as they become evaluable.
+    """
+    current: frozenset = frozenset(bound)
+    ordered: list[BodyItem] = []
+    positives: list[tuple[int, Literal]] = []
+    others: list[BodyItem] = []
+    for index, item in enumerate(rule.body):
+        if isinstance(item, Literal) and item.positive:
+            positives.append((index, item))
+        else:
+            others.append(item)
+
+    def flush() -> None:
+        nonlocal current
+        progressing = True
+        while progressing:
+            progressing = False
+            for item in list(others):
+                if _evaluable(item, current):
+                    ordered.append(item)
+                    others.remove(item)
+                    current = bound_after(item, current)
+                    progressing = True
+
+    flush()
+    while positives:
+        best = max(
+            positives,
+            key=lambda pair: (
+                sum(
+                    1
+                    for arg in pair[1].args
+                    if isinstance(arg, Constant) or arg in current
+                ),
+                -len(pair[1].variables() - current),
+                -pair[0],
+            ),
+        )
+        positives.remove(best)
+        ordered.append(best[1])
+        current = bound_after(best[1], current)
+        flush()
+    # Safety of the rule guarantees all filters are evaluable by now;
+    # keep any stragglers in declared order so the result stays a
+    # permutation even for unsafe intermediate rules.
+    ordered.extend(others)
+    return tuple(ordered)
+
+
+#: The registry of named strategies (CLI ``--sips`` values).
+STRATEGIES: dict[str, SipsStrategy] = {
+    "left-to-right": left_to_right,
+    "most-bound": most_bound_first,
+}
+
+
+def get_sips(name: str) -> SipsStrategy:
+    """Look up a strategy by registry name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown SIPS strategy {name!r} (known: {known})") from None
+
+
+def check_permutation(rule: Rule, order: Sequence[BodyItem]) -> tuple[BodyItem, ...]:
+    """Validate that ``order`` is a permutation of ``rule.body``.
+
+    Raised errors name the rule so a misbehaving pluggable strategy is
+    easy to track down.
+    """
+    if Counter(order) != Counter(rule.body):
+        raise ValueError(
+            f"SIPS returned an invalid body permutation for rule {rule}: {list(order)}"
+        )
+    return tuple(order)

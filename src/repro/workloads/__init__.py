@@ -8,6 +8,9 @@ from .generators import (
     good_path_bidirectional_database,
     good_path_database,
     good_path_inconsistent_database,
+    random_database,
+    random_program,
+    random_workload,
     same_generation_database,
     taint_database,
 )
@@ -28,6 +31,9 @@ __all__ = [
     "good_path_bidirectional_database",
     "good_path_database",
     "good_path_inconsistent_database",
+    "random_database",
+    "random_program",
+    "random_workload",
     "same_generation_database",
     "taint_database",
     "ab_transitive_closure",

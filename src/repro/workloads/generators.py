@@ -11,7 +11,11 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from ..datalog.atoms import Atom
 from ..datalog.database import Database
+from ..datalog.parser import parse_rule
+from ..datalog.program import Program
+from ..datalog.terms import Constant, Variable
 
 __all__ = [
     "chain_steps",
@@ -21,6 +25,9 @@ __all__ = [
     "ab_inconsistent_database",
     "same_generation_database",
     "flight_database",
+    "random_program",
+    "random_database",
+    "random_workload",
 ]
 
 
@@ -228,6 +235,87 @@ def taint_database(
         if origin != target:
             db.add_row("flow", (origin, target))
     return db
+
+
+def random_program(
+    seed: int, *, num_idb: int = 3, extra_rules: int = 2
+) -> Program:
+    """A seeded random recursive Datalog program with query ``q``.
+
+    IDB predicates ``p0 .. p{num_idb-1}`` are layered (rules for ``pi``
+    only use ``pj`` with ``j <= i``, so every program is well-founded
+    yet may be linearly or non-linearly recursive), built over binary
+    EDB relations ``e0``/``e1`` and unary ``mark``/``blocked``.  Rule
+    shapes are drawn from base rules (optionally filtered by an order
+    atom or a negated EDB literal) and left/right-linear and nonlinear
+    recursive rules.  The distinguished query ``q`` projects the last
+    layer, optionally guarded by ``mark``.
+
+    Used as the search space for the engine-agreement and
+    magic-equivalence property tests.
+    """
+    rng = random.Random(seed)
+    rules = []
+
+    def edge() -> str:
+        return rng.choice(("e0", "e1"))
+
+    def base_rule(head: str) -> str:
+        filters = rng.choice(("", "", ", X < Y", ", not blocked(X)", ", mark(X)"))
+        return f"{head}(X, Y) :- {edge()}(X, Y){filters}."
+
+    def recursive_rule(head: str, layer: int) -> str:
+        lower = f"p{rng.randrange(layer + 1)}"
+        shape = rng.randrange(3)
+        if shape == 0:
+            return f"{head}(X, Y) :- {edge()}(X, Z), {lower}(Z, Y)."
+        if shape == 1:
+            return f"{head}(X, Y) :- {lower}(X, Z), {edge()}(Z, Y)."
+        other = f"p{rng.randrange(layer + 1)}"
+        return f"{head}(X, Y) :- {lower}(X, Z), {other}(Z, Y)."
+
+    for layer in range(num_idb):
+        head = f"p{layer}"
+        rules.append(base_rule(head))
+        if layer or rng.random() < 0.5:
+            rules.append(recursive_rule(head, layer))
+    for _ in range(extra_rules):
+        layer = rng.randrange(num_idb)
+        rules.append(recursive_rule(f"p{layer}", layer))
+    guard = ", mark(X)" if rng.random() < 0.3 else ""
+    rules.append(f"q(X, Y) :- p{num_idb - 1}(X, Y){guard}.")
+    return Program([parse_rule(text) for text in rules], query="q")
+
+
+def random_database(seed: int, *, nodes: int = 12, edges: int = 24) -> Database:
+    """A seeded random EDB for :func:`random_program`."""
+    rng = random.Random(seed)
+    db = Database()
+    for predicate in ("e0", "e1"):
+        for _ in range(edges):
+            left = rng.randrange(nodes)
+            right = rng.randrange(nodes)
+            db.add_row(predicate, (left, right))
+    for node in rng.sample(range(nodes), max(1, nodes // 3)):
+        db.add_row("mark", (node,))
+    for node in rng.sample(range(nodes), max(1, nodes // 4)):
+        db.add_row("blocked", (node,))
+    return db
+
+
+def random_workload(
+    seed: int, *, nodes: int = 12, edges: int = 24
+) -> tuple[Program, Database, Atom]:
+    """A random program, a matching EDB, and a bound query atom.
+
+    The query atom binds the first argument of ``q`` to a node constant
+    (so magic sets have demand to exploit) and leaves the second free.
+    """
+    program = random_program(seed)
+    database = random_database(seed + 1, nodes=nodes, edges=edges)
+    rng = random.Random(seed + 2)
+    query_atom = Atom("q", (Constant(rng.randrange(nodes)), Variable("Y")))
+    return program, database, query_atom
 
 
 def flight_database(

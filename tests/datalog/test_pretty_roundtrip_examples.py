@@ -1,0 +1,72 @@
+"""Satellite round-trip: ``parse(pretty(program)) == program`` for every
+program an example script or workload factory produces."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.pretty import format_program
+from repro.datalog.program import Program
+from repro.workloads import (
+    ab_transitive_closure,
+    flight_routes,
+    good_path,
+    good_path_order_constraints,
+    random_program,
+    same_generation,
+    taint_analysis,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FACTORIES = {
+    "ab": ab_transitive_closure,
+    "flight": flight_routes,
+    "goodPath": good_path,
+    "goodPathOrder": good_path_order_constraints,
+    "sg": same_generation,
+    "taint": taint_analysis,
+}
+
+
+def _module_programs(path):
+    """Import an example script and harvest module-level Programs."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return [
+        value for value in vars(module).values() if isinstance(value, Program)
+    ]
+
+
+def _assert_roundtrip(program):
+    text = format_program(program)
+    reparsed = parse_program(text, query=program.query)
+    assert reparsed.rules == program.rules
+    assert reparsed.query == program.query
+
+
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES_DIR.glob("*.py")), ids=lambda p: p.stem
+)
+def test_example_scripts_roundtrip(path):
+    programs = _module_programs(path)
+    for program in programs:
+        _assert_roundtrip(program)
+
+
+def test_quickstart_defines_a_module_level_program():
+    assert _module_programs(EXAMPLES_DIR / "quickstart.py")
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES), ids=str)
+def test_workload_programs_roundtrip(name):
+    program, _ = FACTORIES[name]()
+    _assert_roundtrip(program)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_programs_roundtrip(seed):
+    _assert_roundtrip(random_program(seed))

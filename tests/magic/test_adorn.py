@@ -1,0 +1,110 @@
+"""Binding-pattern adornment: patterns, propagation, naming."""
+
+import pytest
+
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.terms import Variable
+from repro.magic.adorn import (
+    adorn_program,
+    adorned_name,
+    adornment_of,
+    bound_args,
+    bound_variables,
+)
+from repro.magic.sips import most_bound_first
+
+TC = """
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+"""
+
+
+class TestAdornmentOf:
+    def test_constants_are_bound(self):
+        assert adornment_of(parse_atom("p(1, Y)"), frozenset()) == "bf"
+
+    def test_bound_variables_are_bound(self):
+        atom = parse_atom("p(X, Y)")
+        assert adornment_of(atom, frozenset({Variable("X")})) == "bf"
+        assert adornment_of(atom, frozenset({Variable("X"), Variable("Y")})) == "bb"
+
+    def test_all_free(self):
+        assert adornment_of(parse_atom("p(X, Y)"), frozenset()) == "ff"
+
+    def test_helpers(self):
+        atom = parse_atom("p(1, Y)")
+        assert adorned_name("p", "bf") == "p__bf"
+        assert bound_args(atom, "bf") == (atom.args[0],)
+        assert bound_variables(atom, "bf") == frozenset()
+        assert bound_variables(parse_atom("p(X, Y)"), "bf") == {Variable("X")}
+
+
+class TestAdornProgram:
+    def test_transitive_closure_bf(self):
+        program = parse_program(TC, query="p")
+        adorned = adorn_program(program, parse_atom("p(1, Y)"))
+        assert adorned.adorned_query == "p__bf"
+        assert adorned.query_adornment == "bf"
+        assert adorned.patterns() == {"p": ("bf",)}
+        texts = {repr(rule) for rule in adorned.program.rules}
+        assert texts == {
+            "p__bf(X, Y) :- e(X, Y).",
+            "p__bf(X, Y) :- e(X, Z), p__bf(Z, Y).",
+        }
+
+    def test_right_recursion_spawns_free_pattern(self):
+        # With left-to-right SIPS, p(Z, Y) before e binds nothing: ff.
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), e(Z, Y).", query="p"
+        )
+        adorned = adorn_program(program, parse_atom("p(X, 9)"))
+        assert adorned.query_adornment == "fb"
+        assert adorned.patterns() == {"p": ("fb", "ff")}
+
+    def test_most_bound_sips_changes_subgoal_adornment(self):
+        program = parse_program(
+            "q(X, Y) :- p(Z, Y), e(X, Z). p(X, Y) :- f(X, Y).", query="q"
+        )
+        left = adorn_program(program, parse_atom("q(1, Y)"))
+        assert left.patterns()["p"] == ("ff",)
+        greedy = adorn_program(
+            program, parse_atom("q(1, Y)"), sips=most_bound_first
+        )
+        # e(X, Z) runs first under the greedy SIPS, binding Z for p.
+        assert greedy.patterns()["p"] == ("bf",)
+
+    def test_idb_subgoal_records(self):
+        program = parse_program(TC, query="p")
+        adorned = adorn_program(program, parse_atom("p(1, Y)"))
+        recursive = [ar for ar in adorned.rules if ar.idb_subgoals]
+        assert len(recursive) == 1
+        ((index, predicate, pattern),) = recursive[0].idb_subgoals
+        assert (predicate, pattern) == ("p", "bf")
+        assert recursive[0].rule.body[index].predicate == "p__bf"
+
+    def test_name_collision_avoided(self):
+        program = parse_program(
+            "p__bf(X) :- e(X, X). p(X, Y) :- e(X, Y), p__bf(Y).", query="p"
+        )
+        adorned = adorn_program(program, parse_atom("p(1, Y)"))
+        names = set(adorned.names.values())
+        assert "p__bf" not in names  # taken by the user's own predicate
+        assert adorned.name_of("p", "bf").startswith("p__bf")
+
+    def test_non_idb_query_atom_rejected(self):
+        program = parse_program(TC, query="p")
+        with pytest.raises(ValueError, match="IDB predicate"):
+            adorn_program(program, parse_atom("e(1, Y)"))
+
+    def test_arity_mismatch_rejected(self):
+        program = parse_program(TC, query="p")
+        with pytest.raises(ValueError, match="arity"):
+            adorn_program(program, parse_atom("p(1)"))
+
+    def test_filters_preserved_in_adorned_bodies(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y), X < Y, not blocked(X).", query="p"
+        )
+        adorned = adorn_program(program, parse_atom("p(1, Y)"))
+        (rule,) = adorned.program.rules
+        assert repr(rule) == "p__bf(X, Y) :- e(X, Y), X < Y, not blocked(X)."

@@ -1,0 +1,94 @@
+"""CLI coverage for the ``magic`` and ``pipeline`` commands."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+"""
+
+CONSTRAINTS = ":- e(X, Y), blocked(X)."
+
+FACTS = "e(1, 2). e(2, 3). e(10, 11)."
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    for name, content in {
+        "program.dl": PROGRAM,
+        "ics.dl": CONSTRAINTS,
+        "facts.dl": FACTS,
+    }.items():
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+class TestMagicCommand:
+    def test_summary_and_program(self, files, capsys):
+        assert main(["magic", files["program.dl"], "--goal", "p(1, Y)"]) == 0
+        out = capsys.readouterr().out
+        assert "m_p__bf(1)" in out
+        assert "p__bf(X, Y) :- m_p__bf(X), e(X, Y)." in out
+
+    def test_answers_and_compare(self, files, capsys):
+        assert main([
+            "magic", files["program.dl"], "--goal", "p(1, Y)",
+            "--data", files["facts.dl"], "--compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "answers (2):" in out
+        assert "p(1, 2)" in out and "p(1, 3)" in out
+        assert "magic work:" in out
+        assert "original work:" in out
+        assert "answers match" in out
+
+    def test_sips_flag(self, files, capsys):
+        assert main([
+            "magic", files["program.dl"], "--goal", "p(1, Y)",
+            "--sips", "most-bound",
+        ]) == 0
+        assert "m_p__bf(1)" in capsys.readouterr().out
+
+    def test_bad_goal_exits(self, files):
+        with pytest.raises(SystemExit, match="cannot parse --goal"):
+            main(["magic", files["program.dl"], "--goal", "p(1,"])
+
+
+class TestPipelineCommand:
+    @pytest.mark.parametrize(
+        "order", ["semantic-first", "magic-first", "magic-only", "semantic-only"]
+    )
+    def test_orders_compare_clean(self, files, capsys, order):
+        assert main([
+            "pipeline", files["program.dl"], "--constraints", files["ics.dl"],
+            "--goal", "p(1, Y)", "--order", order,
+            "--data", files["facts.dl"], "--compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"pipeline order: {order}" in out
+        assert "answers match" in out
+
+    def test_no_constraints_defaults_to_magic_pruning(self, files, capsys):
+        assert main([
+            "pipeline", files["program.dl"], "--goal", "p(10, Y)",
+            "--data", files["facts.dl"],
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "answers (1):" in out
+        assert "p(10, 11)" in out
+
+    def test_unsatisfiable_query(self, files, tmp_path, capsys):
+        unsat = tmp_path / "unsat.dl"
+        unsat.write_text("q(X) :- s(X), bad(X).")
+        ics = tmp_path / "unsat_ics.dl"
+        ics.write_text(":- s(X), bad(X).")
+        assert main([
+            "pipeline", str(unsat), "--constraints", str(ics), "--goal", "q(1)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "query unsatisfiable" in out

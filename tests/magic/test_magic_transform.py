@@ -1,0 +1,156 @@
+"""The magic transformation: shape of the output and answer preservation."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_atom, parse_facts, parse_program
+from repro.datalog.program import Program
+from repro.magic import assert_equivalent, magic_transform, match_query_atom
+
+TC = """
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+"""
+
+# A short chain plus a disconnected longer one that bound queries on
+# the short chain should never explore.
+CHAIN = Database(
+    parse_facts(
+        "e(1, 2). e(2, 3). e(3, 4). "
+        + " ".join(f"e({i}, {i + 1})." for i in range(10, 20))
+    )
+)
+
+
+class TestShape:
+    def test_transitive_closure_bf(self):
+        program = parse_program(TC, query="p")
+        mp = magic_transform(program, parse_atom("p(1, Y)"))
+        texts = {repr(rule) for rule in mp.program.rules}
+        assert texts == {
+            "m_p__bf(1).",
+            "p__bf(X, Y) :- m_p__bf(X), e(X, Y).",
+            "m_p__bf(Z) :- m_p__bf(X), e(X, Z).",
+            "p__bf(X, Y) :- m_p__bf(X), e(X, Z), p__bf(Z, Y).",
+        }
+        assert mp.answer_predicate == "p__bf"
+        assert repr(mp.seed) == "m_p__bf(1)."
+
+    def test_all_free_query_gets_nullary_seed(self):
+        program = parse_program(TC, query="p")
+        mp = magic_transform(program, parse_atom("p(X, Y)"))
+        assert mp.seed.head.arity == 0
+        assert repr(mp.seed) == "m_p__ff()."
+
+    def test_magic_program_is_valid(self):
+        program = parse_program(TC, query="p")
+        mp = magic_transform(program, parse_atom("p(1, Y)"))
+        # Re-validating must succeed: safe rules, EDB-only negation.
+        Program(mp.program.rules, mp.program.query)
+
+    def test_filters_stay_in_guarded_rules(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y), X < Y, not blocked(X).", query="p"
+        )
+        mp = magic_transform(program, parse_atom("p(1, Y)"))
+        guarded = [r for r in mp.program.rules if r.head.predicate == "p__bf"]
+        assert len(guarded) == 1
+        assert repr(guarded[0]) == (
+            "p__bf(X, Y) :- m_p__bf(X), e(X, Y), X < Y, not blocked(X)."
+        )
+
+    def test_evaluable_filter_enters_magic_prefix(self):
+        program = parse_program(
+            """
+            q(X, Y) :- s(X), X < 100, p(X, Y).
+            p(X, Y) :- e(X, Y).
+            """,
+            query="q",
+        )
+        mp = magic_transform(program, parse_atom("q(1, Y)"))
+        (magic_rule,) = [
+            r for r in mp.program.rules if r.head.predicate == "m_p__bf"
+        ]
+        assert repr(magic_rule) == "m_p__bf(X) :- m_q__bf(X), s(X), X < 100."
+
+    def test_unevaluable_filter_dropped_from_magic_prefix(self):
+        # Y is free in the prefix, so the filter cannot gate demand.
+        program = parse_program(
+            """
+            q(X) :- s(X), p(X, Y), X < Y.
+            p(X, Y) :- e(X, Y).
+            """,
+            query="q",
+        )
+        mp = magic_transform(program, parse_atom("q(1)"))
+        (magic_rule,) = [
+            r for r in mp.program.rules if r.head.predicate == "m_p__bf"
+        ]
+        assert repr(magic_rule) == "m_p__bf(X) :- m_q__b(X), s(X)."
+
+    def test_negation_stays_edb_only(self):
+        program = parse_program(
+            """
+            q(X) :- s(X), p(X, Y), not blocked(Y).
+            p(X, Y) :- e(X, Y).
+            """,
+            query="q",
+        )
+        mp = magic_transform(program, parse_atom("q(1)"))
+        idb = mp.program.idb_predicates
+        for rule in mp.program.rules:
+            for literal in rule.negative_literals:
+                assert literal.predicate not in idb
+
+
+class TestAnswers:
+    def test_bound_query_restricts_derivations(self):
+        program = parse_program(TC, query="p")
+        query_atom = parse_atom("p(1, Y)")
+        mp = magic_transform(program, query_atom)
+        check = assert_equivalent(program, mp, query_atom, CHAIN)
+        assert check.original_answers == {(1, 2), (1, 3), (1, 4)}
+        # The disconnected 10-chain is never explored.
+        full = evaluate(program, CHAIN)
+        assert check.transformed_stats.facts_derived < full.stats.facts_derived
+
+    def test_fully_bound_query(self):
+        program = parse_program(TC, query="p")
+        query_atom = parse_atom("p(1, 4)")
+        mp = magic_transform(program, query_atom)
+        check = assert_equivalent(program, mp, query_atom, CHAIN)
+        assert check.transformed_answers == {(1, 4)}
+
+    def test_no_answers_when_seed_misses(self):
+        program = parse_program(TC, query="p")
+        query_atom = parse_atom("p(99, Y)")
+        mp = magic_transform(program, query_atom)
+        check = assert_equivalent(program, mp, query_atom, CHAIN)
+        assert check.transformed_answers == frozenset()
+
+    def test_answers_helper_matches_equivalence_check(self):
+        program = parse_program(TC, query="p")
+        query_atom = parse_atom("p(10, Y)")
+        mp = magic_transform(program, query_atom)
+        assert mp.answers(CHAIN) == {(10, i) for i in range(11, 21)}
+
+
+class TestMatchQueryAtom:
+    def test_constant_mismatch(self):
+        assert match_query_atom((1, 2), parse_atom("p(1, Y)"))
+        assert not match_query_atom((2, 2), parse_atom("p(1, Y)"))
+
+    def test_repeated_variable_consistency(self):
+        atom = parse_atom("p(X, X)")
+        assert match_query_atom((3, 3), atom)
+        assert not match_query_atom((3, 4), atom)
+
+
+class TestSummary:
+    def test_summary_mentions_seed_and_patterns(self):
+        program = parse_program(TC, query="p")
+        mp = magic_transform(program, parse_atom("p(1, Y)"))
+        text = mp.summary()
+        assert "m_p__bf(1)" in text
+        assert "p: bf" in text

@@ -1,0 +1,104 @@
+"""SIPS strategies: ordering, binding propagation, registry, validation."""
+
+import pytest
+
+from repro.datalog.atoms import Literal, OrderAtom
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.magic.sips import (
+    STRATEGIES,
+    binding_profile,
+    bound_after,
+    check_permutation,
+    get_sips,
+    left_to_right,
+    most_bound_first,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestBoundAfter:
+    def test_positive_literal_binds_its_variables(self):
+        rule = parse_rule("h(X, Y) :- e(X, Y).")
+        assert bound_after(rule.body[0], frozenset()) == {X, Y}
+
+    def test_negated_literal_binds_nothing(self):
+        rule = parse_rule("h(X) :- e(X, Y), not b(X, Y).")
+        assert bound_after(rule.body[1], frozenset({X})) == {X}
+
+    def test_order_atom_binds_nothing(self):
+        rule = parse_rule("h(X) :- e(X, Y), X < Y.")
+        assert bound_after(rule.body[1], frozenset({X})) == {X}
+
+    def test_equality_propagates_from_constant(self):
+        rule = parse_rule("h(X) :- e(X, Y), X = 5.")
+        assert bound_after(rule.body[1], frozenset()) == {X}
+
+    def test_equality_propagates_from_bound_variable(self):
+        rule = parse_rule("h(X, Y) :- e(X, Z), X = Y.")
+        assert bound_after(rule.body[1], frozenset({X})) == {X, Y}
+
+    def test_equality_between_free_variables_is_inert(self):
+        rule = parse_rule("h(X, Y) :- e(X, Y), X = Y.")
+        assert bound_after(rule.body[1], frozenset()) == frozenset()
+
+
+class TestBindingProfile:
+    def test_profile_tracks_prefix_bindings(self):
+        rule = parse_rule("h(X, Y) :- e(X, Z), f(Z, Y), X < Y.")
+        profile = binding_profile(rule.body, frozenset({X}))
+        assert profile == [frozenset({X}), frozenset({X, Z}), frozenset({X, Z, Y})]
+
+
+class TestLeftToRight:
+    def test_preserves_declared_order(self):
+        rule = parse_rule("h(X, Y) :- f(Z, Y), e(X, Z), X < Y.")
+        assert left_to_right(rule, frozenset({X})) == rule.body
+
+
+class TestMostBoundFirst:
+    def test_prefers_literals_with_bound_arguments(self):
+        rule = parse_rule("h(X, Y) :- f(Z, Y), e(X, Z).")
+        order = most_bound_first(rule, frozenset({X}))
+        assert [item.predicate for item in order] == ["e", "f"]
+
+    def test_filters_flushed_when_evaluable(self):
+        rule = parse_rule("h(X, Y) :- f(Z, Y), e(X, Z), X < Z.")
+        order = most_bound_first(rule, frozenset({X}))
+        assert isinstance(order[1], OrderAtom)
+        assert [i.predicate for i in order if isinstance(i, Literal)] == ["e", "f"]
+
+    def test_result_is_a_permutation(self):
+        rule = parse_rule("h(X, Y) :- f(Z, Y), e(X, Z), X < Z, not g(X, Y).")
+        order = most_bound_first(rule, frozenset())
+        assert sorted(map(repr, order)) == sorted(map(repr, rule.body))
+
+    def test_binding_equality_is_scheduled(self):
+        rule = parse_rule("h(X, Y) :- e(X, Y), Z = 3, Z < Y.")
+        order = most_bound_first(rule, frozenset())
+        # Z = 3 binds Z, so Z < Y becomes evaluable after e.
+        assert [repr(i) for i in order] == ["Z = 3", "e(X, Y)", "Z < Y"]
+
+
+class TestRegistry:
+    def test_known_strategies(self):
+        assert set(STRATEGIES) == {"left-to-right", "most-bound"}
+        assert get_sips("left-to-right") is left_to_right
+        assert get_sips("most-bound") is most_bound_first
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown SIPS"):
+            get_sips("right-to-left")
+
+
+class TestCheckPermutation:
+    def test_accepts_reordering(self):
+        rule = parse_rule("h(X, Y) :- e(X, Z), f(Z, Y).")
+        reordered = (rule.body[1], rule.body[0])
+        assert check_permutation(rule, reordered) == reordered
+
+    def test_rejects_dropped_items(self):
+        rule = parse_rule("h(X, Y) :- e(X, Z), f(Z, Y).")
+        with pytest.raises(ValueError, match="invalid body permutation"):
+            check_permutation(rule, (rule.body[0],))
