@@ -59,3 +59,42 @@ def test_probe_savings_hold(workload):
         original = evaluate(program, database)
         rewritten = evaluate(report.program, database)
         assert rewritten.stats.probes < original.stats.probes
+
+
+def experiment():
+    from common import Experiment, work_ratio_table
+
+    def build():
+        program, constraints = ab_transitive_closure()
+        report = optimize(program, constraints)
+        assert report.program is not None
+        parts = []
+        for size in SIZES:
+            database = _database(size)
+            original = evaluate(program, database)
+            rewritten = evaluate(report.program, database)
+            assert rewritten.query_rows() == original.query_rows()
+            assert rewritten.stats.probes < original.stats.probes
+            parts.append(f"{size} a-edges + {size} b-edges:")
+            parts.append(
+                work_ratio_table(
+                    [
+                        ("original", original.stats.as_dict()),
+                        ("rewritten (p1/p2/p3)", rewritten.stats.as_dict()),
+                    ]
+                )
+            )
+        return "\n\n".join(parts)
+
+    return Experiment(
+        key="E03",
+        title="the a/b running example end-to-end",
+        narrative=(
+            "*Paper:* the rewritten program \"will not attempt to create paths "
+            "in which arcs of a are followed by arcs of b\".  *Measured:* "
+            "probes drop at every size; rows scanned stay comparable because "
+            "the specialized predicates recompute the b-closure twice (p2 and "
+            "p3) — both effects below."
+        ),
+        build=build,
+    )

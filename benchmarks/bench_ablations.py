@@ -87,3 +87,46 @@ def test_ablation_ordering(workload, database):
     cgm = evaluate(constrain_program(program, constraints), database)
     full = evaluate(optimize(program, constraints).program, database)
     assert full.stats.facts_derived < cgm.stats.facts_derived
+
+
+def experiment():
+    from common import Experiment, md_table
+
+    def build():
+        program, constraints = good_path_order_constraints()
+        database = good_path_database(
+            num_chains=4, chain_length=40, below_threshold_chains=8, seed=0
+        )
+        expected = evaluate(program, database).query_rows()
+        variants = [
+            ("original (no optimization)", program),
+            ("CGM88 residues only", constrain_program(program, constraints)),
+            (
+                "query tree, no residue injection",
+                optimize(program, constraints, inject_residues=False).program,
+            ),
+            (
+                "query tree, no order propagation",
+                optimize(program, constraints, propagate_orders=False).program,
+            ),
+            ("full pipeline", optimize(program, constraints).program),
+        ]
+        rows = []
+        for label, variant in variants:
+            result = evaluate(variant, database)
+            assert result.query_rows() == expected, label
+            rows.append([label, result.stats.facts_derived, result.stats.rows_scanned])
+        return md_table(["variant", "facts derived", "rows scanned"], rows)
+
+    return Experiment(
+        key="E10",
+        title="ablations (design choices called out in DESIGN.md)",
+        narrative=(
+            "*Paper/DESIGN.md:* residue injection, order propagation and the "
+            "query tree are separable mechanisms.  *Measured:* on the Section "
+            "3 workload with 8 decoy chains, per-rule residues alone (CGM88) "
+            "cannot prune the decoy region; the query tree can, and the full "
+            "pipeline does the least work.  All variants answer identically."
+        ),
+        build=build,
+    )

@@ -64,3 +64,36 @@ def test_rule_satisfiability_classes(benchmark, case):
     rule = parse_rule(rule_src)
     constraints = parse_constraints(ics_src)
     assert not benchmark(rule_satisfiable_wrt, rule, constraints)
+
+
+def experiment():
+    from common import Experiment, md_table
+    from repro.core.emptiness import unsatisfiable_initialization_rules
+
+    def build():
+        rows = []
+        for depth in (2, 6, 12):
+            program, constraints = _chain_program(depth)
+            empty = is_empty_program(program, constraints)
+            bad_inits = len(unsatisfiable_initialization_rules(program, constraints))
+            satisfiable = is_satisfiable(program, constraints)
+            assert empty and not satisfiable
+            rows.append([depth, len(program.rules), str(empty), bad_inits, str(satisfiable)])
+        return md_table(
+            ["chain depth", "rules", "empty?", "unsat. init rules", "query satisfiable?"],
+            rows,
+        )
+
+    return Experiment(
+        key="E07",
+        title="Proposition 5.2 / Theorem 5.2: emptiness",
+        narrative=(
+            "*Paper:* a recursive program is empty iff its initialization "
+            "rules are all unsatisfiable — so emptiness costs only per-rule "
+            "checks while satisfiability runs the full query-tree pipeline.  "
+            "*Measured:* on recursion chains of growing depth both deciders "
+            "agree (empty and unsatisfiable), with exactly one unsatisfiable "
+            "initialization rule each."
+        ),
+        build=build,
+    )

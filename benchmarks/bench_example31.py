@@ -59,3 +59,40 @@ def test_selection_prunes_end_point_probes(workload):
     original = evaluate(program, database)
     constrained = evaluate(optimized, database)
     assert constrained.stats.probes < original.stats.probes
+
+
+def experiment():
+    from common import Experiment, work_ratio_table
+
+    def build():
+        program, constraints = good_path()
+        optimized = constrain_program(program, constraints)
+        parts = []
+        for chain_length in SIZES:
+            database = _database(chain_length)
+            original = evaluate(program, database)
+            constrained = evaluate(optimized, database)
+            assert constrained.query_rows() == original.query_rows()
+            parts.append(f"chain length {chain_length}:")
+            parts.append(
+                work_ratio_table(
+                    [
+                        ("original", original.stats.as_dict()),
+                        ("with residue Y > X", constrained.stats.as_dict()),
+                    ]
+                )
+            )
+        return "\n\n".join(parts)
+
+    return Experiment(
+        key="E01",
+        title="Example 3.1: the residue selection `Y > X`",
+        narrative=(
+            "*Paper:* \"by applying the selection Y > X to path(X, Y) we can "
+            "reduce the cost of evaluating rule r3\".  *Measured:* the CGM88 "
+            "residue-constrained program answers identically on consistent "
+            "bidirectional-chain databases while issuing fewer index probes "
+            "in the final join; the saving grows with the chain length."
+        ),
+        build=build,
+    )

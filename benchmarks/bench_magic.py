@@ -10,46 +10,14 @@ bound-argument query workloads: the headline number is
 """
 
 import pytest
+from common import Experiment, magic_workloads, work_ratio_table
 
-from repro.datalog.atoms import Atom
 from repro.datalog.evaluation import evaluate
-from repro.datalog.terms import Constant, Variable
 from repro.magic import check_equivalence, run_pipeline
-from repro.workloads.generators import (
-    ab_database,
-    good_path_database,
-    same_generation_database,
-)
-from repro.workloads.programs import (
-    ab_transitive_closure,
-    good_path_order_constraints,
-    same_generation,
-)
 
 ORDERS = ("magic-only", "semantic-first", "magic-first", "semantic-only")
 
-
-def _bound_atom(predicate, constant, arity=2):
-    args = (Constant(constant),) + tuple(Variable(f"V{i}") for i in range(arity - 1))
-    return Atom(predicate, args)
-
-
-def _workloads():
-    program, ics = ab_transitive_closure()
-    db = ab_database(num_b=40, num_a=40, branching=2, seed=0)
-    yield "ab", program, ics, db, _bound_atom("p", 0)
-
-    program, ics = good_path_order_constraints()
-    db = good_path_database(num_chains=4, chain_length=20, seed=0)
-    start = min(row[0] for row in db.relation("startPoint", 1))
-    yield "goodPath", program, ics, db, _bound_atom("goodPath", start)
-
-    program, ics = same_generation()
-    db = same_generation_database(depth=5, fanout=2, seed=0)
-    yield "sg", program, ics, db, _bound_atom("query", 2)
-
-
-WORKLOADS = {name: (prog, ics, db, atom) for name, prog, ics, db, atom in _workloads()}
+WORKLOADS = {name: (prog, ics, db, atom) for name, prog, ics, db, atom in magic_workloads()}
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -96,3 +64,33 @@ def test_magic_reduces_facts_derived():
                 check.transformed_stats.facts_derived
                 < baseline.stats.facts_derived
             ), (name, order)
+
+
+def experiment() -> Experiment:
+    def build() -> str:
+        parts = []
+        for name in sorted(WORKLOADS):
+            program, ics, database, atom = WORKLOADS[name]
+            variants = [("original", evaluate(program, database).stats.as_dict())]
+            for order in ORDERS:
+                report = run_pipeline(program, ics, atom, order=order)
+                check = check_equivalence(program, report, atom, database)
+                assert check.equivalent, (name, order)
+                variants.append((order, check.transformed_stats.as_dict()))
+            parts.append(f"**{name}** — query atom `{atom}`:")
+            parts.append(work_ratio_table(variants, baseline="original"))
+        return "\n\n".join(parts)
+
+    return Experiment(
+        key="E11",
+        title="magic sets and the semantic+magic pipeline on bound queries",
+        narrative=(
+            "*Paper:* the semantic rewrite prunes constraint-violating "
+            "derivations; magic sets prune derivations a bound query atom "
+            "never demands, and the two compose.  *Measured:* every pipeline "
+            "ordering answers each bound query exactly like the original "
+            "program, while `facts_derived` drops wherever demand is "
+            "selective; `semantic-first` composes both prunings."
+        ),
+        build=build,
+    )

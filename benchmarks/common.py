@@ -1,0 +1,89 @@
+"""Shared harness for the benchmark suite.
+
+Two consumers:
+
+* the ``pytest-benchmark`` timing tests in ``bench_*.py`` (wall-clock
+  shapes; run with ``pytest benchmarks/ --benchmark-only``), and
+* each module's ``experiment()`` — the deterministic section of the
+  regenerated ``EXPERIMENTS.md`` (``python -m repro report
+  --regenerate``), built from seeded work counters only.
+
+Workload builders that used to live inside individual bench modules
+(the colored-closure family, the bound-query magic workloads) live here
+so both consumers and the docs reference one definition.
+"""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_constraints, parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.observability import Experiment, md_table, work_ratio_table
+from repro.workloads.generators import (
+    ab_database,
+    good_path_database,
+    same_generation_database,
+)
+from repro.workloads.programs import (
+    ab_transitive_closure,
+    good_path_order_constraints,
+    same_generation,
+)
+
+__all__ = [
+    "Experiment",
+    "md_table",
+    "work_ratio_table",
+    "bound_atom",
+    "colored_closure",
+    "magic_workloads",
+    "stats_variants",
+]
+
+
+def bound_atom(predicate: str, constant, arity: int = 2) -> Atom:
+    """``p(c, V1, ..)``: first argument bound, the rest free."""
+    args = (Constant(constant),) + tuple(Variable(f"V{i}") for i in range(arity - 1))
+    return Atom(predicate, args)
+
+
+def colored_closure(colors: int):
+    """Transitive closure over ``colors`` edge predicates with chained
+    forbidden-successor constraints e0-after-e1, e1-after-e2, ...
+
+    The knob behind Theorem 5.1's doubly exponential bound: each extra
+    color multiplies the triplet combinatorics of the bottom-up phase.
+    """
+    names = [f"e{i}" for i in range(colors)]
+    rules = []
+    for name in names:
+        rules.append(f"p(X, Y) :- {name}(X, Y).")
+        rules.append(f"p(X, Y) :- {name}(X, Z), p(Z, Y).")
+    program = parse_program("\n".join(rules), query="p")
+    ic_lines = []
+    for first, second in zip(names, names[1:]):
+        ic_lines.append(f":- {first}(X, Y), {second}(Y, Z).")
+    constraints = parse_constraints("\n".join(ic_lines)) if ic_lines else []
+    return program, constraints
+
+
+def magic_workloads():
+    """The three bound-query workloads of E11, seeded and ordered.
+
+    Yields ``(name, program, constraints, database, query_atom)``.
+    """
+    program, ics = ab_transitive_closure()
+    db = ab_database(num_b=40, num_a=40, branching=2, seed=0)
+    yield "ab", program, ics, db, bound_atom("p", 0)
+
+    program, ics = good_path_order_constraints()
+    db = good_path_database(num_chains=4, chain_length=20, seed=0)
+    start = min(row[0] for row in db.relation("startPoint", 1))
+    yield "goodPath", program, ics, db, bound_atom("goodPath", start)
+
+    program, ics = same_generation()
+    db = same_generation_database(depth=5, fanout=2, seed=0)
+    yield "sg", program, ics, db, bound_atom("query", 2)
+
+
+def stats_variants(rows):
+    """``[(label, EvaluationResult)] -> work_ratio_table`` input."""
+    return [(label, result.stats.as_dict()) for label, result in rows]

@@ -7,6 +7,9 @@ Commands
 ``run``          evaluate a program (optionally optimized) over facts
 ``magic``        magic-sets transformation for a bound query atom
 ``pipeline``     chain the semantic rewrite and magic sets (either order)
+``trace``        print the structured trace of a rewrite + evaluation
+``profile``      per-rule / per-predicate hot-path breakdown
+``report``       regenerate EXPERIMENTS.md from the benchmark suite
 ``check``        check a fact base against integrity constraints
 ``satisfiable``  decide satisfiability of the query predicate
 ``empty``        decide program emptiness (Proposition 5.2)
@@ -14,7 +17,13 @@ Commands
 
 File formats: programs and constraints use the textual syntax of
 :mod:`repro.datalog.parser` (rules ``head :- body.``, constraints
-``:- body.``); fact files hold ground facts ``p(1, 2).``.
+``:- body.``); fact files hold ground facts ``p(1, 2).``.  Program
+files may also carry inline facts: a ground, body-less statement whose
+predicate no rule derives is EDB data (see ``examples/good_path.dl``),
+so ``run``/``trace``/``profile`` work without ``--data``.
+
+``run``, ``magic`` and ``pipeline`` accept ``--trace``: the command
+runs under an enabled tracer and appends a per-span work/time summary.
 
 Examples::
 
@@ -22,7 +31,11 @@ Examples::
     python -m repro run program.dl --constraints ics.dl --query p --data facts.dl --compare
     python -m repro magic program.dl --goal 'p(1, Y)' --data facts.dl --compare
     python -m repro pipeline program.dl --constraints ics.dl --goal 'p(1, Y)' \
-        --order magic-first --data facts.dl --compare
+        --order magic-first --data facts.dl --compare --trace
+    python -m repro trace examples/good_path.dl --query goodPath \
+        --constraints examples/good_path_ics.dl
+    python -m repro profile examples/good_path.dl --query goodPath --top 5
+    python -m repro report --regenerate --check
     python -m repro check ics.dl --data facts.dl
     python -m repro satisfiable program.dl --constraints ics.dl --query p
     python -m repro contained program.dl --query t --ucq queries.dl
@@ -43,11 +56,27 @@ from .core.rewrite import optimize
 from .cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
 from .datalog.database import Database
 from .datalog.evaluation import evaluate
-from .datalog.parser import parse_atom, parse_constraints, parse_facts, parse_program, parse_rules
+from .datalog.parser import (
+    parse_atom,
+    parse_constraints,
+    parse_facts,
+    parse_program,
+    parse_program_and_facts,
+    parse_rules,
+)
 from .datalog.program import Program
 from .magic import check_equivalence, get_sips, magic_transform, run_pipeline
 from .magic.pipeline import PIPELINE_ORDERS
 from .magic.sips import STRATEGIES
+from .observability import (
+    JsonlSink,
+    RingBufferSink,
+    profile_evaluation,
+    regenerate_experiments,
+    render_trace,
+    trace_summary,
+    tracing,
+)
 
 __all__ = ["main"]
 
@@ -73,6 +102,27 @@ def _load_database(path: str) -> Database:
     return Database(parse_facts(_read(path)))
 
 
+def _database_from(args: argparse.Namespace, inline_facts) -> Database:
+    """Combine a program file's inline facts with an optional --data file."""
+    facts = list(inline_facts)
+    if getattr(args, "data", None):
+        facts.extend(parse_facts(_read(args.data)))
+    return Database(facts)
+
+
+def _with_optional_trace(args: argparse.Namespace, body) -> int:
+    """Run ``body`` under a tracer when ``--trace`` was given and append
+    the per-span summary to the command's output."""
+    if not getattr(args, "trace", False):
+        return body()
+    sink = RingBufferSink()
+    with tracing(sink):
+        code = body()
+    print("\ntrace summary:")
+    print(trace_summary(sink))
+    return code
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args)
     constraints = _load_constraints(args)
@@ -95,32 +145,38 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = _load_program(args)
+    program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
+    if program.query is None:
+        raise SystemExit("error: --query is required for this command")
     constraints = _load_constraints(args)
-    database = _load_database(args.data)
-    original = evaluate(program, database)
-    print(f"answers ({len(original.query_rows())}):")
-    for row in sorted(original.query_rows(), key=repr):
-        print(f"  {program.query}{row!r}")
-    print(
-        f"work: {original.stats.probes} probes, "
-        f"{original.stats.rows_scanned} rows scanned, "
-        f"{original.stats.facts_derived} facts derived"
-    )
-    if args.compare:
-        report = optimize(program, constraints)
-        rewritten = report.evaluation(database)
-        if rewritten is None:
-            print("optimized: query unsatisfiable (empty program)")
-            return 0
-        match = rewritten.query_rows() == original.query_rows()
+    database = _database_from(args, inline_facts)
+
+    def body() -> int:
+        original = evaluate(program, database)
+        print(f"answers ({len(original.query_rows())}):")
+        for row in sorted(original.query_rows(), key=repr):
+            print(f"  {program.query}{row!r}")
         print(
-            f"optimized work: {rewritten.stats.probes} probes, "
-            f"{rewritten.stats.rows_scanned} rows scanned, "
-            f"{rewritten.stats.facts_derived} facts derived "
-            f"(answers {'match' if match else 'DIFFER — is the database consistent?'})"
+            f"work: {original.stats.probes} probes, "
+            f"{original.stats.rows_scanned} rows scanned, "
+            f"{original.stats.facts_derived} facts derived"
         )
-    return 0
+        if args.compare:
+            report = optimize(program, constraints)
+            rewritten = report.evaluation(database)
+            if rewritten is None:
+                print("optimized: query unsatisfiable (empty program)")
+                return 0
+            match = rewritten.query_rows() == original.query_rows()
+            print(
+                f"optimized work: {rewritten.stats.probes} probes, "
+                f"{rewritten.stats.rows_scanned} rows scanned, "
+                f"{rewritten.stats.facts_derived} facts derived "
+                f"(answers {'match' if match else 'DIFFER — is the database consistent?'})"
+            )
+        return 0
+
+    return _with_optional_trace(args, body)
 
 
 def _load_goal(args: argparse.Namespace):
@@ -139,53 +195,126 @@ def _print_work(label: str, stats) -> None:
 
 def _cmd_magic(args: argparse.Namespace) -> int:
     goal = _load_goal(args)
-    program = parse_program(_read(args.program), query=goal.predicate)
-    mp = magic_transform(program, goal, sips=get_sips(args.sips))
-    print(mp.summary())
-    print()
-    print(mp.program)
-    if args.data:
-        database = _load_database(args.data)
-        check = check_equivalence(program, mp, goal, database)
-        print(f"\nanswers ({len(check.transformed_answers)}):")
-        for row in sorted(check.transformed_answers, key=repr):
-            print(f"  {goal.predicate}{row!r}")
-        _print_work("magic work", check.transformed_stats)
-        if args.compare:
-            _print_work("original work", check.original_stats)
-            print("answers match" if check.equivalent else "answers DIFFER")
-            return 0 if check.equivalent else 1
-    return 0
+    program, inline_facts = parse_program_and_facts(
+        _read(args.program), query=goal.predicate
+    )
+
+    def body() -> int:
+        mp = magic_transform(program, goal, sips=get_sips(args.sips))
+        print(mp.summary())
+        print()
+        print(mp.program)
+        if args.data or inline_facts:
+            database = _database_from(args, inline_facts)
+            check = check_equivalence(program, mp, goal, database)
+            print(f"\nanswers ({len(check.transformed_answers)}):")
+            for row in sorted(check.transformed_answers, key=repr):
+                print(f"  {goal.predicate}{row!r}")
+            _print_work("magic work", check.transformed_stats)
+            if args.compare:
+                _print_work("original work", check.original_stats)
+                print("answers match" if check.equivalent else "answers DIFFER")
+                return 0 if check.equivalent else 1
+        return 0
+
+    return _with_optional_trace(args, body)
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     goal = _load_goal(args)
-    program = parse_program(_read(args.program), query=goal.predicate)
-    constraints = _load_constraints(args)
-    report = run_pipeline(
-        program, constraints, goal, order=args.order, sips=get_sips(args.sips)
+    program, inline_facts = parse_program_and_facts(
+        _read(args.program), query=goal.predicate
     )
-    print(report.summary())
-    print()
-    if report.program is None:
-        print("% query unsatisfiable: the pipeline produced an empty program")
-    else:
-        print(report.program)
-    if args.data:
-        database = _load_database(args.data)
-        check = check_equivalence(program, report, goal, database)
-        print(f"\nanswers ({len(check.transformed_answers)}):")
-        for row in sorted(check.transformed_answers, key=repr):
-            print(f"  {goal.predicate}{row!r}")
-        _print_work("pipeline work", check.transformed_stats)
-        if args.compare:
-            _print_work("original work", check.original_stats)
+    constraints = _load_constraints(args)
+
+    def body() -> int:
+        report = run_pipeline(
+            program, constraints, goal, order=args.order, sips=get_sips(args.sips)
+        )
+        print(report.summary())
+        print()
+        if report.program is None:
+            print("% query unsatisfiable: the pipeline produced an empty program")
+        else:
+            print(report.program)
+        if args.data or inline_facts:
+            database = _database_from(args, inline_facts)
+            check = check_equivalence(program, report, goal, database)
+            print(f"\nanswers ({len(check.transformed_answers)}):")
+            for row in sorted(check.transformed_answers, key=repr):
+                print(f"  {goal.predicate}{row!r}")
+            _print_work("pipeline work", check.transformed_stats)
+            if args.compare:
+                _print_work("original work", check.original_stats)
+                print(
+                    "answers match"
+                    if check.equivalent
+                    else "answers DIFFER — is the database consistent?"
+                )
+                return 0 if check.equivalent else 1
+        return 0
+
+    return _with_optional_trace(args, body)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
+    constraints = _load_constraints(args)
+    database = _database_from(args, inline_facts)
+
+    sink = RingBufferSink()
+    sinks = [sink]
+    jsonl = None
+    if args.jsonl:
+        jsonl = JsonlSink(args.jsonl)
+        sinks.append(jsonl)
+    try:
+        with tracing(*sinks):
+            target = program
+            if constraints:
+                if program.query is None:
+                    raise SystemExit(
+                        "error: --query is required to trace the semantic rewrite"
+                    )
+                report = optimize(program, constraints)
+                target = report.program
+            if target is not None:
+                evaluate(target, database)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    print(render_trace(sink, limit=args.limit))
+    if args.jsonl:
+        print(f"\n{len(sink)} events written to {args.jsonl}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
+    database = _database_from(args, inline_facts)
+    profile, result = profile_evaluation(program, database, strategy=args.strategy)
+    print(profile.render(top=args.top))
+    if program.query is not None:
+        print(f"\nanswers: {len(result.query_rows())} rows in {program.query}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not args.regenerate:
+        raise SystemExit("error: pass --regenerate (optionally with --check)")
+    stale, _content = regenerate_experiments(
+        args.benchmarks, args.output, check=args.check
+    )
+    if args.check:
+        if stale:
             print(
-                "answers match"
-                if check.equivalent
-                else "answers DIFFER — is the database consistent?"
+                f"{args.output} is stale — regenerate with: "
+                "python -m repro report --regenerate"
             )
-            return 0 if check.equivalent else 1
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    print(f"{'regenerated' if stale else 'unchanged'}: {args.output}")
     return 0
 
 
@@ -255,11 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--dot", help="write the query tree as a DOT file")
     cmd.set_defaults(func=_cmd_optimize)
 
+    def trace_flag(cmd) -> None:
+        cmd.add_argument(
+            "--trace", action="store_true",
+            help="run under a tracer and append a per-span summary",
+        )
+
     cmd = program_command("run", "evaluate a program over a fact base")
-    cmd.add_argument("--data", required=True, help="fact file")
+    cmd.add_argument("--data", help="fact file (inline program facts also count)")
     cmd.add_argument(
         "--compare", action="store_true", help="also run the optimized program"
     )
+    trace_flag(cmd)
     cmd.set_defaults(func=_cmd_run)
 
     cmd = sub.add_parser("magic", help="magic-sets transformation for a bound query atom")
@@ -274,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true",
         help="also evaluate the original program and compare answers",
     )
+    trace_flag(cmd)
     cmd.set_defaults(func=_cmd_magic)
 
     cmd = sub.add_parser(
@@ -295,7 +432,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true",
         help="also evaluate the original program and compare answers",
     )
+    trace_flag(cmd)
     cmd.set_defaults(func=_cmd_pipeline)
+
+    cmd = program_command("trace", "print the structured trace of a rewrite + evaluation")
+    cmd.add_argument("--data", help="fact file (inline program facts also count)")
+    cmd.add_argument("--limit", type=int, help="print at most N events")
+    cmd.add_argument("--jsonl", help="also write the trace as JSON Lines to this file")
+    cmd.set_defaults(func=_cmd_trace)
+
+    cmd = sub.add_parser("profile", help="per-rule / per-predicate hot-path breakdown")
+    cmd.add_argument("program", help="program file (Datalog rules, inline facts allowed)")
+    cmd.add_argument("--query", help="query predicate name")
+    cmd.add_argument("--data", help="fact file (inline program facts also count)")
+    cmd.add_argument("--top", type=int, default=10, help="show the top K rules (default 10)")
+    cmd.add_argument(
+        "--strategy", default="seminaive", choices=("seminaive", "naive"),
+        help="evaluation strategy to profile",
+    )
+    cmd.set_defaults(func=_cmd_profile)
+
+    cmd = sub.add_parser("report", help="regenerate EXPERIMENTS.md from the benchmarks")
+    cmd.add_argument(
+        "--regenerate", action="store_true",
+        help="rebuild the report from benchmarks/*.py experiment() definitions",
+    )
+    cmd.add_argument(
+        "--check", action="store_true",
+        help="don't write; exit 1 when the committed report is stale",
+    )
+    cmd.add_argument("--benchmarks", default="benchmarks", help="benchmarks directory")
+    cmd.add_argument("--output", default="EXPERIMENTS.md", help="report path")
+    cmd.set_defaults(func=_cmd_report)
 
     cmd = sub.add_parser("check", help="check facts against constraints")
     cmd.add_argument("constraints_file", help="integrity constraint file")

@@ -51,6 +51,7 @@ from ..datalog.atoms import Atom, Literal, OrderAtom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Substitution, Term, Variable
+from ..observability.trace import get_tracer
 
 __all__ = [
     "Triplet",
@@ -509,97 +510,120 @@ def compute_adornments(
             )
         return True
 
-    changed = True
-    while changed:
-        changed = False
-        for rule_index, rule in enumerate(program.rules):
-            rule_order = OrderConstraintSet(rule.order_atoms)
-            positives = rule.positive_literals
-            # Available adornment choices per positive subgoal.
-            choice_sets: list[list[frozenset[Triplet] | None]] = []
-            edb_triplets: dict[int, list[tuple[Triplet, dict[str, Term]]]] = {}
-            subgoal_ready = True
-            for i, literal in enumerate(positives):
-                if literal.predicate in idb:
-                    available = adornments[literal.predicate]
-                    if not available:
-                        subgoal_ready = False
-                        break
-                    choice_sets.append(list(available))
-                else:
-                    edb_triplets[i] = base_triplets(
-                        literal.atom, rule, rule_order, constraints, local_index
-                    )
-                    choice_sets.append([None])
-            if not subgoal_ready:
-                continue
-            for choice in itertools.product(*choice_sets):
-                key = (rule_index, tuple(choice))
-                if key in adorned_rule_keys:
-                    continue
-                # Build per-subgoal triplet options (rule-level sigma attached).
-                per_subgoal_by_ic: list[dict[int, list[tuple[Triplet, dict[str, Term]]]]] = []
-                for i, literal in enumerate(positives):
-                    options: dict[int, list[tuple[Triplet, dict[str, Term]]]] = {
-                        ic_index: [] for ic_index in range(len(constraints))
-                    }
-                    if choice[i] is None:
-                        for triplet, rule_sigma in edb_triplets[i]:
-                            options[triplet.ic].append((triplet, rule_sigma))
-                    else:
-                        for triplet in choice[i]:
-                            rule_sigma = _occurrence_image(triplet, literal.atom)
-                            if rule_sigma is not None:
-                                options[triplet.ic].append((triplet, rule_sigma))
-                    per_subgoal_by_ic.append(options)
+    tracer = get_tracer()
+    trace_on = tracer.enabled
+    rounds = 0
 
-                derivations: list[Derivation] = []
-                inconsistent = False
-                for ic_index, ic in enumerate(constraints):
-                    if not ic.positive_atoms:
-                        continue
-                    per_subgoal = [
-                        options[ic_index] for options in per_subgoal_by_ic
-                    ]
-                    if positives and any(not opts for opts in per_subgoal):
-                        # A subgoal with no triplet options for this ic
-                        # cannot happen (the trivial triplet is always
-                        # there), but guard anyway.
-                        continue
-                    for derivation in _combine_rule_triplets(ic_index, ic, per_subgoal):
-                        if not derivation.unmapped:
-                            inconsistencies.append((rule_index, derivation))
-                            if treat_complete_as_inconsistent:
-                                inconsistent = True
-                                break
-                        derivations.append(derivation)
-                    if inconsistent:
-                        break
-                adorned_rule_keys.add(key)
-                if inconsistent:
+    changed = True
+    with tracer.span(
+        "adornments.compute", rules=len(program.rules), constraints=len(constraints)
+    ) as compute_span:
+        while changed:
+            changed = False
+            rounds += 1
+            round_start = (len(adorned_rules), len(adornment_ids))
+            for rule_index, rule in enumerate(program.rules):
+                rule_order = OrderConstraintSet(rule.order_atoms)
+                positives = rule.positive_literals
+                # Available adornment choices per positive subgoal.
+                choice_sets: list[list[frozenset[Triplet] | None]] = []
+                edb_triplets: dict[int, list[tuple[Triplet, dict[str, Term]]]] = {}
+                subgoal_ready = True
+                for i, literal in enumerate(positives):
+                    if literal.predicate in idb:
+                        available = adornments[literal.predicate]
+                        if not available:
+                            subgoal_ready = False
+                            break
+                        choice_sets.append(list(available))
+                    else:
+                        edb_triplets[i] = base_triplets(
+                            literal.atom, rule, rule_order, constraints, local_index
+                        )
+                        choice_sets.append([None])
+                if not subgoal_ready:
                     continue
-                # Project onto the head.
-                head_triplets: dict[Triplet, list[int]] = {}
-                for d_index, derivation in enumerate(derivations):
-                    ic = constraints[derivation.ic]
-                    head_triplet = _head_triplet_from(derivation, ic, rule.head)
-                    if head_triplet is not None:
-                        head_triplets.setdefault(head_triplet, []).append(d_index)
-                head_adornment = frozenset(head_triplets)
-                register(rule.head.predicate, head_adornment)
-                adorned_rules.append(
-                    AdornedRule(
-                        rule=rule,
-                        rule_index=rule_index,
-                        head_adornment=head_adornment,
-                        subgoal_adornments=tuple(choice),
-                        derivations=tuple(derivations),
-                        head_triplet_origins=tuple(
-                            (t, tuple(indices)) for t, indices in head_triplets.items()
-                        ),
+                for choice in itertools.product(*choice_sets):
+                    key = (rule_index, tuple(choice))
+                    if key in adorned_rule_keys:
+                        continue
+                    # Build per-subgoal triplet options (rule-level sigma attached).
+                    per_subgoal_by_ic: list[dict[int, list[tuple[Triplet, dict[str, Term]]]]] = []
+                    for i, literal in enumerate(positives):
+                        options: dict[int, list[tuple[Triplet, dict[str, Term]]]] = {
+                            ic_index: [] for ic_index in range(len(constraints))
+                        }
+                        if choice[i] is None:
+                            for triplet, rule_sigma in edb_triplets[i]:
+                                options[triplet.ic].append((triplet, rule_sigma))
+                        else:
+                            for triplet in choice[i]:
+                                rule_sigma = _occurrence_image(triplet, literal.atom)
+                                if rule_sigma is not None:
+                                    options[triplet.ic].append((triplet, rule_sigma))
+                        per_subgoal_by_ic.append(options)
+
+                    derivations: list[Derivation] = []
+                    inconsistent = False
+                    for ic_index, ic in enumerate(constraints):
+                        if not ic.positive_atoms:
+                            continue
+                        per_subgoal = [
+                            options[ic_index] for options in per_subgoal_by_ic
+                        ]
+                        if positives and any(not opts for opts in per_subgoal):
+                            # A subgoal with no triplet options for this ic
+                            # cannot happen (the trivial triplet is always
+                            # there), but guard anyway.
+                            continue
+                        for derivation in _combine_rule_triplets(ic_index, ic, per_subgoal):
+                            if not derivation.unmapped:
+                                inconsistencies.append((rule_index, derivation))
+                                if treat_complete_as_inconsistent:
+                                    inconsistent = True
+                                    break
+                            derivations.append(derivation)
+                        if inconsistent:
+                            break
+                    adorned_rule_keys.add(key)
+                    if inconsistent:
+                        continue
+                    # Project onto the head.
+                    head_triplets: dict[Triplet, list[int]] = {}
+                    for d_index, derivation in enumerate(derivations):
+                        ic = constraints[derivation.ic]
+                        head_triplet = _head_triplet_from(derivation, ic, rule.head)
+                        if head_triplet is not None:
+                            head_triplets.setdefault(head_triplet, []).append(d_index)
+                    head_adornment = frozenset(head_triplets)
+                    register(rule.head.predicate, head_adornment)
+                    adorned_rules.append(
+                        AdornedRule(
+                            rule=rule,
+                            rule_index=rule_index,
+                            head_adornment=head_adornment,
+                            subgoal_adornments=tuple(choice),
+                            derivations=tuple(derivations),
+                            head_triplet_origins=tuple(
+                                (t, tuple(indices)) for t, indices in head_triplets.items()
+                            ),
+                        )
                     )
+                    changed = True
+            if trace_on:
+                tracer.event(
+                    "adornments.round",
+                    index=rounds,
+                    new_adorned_rules=len(adorned_rules) - round_start[0],
+                    new_adornments=len(adornment_ids) - round_start[1],
                 )
-                changed = True
+        if trace_on:
+            compute_span.set(
+                rounds=rounds,
+                adorned_rules=len(adorned_rules),
+                adornments=len(adornment_ids),
+                inconsistencies=len(inconsistencies),
+            )
     return AdornmentResult(
         program=program,
         constraints=constraints,

@@ -32,6 +32,7 @@ from typing import Iterable, Sequence
 
 from ..constraints.dense_order import OrderConstraintSet
 from ..constraints.integrity import IntegrityConstraint
+from ..observability.trace import get_tracer
 from ..datalog.atoms import Atom, Literal, OrderAtom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
@@ -285,6 +286,9 @@ def build_query_tree(result: AdornmentResult) -> QueryTree:
     arity = program.arity_of(query)
     constraints = result.constraints
 
+    tracer = get_tracer()
+    trace_on = tracer.enabled
+
     roots: list[GoalNode] = []
     expanded: dict[tuple, GoalNode] = {}
     queue: list[GoalNode] = []
@@ -300,66 +304,111 @@ def build_query_tree(result: AdornmentResult) -> QueryTree:
         roots.append(root)
         queue.append(root)
 
-    while queue:
-        goal = queue.pop(0)
-        key = goal.key()
-        existing = expanded.get(key)
-        if existing is not None and existing is not goal:
-            goal.reference = existing
-            continue
-        expanded[key] = goal
-        assert goal.adornment is not None
-        for adorned in result.rules_for(goal.predicate, goal.adornment):
-            rule = adorned.rule.rename_apart(goal.atom.variables(), prefix="T")
-            unifier = unify_atoms(rule.head, goal.atom)
-            if unifier is None:
+    with tracer.span("querytree.build", query=query, roots=len(roots)) as build_span:
+        shared = 0
+        while queue:
+            goal = queue.pop(0)
+            key = goal.key()
+            existing = expanded.get(key)
+            if existing is not None and existing is not goal:
+                goal.reference = existing
+                shared += 1
+                if trace_on:
+                    tracer.event(
+                        "querytree.share",
+                        predicate=goal.predicate,
+                        adorned=_adorned_text(result, goal),
+                    )
                 continue
-            instance = rule.substitute(unifier)
-            if not OrderConstraintSet(instance.order_atoms).is_satisfiable():
-                continue
-            # The adorned rule structures (derivations, sigma) are stated
-            # in terms of the *original* rule variables; recover the
-            # positional correspondence through the positive literals.
-            renamed_adorned = _rename_adorned(adorned, rule)
-            rule_label, subgoal_labels = _push_labels(
-                goal, renamed_adorned, constraints
+            expanded[key] = goal
+            _expand_goal(goal, result, constraints, queue, tracer, trace_on)
+
+        tree = QueryTree(roots=roots, adornment_result=result, expanded=expanded)
+        _prune(tree)
+        if trace_on:
+            build_span.set(
+                expanded_classes=len(expanded),
+                shared=shared,
+                surviving_roots=sum(
+                    1 for root in roots if root.productive and root.reachable
+                ),
+                pruned_classes=sum(
+                    1
+                    for node in expanded.values()
+                    if not (node.productive and node.reachable)
+                ),
             )
-            rule_node = RuleNode(adorned=renamed_adorned, instance=instance, label=rule_label)
-            for i, literal in enumerate(instance.positive_literals):
-                sub_adornment = renamed_adorned.subgoal_adornments[i]
-                # A child's label refines its adornment: every mapping
-                # into the subtree is a mapping into the whole derivation,
-                # so the adornment triplets always belong to the label,
-                # alongside the triplets pushed down from the parent.
-                label = subgoal_labels[i]
-                if sub_adornment is not None:
-                    label = label | sub_adornment
-                child = GoalNode(
+    return tree
+
+
+def _adorned_text(result: AdornmentResult, goal) -> str:
+    """Compact adorned-predicate name of a goal for trace attributes."""
+    if goal.adornment is None:
+        return goal.predicate
+    try:
+        return result.adorned_name(goal.predicate, goal.adornment)
+    except (KeyError, AttributeError):
+        return goal.predicate
+
+
+def _expand_goal(goal, result, constraints, queue, tracer, trace_on):
+    """Expand one goal class: attach a RuleNode per matching adorned rule."""
+    assert goal.adornment is not None
+    for adorned in result.rules_for(goal.predicate, goal.adornment):
+        rule = adorned.rule.rename_apart(goal.atom.variables(), prefix="T")
+        unifier = unify_atoms(rule.head, goal.atom)
+        if unifier is None:
+            continue
+        instance = rule.substitute(unifier)
+        if not OrderConstraintSet(instance.order_atoms).is_satisfiable():
+            continue
+        # The adorned rule structures (derivations, sigma) are stated
+        # in terms of the *original* rule variables; recover the
+        # positional correspondence through the positive literals.
+        renamed_adorned = _rename_adorned(adorned, rule)
+        rule_label, subgoal_labels = _push_labels(
+            goal, renamed_adorned, constraints
+        )
+        rule_node = RuleNode(adorned=renamed_adorned, instance=instance, label=rule_label)
+        for i, literal in enumerate(instance.positive_literals):
+            sub_adornment = renamed_adorned.subgoal_adornments[i]
+            # A child's label refines its adornment: every mapping
+            # into the subtree is a mapping into the whole derivation,
+            # so the adornment triplets always belong to the label,
+            # alongside the triplets pushed down from the parent.
+            label = subgoal_labels[i]
+            if sub_adornment is not None:
+                label = label | sub_adornment
+            child = GoalNode(
+                predicate=literal.predicate,
+                atom=literal.atom,
+                adornment=sub_adornment,
+                label=label,
+                is_edb=sub_adornment is None,
+            )
+            rule_node.subgoals.append(child)
+            if not child.is_edb:
+                queue.append(child)
+        for literal in instance.negative_literals:
+            rule_node.subgoals.append(
+                GoalNode(
                     predicate=literal.predicate,
                     atom=literal.atom,
-                    adornment=sub_adornment,
-                    label=label,
-                    is_edb=sub_adornment is None,
+                    adornment=None,
+                    label=frozenset(),
+                    is_edb=True,
+                    negative=True,
                 )
-                rule_node.subgoals.append(child)
-                if not child.is_edb:
-                    queue.append(child)
-            for literal in instance.negative_literals:
-                rule_node.subgoals.append(
-                    GoalNode(
-                        predicate=literal.predicate,
-                        atom=literal.atom,
-                        adornment=None,
-                        label=frozenset(),
-                        is_edb=True,
-                        negative=True,
-                    )
-                )
-            goal.children.append(rule_node)
-
-    tree = QueryTree(roots=roots, adornment_result=result, expanded=expanded)
-    _prune(tree)
-    return tree
+            )
+        goal.children.append(rule_node)
+    if trace_on:
+        tracer.event(
+            "querytree.expand",
+            predicate=goal.predicate,
+            adorned=_adorned_text(result, goal),
+            rules=len(goal.children),
+            label_size=len(goal.label),
+        )
 
 
 def _rename_adorned(adorned: AdornedRule, renamed_rule: Rule) -> AdornedRule:

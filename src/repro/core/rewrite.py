@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 from ..constraints.integrity import IntegrityConstraint, check_no_idb
 from ..constraints.locality import is_fully_local
+from ..observability.trace import get_tracer
 from ..datalog.atoms import Atom, Literal
 from ..datalog.database import Database, Row
 from ..datalog.evaluation import EvaluationResult, evaluate
@@ -273,74 +274,130 @@ def optimize(
     if program.query is None:
         raise ValueError("optimize() needs a program with a query predicate")
     check_no_idb(constraints, program)
-    tree_side, residue_side = _split_constraints(constraints)
+    tracer = get_tracer()
+    trace_on = tracer.enabled
+    with tracer.span(
+        "optimize",
+        query=program.query,
+        rules=len(program.rules),
+        constraints=len(constraints),
+    ) as opt_span:
+        tree_side, residue_side = _split_constraints(constraints)
+        if trace_on:
+            opt_span.set(
+                tree_constraints=len(tree_side),
+                residue_only_constraints=len(residue_side),
+            )
 
-    plan: LocalAtomPlan = prepare_local_atoms(program, tree_side)
-    working = plan.program
-    if propagate_orders:
-        working = propagate_order_constraints(working).program
-    working = working.relevant_rules()
-    if not working.rules_for(program.query):
-        # The preprocessing already proved the query underivable.
-        empty_adornments = compute_adornments(working, tree_side)
-        empty_tree = QueryTree(
-            roots=[], adornment_result=empty_adornments, expanded={}
-        )
-        return OptimizationReport(
-            original=program,
-            constraints=constraints,
-            tree_constraints=tuple(tree_side),
-            residue_only_constraints=tuple(residue_side),
-            preprocessed=working,
-            adornment_result=empty_adornments,
-            tree=empty_tree,
-            program=None,
-            satisfiable=False,
-            complete=not residue_side,
-        )
-
-    adornment_result = compute_adornments(
-        working, tree_side, local_index=plan.index, max_adornments=max_adornments
-    )
-    tree = build_query_tree(adornment_result)
-
-    query = program.query
-    arity = program.arity_of(query)
-    classes = _class_nodes(tree)
-    names = _assign_names(classes, tree, query)
-    rules = _rules_from_tree(tree, names, query, arity)
-    satisfiable = tree.is_query_satisfiable()
-
-    rewritten: Program | None
-    if not satisfiable or not rules:
-        rewritten = None
-    else:
-        rewritten = Program(rules, query, validate=False)
+        with tracer.span("optimize.local_atoms") as span:
+            plan: LocalAtomPlan = prepare_local_atoms(program, tree_side)
+            working = plan.program
+            if trace_on:
+                span.set(rules_after_splits=len(working.rules))
         if propagate_orders:
-            # Rerun the order propagation now that the tree has
-            # specialized the predicates: projections that were washed
-            # out by the pre-split disjunction (e.g. path starting below
-            # vs. at-or-above a threshold) become precise and prune the
-            # query-unreachable specializations, yielding the paper's
-            # r1'/r2' shape.  Iterate to a fixpoint: pruning sharpens
-            # the projections, which may prune further.
-            previous: tuple[Rule, ...] | None = None
-            while rewritten is not None and previous != rewritten.rules:
-                previous = rewritten.rules
-                propagated = propagate_order_constraints(rewritten).program
-                if not propagated.rules_for(query):
-                    rewritten = None
-                    satisfiable = False
-                    break
-                rewritten = Program(
-                    propagated.rules, query, validate=False
-                ).relevant_rules()
-        if rewritten is not None and inject_residues:
-            rewritten = constrain_program(rewritten, constraints)
-            if not rewritten.rules_for(query):
-                rewritten = None
-                satisfiable = False
+            with tracer.span("optimize.order_propagation"):
+                working = propagate_order_constraints(working).program
+        working = working.relevant_rules()
+        if not working.rules_for(program.query):
+            # The preprocessing already proved the query underivable.
+            if trace_on:
+                tracer.event("optimize.preprocessing_empty", query=program.query)
+            empty_adornments = compute_adornments(working, tree_side)
+            empty_tree = QueryTree(
+                roots=[], adornment_result=empty_adornments, expanded={}
+            )
+            return OptimizationReport(
+                original=program,
+                constraints=constraints,
+                tree_constraints=tuple(tree_side),
+                residue_only_constraints=tuple(residue_side),
+                preprocessed=working,
+                adornment_result=empty_adornments,
+                tree=empty_tree,
+                program=None,
+                satisfiable=False,
+                complete=not residue_side,
+            )
 
+        with tracer.span("optimize.adornments") as span:
+            adornment_result = compute_adornments(
+                working, tree_side, local_index=plan.index, max_adornments=max_adornments
+            )
+            if trace_on:
+                span.set(
+                    adornments=sum(len(v) for v in adornment_result.adornments.values()),
+                    adorned_rules=len(adornment_result.adorned_rules),
+                    inconsistencies=len(adornment_result.inconsistencies),
+                )
+        with tracer.span("optimize.query_tree") as span:
+            tree = build_query_tree(adornment_result)
+            if trace_on:
+                span.set(
+                    roots=len(tree.roots),
+                    surviving_roots=len(tree.surviving_roots()),
+                    expanded_classes=len(tree.expanded),
+                )
+
+        query = program.query
+        arity = program.arity_of(query)
+        with tracer.span("optimize.extract") as span:
+            classes = _class_nodes(tree)
+            names = _assign_names(classes, tree, query)
+            rules = _rules_from_tree(tree, names, query, arity)
+            satisfiable = tree.is_query_satisfiable()
+            if trace_on:
+                span.set(surviving_classes=len(classes), extracted_rules=len(rules))
+
+        rewritten: Program | None
+        if not satisfiable or not rules:
+            rewritten = None
+        else:
+            rewritten = Program(rules, query, validate=False)
+            if propagate_orders:
+                # Rerun the order propagation now that the tree has
+                # specialized the predicates: projections that were washed
+                # out by the pre-split disjunction (e.g. path starting below
+                # vs. at-or-above a threshold) become precise and prune the
+                # query-unreachable specializations, yielding the paper's
+                # r1'/r2' shape.  Iterate to a fixpoint: pruning sharpens
+                # the projections, which may prune further.
+                with tracer.span("optimize.repropagation") as span:
+                    rounds = 0
+                    previous: tuple[Rule, ...] | None = None
+                    while rewritten is not None and previous != rewritten.rules:
+                        rounds += 1
+                        previous = rewritten.rules
+                        propagated = propagate_order_constraints(rewritten).program
+                        if not propagated.rules_for(query):
+                            rewritten = None
+                            satisfiable = False
+                            break
+                        rewritten = Program(
+                            propagated.rules, query, validate=False
+                        ).relevant_rules()
+                    if trace_on:
+                        span.set(
+                            rounds=rounds,
+                            rules=0 if rewritten is None else len(rewritten.rules),
+                        )
+            if rewritten is not None and inject_residues:
+                with tracer.span("optimize.residues") as span:
+                    body_atoms_before = sum(len(r.body) for r in rewritten.rules)
+                    rewritten = constrain_program(rewritten, constraints)
+                    if trace_on:
+                        span.set(
+                            injected=sum(len(r.body) for r in rewritten.rules)
+                            - body_atoms_before
+                        )
+                    if not rewritten.rules_for(query):
+                        rewritten = None
+                        satisfiable = False
+
+        if trace_on:
+            opt_span.set(
+                satisfiable=satisfiable,
+                rewritten_rules=0 if rewritten is None else len(rewritten.rules),
+            )
     return OptimizationReport(
         original=program,
         constraints=constraints,

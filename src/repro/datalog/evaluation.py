@@ -15,6 +15,13 @@ The engine evaluates a :class:`~repro.datalog.program.Program` over a
   scanned and derived facts — the "join work" measure the benchmarks
   report when comparing a program against its semantically optimized
   rewriting.
+* The engine is instrumented with the tracer of
+  :mod:`repro.observability.trace`: an ``evaluate`` span wraps the run,
+  each SCC gets an ``scc`` span, each semi-naive round an ``iteration``
+  event, and every rule execution a ``rule`` span carrying its wall
+  time plus the per-rule deltas of the work counters (from which the
+  profiler derives index-probe hit rates).  With the default disabled
+  tracer none of this fires — the hot path pays one boolean check.
 * With ``provenance=True`` the engine records, for each derived fact,
   the first rule instantiation that produced it; :func:`derivation_tree`
   then reconstructs a ground derivation tree in the paper's sense (goal
@@ -26,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..observability.trace import Tracer, get_tracer
 from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
 from .database import Database, Relation, Row
 from .program import Program
@@ -321,6 +329,7 @@ def evaluate(
     provenance: bool = False,
     max_iterations: int | None = None,
     strategy: str = "seminaive",
+    tracer: Tracer | None = None,
 ) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``database``.
 
@@ -335,11 +344,18 @@ def evaluate(
     ``"naive"`` (re-evaluate every rule against the full relations each
     round) — the naive mode exists as a correctness oracle and as the
     baseline in the engine benchmarks.
+
+    ``tracer`` overrides the globally installed tracer (see
+    :func:`repro.observability.trace.tracing`); the default disabled
+    tracer makes instrumentation free.
     """
+    if tracer is None:
+        tracer = get_tracer()
     if strategy == "naive":
-        return _evaluate_naive(program, database, provenance=provenance)
+        return _evaluate_naive(program, database, provenance=provenance, tracer=tracer)
     if strategy != "seminaive":
         raise ValueError(f"unknown strategy {strategy!r}")
+    trace_on = tracer.enabled
     stats = EvaluationStats()
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
@@ -376,84 +392,127 @@ def evaluate(
             prov[(rule.head.predicate, head_row)] = (rule, tuple(supports))
         return True
 
-    graph = program.dependency_graph()
-    for component in _sccs(graph):
-        members = set(component)
-        recursive = len(component) > 1 or any(
-            head in graph.get(head, set()) for head in component
-        )
-        rules = [r for r in program.rules if r.head.predicate in members]
-        if not recursive:
-            for rule in rules:
-                join = _RuleJoin(rule, None)
-                results: list[dict[Variable, object]] = []
-                _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
-                stats.rule_firings += len(results)
-                for env in results:
-                    record(rule, env)
-            continue
-        # Semi-naive iteration inside a recursive SCC.
-        exit_rules = []
-        delta_joins: list[tuple[Rule, _RuleJoin]] = []
-        for rule in rules:
-            recursive_positions = [
-                i
-                for i, item in enumerate(rule.body)
-                if isinstance(item, Literal) and item.positive and item.predicate in members
-            ]
-            if not recursive_positions:
-                exit_rules.append(rule)
-            else:
-                for pos in recursive_positions:
-                    delta_joins.append((rule, _RuleJoin(rule, pos)))
-        delta: dict[str, Relation] = {
-            pred: Relation(program.arity_of(pred)) for pred in members
-        }
-        for rule in exit_rules:
-            join = _RuleJoin(rule, None)
-            results = []
-            _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+    def fire_rule(
+        rule: Rule,
+        join: _RuleJoin,
+        delta_relation: Relation | None,
+        sink_delta: dict[str, Relation] | None,
+        scc_index: int,
+        iteration: int | None,
+    ) -> None:
+        """Run one rule's join, record the results (into ``sink_delta``
+        too, when given) and — when tracing — emit a ``rule`` span with
+        the per-rule work deltas."""
+        results: list[dict[Variable, object]] = []
+
+        def run() -> None:
+            _run_join(join, {}, 0, relation_of, delta_relation, edb_lookup, stats, results)
             stats.rule_firings += len(results)
             for env in results:
-                if record(rule, env):
+                if record(rule, env) and sink_delta is not None:
                     head_row = tuple(
                         arg.value if isinstance(arg, Constant) else env[arg]
                         for arg in rule.head.args
                     )
-                    delta[rule.head.predicate].add(head_row)
-        iterations = 0
-        while any(len(d) for d in delta.values()):
-            iterations += 1
-            if max_iterations is not None and iterations > max_iterations:
-                break
-            stats.iterations += 1
-            new_delta: dict[str, Relation] = {
-                pred: Relation(program.arity_of(pred)) for pred in members
-            }
-            for rule, join in delta_joins:
-                delta_item = join.plan[0][0]
-                assert isinstance(delta_item, Literal)
-                delta_rel = delta[delta_item.predicate]
-                if not len(delta_rel):
+                    sink_delta[rule.head.predicate].add(head_row)
+
+        if not trace_on:
+            run()
+            return
+        before = (stats.probes, stats.rows_scanned, stats.facts_derived)
+        with tracer.span(
+            "rule",
+            predicate=rule.head.predicate,
+            rule=repr(rule),
+            scc=scc_index,
+            iteration=iteration,
+            delta=delta_relation is not None,
+        ) as span:
+            run()
+            span.set(
+                firings=len(results),
+                probes=stats.probes - before[0],
+                rows_scanned=stats.rows_scanned - before[1],
+                facts_derived=stats.facts_derived - before[2],
+            )
+
+    with tracer.span("evaluate", strategy="seminaive", rules=len(program.rules)) as root:
+        graph = program.dependency_graph()
+        for scc_index, component in enumerate(_sccs(graph)):
+            members = set(component)
+            recursive = len(component) > 1 or any(
+                head in graph.get(head, set()) for head in component
+            )
+            rules = [r for r in program.rules if r.head.predicate in members]
+            with tracer.span(
+                "scc",
+                index=scc_index,
+                members=",".join(sorted(members)),
+                recursive=recursive,
+            ):
+                if not recursive:
+                    for rule in rules:
+                        fire_rule(rule, _RuleJoin(rule, None), None, None, scc_index, None)
                     continue
-                results = []
-                _run_join(join, {}, 0, relation_of, delta_rel, edb_lookup, stats, results)
-                stats.rule_firings += len(results)
-                for env in results:
-                    if record(rule, env):
-                        head_row = tuple(
-                            arg.value if isinstance(arg, Constant) else env[arg]
-                            for arg in rule.head.args
+                # Semi-naive iteration inside a recursive SCC.
+                exit_rules = []
+                delta_joins: list[tuple[Rule, _RuleJoin]] = []
+                for rule in rules:
+                    recursive_positions = [
+                        i
+                        for i, item in enumerate(rule.body)
+                        if isinstance(item, Literal) and item.positive and item.predicate in members
+                    ]
+                    if not recursive_positions:
+                        exit_rules.append(rule)
+                    else:
+                        for pos in recursive_positions:
+                            delta_joins.append((rule, _RuleJoin(rule, pos)))
+                delta: dict[str, Relation] = {
+                    pred: Relation(program.arity_of(pred)) for pred in members
+                }
+                for rule in exit_rules:
+                    fire_rule(rule, _RuleJoin(rule, None), None, delta, scc_index, None)
+                iterations = 0
+                while any(len(d) for d in delta.values()):
+                    iterations += 1
+                    if max_iterations is not None and iterations > max_iterations:
+                        break
+                    stats.iterations += 1
+                    if trace_on:
+                        tracer.event(
+                            "iteration",
+                            scc=scc_index,
+                            index=iterations,
+                            delta_in=sum(len(d) for d in delta.values()),
                         )
-                        new_delta[rule.head.predicate].add(head_row)
-            delta = new_delta
+                    new_delta: dict[str, Relation] = {
+                        pred: Relation(program.arity_of(pred)) for pred in members
+                    }
+                    for rule, join in delta_joins:
+                        delta_item = join.plan[0][0]
+                        assert isinstance(delta_item, Literal)
+                        delta_rel = delta[delta_item.predicate]
+                        if not len(delta_rel):
+                            continue
+                        fire_rule(rule, join, delta_rel, new_delta, scc_index, iterations)
+                    delta = new_delta
+        if trace_on:
+            root.set(**stats.as_dict())
     return EvaluationResult(idb=idb, stats=stats, program=program, database=database, provenance=prov)
 
 
 def _evaluate_naive(
-    program: Program, database: Database, *, provenance: bool = False
+    program: Program,
+    database: Database,
+    *,
+    provenance: bool = False,
+    tracer: Tracer | None = None,
 ) -> EvaluationResult:
     """Naive bottom-up evaluation: full re-evaluation until fixpoint."""
+    if tracer is None:
+        tracer = get_tracer()
+    trace_on = tracer.enabled
     stats = EvaluationStats()
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
@@ -470,37 +529,69 @@ def _evaluate_naive(
         return row in database.relation(predicate, arity)
 
     joins = [(rule, _RuleJoin(rule, None)) for rule in program.rules]
-    changed = True
-    while changed:
+
+    def fire_rule(rule: Rule, join: _RuleJoin) -> bool:
         changed = False
-        stats.iterations += 1
-        for rule, join in joins:
-            results: list[dict[Variable, object]] = []
-            _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
-            stats.rule_firings += len(results)
-            for env in results:
-                head_row = tuple(
-                    arg.value if isinstance(arg, Constant) else env[arg]
-                    for arg in rule.head.args
-                )
-                relation = idb[rule.head.predicate]
-                if head_row in relation:
-                    continue
-                relation.add(head_row)
-                stats.facts_derived += 1
-                changed = True
-                if prov is not None:
-                    supports = tuple(
-                        (
-                            lit.predicate,
-                            tuple(
-                                arg.value if isinstance(arg, Constant) else env[arg]
-                                for arg in lit.args
-                            ),
-                        )
-                        for lit in rule.positive_literals
+        results: list[dict[Variable, object]] = []
+        _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+        stats.rule_firings += len(results)
+        for env in results:
+            head_row = tuple(
+                arg.value if isinstance(arg, Constant) else env[arg]
+                for arg in rule.head.args
+            )
+            relation = idb[rule.head.predicate]
+            if head_row in relation:
+                continue
+            relation.add(head_row)
+            stats.facts_derived += 1
+            changed = True
+            if prov is not None:
+                supports = tuple(
+                    (
+                        lit.predicate,
+                        tuple(
+                            arg.value if isinstance(arg, Constant) else env[arg]
+                            for arg in lit.args
+                        ),
                     )
-                    prov[(rule.head.predicate, head_row)] = (rule, supports)
+                    for lit in rule.positive_literals
+                )
+                prov[(rule.head.predicate, head_row)] = (rule, supports)
+        return changed
+
+    with tracer.span("evaluate", strategy="naive", rules=len(program.rules)) as root:
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            if trace_on:
+                tracer.event("iteration", index=stats.iterations, delta_in=None)
+            for rule, join in joins:
+                if not trace_on:
+                    changed |= fire_rule(rule, join)
+                    continue
+                before = (
+                    stats.probes,
+                    stats.rows_scanned,
+                    stats.facts_derived,
+                    stats.rule_firings,
+                )
+                with tracer.span(
+                    "rule",
+                    predicate=rule.head.predicate,
+                    rule=repr(rule),
+                    iteration=stats.iterations,
+                ) as span:
+                    changed |= fire_rule(rule, join)
+                    span.set(
+                        firings=stats.rule_firings - before[3],
+                        probes=stats.probes - before[0],
+                        rows_scanned=stats.rows_scanned - before[1],
+                        facts_derived=stats.facts_derived - before[2],
+                    )
+        if trace_on:
+            root.set(**stats.as_dict())
     return EvaluationResult(
         idb=idb, stats=stats, program=program, database=database, provenance=prov
     )

@@ -43,6 +43,7 @@ __all__ = [
     "parse_term",
     "parse_constraints",
     "parse_facts",
+    "parse_program_and_facts",
 ]
 
 
@@ -235,6 +236,34 @@ def parse_constraints(source: str):
             raise ParseError(f"expected an integrity constraint (:- body.) but found rule {rule}")
         constraints.append(IntegrityConstraint(rule.body))
     return constraints
+
+
+def parse_program_and_facts(
+    source: str, query: str | None = None
+) -> tuple[Program, list[Atom]]:
+    """Parse a mixed program file into ``(Program, inline facts)``.
+
+    A ground, body-less statement counts as an inline EDB fact when no
+    other statement derives its predicate with a proper rule; everything
+    else stays in the program.  This lets one ``.dl`` file carry both
+    the rules and a small demo database (``repro profile examples/x.dl``).
+    """
+    statements = parse_rules(source)
+    rule_predicates = {
+        rule.head.predicate for rule in statements if rule.body
+    }
+    rules: list[Rule] = []
+    facts: list[Atom] = []
+    for rule in statements:
+        if (
+            not rule.body
+            and rule.head.is_ground()
+            and rule.head.predicate not in rule_predicates
+        ):
+            facts.append(rule.head)
+        else:
+            rules.append(rule)
+    return Program(rules, query), facts
 
 
 def parse_facts(source: str) -> list[Atom]:

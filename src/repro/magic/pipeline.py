@@ -38,6 +38,7 @@ from ..datalog.atoms import Atom
 from ..datalog.database import Database, Row
 from ..datalog.evaluation import EvaluationResult, EvaluationStats, evaluate
 from ..datalog.program import Program
+from ..observability.trace import get_tracer
 from .sips import SipsStrategy, left_to_right
 from .transform import MagicProgram, magic_transform, match_query_atom
 
@@ -152,6 +153,9 @@ def run_pipeline(
     constraints = tuple(constraints)
     program = _as_query_program(program, query_atom)
 
+    tracer = get_tracer()
+    trace_on = tracer.enabled
+
     stages: list[PipelineStage] = []
     semantic_report: OptimizationReport | None = None
     magic: MagicProgram | None = None
@@ -161,8 +165,16 @@ def run_pipeline(
     def run_semantic() -> None:
         nonlocal current, semantic_report
         assert current is not None
-        semantic_report = optimize(current, constraints)
-        current = semantic_report.program
+        rules_in = len(current.rules)
+        with tracer.span("pipeline.stage", stage="semantic rewrite") as stage_span:
+            semantic_report = optimize(current, constraints)
+            current = semantic_report.program
+            if trace_on:
+                stage_span.set(
+                    rules_in=rules_in,
+                    rules_out=0 if current is None else len(current.rules),
+                    satisfiable=current is not None,
+                )
         detail = "unsatisfiable" if current is None else (
             "complete" if semantic_report.complete else "residues only for non-local ic's"
         )
@@ -171,8 +183,16 @@ def run_pipeline(
     def run_magic() -> None:
         nonlocal current, magic, current_atom
         assert current is not None
-        magic = magic_transform(current, current_atom, sips=sips)
-        current = magic.program
+        rules_in = len(current.rules)
+        with tracer.span("pipeline.stage", stage="magic transform") as stage_span:
+            magic = magic_transform(current, current_atom, sips=sips)
+            current = magic.program
+            if trace_on:
+                stage_span.set(
+                    rules_in=rules_in,
+                    rules_out=len(current.rules),
+                    magic_predicates=len(magic.magic_names),
+                )
         # Later stages answer through the adorned query predicate; the
         # answer rows still line up positionally with the query atom.
         current_atom = Atom(magic.answer_predicate, query_atom.args)
@@ -190,10 +210,19 @@ def run_pipeline(
         "magic-only": (run_magic,),
         "semantic-only": (run_semantic,),
     }[order]
-    for stage in plan:
-        if current is None:
-            break
-        stage()
+    with tracer.span(
+        "pipeline", order=order, query=str(query_atom), rules=len(program.rules)
+    ) as pipeline_span:
+        for stage in plan:
+            if current is None:
+                break
+            stage()
+        if trace_on:
+            pipeline_span.set(
+                stages=len(stages),
+                satisfiable=current is not None,
+                final_rules=0 if current is None else len(current.rules),
+            )
 
     return PipelineReport(
         original=program,

@@ -34,6 +34,7 @@ from ..datalog.database import Database
 from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant
+from ..observability.trace import get_tracer
 from .adorn import AdornedProgram, adorn_program, bound_args
 from .sips import SipsStrategy, bound_after, left_to_right
 
@@ -111,8 +112,26 @@ def magic_transform(
     matching the query atom equal the original query predicate's rows
     matching it (see :func:`repro.magic.pipeline.check_equivalence`).
     """
-    adorned = adorn_program(program, query_atom, sips=sips)
+    tracer = get_tracer()
+    with tracer.span(
+        "magic.transform", query=query_atom.predicate, rules=len(program.rules)
+    ) as transform_span:
+        adorned = adorn_program(program, query_atom, sips=sips)
+        result = _build_magic(program, query_atom, adorned)
+        if tracer.enabled:
+            transform_span.set(
+                adorned_rules=len(adorned.rules),
+                magic_predicates=len(result.magic_names),
+                transformed_rules=len(result.program.rules),
+                seed=repr(result.seed.head),
+            )
+    return result
 
+
+def _build_magic(
+    program: Program, query_atom: Atom, adorned: AdornedProgram
+) -> MagicProgram:
+    """Assemble the magic program from an already-adorned program."""
     taken = set(adorned.program.idb_predicates) | set(adorned.program.edb_predicates)
     magic_names: dict[str, str] = {}
     for name in adorned.names.values():

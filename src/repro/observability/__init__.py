@@ -1,0 +1,63 @@
+"""Observability: structured tracing, evaluation profiling, reports.
+
+Three layers, each consuming the previous one:
+
+* :mod:`repro.observability.trace` — the span/event API the engine and
+  both optimizers are instrumented with, plus pluggable sinks (ring
+  buffer, JSONL, human-readable log).  Disabled by default and
+  zero-overhead when disabled.
+* :mod:`repro.observability.profile` — per-rule / per-predicate
+  work-and-time breakdowns built from trace events (``repro profile``).
+* :mod:`repro.observability.report` — Markdown rendering of traces and
+  work-ratio tables, and the deterministic regeneration of
+  ``EXPERIMENTS.md`` from the benchmark suite (``repro report``).
+
+See ``docs/observability.md`` for the event schema and usage guide.
+"""
+
+from .trace import (
+    NULL_TRACER,
+    JsonlSink,
+    LogSink,
+    RingBufferSink,
+    Sink,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    tracing,
+)
+from .profile import EvaluationProfile, RuleProfile, build_profile, profile_evaluation
+from .report import (
+    Experiment,
+    md_table,
+    regenerate_experiments,
+    render_trace,
+    trace_summary,
+    work_ratio_table,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "LogSink",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "read_jsonl",
+    "EvaluationProfile",
+    "RuleProfile",
+    "build_profile",
+    "profile_evaluation",
+    "Experiment",
+    "md_table",
+    "work_ratio_table",
+    "trace_summary",
+    "render_trace",
+    "regenerate_experiments",
+]

@@ -1,0 +1,386 @@
+"""Structured tracing: spans and events with pluggable sinks.
+
+The tracer is the backbone of the observability layer: the evaluation
+engine, the semantic optimizer and the magic-sets pipeline all emit
+*spans* (named, timed, nestable regions with attributes) and *events*
+(instant records) through it.  Three properties drive the design:
+
+* **zero overhead when disabled** — the default tracer is disabled;
+  instrumented hot paths guard their fine-grained emissions with
+  ``tracer.enabled`` so a disabled tracer costs one attribute read, and
+  even an unguarded ``tracer.span(...)`` on a disabled tracer returns a
+  shared no-op span without allocating;
+* **pluggable sinks** — an in-memory ring buffer
+  (:class:`RingBufferSink`), a JSONL file (:class:`JsonlSink`) and a
+  human-readable log (:class:`LogSink`); any object with an
+  ``emit(event)`` method works;
+* **structured, serializable events** — every :class:`TraceEvent`
+  carries a span id, parent id, depth, start offset, duration and a
+  flat attribute mapping, so downstream consumers (the profiler in
+  :mod:`repro.observability.profile`, the report renderer in
+  :mod:`repro.observability.report`) never parse strings.
+
+Typical use::
+
+    from repro.observability import RingBufferSink, tracing
+    from repro.datalog.evaluation import evaluate
+
+    with tracing(RingBufferSink()) as tracer:
+        evaluate(program, database)
+    events = list(tracer.sinks[0])
+
+Span events are emitted when the span *closes*, so a sink sees children
+before their parents; consumers that want source order sort by
+``(start, span_id)`` (see :func:`repro.observability.report.render_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, TextIO
+
+__all__ = [
+    "TraceEvent",
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "LogSink",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "read_jsonl",
+]
+
+
+class TraceEvent:
+    """One record of the trace stream.
+
+    ``kind`` is ``"span"`` (a timed region; ``duration`` in seconds) or
+    ``"event"`` (instant; ``duration`` is 0.0).  ``start`` is seconds
+    since the owning tracer was created, so traces are relocatable and
+    diffable.  ``attrs`` is a flat mapping of JSON-serializable values.
+    """
+
+    __slots__ = ("name", "kind", "span_id", "parent_id", "depth", "start", "duration", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        start: float,
+        duration: float,
+        attrs: Mapping[str, object],
+    ):
+        self.name = name
+        self.kind = kind
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.duration = duration
+        self.attrs = dict(attrs)
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-ready dict (the JSONL wire format)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TraceEvent":
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            span_id=int(payload["span_id"]),  # type: ignore[arg-type]
+            parent_id=None if payload.get("parent_id") is None else int(payload["parent_id"]),  # type: ignore[arg-type]
+            depth=int(payload.get("depth", 0)),  # type: ignore[arg-type]
+            start=float(payload.get("start", 0.0)),  # type: ignore[arg-type]
+            duration=float(payload.get("duration", 0.0)),  # type: ignore[arg-type]
+            attrs=payload.get("attrs", {}),  # type: ignore[arg-type]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        extras = "".join(f" {k}={v!r}" for k, v in self.attrs.items())
+        if self.kind == "span":
+            return f"<span {self.name} {self.duration * 1000:.3f}ms{extras}>"
+        return f"<event {self.name}{extras}>"
+
+
+class Sink:
+    """Base class for trace sinks; subclasses implement :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keeps the last ``capacity`` events in memory (all when ``None``)."""
+
+    def __init__(self, capacity: int | None = None):
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per event to a file or text stream."""
+
+    def __init__(self, target: str | Path | TextIO):
+        if isinstance(target, (str, Path)):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._stream = target
+            self._owned = False
+
+    def emit(self, event: TraceEvent) -> None:
+        # No sort_keys: attrs keep their (deterministic) insertion order,
+        # so a reloaded trace renders identically to the live one.
+        self._stream.write(json.dumps(event.as_dict()) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owned:
+            self._stream.close()
+
+
+def read_jsonl(source: str | Path | TextIO | Iterable[str]) -> list[TraceEvent]:
+    """Read a JSONL trace back into :class:`TraceEvent` objects."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return [TraceEvent.from_dict(json.loads(line)) for line in handle if line.strip()]
+    return [TraceEvent.from_dict(json.loads(line)) for line in source if line.strip()]
+
+
+class LogSink(Sink):
+    """Human-readable one-line-per-event output (default: stderr).
+
+    Spans print when they close, so nested work appears above its
+    enclosing span; indentation follows the span depth.
+    """
+
+    def __init__(self, stream: TextIO | None = None):
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: TraceEvent) -> None:
+        indent = "  " * event.depth
+        extras = " ".join(f"{key}={value}" for key, value in event.attrs.items())
+        if event.kind == "span":
+            timing = f"{event.duration * 1000:9.3f}ms"
+        else:
+            timing = "    event "
+        self._stream.write(f"[{timing}] {indent}{event.name}" + (f" {extras}" if extras else "") + "\n")
+
+
+class _NullSpan:
+    """The shared no-op span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; emitted as a :class:`TraceEvent` when it closes."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **attrs: object) -> "_Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Emits spans and events to a list of sinks.
+
+    A tracer is *enabled* or not for its whole lifetime; instrumented
+    code reads :attr:`enabled` to skip fine-grained work.  Span ids are
+    assigned in open order starting at 1; the id sequence, nesting and
+    attributes are deterministic for a deterministic workload (only the
+    timestamps vary run to run).
+    """
+
+    __slots__ = ("enabled", "sinks", "_clock", "_origin", "_stack", "_next_id")
+
+    def __init__(
+        self,
+        sinks: Iterable[Sink] = (),
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self.sinks: list[Sink] = list(sinks)
+        self._clock = clock
+        self._origin = clock()
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    # -- span/event production ------------------------------------------
+    def span(self, name: str, **attrs: object):
+        """A context manager timing a named region.
+
+        Returns the shared no-op span when the tracer is disabled; hot
+        paths should still guard on :attr:`enabled` to avoid building
+        the ``attrs`` dict at the call site.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit an instant event at the current nesting depth."""
+        if not self.enabled:
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        self._emit(
+            TraceEvent(
+                name=name,
+                kind="event",
+                span_id=span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                depth=len(self._stack),
+                start=self._clock() - self._origin,
+                duration=0.0,
+                attrs=attrs,
+            )
+        )
+
+    # -- span plumbing ---------------------------------------------------
+    def _open(self, span: _Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1] if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span.span_id)
+        span._start = self._clock()
+
+    def _close(self, span: _Span) -> None:
+        end = self._clock()
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        self._emit(
+            TraceEvent(
+                name=span.name,
+                kind="span",
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                depth=span.depth,
+                start=span._start - self._origin,
+                duration=end - span._start,
+                attrs=span.attrs,
+            )
+        )
+
+    def _emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink (flushes files)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The process-wide default: a disabled tracer with no sinks.
+NULL_TRACER = Tracer(enabled=False)
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (disabled by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` globally; returns the previous one.
+
+    Passing ``None`` restores the disabled default.
+    """
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(*sinks: Sink, tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install an enabled tracer for the duration of a ``with`` block.
+
+    ``tracing(sink1, sink2)`` builds a tracer over the given sinks
+    (a fresh :class:`RingBufferSink` when none are given); pass
+    ``tracer=`` to install a pre-built one instead.  The previous
+    tracer is restored on exit.
+    """
+    if tracer is None:
+        tracer = Tracer(sinks if sinks else (RingBufferSink(),))
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -1,0 +1,70 @@
+"""EvaluationStats: as_dict parity, merge, and compare's zero guards."""
+
+import math
+
+from repro.datalog.evaluation import EvaluationStats
+
+
+def _stats(**overrides):
+    base = dict(rule_firings=4, probes=10, rows_scanned=20, facts_derived=8, iterations=3)
+    base.update(overrides)
+    return EvaluationStats(**base)
+
+
+def test_as_dict_covers_every_counter_including_iterations():
+    stats = _stats()
+    payload = stats.as_dict()
+    # Parity with the dataclass fields: nothing missing, nothing extra.
+    assert payload == {
+        "rule_firings": 4,
+        "probes": 10,
+        "rows_scanned": 20,
+        "facts_derived": 8,
+        "iterations": 3,
+    }
+    assert set(payload) == set(EvaluationStats.__dataclass_fields__)
+
+
+def test_merge_sums_every_counter():
+    left = _stats()
+    left.merge(_stats(iterations=5))
+    assert left.as_dict() == {
+        "rule_firings": 8,
+        "probes": 20,
+        "rows_scanned": 40,
+        "facts_derived": 16,
+        "iterations": 8,
+    }
+
+
+def test_compare_ratios():
+    baseline = _stats()
+    half = EvaluationStats(rule_firings=2, probes=5, rows_scanned=10, facts_derived=4, iterations=3)
+    ratios = baseline.compare(half)
+    assert ratios["probes"] == 0.5
+    assert ratios["iterations"] == 1.0
+    assert set(ratios) == set(baseline.as_dict())
+
+
+def test_compare_zero_baseline_never_divides_by_zero():
+    empty = EvaluationStats()
+    other = _stats()
+    ratios = empty.compare(other)
+    # 0/0 -> 1.0 (no change), n/0 -> inf, and never an exception.
+    assert all(math.isinf(value) for value in ratios.values())
+    assert empty.compare(EvaluationStats()) == {
+        "rule_firings": 1.0,
+        "probes": 1.0,
+        "rows_scanned": 1.0,
+        "facts_derived": 1.0,
+        "iterations": 1.0,
+    }
+
+
+def test_compare_mixed_zero_and_nonzero_counters():
+    baseline = EvaluationStats(rule_firings=0, probes=10)
+    other = EvaluationStats(rule_firings=3, probes=0)
+    ratios = baseline.compare(other)
+    assert math.isinf(ratios["rule_firings"])
+    assert ratios["probes"] == 0.0
+    assert ratios["iterations"] == 1.0

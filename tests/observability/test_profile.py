@@ -1,0 +1,80 @@
+"""The evaluation profiler: aggregation, top-k, rendering."""
+
+from repro.datalog.evaluation import evaluate
+from repro.observability import (
+    RingBufferSink,
+    build_profile,
+    profile_evaluation,
+    tracing,
+)
+from repro.workloads.generators import good_path_bidirectional_database
+from repro.workloads.programs import good_path
+
+
+def _workload():
+    program, _ = good_path()
+    database = good_path_bidirectional_database(num_chains=2, chain_length=8, seed=0)
+    return program, database
+
+
+def test_profile_totals_match_evaluation_stats():
+    program, database = _workload()
+    profile, result = profile_evaluation(program, database)
+    stats = result.stats
+    assert sum(r.firings for r in profile.rules.values()) == stats.rule_firings
+    assert sum(r.probes for r in profile.rules.values()) == stats.probes
+    assert sum(r.facts_derived for r in profile.rules.values()) == stats.facts_derived
+    assert profile.iterations == stats.iterations
+    assert profile.sccs >= 1
+    assert profile.total_time > 0
+
+
+def test_profile_answers_unchanged():
+    program, database = _workload()
+    baseline = evaluate(program, database)
+    _, result = profile_evaluation(program, database)
+    assert result.query_rows() == baseline.query_rows()
+    assert result.stats.as_dict() == baseline.stats.as_dict()
+
+
+def test_top_rules_ordering_and_keys():
+    program, database = _workload()
+    profile, _ = profile_evaluation(program, database)
+    by_time = profile.top_rules(10, key="time")
+    assert [r.time for r in by_time] == sorted((r.time for r in by_time), reverse=True)
+    by_facts = profile.top_rules(2, key="facts_derived")
+    assert len(by_facts) == 2
+    assert by_facts[0].facts_derived >= by_facts[1].facts_derived
+
+
+def test_render_contains_rules_and_predicates():
+    program, database = _workload()
+    profile, _ = profile_evaluation(program, database)
+    text = profile.render(top=3)
+    assert "rule" in text and "predicate" in text
+    assert "path" in text and "goodPath" in text
+    assert "hit" in text  # probe hit-rate column
+
+
+def test_build_profile_from_captured_events_matches_helper():
+    program, database = _workload()
+    sink = RingBufferSink()
+    with tracing(sink):
+        evaluate(program, database)
+    profile = build_profile(sink)
+    helper_profile, _ = profile_evaluation(program, database)
+    assert set(profile.rules) == set(helper_profile.rules)
+    for name, rule in profile.rules.items():
+        other = helper_profile.rules[name]
+        assert (rule.firings, rule.probes, rule.facts_derived) == (
+            other.firings,
+            other.probes,
+            other.facts_derived,
+        )
+
+
+def test_naive_strategy_profiles_too():
+    program, database = _workload()
+    profile, result = profile_evaluation(program, database, strategy="naive")
+    assert sum(r.firings for r in profile.rules.values()) == result.stats.rule_firings
+    assert profile.iterations == result.stats.iterations
