@@ -1,0 +1,367 @@
+"""The engine benchmark harness behind ``repro bench``.
+
+Runs a fixed suite of evaluation workloads on three engine
+configurations and reports wall-clock timings, the
+:class:`~repro.datalog.evaluation.EvaluationStats` work counters, and a
+fixpoint digest per engine:
+
+* ``interpreted`` — the seed tuple-at-a-time interpreter (dict
+  environments, greedy bound-count join order);
+* ``slots-greedy`` — the compiled slot-based engine running the *same*
+  join order as the interpreter (isolates the compilation win);
+* ``slots-cost`` — the compiled engine with cost-based body reordering
+  (the default engine; adds the plan win on top).
+
+Every engine must compute **byte-identical fixpoints** (same IDB facts
+on every workload); :func:`run_bench` flags any mismatch and the CLI
+exits non-zero — this is the correctness gate CI runs via
+``repro bench --json --quick``.  Timings are the minimum over
+``repeat`` runs, each on a fresh database copy so lazily built indexes
+are rebuilt (index cost is part of the engine).
+
+``repro bench --json`` writes the full payload to ``BENCH_results.json``
+— the repo's tracked perf baseline (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .datalog.database import Database
+from .datalog.evaluation import EvaluationStats, evaluate
+from .datalog.program import Program
+from .magic import run_pipeline
+from .workloads.generators import (
+    ab_database,
+    flight_database,
+    good_path_database,
+    same_generation_database,
+    taint_database,
+)
+from .workloads.programs import (
+    ab_transitive_closure,
+    flight_routes,
+    good_path,
+    good_path_order_constraints,
+    same_generation,
+    taint_analysis,
+)
+
+__all__ = [
+    "ENGINE_CONFIGS",
+    "BenchUnit",
+    "build_workloads",
+    "run_bench",
+    "render_results",
+    "write_results",
+]
+
+#: label -> evaluate() keyword arguments, in report order.
+ENGINE_CONFIGS: tuple[tuple[str, dict[str, str]], ...] = (
+    ("interpreted", {"engine": "interpreted"}),
+    ("slots-greedy", {"engine": "slots", "plan_order": "greedy"}),
+    ("slots-cost", {"engine": "slots", "plan_order": "cost"}),
+)
+
+
+@dataclass(frozen=True)
+class BenchUnit:
+    """One (program, database) evaluation inside a workload."""
+
+    label: str
+    program: Program
+    make_database: Callable[[], Database]
+
+
+def _colored_edges(colors: int, nodes: int, edges: int, seed: int = 0) -> Database:
+    """Random forward (acyclic) edges for each color predicate ``e{i}``."""
+    rng = random.Random(seed)
+    db = Database()
+    for color in range(colors):
+        added = 0
+        while added < edges:
+            left = rng.randrange(nodes - 1)
+            right = rng.randrange(left + 1, nodes)
+            if db.add_row(f"e{color}", (left, right)):
+                added += 1
+    return db
+
+
+def _colored_closure_program(colors: int) -> Program:
+    from .datalog.parser import parse_program
+
+    rules = []
+    for color in range(colors):
+        rules.append(f"p(X, Y) :- e{color}(X, Y).")
+        rules.append(f"p(X, Y) :- e{color}(X, Z), p(Z, Y).")
+    return parse_program("\n".join(rules), query="p")
+
+
+def _magic_units(quick: bool) -> list[BenchUnit]:
+    """The bound-query workloads, magic-transformed (magic-only pipeline).
+
+    Magic programs are where join order matters most: their rules guard
+    large recursive literals with small magic relations, and several
+    body literals become fully bound once the magic binding is read.
+    """
+    from .datalog.atoms import Atom
+    from .datalog.terms import Constant, Variable
+
+    def bound(predicate: str, constant, arity: int = 2) -> Atom:
+        args = (Constant(constant),) + tuple(
+            Variable(f"V{i}") for i in range(arity - 1)
+        )
+        return Atom(predicate, args)
+
+    units: list[BenchUnit] = []
+
+    program, ics = ab_transitive_closure()
+    ab_kwargs = dict(num_b=20, num_a=20, branching=2) if quick else dict(
+        num_b=60, num_a=60, branching=3
+    )
+    report = run_pipeline(program, ics, bound("p", 0), order="magic-only")
+    assert report.program is not None
+    units.append(
+        BenchUnit("magic-ab", report.program, lambda k=ab_kwargs: ab_database(seed=0, **k))
+    )
+
+    program, ics = good_path_order_constraints()
+    gp_kwargs = dict(num_chains=2, chain_length=10) if quick else dict(
+        num_chains=4, chain_length=30
+    )
+    gp_db = good_path_database(seed=0, **gp_kwargs)
+    start = min(row[0] for row in gp_db.relation("startPoint", 1))
+    report = run_pipeline(program, ics, bound("goodPath", start), order="magic-only")
+    assert report.program is not None
+    units.append(
+        BenchUnit(
+            "magic-goodPath",
+            report.program,
+            lambda k=gp_kwargs: good_path_database(seed=0, **k),
+        )
+    )
+
+    program, ics = same_generation()
+    sg_kwargs = dict(depth=4, fanout=2) if quick else dict(depth=6, fanout=2)
+    report = run_pipeline(program, ics, bound("query", 2), order="magic-only")
+    assert report.program is not None
+    units.append(
+        BenchUnit(
+            "magic-sg",
+            report.program,
+            lambda k=sg_kwargs: same_generation_database(seed=0, **k),
+        )
+    )
+    return units
+
+
+def build_workloads(*, quick: bool = False) -> dict[str, list[BenchUnit]]:
+    """The benchmark suite: workload name -> evaluation units.
+
+    ``quick`` shrinks every workload to CI-smoke size (the fixpoint
+    gate is just as strict; only the timings lose meaning).
+    """
+    colors, nodes, edges = (2, 24, 30) if quick else (3, 70, 110)
+    scaling_program = _colored_closure_program(colors)
+
+    gp_program, _ = good_path()
+    gp_kwargs = dict(num_chains=2, chain_length=12) if quick else dict(
+        num_chains=6, chain_length=45
+    )
+    ab_program, _ = ab_transitive_closure()
+    ab_kwargs = dict(num_b=20, num_a=20, branching=2) if quick else dict(
+        num_b=55, num_a=55, branching=3
+    )
+    sg_program, _ = same_generation()
+    sg_kwargs = dict(depth=4, fanout=2) if quick else dict(depth=6, fanout=2)
+    taint_program, _ = taint_analysis()
+    taint_kwargs = dict(variables=30, flows=60) if quick else dict(
+        variables=130, flows=420
+    )
+    flight_program, _ = flight_routes()
+    flight_kwargs = dict(cities=12, segments=40) if quick else dict(
+        cities=30, segments=160
+    )
+
+    return {
+        "bench_scaling": [
+            BenchUnit(
+                "colored-closure",
+                scaling_program,
+                lambda: _colored_edges(colors, nodes, edges, seed=0),
+            )
+        ],
+        "bench_magic": _magic_units(quick),
+        "bench_example31": [
+            BenchUnit(
+                "good-path",
+                gp_program,
+                lambda: good_path_database(seed=0, **gp_kwargs),
+            )
+        ],
+        "bench_ab": [
+            BenchUnit("ab-closure", ab_program, lambda: ab_database(seed=0, **ab_kwargs))
+        ],
+        "bench_sg": [
+            BenchUnit(
+                "same-generation",
+                sg_program,
+                lambda: same_generation_database(seed=0, **sg_kwargs),
+            )
+        ],
+        "bench_taint": [
+            BenchUnit(
+                "taint", taint_program, lambda: taint_database(seed=0, **taint_kwargs)
+            )
+        ],
+        "bench_flight": [
+            BenchUnit(
+                "flight-routes",
+                flight_program,
+                lambda: flight_database(seed=0, **flight_kwargs),
+            )
+        ],
+    }
+
+
+def _fixpoint_digest(results: Iterable[tuple[str, Mapping]] ) -> str:
+    """SHA-256 over every unit's full IDB, order-independent per relation."""
+    digest = hashlib.sha256()
+    for unit_label, idb in results:
+        digest.update(unit_label.encode())
+        for predicate in sorted(idb):
+            digest.update(predicate.encode())
+            for row in sorted(idb[predicate].rows(), key=repr):
+                digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def _run_engine(units: Sequence[BenchUnit], engine_kwargs: Mapping[str, str], repeat: int):
+    """Time ``repeat`` full-suite runs; return (best seconds, stats, digest).
+
+    Stats and the fixpoint digest come from the first run — they are
+    deterministic, only the wall clock varies."""
+    best = float("inf")
+    stats = EvaluationStats()
+    digest = ""
+    for attempt in range(repeat):
+        databases = [unit.make_database() for unit in units]
+        start = time.perf_counter()
+        results = [
+            evaluate(unit.program, database, **engine_kwargs)
+            for unit, database in zip(units, databases)
+        ]
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        if attempt == 0:
+            for result in results:
+                stats.merge(result.stats)
+            digest = _fixpoint_digest(
+                (unit.label, result.idb) for unit, result in zip(units, results)
+            )
+    return best, stats, digest
+
+
+def run_bench(
+    *,
+    workloads: Sequence[str] | None = None,
+    quick: bool = False,
+    repeat: int = 3,
+) -> dict:
+    """Run the suite; return the JSON-ready results payload.
+
+    ``payload["ok"]`` is False when any workload's fixpoints differ
+    between engines — the CLI turns that into a non-zero exit."""
+    suite = build_workloads(quick=quick)
+    if workloads:
+        unknown = [name for name in workloads if name not in suite]
+        if unknown:
+            raise ValueError(
+                f"unknown workloads: {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(suite))})"
+            )
+        suite = {name: suite[name] for name in workloads}
+    payload: dict = {
+        "generated_by": "python -m repro bench --json"
+        + (" --quick" if quick else ""),
+        "quick": quick,
+        "repeat": repeat,
+        "engines": [label for label, _ in ENGINE_CONFIGS],
+        "workloads": {},
+        "ok": True,
+    }
+    for name, units in suite.items():
+        entry: dict = {"units": [unit.label for unit in units], "engines": {}}
+        digests: dict[str, str] = {}
+        for label, engine_kwargs in ENGINE_CONFIGS:
+            seconds, stats, digest = _run_engine(units, engine_kwargs, repeat)
+            digests[label] = digest
+            entry["engines"][label] = {
+                "time_s": seconds,
+                "fixpoint_sha256": digest,
+                "stats": stats.as_dict(),
+            }
+        entry["fixpoints_match"] = len(set(digests.values())) == 1
+        if not entry["fixpoints_match"]:
+            payload["ok"] = False
+        base = entry["engines"]["interpreted"]
+        for label, _ in ENGINE_CONFIGS[1:]:
+            other = entry["engines"][label]
+            entry.setdefault("speedup_vs_interpreted", {})[label] = (
+                base["time_s"] / other["time_s"] if other["time_s"] > 0 else float("inf")
+            )
+            entry.setdefault("rows_scanned_vs_interpreted", {})[label] = (
+                other["stats"]["rows_scanned"] - base["stats"]["rows_scanned"]
+            )
+        payload["workloads"][name] = entry
+    return payload
+
+
+def render_results(payload: Mapping) -> str:
+    """A fixed-width console table of the payload."""
+    lines = [
+        f"engine benchmark ({'quick' if payload['quick'] else 'full'} suite, "
+        f"best of {payload['repeat']}):",
+        "",
+        f"{'workload':<18} {'engine':<13} {'time(ms)':>9} {'speedup':>8} "
+        f"{'rows':>9} {'probes':>9} {'facts':>8}  fixpoint",
+    ]
+    for name, entry in payload["workloads"].items():
+        base_time = entry["engines"]["interpreted"]["time_s"]
+        for label, engine in entry["engines"].items():
+            speedup = base_time / engine["time_s"] if engine["time_s"] > 0 else float("inf")
+            stats = engine["stats"]
+            lines.append(
+                f"{name:<18} {label:<13} {engine['time_s'] * 1000:9.2f} "
+                f"{speedup:7.2f}x {stats['rows_scanned']:9d} "
+                f"{stats['probes']:9d} {stats['facts_derived']:8d}  "
+                f"{engine['fixpoint_sha256'][:12]}"
+            )
+        lines.append(
+            f"{'':<18} fixpoints {'match' if entry['fixpoints_match'] else 'DIFFER'}"
+        )
+    lines.append("")
+    lines.append("ok" if payload["ok"] else "FIXPOINT MISMATCH — engines disagree")
+    return "\n".join(lines)
+
+
+def write_results(payload: Mapping, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    from .cli import main as cli_main
+
+    return cli_main(["bench"] + list(argv or ()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@ Commands
 ``pipeline``     chain the semantic rewrite and magic sets (either order)
 ``trace``        print the structured trace of a rewrite + evaluation
 ``profile``      per-rule / per-predicate hot-path breakdown
+``bench``        engine benchmark suite (writes BENCH_results.json)
 ``report``       regenerate EXPERIMENTS.md from the benchmark suite
 ``check``        check a fact base against integrity constraints
 ``satisfiable``  decide satisfiability of the query predicate
@@ -35,6 +36,7 @@ Examples::
     python -m repro trace examples/good_path.dl --query goodPath \
         --constraints examples/good_path_ics.dl
     python -m repro profile examples/good_path.dl --query goodPath --top 5
+    python -m repro bench --json --quick
     python -m repro report --regenerate --check
     python -m repro check ics.dl --data facts.dl
     python -m repro satisfiable program.dl --constraints ics.dl --query p
@@ -152,7 +154,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     database = _database_from(args, inline_facts)
 
     def body() -> int:
-        original = evaluate(program, database)
+        original = evaluate(
+            program, database, engine=args.engine, plan_order=args.plan_order
+        )
         print(f"answers ({len(original.query_rows())}):")
         for row in sorted(original.query_rows(), key=repr):
             print(f"  {program.query}{row!r}")
@@ -292,11 +296,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
     database = _database_from(args, inline_facts)
-    profile, result = profile_evaluation(program, database, strategy=args.strategy)
+    profile, result = profile_evaluation(
+        program,
+        database,
+        strategy=args.strategy,
+        engine=args.engine,
+        plan_order=args.plan_order,
+    )
     print(profile.render(top=args.top))
     if program.query is not None:
         print(f"\nanswers: {len(result.query_rows())} rows in {program.query}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_results, run_bench, write_results
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+    try:
+        payload = run_bench(workloads=workloads, quick=args.quick, repeat=repeat)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(render_results(payload))
+    if args.json:
+        write_results(payload, args.output)
+        print(f"\nresults written to {args.output}")
+    return 0 if payload["ok"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -390,12 +416,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="run under a tracer and append a per-span summary",
         )
 
+    def engine_flags(cmd) -> None:
+        cmd.add_argument(
+            "--engine", default="slots", choices=("slots", "interpreted"),
+            help="join engine: compiled slot plans (default) or the interpreter",
+        )
+        cmd.add_argument(
+            "--plan-order", default="cost", choices=("cost", "greedy"),
+            help="compiled-plan body order: cost-based (default) or greedy",
+        )
+
     cmd = program_command("run", "evaluate a program over a fact base")
     cmd.add_argument("--data", help="fact file (inline program facts also count)")
     cmd.add_argument(
         "--compare", action="store_true", help="also run the optimized program"
     )
     trace_flag(cmd)
+    engine_flags(cmd)
     cmd.set_defaults(func=_cmd_run)
 
     cmd = sub.add_parser("magic", help="magic-sets transformation for a bound query atom")
@@ -450,7 +487,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="seminaive", choices=("seminaive", "naive"),
         help="evaluation strategy to profile",
     )
+    engine_flags(cmd)
     cmd.set_defaults(func=_cmd_profile)
+
+    cmd = sub.add_parser(
+        "bench", help="engine benchmark suite (interpreted vs compiled plans)"
+    )
+    cmd.add_argument(
+        "--json", action="store_true", help="write the results payload to --output"
+    )
+    cmd.add_argument(
+        "--output", default="BENCH_results.json", help="results path (with --json)"
+    )
+    cmd.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes: tiny workloads, repeat=1 unless overridden",
+    )
+    cmd.add_argument(
+        "--repeat", type=int, default=None,
+        help="timing runs per engine (default 3, or 1 with --quick)",
+    )
+    cmd.add_argument(
+        "--workloads", help="comma-separated subset (default: the whole suite)"
+    )
+    cmd.set_defaults(func=_cmd_bench)
 
     cmd = sub.add_parser("report", help="regenerate EXPERIMENTS.md from the benchmarks")
     cmd.add_argument(

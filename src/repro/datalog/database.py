@@ -63,17 +63,44 @@ class Relation:
         """Rows whose projection on ``positions`` equals ``key``.
 
         Builds (and caches) a hash index for ``positions`` on first use.
-        An empty ``positions`` returns all rows.
+        An empty ``positions`` short-circuits to all rows — no degenerate
+        empty-keyed index is ever built or cached.
         """
         if not positions:
             return list(self._rows)
+        return self.index_for(positions).get(key, [])
+
+    def index_for(self, positions: tuple[int, ...], stats=None) -> dict[Row, list[Row]]:
+        """The hash index keyed by the projection on ``positions``.
+
+        Built lazily on first use and kept incrementally up to date by
+        :meth:`add`, so one index serves every probe and every
+        semi-naive iteration.  A build increments ``stats.index_builds``
+        when a stats object is given.  ``positions`` must be non-empty —
+        full scans go through :meth:`all_rows` instead.
+        """
+        if not positions:
+            raise ValueError("index_for needs bound positions; use all_rows() for full scans")
         index = self._indexes.get(positions)
         if index is None:
-            index = defaultdict(list)
+            built: dict[Row, list[Row]] = defaultdict(list)
             for row in self._rows:
-                index[tuple(row[i] for i in positions)].append(row)
-            self._indexes[positions] = dict(index)
-        return self._indexes[positions].get(key, [])
+                built[tuple(row[i] for i in positions)].append(row)
+            index = self._indexes[positions] = dict(built)
+            if stats is not None:
+                stats.index_builds += 1
+        return index
+
+    def has_index(self, positions: tuple[int, ...]) -> bool:
+        """Whether the index for ``positions`` has already been built."""
+        return positions in self._indexes
+
+    def all_rows(self) -> set[Row]:
+        """The internal row set (read-only view — do not mutate).
+
+        The no-index fast path for fully unbound probes and for
+        membership tests."""
+        return self._rows
 
     def copy(self) -> "Relation":
         return Relation(self.arity, self._rows)

@@ -6,21 +6,31 @@ The engine evaluates a :class:`~repro.datalog.program.Program` over a
 * IDB predicates are computed SCC by SCC in topological order of the
   dependency graph; within a recursive SCC, semi-naive (delta) iteration
   is used.
-* Each rule is evaluated by a backtracking join.  The join order is
-  chosen greedily: filters (order atoms, negated EDB literals) run as
-  soon as their variables are bound; positive literals are chosen by the
-  number of bound argument positions.  Probes go through the lazily
-  indexed :meth:`Relation.probe`.
+* Each rule's join runs on one of two engines.  The default
+  ``engine="slots"`` is the **compiled slot-based engine** of
+  :mod:`repro.datalog.plan`: each rule is compiled once per (rule,
+  delta-position) into a plan over integer variable slots — the
+  environment is a fixed-size list overwritten in place (no per-row
+  ``dict`` copies), probe keys and head/filter projections are
+  precomputed position tuples, fully bound subgoals become zero-scan
+  existence checks, and hash indexes are fetched once per rule
+  execution.  ``plan_order`` selects **cost-based body reordering**
+  (``"cost"``, the default: literals ordered by estimated selectivity,
+  relation size × bound-position count) or the seed interpreter's
+  greedy bound-count order (``"greedy"``).  ``engine="interpreted"``
+  keeps the original tuple-at-a-time interpreter as a measurable
+  baseline (see ``repro bench``).
 * :class:`EvaluationStats` counts rule firings, index probes, rows
-  scanned and derived facts — the "join work" measure the benchmarks
-  report when comparing a program against its semantically optimized
-  rewriting.
+  scanned, facts derived, index builds and environment allocations —
+  plus per-rule ``rows_scanned`` — the "join work" measures the
+  benchmarks report when comparing engines and transformed programs.
 * The engine is instrumented with the tracer of
   :mod:`repro.observability.trace`: an ``evaluate`` span wraps the run,
   each SCC gets an ``scc`` span, each semi-naive round an ``iteration``
-  event, and every rule execution a ``rule`` span carrying its wall
-  time plus the per-rule deltas of the work counters (from which the
-  profiler derives index-probe hit rates).  With the default disabled
+  event, every compiled plan a ``plan`` event (with the chosen join
+  order), every lazily built hash index an ``index_build`` event, and
+  every rule execution a ``rule`` span carrying its wall time plus the
+  per-rule deltas of the work counters.  With the default disabled
   tracer none of this fires — the hot path pays one boolean check.
 * With ``provenance=True`` the engine records, for each derived fact,
   the first rule instantiation that produced it; :func:`derivation_tree`
@@ -36,11 +46,14 @@ from typing import Iterable, Mapping, Sequence
 from ..observability.trace import Tracer, get_tracer
 from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
 from .database import Database, Relation, Row
+from .plan import DEFAULT_IDB_ESTIMATE, RulePlan, compile_rule, order_body_greedy
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable
 
 __all__ = [
+    "ENGINES",
+    "PLAN_ORDERS",
     "EvaluationStats",
     "EvaluationResult",
     "DerivationNode",
@@ -49,16 +62,31 @@ __all__ = [
     "derivation_tree",
 ]
 
+#: Valid ``engine`` arguments of :func:`evaluate`.
+ENGINES = ("slots", "interpreted")
+
+#: Valid ``plan_order`` arguments of :func:`evaluate`.
+PLAN_ORDERS = ("cost", "greedy")
+
 
 @dataclass
 class EvaluationStats:
-    """Work counters accumulated during one evaluation."""
+    """Work counters accumulated during one evaluation.
+
+    The scalar counters measure join work; ``rows_scanned_by_rule``
+    attributes ``rows_scanned`` to the rule (by its ``repr``) that
+    scanned them, so benchmarks can prove a plan change scans fewer
+    rows per rule without enabling the tracer.
+    """
 
     rule_firings: int = 0
     probes: int = 0
     rows_scanned: int = 0
     facts_derived: int = 0
     iterations: int = 0
+    index_builds: int = 0
+    env_allocations: int = 0
+    rows_scanned_by_rule: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "EvaluationStats") -> None:
         self.rule_firings += other.rule_firings
@@ -66,8 +94,12 @@ class EvaluationStats:
         self.rows_scanned += other.rows_scanned
         self.facts_derived += other.facts_derived
         self.iterations += other.iterations
+        self.index_builds += other.index_builds
+        self.env_allocations += other.env_allocations
+        for key, value in other.rows_scanned_by_rule.items():
+            self.rows_scanned_by_rule[key] = self.rows_scanned_by_rule.get(key, 0) + value
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, object]:
         """The counters as a plain dict (benchmark ``extra_info`` payloads)."""
         return {
             "rule_firings": self.rule_firings,
@@ -75,23 +107,30 @@ class EvaluationStats:
             "rows_scanned": self.rows_scanned,
             "facts_derived": self.facts_derived,
             "iterations": self.iterations,
+            "index_builds": self.index_builds,
+            "env_allocations": self.env_allocations,
+            "rows_scanned_by_rule": dict(self.rows_scanned_by_rule),
         }
 
     def compare(self, other: "EvaluationStats") -> dict[str, float]:
-        """Per-counter ratios ``other / self`` (1.0 when both are zero).
+        """Per-scalar-counter ratios ``other / self`` (1.0 when both are zero).
 
         The benchmarks report these as work ratios of a transformed
         program against its baseline: a ratio below 1.0 on
         ``facts_derived`` means the transformation derived fewer facts.
+        The per-rule breakdown is not a ratio and is skipped.
         """
         ratios: dict[str, float] = {}
         mine = self.as_dict()
         theirs = other.as_dict()
         for key, value in mine.items():
+            if not isinstance(value, int):
+                continue
+            other_value = theirs[key]
             if value == 0:
-                ratios[key] = 1.0 if theirs[key] == 0 else float("inf")
+                ratios[key] = 1.0 if other_value == 0 else float("inf")
             else:
-                ratios[key] = theirs[key] / value
+                ratios[key] = other_value / value
         return ratios
 
 
@@ -128,75 +167,50 @@ class EvaluationResult:
         return self.rows(self.program.query)
 
 
+# ----------------------------------------------------------------------
+# The interpreted engine (the seed's tuple-at-a-time baseline)
+# ----------------------------------------------------------------------
+#: Sentinel distinguishing "variable unbound" from a legitimate ``None``
+#: value stored in a database row.
+_UNSET = object()
+
+
 class _RuleJoin:
-    """A compiled join plan for one rule with an optional delta subgoal."""
+    """An interpreted join plan for one rule with an optional delta subgoal."""
 
     def __init__(self, rule: Rule, delta_index: int | None):
         self.rule = rule
+        self.rule_key = repr(rule)
         self.delta_index = delta_index
-        self.plan = self._order_body(rule, delta_index)
-
-    @staticmethod
-    def _order_body(rule: Rule, delta_index: int | None) -> list[tuple[object, bool]]:
-        """Greedy static join ordering.
-
-        Returns a list of (body item, is_delta) pairs.  The delta literal
-        (when present) is placed first; after every positive literal, all
-        newly evaluable filters are placed immediately.
-        """
-        positives = []
-        for idx, item in enumerate(rule.body):
-            if isinstance(item, Literal) and item.positive:
-                positives.append((idx, item))
-        filters = [
-            item
-            for item in rule.body
-            if isinstance(item, OrderAtom) or (isinstance(item, Literal) and not item.positive)
-        ]
-        plan: list[tuple[object, bool]] = []
-        bound: set[Variable] = set()
-        remaining_pos = positives[:]
-        remaining_filters = filters[:]
-
-        def flush_filters() -> None:
-            progressing = True
-            while progressing:
-                progressing = False
-                for item in list(remaining_filters):
-                    if item.variables() <= bound:
-                        plan.append((item, False))
-                        remaining_filters.remove(item)
-                        progressing = True
-
+        self.plan = order_body_greedy(rule, delta_index)
+        self.delta_predicate: str | None = None
         if delta_index is not None:
-            for pair in remaining_pos:
-                if pair[0] == delta_index:
-                    remaining_pos.remove(pair)
-                    plan.append((pair[1], True))
-                    bound |= pair[1].variables()
-                    break
-        flush_filters()
-        while remaining_pos:
-            best = max(
-                remaining_pos,
-                key=lambda pair: (
-                    sum(
-                        1
-                        for arg in pair[1].args
-                        if isinstance(arg, Constant) or arg in bound
-                    ),
-                    -len(pair[1].variables() - bound),
+            item = rule.body[delta_index]
+            assert isinstance(item, Literal)
+            self.delta_predicate = item.predicate
+
+    def head_row(self, env: Mapping[Variable, object]) -> Row:
+        return tuple(
+            arg.value if isinstance(arg, Constant) else env[arg]
+            for arg in self.rule.head.args
+        )
+
+    def support_rows(self, env: Mapping[Variable, object]) -> list[Fact]:
+        return [
+            (
+                lit.predicate,
+                tuple(
+                    arg.value if isinstance(arg, Constant) else env[arg]
+                    for arg in lit.args
                 ),
             )
-            remaining_pos.remove(best)
-            plan.append((best[1], False))
-            bound |= best[1].variables()
-            flush_filters()
-        flush_filters()
-        if remaining_filters:
-            # Safety guarantees this never happens for safe rules.
-            raise ValueError(f"rule {rule} has filters with unbound variables")
-        return plan
+            for lit in self.rule.positive_literals
+        ]
+
+    def describe(self) -> str:
+        return "; ".join(
+            f"{'scan* ' if is_delta else ''}{item!r}" for item, is_delta in self.plan
+        )
 
 
 def _probe_literal(
@@ -220,12 +234,15 @@ def _probe_literal(
     for row in rows:
         stats.rows_scanned += 1
         extended = dict(env)
+        stats.env_allocations += 1
         consistent = True
         for i, arg in enumerate(literal.args):
             if isinstance(arg, Constant):
                 continue
-            current = extended.get(arg)
-            if current is None:
+            # _UNSET (not None) marks unbound: a row value of None must
+            # still join consistently against an earlier binding.
+            current = extended.get(arg, _UNSET)
+            if current is _UNSET:
                 extended[arg] = row[i]
             elif current != row[i]:
                 consistent = False
@@ -257,7 +274,7 @@ def _run_join(
     stats: EvaluationStats,
     out: list[dict[Variable, object]],
 ) -> None:
-    """Depth-first execution of the compiled plan, appending result envs."""
+    """Depth-first execution of the interpreted plan, appending result envs."""
     if step == len(join.plan):
         out.append(env)
         return
@@ -269,6 +286,120 @@ def _run_join(
     else:
         if _check_filter(item, env, edb_lookup):
             _run_join(join, env, step + 1, relation_of, delta_relation, edb_lookup, stats, out)
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: one driver, two join engines
+# ----------------------------------------------------------------------
+class _SlotEngine:
+    """The compiled slot-based engine (:mod:`repro.datalog.plan`)."""
+
+    name = "slots"
+
+    def __init__(self, program: Program, database: Database, idb, plan_order: str, tracer: Tracer):
+        self.database = database
+        self.idb = idb
+        self.plan_order = plan_order
+        self.tracer = tracer
+        self.trace_on = tracer.enabled
+
+    def _size_of(self, literal: Literal) -> float:
+        """Estimated relation size at plan-compile time.
+
+        EDB sizes are exact; IDB relations still empty when the plan is
+        compiled (recursive predicates) get a default guess."""
+        rel = self.idb.get(literal.predicate)
+        if rel is not None:
+            return float(len(rel)) or float(DEFAULT_IDB_ESTIMATE)
+        return float(len(self.database.relation(literal.predicate, literal.atom.arity)))
+
+    def make_plan(self, rule: Rule, delta_index: int | None) -> RulePlan:
+        plan = compile_rule(
+            rule, delta_index, order=self.plan_order, size_of=self._size_of
+        )
+        if self.trace_on:
+            self.tracer.event(
+                "plan",
+                predicate=rule.head.predicate,
+                rule=plan.rule_key,
+                order=plan.order,
+                delta=plan.delta_predicate or "",
+                steps=plan.describe(),
+            )
+        return plan
+
+    def run(self, plan: RulePlan, relation_of, delta_relation, stats):
+        return plan.run(
+            relation_of,
+            delta_relation,
+            stats,
+            tracer=self.tracer if self.trace_on else None,
+        )
+
+    @staticmethod
+    def head_row(plan: RulePlan, env) -> Row:
+        return plan.head_row(env)
+
+    @staticmethod
+    def support_rows(plan: RulePlan, env) -> list[Fact]:
+        return plan.support_rows(env)
+
+
+class _InterpEngine:
+    """The seed tuple-at-a-time interpreter, kept as the perf baseline."""
+
+    name = "interpreted"
+
+    def __init__(self, program: Program, database: Database, idb, plan_order: str, tracer: Tracer):
+        self.database = database
+        self.tracer = tracer
+        self.trace_on = tracer.enabled
+
+    def _edb_lookup(self, predicate: str, row: Row, arity: int) -> bool:
+        return row in self.database.relation(predicate, arity)
+
+    def make_plan(self, rule: Rule, delta_index: int | None) -> _RuleJoin:
+        join = _RuleJoin(rule, delta_index)
+        if self.trace_on:
+            self.tracer.event(
+                "plan",
+                predicate=rule.head.predicate,
+                rule=join.rule_key,
+                order="greedy",
+                delta=join.delta_predicate or "",
+                steps=join.describe(),
+            )
+        return join
+
+    def run(self, join: _RuleJoin, relation_of, delta_relation, stats):
+        results: list[dict[Variable, object]] = []
+        _run_join(
+            join, {}, 0, relation_of, delta_relation, self._edb_lookup, stats, results
+        )
+        return results
+
+    @staticmethod
+    def head_row(join: _RuleJoin, env) -> Row:
+        return join.head_row(env)
+
+    @staticmethod
+    def support_rows(join: _RuleJoin, env) -> list[Fact]:
+        return join.support_rows(env)
+
+
+def _make_engine(engine: str, program, database, idb, plan_order: str, tracer: Tracer):
+    if engine == "slots":
+        return _SlotEngine(program, database, idb, plan_order, tracer)
+    if engine == "interpreted":
+        return _InterpEngine(program, database, idb, plan_order, tracer)
+    raise ValueError(f"unknown engine {engine!r} (valid: {', '.join(ENGINES)})")
+
+
+def _check_plan_order(plan_order: str) -> None:
+    if plan_order not in PLAN_ORDERS:
+        raise ValueError(
+            f"unknown plan order {plan_order!r} (valid: {', '.join(PLAN_ORDERS)})"
+        )
 
 
 def _sccs(graph: Mapping[str, set[str]]) -> list[list[str]]:
@@ -330,6 +461,8 @@ def evaluate(
     max_iterations: int | None = None,
     strategy: str = "seminaive",
     tracer: Tracer | None = None,
+    engine: str = "slots",
+    plan_order: str = "cost",
 ) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``database``.
 
@@ -342,8 +475,16 @@ def evaluate(
 
     ``strategy`` selects ``"seminaive"`` (default, delta-driven) or
     ``"naive"`` (re-evaluate every rule against the full relations each
-    round) — the naive mode exists as a correctness oracle and as the
+    round) — the naive mode exists as a correctness oracle and as a
     baseline in the engine benchmarks.
+
+    ``engine`` selects the join engine: ``"slots"`` (default, the
+    compiled slot-based engine) or ``"interpreted"`` (the seed
+    tuple-at-a-time interpreter).  ``plan_order`` selects the compiled
+    engine's static body ordering: ``"cost"`` (default, cost-based
+    reordering by estimated selectivity) or ``"greedy"`` (the seed
+    interpreter's bound-count order); the interpreted engine always
+    uses the greedy order.
 
     ``tracer`` overrides the globally installed tracer (see
     :func:`repro.observability.trace.tracing`); the default disabled
@@ -351,8 +492,16 @@ def evaluate(
     """
     if tracer is None:
         tracer = get_tracer()
+    _check_plan_order(plan_order)
     if strategy == "naive":
-        return _evaluate_naive(program, database, provenance=provenance, tracer=tracer)
+        return _evaluate_naive(
+            program,
+            database,
+            provenance=provenance,
+            tracer=tracer,
+            engine=engine,
+            plan_order=plan_order,
+        )
     if strategy != "seminaive":
         raise ValueError(f"unknown strategy {strategy!r}")
     trace_on = tracer.enabled
@@ -362,39 +511,15 @@ def evaluate(
     }
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
+    eng = _make_engine(engine, program, database, idb, plan_order, tracer)
 
     def relation_of(predicate: str, arity: int) -> Relation:
         if predicate in idb_preds:
             return idb[predicate]
         return database.relation(predicate, arity)
 
-    def edb_lookup(predicate: str, row: Row, arity: int) -> bool:
-        return row in database.relation(predicate, arity)
-
-    def record(rule: Rule, env: dict[Variable, object]) -> bool:
-        head_row = tuple(
-            arg.value if isinstance(arg, Constant) else env[arg]
-            for arg in rule.head.args
-        )
-        relation = idb[rule.head.predicate]
-        if head_row in relation:
-            return False
-        relation.add(head_row)
-        stats.facts_derived += 1
-        if prov is not None:
-            supports: list[Fact] = []
-            for lit in rule.positive_literals:
-                row = tuple(
-                    arg.value if isinstance(arg, Constant) else env[arg]
-                    for arg in lit.args
-                )
-                supports.append((lit.predicate, row))
-            prov[(rule.head.predicate, head_row)] = (rule, tuple(supports))
-        return True
-
     def fire_rule(
-        rule: Rule,
-        join: _RuleJoin,
+        plan,
         delta_relation: Relation | None,
         sink_delta: dict[str, Relation] | None,
         scc_index: int,
@@ -403,40 +528,63 @@ def evaluate(
         """Run one rule's join, record the results (into ``sink_delta``
         too, when given) and — when tracing — emit a ``rule`` span with
         the per-rule work deltas."""
-        results: list[dict[Variable, object]] = []
+        rule = plan.rule
+        head_relation = idb[rule.head.predicate]
 
         def run() -> None:
-            _run_join(join, {}, 0, relation_of, delta_relation, edb_lookup, stats, results)
+            rows_before = stats.rows_scanned
+            results = eng.run(plan, relation_of, delta_relation, stats)
             stats.rule_firings += len(results)
+            key = plan.rule_key
+            stats.rows_scanned_by_rule[key] = (
+                stats.rows_scanned_by_rule.get(key, 0)
+                + stats.rows_scanned
+                - rows_before
+            )
             for env in results:
-                if record(rule, env) and sink_delta is not None:
-                    head_row = tuple(
-                        arg.value if isinstance(arg, Constant) else env[arg]
-                        for arg in rule.head.args
+                head_row = eng.head_row(plan, env)
+                if head_row in head_relation:
+                    continue
+                head_relation.add(head_row)
+                stats.facts_derived += 1
+                if prov is not None:
+                    prov[(rule.head.predicate, head_row)] = (
+                        rule,
+                        tuple(eng.support_rows(plan, env)),
                     )
+                if sink_delta is not None:
                     sink_delta[rule.head.predicate].add(head_row)
 
         if not trace_on:
             run()
             return
-        before = (stats.probes, stats.rows_scanned, stats.facts_derived)
+        before = (
+            stats.probes,
+            stats.rows_scanned,
+            stats.facts_derived,
+            stats.rule_firings,
+            stats.index_builds,
+        )
         with tracer.span(
             "rule",
             predicate=rule.head.predicate,
-            rule=repr(rule),
+            rule=plan.rule_key,
             scc=scc_index,
             iteration=iteration,
             delta=delta_relation is not None,
         ) as span:
             run()
             span.set(
-                firings=len(results),
+                firings=stats.rule_firings - before[3],
                 probes=stats.probes - before[0],
                 rows_scanned=stats.rows_scanned - before[1],
                 facts_derived=stats.facts_derived - before[2],
+                index_builds=stats.index_builds - before[4],
             )
 
-    with tracer.span("evaluate", strategy="seminaive", rules=len(program.rules)) as root:
+    with tracer.span(
+        "evaluate", strategy="seminaive", engine=eng.name, rules=len(program.rules)
+    ) as root:
         graph = program.dependency_graph()
         for scc_index, component in enumerate(_sccs(graph)):
             members = set(component)
@@ -452,11 +600,11 @@ def evaluate(
             ):
                 if not recursive:
                     for rule in rules:
-                        fire_rule(rule, _RuleJoin(rule, None), None, None, scc_index, None)
+                        fire_rule(eng.make_plan(rule, None), None, None, scc_index, None)
                     continue
                 # Semi-naive iteration inside a recursive SCC.
                 exit_rules = []
-                delta_joins: list[tuple[Rule, _RuleJoin]] = []
+                delta_rules: list[tuple[Rule, int]] = []
                 for rule in rules:
                     recursive_positions = [
                         i
@@ -467,12 +615,18 @@ def evaluate(
                         exit_rules.append(rule)
                     else:
                         for pos in recursive_positions:
-                            delta_joins.append((rule, _RuleJoin(rule, pos)))
+                            delta_rules.append((rule, pos))
                 delta: dict[str, Relation] = {
                     pred: Relation(program.arity_of(pred)) for pred in members
                 }
                 for rule in exit_rules:
-                    fire_rule(rule, _RuleJoin(rule, None), None, delta, scc_index, None)
+                    fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
+                # Delta plans are compiled after the exit rules fired, so
+                # cost estimates see the exit-layer IDB sizes; each (rule,
+                # delta-position) is compiled exactly once per SCC.
+                delta_joins = [
+                    eng.make_plan(rule, pos) for rule, pos in delta_rules
+                ]
                 iterations = 0
                 while any(len(d) for d in delta.values()):
                     iterations += 1
@@ -489,16 +643,16 @@ def evaluate(
                     new_delta: dict[str, Relation] = {
                         pred: Relation(program.arity_of(pred)) for pred in members
                     }
-                    for rule, join in delta_joins:
-                        delta_item = join.plan[0][0]
-                        assert isinstance(delta_item, Literal)
-                        delta_rel = delta[delta_item.predicate]
+                    for plan in delta_joins:
+                        delta_rel = delta[plan.delta_predicate]
                         if not len(delta_rel):
                             continue
-                        fire_rule(rule, join, delta_rel, new_delta, scc_index, iterations)
+                        fire_rule(plan, delta_rel, new_delta, scc_index, iterations)
                     delta = new_delta
         if trace_on:
-            root.set(**stats.as_dict())
+            root.set(
+                **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+            )
     return EvaluationResult(idb=idb, stats=stats, program=program, database=database, provenance=prov)
 
 
@@ -508,10 +662,13 @@ def _evaluate_naive(
     *,
     provenance: bool = False,
     tracer: Tracer | None = None,
+    engine: str = "slots",
+    plan_order: str = "cost",
 ) -> EvaluationResult:
     """Naive bottom-up evaluation: full re-evaluation until fixpoint."""
     if tracer is None:
         tracer = get_tracer()
+    _check_plan_order(plan_order)
     trace_on = tracer.enabled
     stats = EvaluationStats()
     idb: dict[str, Relation] = {
@@ -519,79 +676,78 @@ def _evaluate_naive(
     }
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
+    eng = _make_engine(engine, program, database, idb, plan_order, tracer)
 
     def relation_of(predicate: str, arity: int) -> Relation:
         if predicate in idb_preds:
             return idb[predicate]
         return database.relation(predicate, arity)
 
-    def edb_lookup(predicate: str, row: Row, arity: int) -> bool:
-        return row in database.relation(predicate, arity)
+    plans = [eng.make_plan(rule, None) for rule in program.rules]
 
-    joins = [(rule, _RuleJoin(rule, None)) for rule in program.rules]
-
-    def fire_rule(rule: Rule, join: _RuleJoin) -> bool:
+    def fire_rule(plan) -> bool:
+        rule = plan.rule
+        head_relation = idb[rule.head.predicate]
         changed = False
-        results: list[dict[Variable, object]] = []
-        _run_join(join, {}, 0, relation_of, None, edb_lookup, stats, results)
+        rows_before = stats.rows_scanned
+        results = eng.run(plan, relation_of, None, stats)
         stats.rule_firings += len(results)
+        key = plan.rule_key
+        stats.rows_scanned_by_rule[key] = (
+            stats.rows_scanned_by_rule.get(key, 0) + stats.rows_scanned - rows_before
+        )
         for env in results:
-            head_row = tuple(
-                arg.value if isinstance(arg, Constant) else env[arg]
-                for arg in rule.head.args
-            )
-            relation = idb[rule.head.predicate]
-            if head_row in relation:
+            head_row = eng.head_row(plan, env)
+            if head_row in head_relation:
                 continue
-            relation.add(head_row)
+            head_relation.add(head_row)
             stats.facts_derived += 1
             changed = True
             if prov is not None:
-                supports = tuple(
-                    (
-                        lit.predicate,
-                        tuple(
-                            arg.value if isinstance(arg, Constant) else env[arg]
-                            for arg in lit.args
-                        ),
-                    )
-                    for lit in rule.positive_literals
+                prov[(rule.head.predicate, head_row)] = (
+                    rule,
+                    tuple(eng.support_rows(plan, env)),
                 )
-                prov[(rule.head.predicate, head_row)] = (rule, supports)
         return changed
 
-    with tracer.span("evaluate", strategy="naive", rules=len(program.rules)) as root:
+    with tracer.span(
+        "evaluate", strategy="naive", engine=eng.name, rules=len(program.rules)
+    ) as root:
         changed = True
         while changed:
             changed = False
             stats.iterations += 1
             if trace_on:
                 tracer.event("iteration", index=stats.iterations, delta_in=None)
-            for rule, join in joins:
+            for plan in plans:
                 if not trace_on:
-                    changed |= fire_rule(rule, join)
+                    changed |= fire_rule(plan)
                     continue
                 before = (
                     stats.probes,
                     stats.rows_scanned,
                     stats.facts_derived,
                     stats.rule_firings,
+                    stats.index_builds,
                 )
                 with tracer.span(
                     "rule",
-                    predicate=rule.head.predicate,
-                    rule=repr(rule),
+                    predicate=plan.rule.head.predicate,
+                    rule=plan.rule_key,
                     iteration=stats.iterations,
                 ) as span:
-                    changed |= fire_rule(rule, join)
+                    changed |= fire_rule(plan)
                     span.set(
                         firings=stats.rule_firings - before[3],
                         probes=stats.probes - before[0],
                         rows_scanned=stats.rows_scanned - before[1],
                         facts_derived=stats.facts_derived - before[2],
+                        index_builds=stats.index_builds - before[4],
                     )
         if trace_on:
-            root.set(**stats.as_dict())
+            root.set(
+                **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+            )
     return EvaluationResult(
         idb=idb, stats=stats, program=program, database=database, provenance=prov
     )

@@ -1,0 +1,620 @@
+"""Compiled slot-based join plans with cost-based body reordering.
+
+This module is the compiled counterpart of the tuple-at-a-time
+interpreter that seeded :mod:`repro.datalog.evaluation`.  A rule is
+compiled **once per (rule, delta-position)** into a :class:`RulePlan`:
+
+* variables are mapped to integer *slots* and the environment becomes a
+  single fixed-size list that is overwritten in place while the join
+  backtracks — no per-row ``dict`` copies.  Slot ownership is static
+  (each scan step writes only the slots of variables it binds first),
+  so backtracking needs no restore pass;
+* each positive literal compiles to a *scan* step with a precomputed
+  probe-key layout (constants inlined, bound variables read from their
+  slots), ``sets`` (row position → slot) for newly bound variables and
+  ``checks`` for repeated variables within the literal.  A literal
+  whose positions are all bound compiles to an *existence check* — a
+  set-membership test that scans zero rows;
+* order atoms and negated EDB literals compile to filter steps that are
+  flushed into the plan as soon as their variables are bound;
+* the steps are folded into a chain of closures at compile time, so
+  executing a plan is one call per step per surviving row.
+
+Two body orderings are provided.  :func:`order_body_greedy` reproduces
+the seed interpreter's static order (delta literal first, then
+greedily by bound-argument count).  :func:`order_body_cost` adds a
+cost model: literals are ordered by estimated scan cost
+``relation_size × SELECTIVITY^bound_positions`` (fully bound literals
+cost nothing — they become existence checks), so small relations such
+as magic predicates are joined before large ones even when neither has
+a bound argument yet.
+
+Relations are accessed through :meth:`Relation.index_for` /
+:meth:`Relation.all_rows`: the index for a probe's position set is
+fetched **once per rule execution** (built lazily, reused across
+semi-naive iterations) instead of once per probed row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .atoms import Literal, OrderAtom, evaluate_comparison
+from .database import Relation
+from .rules import Rule
+from .terms import Constant, Variable
+
+__all__ = [
+    "RulePlan",
+    "compile_rule",
+    "order_body_greedy",
+    "order_body_cost",
+    "SELECTIVITY",
+    "DEFAULT_IDB_ESTIMATE",
+]
+
+#: Estimated fraction of a relation surviving one bound argument position.
+SELECTIVITY = 0.1
+
+#: Size guess for IDB relations that are still empty when a plan is
+#: compiled (recursive predicates grow after compilation).
+DEFAULT_IDB_ESTIMATE = 16
+
+#: ``size_of`` callback: estimated row count of a positive literal's relation.
+SizeEstimator = Callable[[Literal], float]
+
+_ORDERED_ITEM = tuple  # (BodyItem, is_delta)
+
+
+# ----------------------------------------------------------------------
+# Body ordering
+# ----------------------------------------------------------------------
+def _split_body(rule: Rule, delta_index: int | None):
+    """Positive literals (with body indexes) and filter items, plus the
+    delta pair pulled out of the positives (when requested)."""
+    positives = [
+        (idx, item)
+        for idx, item in enumerate(rule.body)
+        if isinstance(item, Literal) and item.positive
+    ]
+    filters = [
+        item
+        for item in rule.body
+        if isinstance(item, OrderAtom) or (isinstance(item, Literal) and not item.positive)
+    ]
+    delta_pair = None
+    if delta_index is not None:
+        for pair in positives:
+            if pair[0] == delta_index:
+                delta_pair = pair
+                positives.remove(pair)
+                break
+        if delta_pair is None:
+            raise ValueError(f"delta index {delta_index} is not a positive literal of {rule}")
+    return positives, filters, delta_pair
+
+
+def _flush_filters(plan, bound, remaining_filters) -> None:
+    """Append every filter whose variables are bound (to a fixpoint)."""
+    progressing = True
+    while progressing:
+        progressing = False
+        for item in list(remaining_filters):
+            if item.variables() <= bound:
+                plan.append((item, False))
+                remaining_filters.remove(item)
+                progressing = True
+
+
+def _finish_order(rule, plan, remaining_filters) -> list[tuple]:
+    if remaining_filters:
+        # Safety guarantees this never happens for safe rules whose
+        # filter variables are positively bound.
+        raise ValueError(f"rule {rule} has filters with unbound variables")
+    return plan
+
+
+def order_body_greedy(rule: Rule, delta_index: int | None) -> list[tuple]:
+    """The seed interpreter's static join order.
+
+    Returns ``(body item, is_delta)`` pairs: the delta literal (when
+    present) first, then positive literals greedily by bound-argument
+    count (ties broken toward fewer fresh variables, then textual
+    order), with filters flushed as soon as they are evaluable.
+    """
+    positives, filters, delta_pair = _split_body(rule, delta_index)
+    plan: list[tuple] = []
+    bound: set[Variable] = set()
+    if delta_pair is not None:
+        plan.append((delta_pair[1], True))
+        bound |= delta_pair[1].variables()
+    _flush_filters(plan, bound, filters)
+    while positives:
+        best = max(
+            positives,
+            key=lambda pair: (
+                sum(
+                    1
+                    for arg in pair[1].args
+                    if isinstance(arg, Constant) or arg in bound
+                ),
+                -len(pair[1].variables() - bound),
+            ),
+        )
+        positives.remove(best)
+        plan.append((best[1], False))
+        bound |= best[1].variables()
+        _flush_filters(plan, bound, filters)
+    _flush_filters(plan, bound, filters)
+    return _finish_order(rule, plan, filters)
+
+
+def _scan_cost(literal: Literal, bound: set[Variable], size_of: SizeEstimator) -> float:
+    bound_count = sum(
+        1 for arg in literal.args if isinstance(arg, Constant) or arg in bound
+    )
+    arity = len(literal.args)
+    if arity and bound_count == arity:
+        return 0.0  # fully bound: compiles to an existence check, scans nothing
+    return max(size_of(literal), 0.0) * (SELECTIVITY ** bound_count)
+
+
+def order_body_cost(
+    rule: Rule, delta_index: int | None, size_of: SizeEstimator
+) -> list[tuple]:
+    """Cost-based static join order.
+
+    Like :func:`order_body_greedy` (delta literal first, filters
+    flushed as soon as bound) but positive literals are chosen greedily
+    by minimal estimated scan cost
+    ``relation_size × SELECTIVITY^bound_positions``; ties prefer more
+    bound positions, then textual order.  An empty relation costs 0 and
+    is scanned first, short-circuiting the whole join.
+
+    Once variables are bound, the choice is restricted to *connected*
+    literals — ones sharing a bound variable or costing nothing — so a
+    cheap but unrelated literal can never introduce a cross product
+    (falling back to all literals when none is connected).
+    """
+    positives, filters, delta_pair = _split_body(rule, delta_index)
+    plan: list[tuple] = []
+    bound: set[Variable] = set()
+    if delta_pair is not None:
+        plan.append((delta_pair[1], True))
+        bound |= delta_pair[1].variables()
+    _flush_filters(plan, bound, filters)
+    while positives:
+        candidates = [
+            pair
+            for pair in positives
+            if pair[1].variables() & bound
+            or _scan_cost(pair[1], bound, size_of) == 0.0
+        ] or positives
+        best = min(
+            candidates,
+            key=lambda pair: (
+                _scan_cost(pair[1], bound, size_of),
+                -sum(
+                    1
+                    for arg in pair[1].args
+                    if isinstance(arg, Constant) or arg in bound
+                ),
+                pair[0],
+            ),
+        )
+        positives.remove(best)
+        plan.append((best[1], False))
+        bound |= best[1].variables()
+        _flush_filters(plan, bound, filters)
+    _flush_filters(plan, bound, filters)
+    return _finish_order(rule, plan, filters)
+
+
+# ----------------------------------------------------------------------
+# Compiled steps
+# ----------------------------------------------------------------------
+# A term layout is a tuple of (is_slot, payload): payload is a slot
+# index when is_slot, else an inlined constant value.
+
+
+def _project(layout, env):
+    return tuple(env[p] if s else p for s, p in layout)
+
+
+class _ScanStep:
+    """Probe (or fully scan) a relation, binding fresh variable slots."""
+
+    __slots__ = ("literal", "is_delta", "rel_index", "key_positions", "key_layout", "sets", "checks")
+
+    def __init__(self, literal, is_delta, rel_index, key_positions, key_layout, sets, checks):
+        self.literal = literal
+        self.is_delta = is_delta
+        self.rel_index = rel_index
+        self.key_positions = key_positions
+        self.key_layout = key_layout
+        self.sets = sets
+        self.checks = checks
+
+    def describe(self) -> str:
+        tag = "scan*" if self.is_delta else "scan"
+        key = f" key={list(self.key_positions)}" if self.key_positions else " full"
+        return f"{tag} {self.literal!r}{key}"
+
+    def compile(self, next_fn):
+        rel_index = self.rel_index
+        layout = self.key_layout
+        sets = self.sets
+        checks = self.checks
+        if self.key_positions:
+
+            def run(env, rels, stats, out):
+                rows = rels[rel_index].get(tuple(env[p] if s else p for s, p in layout))
+                stats.probes += 1
+                if not rows:
+                    return
+                stats.rows_scanned += len(rows)
+                if checks:
+                    for row in rows:
+                        for slot, pos in sets:
+                            env[slot] = row[pos]
+                        for slot, pos in checks:
+                            if env[slot] != row[pos]:
+                                break
+                        else:
+                            next_fn(env, rels, stats, out)
+                else:
+                    for row in rows:
+                        for slot, pos in sets:
+                            env[slot] = row[pos]
+                        next_fn(env, rels, stats, out)
+
+        else:
+
+            def run(env, rels, stats, out):
+                rows = rels[rel_index]
+                stats.probes += 1
+                stats.rows_scanned += len(rows)
+                if checks:
+                    for row in rows:
+                        for slot, pos in sets:
+                            env[slot] = row[pos]
+                        for slot, pos in checks:
+                            if env[slot] != row[pos]:
+                                break
+                        else:
+                            next_fn(env, rels, stats, out)
+                else:
+                    for row in rows:
+                        for slot, pos in sets:
+                            env[slot] = row[pos]
+                        next_fn(env, rels, stats, out)
+
+        return run
+
+
+class _ExistsStep:
+    """A positive literal whose positions are all bound: set membership,
+    zero rows scanned."""
+
+    __slots__ = ("literal", "is_delta", "rel_index", "layout")
+
+    def __init__(self, literal, is_delta, rel_index, layout):
+        self.literal = literal
+        self.is_delta = is_delta
+        self.rel_index = rel_index
+        self.layout = layout
+
+    def describe(self) -> str:
+        return f"exists {self.literal!r}"
+
+    def compile(self, next_fn):
+        rel_index = self.rel_index
+        layout = self.layout
+
+        def run(env, rels, stats, out):
+            stats.probes += 1
+            if tuple(env[p] if s else p for s, p in layout) in rels[rel_index]:
+                next_fn(env, rels, stats, out)
+
+        return run
+
+
+class _OrderStep:
+    """A fully bound order atom."""
+
+    __slots__ = ("atom", "left", "right")
+
+    def __init__(self, atom, left, right):
+        self.atom = atom
+        self.left = left
+        self.right = right
+
+    def describe(self) -> str:
+        return f"filter {self.atom!r}"
+
+    def compile(self, next_fn):
+        ls, lp = self.left
+        rs, rp = self.right
+        op = self.atom.op
+        if op == "=":
+
+            def run(env, rels, stats, out):
+                if (env[lp] if ls else lp) == (env[rp] if rs else rp):
+                    next_fn(env, rels, stats, out)
+
+        elif op == "!=":
+
+            def run(env, rels, stats, out):
+                if (env[lp] if ls else lp) != (env[rp] if rs else rp):
+                    next_fn(env, rels, stats, out)
+
+        else:
+
+            def run(env, rels, stats, out):
+                if evaluate_comparison(
+                    env[lp] if ls else lp, env[rp] if rs else rp, op
+                ):
+                    next_fn(env, rels, stats, out)
+
+        return run
+
+
+class _NegStep:
+    """A fully bound negated EDB literal: absence test against the relation."""
+
+    __slots__ = ("literal", "rel_index", "layout")
+
+    def __init__(self, literal, rel_index, layout):
+        self.literal = literal
+        self.rel_index = rel_index
+        self.layout = layout
+
+    def describe(self) -> str:
+        return f"neg {self.literal!r}"
+
+    def compile(self, next_fn):
+        rel_index = self.rel_index
+        layout = self.layout
+
+        def run(env, rels, stats, out):
+            if tuple(env[p] if s else p for s, p in layout) not in rels[rel_index]:
+                next_fn(env, rels, stats, out)
+
+        return run
+
+
+def _emit(env, rels, stats, out):
+    out.append(tuple(env))
+
+
+# ----------------------------------------------------------------------
+# The compiled plan
+# ----------------------------------------------------------------------
+class _RelSpec:
+    """How one step's relation is resolved and accessed at run time."""
+
+    __slots__ = ("predicate", "arity", "is_delta", "kind", "key_positions")
+
+    def __init__(self, predicate, arity, is_delta, kind, key_positions):
+        self.predicate = predicate
+        self.arity = arity
+        self.is_delta = is_delta
+        self.kind = kind  # "index" (hash index dict) or "rows" (row set)
+        self.key_positions = key_positions
+
+
+class RulePlan:
+    """One rule compiled for one delta position (or none).
+
+    ``run`` executes the closure chain and returns the matching
+    environments as slot tuples; :meth:`head_row` / :meth:`support_rows`
+    project them onto the head and the positive body literals.
+    """
+
+    __slots__ = (
+        "rule",
+        "rule_key",
+        "delta_index",
+        "delta_predicate",
+        "order",
+        "num_slots",
+        "slot_of",
+        "steps",
+        "rel_specs",
+        "head_layout",
+        "support_layouts",
+        "_entry",
+    )
+
+    def __init__(self, rule: Rule, delta_index: int | None, order: str, ordered_body):
+        self.rule = rule
+        self.rule_key = repr(rule)
+        self.delta_index = delta_index
+        self.order = order
+        self.delta_predicate = None
+        if delta_index is not None:
+            item = rule.body[delta_index]
+            assert isinstance(item, Literal)
+            self.delta_predicate = item.predicate
+
+        slot_of: dict[Variable, int] = {}
+
+        def slot(var: Variable) -> int:
+            found = slot_of.get(var)
+            if found is None:
+                found = slot_of[var] = len(slot_of)
+            return found
+
+        def term_layout(arg):
+            if isinstance(arg, Constant):
+                return (False, arg.value)
+            return (True, slot_of[arg])
+
+        steps: list = []
+        rel_specs: list[_RelSpec] = []
+        bound: set[Variable] = set()
+        for item, is_delta in ordered_body:
+            if isinstance(item, Literal) and item.positive:
+                key_positions: list[int] = []
+                key_layout: list[tuple] = []
+                sets: list[tuple[int, int]] = []
+                checks: list[tuple[int, int]] = []
+                fresh: set[Variable] = set()
+                for pos, arg in enumerate(item.args):
+                    if isinstance(arg, Constant):
+                        key_positions.append(pos)
+                        key_layout.append((False, arg.value))
+                    elif arg in bound:
+                        key_positions.append(pos)
+                        key_layout.append((True, slot_of[arg]))
+                    elif arg in fresh:
+                        checks.append((slot_of[arg], pos))
+                    else:
+                        sets.append((slot(arg), pos))
+                        fresh.add(arg)
+                rel_index = len(rel_specs)
+                if len(key_positions) == len(item.args):
+                    # Fully bound: membership, no index, no rows scanned.
+                    steps.append(
+                        _ExistsStep(item, is_delta, rel_index, tuple(key_layout))
+                    )
+                    rel_specs.append(
+                        _RelSpec(item.predicate, item.atom.arity, is_delta, "rows", ())
+                    )
+                else:
+                    positions = tuple(key_positions)
+                    steps.append(
+                        _ScanStep(
+                            item,
+                            is_delta,
+                            rel_index,
+                            positions,
+                            tuple(key_layout),
+                            tuple(sets),
+                            tuple(checks),
+                        )
+                    )
+                    rel_specs.append(
+                        _RelSpec(
+                            item.predicate,
+                            item.atom.arity,
+                            is_delta,
+                            "index" if positions else "rows",
+                            positions,
+                        )
+                    )
+                bound |= item.variables()
+            elif isinstance(item, OrderAtom):
+                steps.append(
+                    _OrderStep(item, term_layout(item.left), term_layout(item.right))
+                )
+            else:
+                assert isinstance(item, Literal) and not item.positive
+                rel_index = len(rel_specs)
+                layout = tuple(term_layout(arg) for arg in item.args)
+                steps.append(_NegStep(item, rel_index, layout))
+                rel_specs.append(
+                    _RelSpec(item.predicate, item.atom.arity, False, "rows", ())
+                )
+
+        try:
+            head_layout = tuple(
+                (False, arg.value) if isinstance(arg, Constant) else (True, slot_of[arg])
+                for arg in rule.head.args
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"rule {rule} has a head variable not bound by a positive subgoal"
+            ) from exc
+        self.slot_of = slot_of
+        self.num_slots = len(slot_of)
+        self.steps = steps
+        self.rel_specs = rel_specs
+        self.head_layout = head_layout
+        self.support_layouts = tuple(
+            tuple(
+                (False, arg.value) if isinstance(arg, Constant) else (True, slot_of[arg])
+                for arg in lit.args
+            )
+            for lit in rule.positive_literals
+        )
+        entry = _emit
+        for step in reversed(steps):
+            entry = step.compile(entry)
+        self._entry = entry
+
+    # ------------------------------------------------------------------
+    def run(self, relation_of, delta_relation: Relation | None, stats, tracer=None):
+        """Execute the plan; return the result environments (slot tuples).
+
+        ``relation_of(predicate, arity)`` resolves non-delta relations;
+        indexes are fetched once here (built on first use, counted in
+        ``stats.index_builds`` and — under an enabled ``tracer`` —
+        reported as ``index_build`` events).
+        """
+        rels = []
+        for spec in self.rel_specs:
+            rel = delta_relation if spec.is_delta else relation_of(spec.predicate, spec.arity)
+            if spec.kind == "index":
+                if tracer is not None and not rel.has_index(spec.key_positions):
+                    rels.append(rel.index_for(spec.key_positions, stats))
+                    tracer.event(
+                        "index_build",
+                        predicate=spec.predicate,
+                        positions=",".join(map(str, spec.key_positions)),
+                        rows=len(rel),
+                        delta=spec.is_delta,
+                    )
+                else:
+                    rels.append(rel.index_for(spec.key_positions, stats))
+            else:
+                rels.append(rel.all_rows())
+        env = [None] * self.num_slots
+        out: list[tuple] = []
+        stats.env_allocations += 1
+        self._entry(env, rels, stats, out)
+        stats.env_allocations += len(out)
+        return out
+
+    def head_row(self, env: Sequence[object]) -> tuple:
+        return tuple(env[p] if s else p for s, p in self.head_layout)
+
+    def support_rows(self, env: Sequence[object]) -> list[tuple[str, tuple]]:
+        """``(predicate, ground row)`` for each positive body literal
+        (original rule order) — the provenance supports."""
+        return [
+            (lit.predicate, tuple(env[p] if s else p for s, p in layout))
+            for lit, layout in zip(self.rule.positive_literals, self.support_layouts)
+        ]
+
+    def describe(self) -> str:
+        """One line per step — the plan the profiler and traces report."""
+        return "; ".join(step.describe() for step in self.steps)
+
+    def __repr__(self) -> str:
+        delta = "" if self.delta_index is None else f", delta={self.delta_index}"
+        return f"RulePlan({self.rule_key!r}, order={self.order}{delta})"
+
+
+def compile_rule(
+    rule: Rule,
+    delta_index: int | None = None,
+    *,
+    order: str = "cost",
+    size_of: SizeEstimator | None = None,
+) -> RulePlan:
+    """Compile ``rule`` into a :class:`RulePlan`.
+
+    ``order`` selects the body ordering: ``"cost"`` (requires a
+    ``size_of`` estimator; falls back to greedy without one) or
+    ``"greedy"`` (the seed interpreter's order).  ``delta_index`` marks
+    the body literal to read from the semi-naive delta relation; it is
+    always scanned first.
+    """
+    if order not in ("cost", "greedy"):
+        raise ValueError(f"unknown plan order {order!r} (valid: cost, greedy)")
+    if order == "cost" and size_of is not None:
+        ordered = order_body_cost(rule, delta_index, size_of)
+    else:
+        ordered = order_body_greedy(rule, delta_index)
+    return RulePlan(rule, delta_index, order, ordered)

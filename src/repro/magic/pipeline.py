@@ -86,10 +86,18 @@ class PipelineReport:
         """The predicate of the final program holding the answers."""
         return None if self.program is None else self.program.query
 
-    def evaluation(self, database: Database) -> EvaluationResult | None:
+    def evaluation(
+        self,
+        database: Database,
+        *,
+        engine: str = "slots",
+        plan_order: str = "cost",
+    ) -> EvaluationResult | None:
         if self.program is None:
             return None
-        return evaluate(self.program, database)
+        return evaluate(
+            self.program, database, engine=engine, plan_order=plan_order
+        )
 
     def answers(self, database: Database) -> frozenset[Row]:
         """The final program's answers to the query atom over ``database``."""
@@ -238,11 +246,16 @@ def run_pipeline(
 
 
 def query_atom_answers(
-    program: Program, database: Database, query_atom: Atom
+    program: Program,
+    database: Database,
+    query_atom: Atom,
+    *,
+    engine: str = "slots",
+    plan_order: str = "cost",
 ) -> tuple[frozenset[Row], EvaluationResult]:
     """Evaluate ``program`` and select the rows matching ``query_atom``."""
     program = _as_query_program(program, query_atom)
-    result = evaluate(program, database)
+    result = evaluate(program, database, engine=engine, plan_order=plan_order)
     rows = frozenset(
         row for row in result.query_rows() if match_query_atom(row, query_atom)
     )
@@ -285,22 +298,31 @@ def check_equivalence(
     transformed: Program | PipelineReport | MagicProgram | None,
     query_atom: Atom,
     database: Database,
+    *,
+    engine: str = "slots",
+    plan_order: str = "cost",
 ) -> EquivalenceCheck:
     """Evaluate both programs on ``database`` and compare query answers.
 
     ``transformed`` may be a plain program, a :class:`PipelineReport`,
     a :class:`MagicProgram`, or ``None`` (an empty rewriting: the
-    transformed side answers nothing).
+    transformed side answers nothing).  ``engine``/``plan_order`` select
+    the join engine used on both sides (see
+    :func:`repro.datalog.evaluation.evaluate`).
     """
     original_rows, original_result = query_atom_answers(
-        original, database, query_atom
+        original, database, query_atom, engine=engine, plan_order=plan_order
     )
     if isinstance(transformed, PipelineReport):
-        result = transformed.evaluation(database)
+        result = transformed.evaluation(
+            database, engine=engine, plan_order=plan_order
+        )
     elif isinstance(transformed, MagicProgram):
-        result = evaluate(transformed.program, database)
+        result = evaluate(
+            transformed.program, database, engine=engine, plan_order=plan_order
+        )
     elif isinstance(transformed, Program):
-        result = evaluate(transformed, database)
+        result = evaluate(transformed, database, engine=engine, plan_order=plan_order)
     else:
         result = None
     if result is None:

@@ -47,6 +47,8 @@ class RuleProfile:
     probes: int = 0
     rows_scanned: int = 0
     facts_derived: int = 0
+    index_builds: int = 0
+    plan: str = ""
 
     @property
     def hit_rate(self) -> float:
@@ -61,6 +63,7 @@ class RuleProfile:
         self.probes += int(attrs.get("probes", 0))  # type: ignore[arg-type]
         self.rows_scanned += int(attrs.get("rows_scanned", 0))  # type: ignore[arg-type]
         self.facts_derived += int(attrs.get("facts_derived", 0))  # type: ignore[arg-type]
+        self.index_builds += int(attrs.get("index_builds", 0))  # type: ignore[arg-type]
 
 
 @dataclass
@@ -73,6 +76,7 @@ class EvaluationProfile:
     iterations: int = 0
     sccs: int = 0
     events: int = 0
+    index_builds: int = 0
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -84,7 +88,8 @@ class EvaluationProfile:
         """A fixed-width hot-rule table plus per-predicate totals."""
         lines = [
             f"evaluation profile: {self.total_time * 1000:.3f} ms total, "
-            f"{self.sccs} SCCs, {self.iterations} semi-naive iterations",
+            f"{self.sccs} SCCs, {self.iterations} semi-naive iterations, "
+            f"{self.index_builds} index builds",
             "",
             f"top {min(top, len(self.rules))} rules by time:",
             f"{'time(ms)':>10} {'calls':>6} {'firings':>8} {'probes':>8} "
@@ -96,6 +101,8 @@ class EvaluationProfile:
                 f"{entry.probes:8d} {entry.rows_scanned:9d} {entry.facts_derived:7d} "
                 f"{entry.hit_rate:6.2f}  {entry.name}"
             )
+            if entry.plan:
+                lines.append(f"{'':60}plan: {entry.plan}")
         if self.predicates:
             lines.append("")
             lines.append("per-predicate totals:")
@@ -134,6 +141,20 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
             profile.sccs += 1
         elif event.kind == "event" and event.name == "iteration":
             profile.iterations += 1
+        elif event.kind == "event" and event.name == "index_build":
+            profile.index_builds += 1
+        elif event.kind == "event" and event.name == "plan":
+            # The compiled plan of a (rule, delta) pair: keep the most
+            # informative one per rule (delta plans override the base
+            # plan only when no plan is recorded yet).
+            rule_text = str(event.attrs.get("rule", "?"))
+            predicate = str(event.attrs.get("predicate", "?"))
+            entry = profile.rules.setdefault(
+                rule_text, RuleProfile(rule_text, predicate)
+            )
+            if not entry.plan:
+                order = event.attrs.get("order", "")
+                entry.plan = f"[{order}] {event.attrs.get('steps', '')}"
     return profile
 
 
@@ -142,11 +163,20 @@ def profile_evaluation(
     database: "Database",
     *,
     strategy: str = "seminaive",
+    engine: str = "slots",
+    plan_order: str = "cost",
 ) -> tuple[EvaluationProfile, "EvaluationResult"]:
     """Evaluate ``program`` under a fresh tracer and profile the run."""
     from ..datalog.evaluation import evaluate
 
     sink = RingBufferSink()
     tracer = Tracer([sink])
-    result = evaluate(program, database, strategy=strategy, tracer=tracer)
+    result = evaluate(
+        program,
+        database,
+        strategy=strategy,
+        tracer=tracer,
+        engine=engine,
+        plan_order=plan_order,
+    )
     return build_profile(sink), result

@@ -25,6 +25,37 @@ class TestRelation:
         rel = Relation(2, [(1, 2), (3, 4)])
         assert sorted(rel.probe((), ())) == [(1, 2), (3, 4)]
 
+    def test_probe_full_scan_builds_no_degenerate_index(self):
+        rel = Relation(2, [(1, 2), (3, 4)])
+        rel.probe((), ())
+        assert not rel.has_index(())  # no empty-keyed index cached
+
+    def test_index_for_caches_and_counts_builds(self):
+        class Stats:
+            index_builds = 0
+
+        stats = Stats()
+        rel = Relation(2, [(1, 2), (1, 3), (2, 3)])
+        index = rel.index_for((0,), stats)
+        assert sorted(index[(1,)]) == [(1, 2), (1, 3)]
+        assert stats.index_builds == 1
+        assert rel.has_index((0,))
+        # Cached: a second fetch builds nothing.
+        assert rel.index_for((0,), stats) is index
+        assert stats.index_builds == 1
+
+    def test_index_for_rejects_empty_positions(self):
+        rel = Relation(2, [(1, 2)])
+        with pytest.raises(ValueError):
+            rel.index_for(())
+
+    def test_all_rows_is_the_live_row_set(self):
+        rel = Relation(1, [(1,)])
+        rows = rel.all_rows()
+        assert rows == {(1,)}
+        rel.add((2,))
+        assert rows == {(1,), (2,)}
+
     def test_probe_indexed(self):
         rel = Relation(2, [(1, 2), (1, 3), (2, 3)])
         assert sorted(rel.probe((0,), (1,))) == [(1, 2), (1, 3)]

@@ -6,13 +6,21 @@ from repro.datalog.evaluation import EvaluationStats
 
 
 def _stats(**overrides):
-    base = dict(rule_firings=4, probes=10, rows_scanned=20, facts_derived=8, iterations=3)
+    base = dict(
+        rule_firings=4,
+        probes=10,
+        rows_scanned=20,
+        facts_derived=8,
+        iterations=3,
+        index_builds=2,
+        env_allocations=6,
+    )
     base.update(overrides)
     return EvaluationStats(**base)
 
 
 def test_as_dict_covers_every_counter_including_iterations():
-    stats = _stats()
+    stats = _stats(rows_scanned_by_rule={"r": 20})
     payload = stats.as_dict()
     # Parity with the dataclass fields: nothing missing, nothing extra.
     assert payload == {
@@ -21,29 +29,53 @@ def test_as_dict_covers_every_counter_including_iterations():
         "rows_scanned": 20,
         "facts_derived": 8,
         "iterations": 3,
+        "index_builds": 2,
+        "env_allocations": 6,
+        "rows_scanned_by_rule": {"r": 20},
     }
     assert set(payload) == set(EvaluationStats.__dataclass_fields__)
 
 
+def test_as_dict_copies_the_per_rule_breakdown():
+    stats = _stats(rows_scanned_by_rule={"r": 20})
+    payload = stats.as_dict()
+    payload["rows_scanned_by_rule"]["r"] = 999
+    assert stats.rows_scanned_by_rule == {"r": 20}
+
+
 def test_merge_sums_every_counter():
-    left = _stats()
-    left.merge(_stats(iterations=5))
+    left = _stats(rows_scanned_by_rule={"r": 5, "s": 1})
+    left.merge(_stats(iterations=5, rows_scanned_by_rule={"r": 2, "t": 3}))
     assert left.as_dict() == {
         "rule_firings": 8,
         "probes": 20,
         "rows_scanned": 40,
         "facts_derived": 16,
         "iterations": 8,
+        "index_builds": 4,
+        "env_allocations": 12,
+        "rows_scanned_by_rule": {"r": 7, "s": 1, "t": 3},
     }
 
 
 def test_compare_ratios():
     baseline = _stats()
-    half = EvaluationStats(rule_firings=2, probes=5, rows_scanned=10, facts_derived=4, iterations=3)
+    half = EvaluationStats(
+        rule_firings=2,
+        probes=5,
+        rows_scanned=10,
+        facts_derived=4,
+        iterations=3,
+        index_builds=1,
+        env_allocations=3,
+    )
     ratios = baseline.compare(half)
     assert ratios["probes"] == 0.5
+    assert ratios["index_builds"] == 0.5
+    assert ratios["env_allocations"] == 0.5
     assert ratios["iterations"] == 1.0
-    assert set(ratios) == set(baseline.as_dict())
+    # Scalar counters only: the per-rule dict has no meaningful ratio.
+    assert set(ratios) == set(baseline.as_dict()) - {"rows_scanned_by_rule"}
 
 
 def test_compare_zero_baseline_never_divides_by_zero():
@@ -58,6 +90,8 @@ def test_compare_zero_baseline_never_divides_by_zero():
         "rows_scanned": 1.0,
         "facts_derived": 1.0,
         "iterations": 1.0,
+        "index_builds": 1.0,
+        "env_allocations": 1.0,
     }
 
 

@@ -1,0 +1,160 @@
+"""The compiled slot-based plan module: orderings, steps, projections."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import EvaluationStats, evaluate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.plan import (
+    SELECTIVITY,
+    compile_rule,
+    order_body_cost,
+    order_body_greedy,
+)
+
+
+def _literal_names(ordered):
+    return [item.predicate for item, _ in ordered if hasattr(item, "predicate")]
+
+
+class TestOrderings:
+    def test_greedy_puts_delta_first(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        ordered = order_body_greedy(rule, delta_index=1)
+        assert ordered[0][1] is True  # the delta pair leads
+        assert ordered[0][0].predicate == "p"
+
+    def test_greedy_flushes_filters_as_soon_as_bound(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), X < Z, f(Z, Y).")
+        ordered = order_body_greedy(rule, None)
+        kinds = [getattr(item, "predicate", "filter") for item, _ in ordered]
+        assert kinds == ["e", "filter", "f"]
+
+    def test_cost_prefers_small_relations(self):
+        rule = parse_rule("p(X, Y) :- big(X, Z), small(Z, Y).")
+        sizes = {"big": 1000.0, "small": 3.0}
+        ordered = order_body_cost(rule, None, lambda lit: sizes[lit.predicate])
+        assert _literal_names(ordered) == ["small", "big"]
+
+    def test_cost_counts_bound_positions(self):
+        # small binds Z; big's probe on Z is then discounted below mid's
+        # full scan (1000 * SELECTIVITY < 200), so the larger relation is
+        # joined earlier because its probe is cheaper.
+        rule = parse_rule("p(X, Y) :- big(Z, X), mid(X, Y), small(Z, Q).")
+        sizes = {"big": 1000.0, "mid": 200.0, "small": 3.0}
+        ordered = order_body_cost(rule, None, lambda lit: sizes[lit.predicate])
+        assert sizes["big"] * SELECTIVITY < sizes["mid"]
+        assert _literal_names(ordered) == ["small", "big", "mid"]
+
+    def test_cost_never_introduces_cross_products(self):
+        # unrelated(W) is cheaper than link, but shares no variable with
+        # the bound set after left is scanned — the connected literal
+        # must win even when it is pricier.
+        rule = parse_rule("q(X, Y, W) :- left(X), link(X, Y), unrelated(W).")
+        sizes = {"left": 5.0, "link": 10000.0, "unrelated": 40.0}
+        ordered = order_body_cost(rule, None, lambda lit: sizes[lit.predicate])
+        assert _literal_names(ordered) == ["left", "link", "unrelated"]
+
+    def test_cost_empty_relation_short_circuits_first(self):
+        rule = parse_rule("p(X, Y) :- big(X, Z), empty(Z, Y).")
+        sizes = {"big": 1000.0, "empty": 0.0}
+        ordered = order_body_cost(rule, None, lambda lit: sizes[lit.predicate])
+        assert _literal_names(ordered) == ["empty", "big"]
+
+
+class TestCompiledPlan:
+    def test_fully_bound_literal_becomes_existence_check(self):
+        rule = parse_rule("q(X) :- start(X), path(X, Y), end(Y).")
+        plan = compile_rule(rule, order="greedy")
+        assert "exists end" in plan.describe()
+
+    def test_existence_check_scans_zero_rows(self):
+        program = parse_program(
+            "q(X) :- e(X, Y), mark(Y).",
+            query="q",
+        )
+        database = Database.from_rows(
+            {"e": [(1, 2), (3, 4)], "mark": [(2,), (9,)]}
+        )
+        result = evaluate(program, database, engine="slots")
+        # Only the e scan touches rows; the bound mark(Y) is a membership
+        # test contributing probes but zero rows_scanned.
+        assert result.rows("q") == frozenset({(1,)})
+        assert result.stats.rows_scanned == 2
+
+    def test_repeated_variable_within_literal(self):
+        program = parse_program("p(X) :- t(X, X).", query="p")
+        database = Database.from_rows({"t": [(1, 1), (1, 2), (3, 3)]})
+        for engine in ("slots", "interpreted"):
+            result = evaluate(program, database.copy(), engine=engine)
+            assert result.rows("p") == frozenset({(1,), (3,)})
+
+    def test_head_constant_and_projection(self):
+        program = parse_program("p(7, Y) :- e(X, Y).", query="p")
+        database = Database.from_rows({"e": [(1, 2)]})
+        result = evaluate(program, database)
+        assert result.rows("p") == frozenset({(7, 2)})
+
+    def test_unbound_head_variable_rejected(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z).")
+        with pytest.raises(ValueError):
+            compile_rule(rule, order="greedy")
+
+    def test_unknown_order_rejected(self):
+        rule = parse_rule("p(X, Y) :- e(X, Y).")
+        with pytest.raises(ValueError):
+            compile_rule(rule, order="alphabetical")
+
+    def test_cost_without_estimator_falls_back_to_greedy(self):
+        rule = parse_rule("p(X, Y) :- e(X, Y).")
+        plan = compile_rule(rule, order="cost", size_of=None)
+        assert plan.order == "cost"
+        assert "scan e" in plan.describe()
+
+    def test_plan_run_counts_env_allocations(self):
+        program = parse_program("p(X, Y) :- e(X, Y).", query="p")
+        database = Database.from_rows({"e": [(1, 2), (3, 4)]})
+        result = evaluate(program, database)
+        # One slot-list per rule execution plus one tuple per result row.
+        assert result.stats.env_allocations == 3
+
+    def test_support_rows_follow_rule_order(self):
+        rule = parse_rule("q(X) :- end(Y), e(X, Y).")
+        plan = compile_rule(
+            rule, order="cost", size_of=lambda lit: {"end": 1.0, "e": 100.0}[lit.predicate]
+        )
+        # Provenance supports stay in textual rule order even though the
+        # plan scans end(Y) first.
+        program = parse_program("q(X) :- end(Y), e(X, Y).", query="q")
+        database = Database.from_rows({"end": [(2,)], "e": [(1, 2)]})
+        result = evaluate(program, database, provenance=True)
+        (rule_used, supports), = [result.provenance[("q", (1,))]]
+        del rule_used
+        assert [s[0] for s in [supports[0], supports[1]]] == ["end", "e"]
+
+
+class TestNoneValues:
+    """A legitimate ``None`` stored in a row must never read as 'unbound'."""
+
+    def test_none_row_value_does_not_unify_with_distinct_value(self):
+        program = parse_program("p(X) :- t(X, X).", query="p")
+        database = Database.from_rows({"t": [(None, 5)]})
+        for engine in ("slots", "interpreted"):
+            result = evaluate(program, database.copy(), engine=engine)
+            assert result.rows("p") == frozenset()
+
+    def test_none_joins_with_none(self):
+        program = parse_program("p(X) :- t(X, X).", query="p")
+        database = Database.from_rows({"t": [(None, None), (None, 1)]})
+        for engine in ("slots", "interpreted"):
+            result = evaluate(program, database.copy(), engine=engine)
+            assert result.rows("p") == frozenset({(None,)})
+
+    def test_none_values_join_across_literals(self):
+        program = parse_program("p(X, Z) :- e(X, Y), f(Y, Z).", query="p")
+        database = Database.from_rows(
+            {"e": [(1, None)], "f": [(None, 3), (0, 4)]}
+        )
+        for engine in ("slots", "interpreted"):
+            result = evaluate(program, database.copy(), engine=engine)
+            assert result.rows("p") == frozenset({(1, 3)})

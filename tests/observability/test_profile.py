@@ -31,8 +31,10 @@ def test_profile_totals_match_evaluation_stats():
 
 def test_profile_answers_unchanged():
     program, database = _workload()
-    baseline = evaluate(program, database)
-    _, result = profile_evaluation(program, database)
+    # Independent copies: hash indexes are cached on the Relation objects,
+    # so a shared database would make index_builds differ between runs.
+    baseline = evaluate(program, database.copy())
+    _, result = profile_evaluation(program, database.copy())
     assert result.query_rows() == baseline.query_rows()
     assert result.stats.as_dict() == baseline.stats.as_dict()
 

@@ -84,10 +84,12 @@ def test_default_tracer_is_disabled_and_instrumentation_is_silent():
     program, _ = good_path()
     database = good_path_bidirectional_database(num_chains=2, chain_length=6, seed=0)
     sink = RingBufferSink()
-    baseline = evaluate(program, database)
+    # Fresh database copies per run: hash indexes are cached on the
+    # Relation objects, so reuse would skew index_builds across runs.
+    baseline = evaluate(program, database.copy())
     with tracing(sink):
-        traced = evaluate(program, database)
-    untraced_again = evaluate(program, database)
+        traced = evaluate(program, database.copy())
+    untraced_again = evaluate(program, database.copy())
     # Tracing never changes semantics or work accounting.
     assert traced.query_rows() == baseline.query_rows()
     assert traced.stats.as_dict() == baseline.stats.as_dict()
