@@ -28,6 +28,16 @@ from .magic import (
     magic_transform,
     run_pipeline,
 )
+from .robustness import (
+    Budget,
+    BudgetExceededError,
+    Cancelled,
+    CancellationToken,
+    EvaluationAborted,
+    FaultInjector,
+    InjectedFault,
+    ReproError,
+)
 from .datalog import (
     Atom,
     Constant,
@@ -62,6 +72,14 @@ __all__ = [
     "check_equivalence",
     "magic_transform",
     "run_pipeline",
+    "Budget",
+    "BudgetExceededError",
+    "Cancelled",
+    "CancellationToken",
+    "EvaluationAborted",
+    "FaultInjector",
+    "InjectedFault",
+    "ReproError",
     "Atom",
     "Constant",
     "Database",

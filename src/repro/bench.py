@@ -37,6 +37,7 @@ from .datalog.database import Database
 from .datalog.evaluation import EvaluationStats, evaluate
 from .datalog.program import Program
 from .magic import run_pipeline
+from .robustness import Budget, BudgetExceededError, Governor
 from .workloads.generators import (
     ab_database,
     flight_database,
@@ -242,21 +243,35 @@ def _fixpoint_digest(results: Iterable[tuple[str, Mapping]] ) -> str:
     return digest.hexdigest()
 
 
-def _run_engine(units: Sequence[BenchUnit], engine_kwargs: Mapping[str, str], repeat: int):
-    """Time ``repeat`` full-suite runs; return (best seconds, stats, digest).
+def _run_engine(
+    units: Sequence[BenchUnit],
+    engine_kwargs: Mapping[str, str],
+    repeat: int,
+    governor: Governor | None = None,
+):
+    """Time ``repeat`` full-suite runs; return (best s, stats, digest, tripped).
 
     Stats and the fixpoint digest come from the first run — they are
-    deterministic, only the wall clock varies."""
+    deterministic, only the wall clock varies.  With a governor, a
+    budget trip keeps the partial fixpoint (``tripped`` is True and the
+    digest covers only what was derived before the trip)."""
     best = float("inf")
     stats = EvaluationStats()
     digest = ""
+    tripped = False
     for attempt in range(repeat):
         databases = [unit.make_database() for unit in units]
         start = time.perf_counter()
-        results = [
-            evaluate(unit.program, database, **engine_kwargs)
-            for unit, database in zip(units, databases)
-        ]
+        results = []
+        for unit, database in zip(units, databases):
+            try:
+                results.append(
+                    evaluate(unit.program, database, budget=governor, **engine_kwargs)
+                )
+            except BudgetExceededError as exc:
+                tripped = True
+                if exc.partial is not None:
+                    results.append(exc.partial)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         if attempt == 0:
@@ -265,7 +280,9 @@ def _run_engine(units: Sequence[BenchUnit], engine_kwargs: Mapping[str, str], re
             digest = _fixpoint_digest(
                 (unit.label, result.idb) for unit, result in zip(units, results)
             )
-    return best, stats, digest
+        if tripped:
+            break
+    return best, stats, digest, tripped
 
 
 def run_bench(
@@ -273,11 +290,25 @@ def run_bench(
     workloads: Sequence[str] | None = None,
     quick: bool = False,
     repeat: int = 3,
+    timeout: float | None = None,
+    max_iterations: int | None = None,
+    max_facts: int | None = None,
 ) -> dict:
     """Run the suite; return the JSON-ready results payload.
 
     ``payload["ok"]`` is False when any workload's fixpoints differ
-    between engines — the CLI turns that into a non-zero exit."""
+    between engines — the CLI turns that into a non-zero exit.
+
+    ``timeout`` / ``max_iterations`` / ``max_facts`` govern the runs
+    (the timeout is shared across the whole suite).  An engine entry
+    that trips a budget keeps its partial stats; its workload is marked
+    ``budget_exceeded`` and its ``fixpoints_match`` becomes ``None``
+    (partial fixpoints are not comparable), without flipping
+    ``payload["ok"]``.  The CLI exits 1 when any budget tripped."""
+    budget = Budget(
+        timeout=timeout, max_iterations=max_iterations, max_facts=max_facts
+    )
+    governor = None if budget.unlimited else Governor(budget)
     suite = build_workloads(quick=quick)
     if workloads:
         unknown = [name for name in workloads if name not in suite]
@@ -295,21 +326,35 @@ def run_bench(
         "engines": [label for label, _ in ENGINE_CONFIGS],
         "workloads": {},
         "ok": True,
+        "budget_exceeded": False,
     }
     for name, units in suite.items():
         entry: dict = {"units": [unit.label for unit in units], "engines": {}}
         digests: dict[str, str] = {}
+        any_tripped = False
         for label, engine_kwargs in ENGINE_CONFIGS:
-            seconds, stats, digest = _run_engine(units, engine_kwargs, repeat)
+            seconds, stats, digest, tripped = _run_engine(
+                units, engine_kwargs, repeat, governor
+            )
             digests[label] = digest
+            any_tripped = any_tripped or tripped
             entry["engines"][label] = {
                 "time_s": seconds,
                 "fixpoint_sha256": digest,
                 "stats": stats.as_dict(),
+                "budget_exceeded": tripped,
             }
-        entry["fixpoints_match"] = len(set(digests.values())) == 1
-        if not entry["fixpoints_match"]:
-            payload["ok"] = False
+        if any_tripped:
+            # Partial fixpoints are not comparable across engines: the
+            # trip point depends on the engine's work order, so neither
+            # flag a mismatch nor certify a match.
+            entry["budget_exceeded"] = True
+            entry["fixpoints_match"] = None
+            payload["budget_exceeded"] = True
+        else:
+            entry["fixpoints_match"] = len(set(digests.values())) == 1
+            if not entry["fixpoints_match"]:
+                payload["ok"] = False
         base = entry["engines"]["interpreted"]
         for label, _ in ENGINE_CONFIGS[1:]:
             other = entry["engines"][label]
@@ -343,11 +388,21 @@ def render_results(payload: Mapping) -> str:
                 f"{stats['probes']:9d} {stats['facts_derived']:8d}  "
                 f"{engine['fixpoint_sha256'][:12]}"
             )
-        lines.append(
-            f"{'':<18} fixpoints {'match' if entry['fixpoints_match'] else 'DIFFER'}"
-        )
+        if entry.get("budget_exceeded"):
+            lines.append(
+                f"{'':<18} budget exceeded — partial fixpoints, not comparable"
+            )
+        else:
+            lines.append(
+                f"{'':<18} fixpoints {'match' if entry['fixpoints_match'] else 'DIFFER'}"
+            )
     lines.append("")
-    lines.append("ok" if payload["ok"] else "FIXPOINT MISMATCH — engines disagree")
+    if not payload["ok"]:
+        lines.append("FIXPOINT MISMATCH — engines disagree")
+    elif payload.get("budget_exceeded"):
+        lines.append("BUDGET EXCEEDED — partial results only")
+    else:
+        lines.append("ok")
     return "\n".join(lines)
 
 

@@ -79,18 +79,40 @@ from .observability import (
     trace_summary,
     tracing,
 )
+from .robustness import Budget, EvaluationAborted, Governor, ReproError
 
 __all__ = ["main"]
+
+
+class UsageError(ReproError):
+    """Bad command-line input: reported as ``error: ...`` with exit code 2."""
 
 
 def _read(path: str) -> str:
     return Path(path).read_text()
 
 
+def _budget_from(args: argparse.Namespace) -> Governor | None:
+    """One shared governor for the whole command (or ``None`` unbounded).
+
+    The deadline is anchored here, before any work starts, so
+    ``--timeout`` bounds rewrite + transform + evaluation together
+    rather than each phase separately.
+    """
+    budget = Budget(
+        timeout=getattr(args, "timeout", None),
+        max_iterations=getattr(args, "max_iterations", None),
+        max_facts=getattr(args, "max_facts", None),
+    )
+    if budget.unlimited:
+        return None
+    return Governor(budget)
+
+
 def _load_program(args: argparse.Namespace) -> Program:
     program = parse_program(_read(args.program), query=args.query)
     if program.query is None:
-        raise SystemExit("error: --query is required for this command")
+        raise UsageError("--query is required for this command")
     return program
 
 
@@ -149,13 +171,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
     if program.query is None:
-        raise SystemExit("error: --query is required for this command")
+        raise UsageError("--query is required for this command")
     constraints = _load_constraints(args)
     database = _database_from(args, inline_facts)
+    governor = _budget_from(args)
 
     def body() -> int:
         original = evaluate(
-            program, database, engine=args.engine, plan_order=args.plan_order
+            program,
+            database,
+            engine=args.engine,
+            plan_order=args.plan_order,
+            budget=governor,
         )
         print(f"answers ({len(original.query_rows())}):")
         for row in sorted(original.query_rows(), key=repr):
@@ -166,8 +193,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{original.stats.facts_derived} facts derived"
         )
         if args.compare:
-            report = optimize(program, constraints)
-            rewritten = report.evaluation(database)
+            report = optimize(program, constraints, budget=governor)
+            for step in report.fallback_chain:
+                print(f"fallback: {step.describe()}")
+            rewritten = report.evaluation(database, budget=governor)
             if rewritten is None:
                 print("optimized: query unsatisfiable (empty program)")
                 return 0
@@ -187,7 +216,7 @@ def _load_goal(args: argparse.Namespace):
     try:
         return parse_atom(args.goal)
     except Exception as exc:
-        raise SystemExit(f"error: cannot parse --goal {args.goal!r}: {exc}")
+        raise UsageError(f"cannot parse --goal {args.goal!r}: {exc}") from exc
 
 
 def _print_work(label: str, stats) -> None:
@@ -202,6 +231,7 @@ def _cmd_magic(args: argparse.Namespace) -> int:
     program, inline_facts = parse_program_and_facts(
         _read(args.program), query=goal.predicate
     )
+    governor = _budget_from(args)
 
     def body() -> int:
         mp = magic_transform(program, goal, sips=get_sips(args.sips))
@@ -210,7 +240,7 @@ def _cmd_magic(args: argparse.Namespace) -> int:
         print(mp.program)
         if args.data or inline_facts:
             database = _database_from(args, inline_facts)
-            check = check_equivalence(program, mp, goal, database)
+            check = check_equivalence(program, mp, goal, database, budget=governor)
             print(f"\nanswers ({len(check.transformed_answers)}):")
             for row in sorted(check.transformed_answers, key=repr):
                 print(f"  {goal.predicate}{row!r}")
@@ -230,10 +260,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         _read(args.program), query=goal.predicate
     )
     constraints = _load_constraints(args)
+    governor = _budget_from(args)
 
     def body() -> int:
         report = run_pipeline(
-            program, constraints, goal, order=args.order, sips=get_sips(args.sips)
+            program,
+            constraints,
+            goal,
+            order=args.order,
+            sips=get_sips(args.sips),
+            budget=governor,
         )
         print(report.summary())
         print()
@@ -243,7 +279,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             print(report.program)
         if args.data or inline_facts:
             database = _database_from(args, inline_facts)
-            check = check_equivalence(program, report, goal, database)
+            check = check_equivalence(program, report, goal, database, budget=governor)
             print(f"\nanswers ({len(check.transformed_answers)}):")
             for row in sorted(check.transformed_answers, key=repr):
                 print(f"  {goal.predicate}{row!r}")
@@ -277,8 +313,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             target = program
             if constraints:
                 if program.query is None:
-                    raise SystemExit(
-                        "error: --query is required to trace the semantic rewrite"
+                    raise UsageError(
+                        "--query is required to trace the semantic rewrite"
                     )
                 report = optimize(program, constraints)
                 target = report.program
@@ -315,19 +351,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     workloads = args.workloads.split(",") if args.workloads else None
     repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
     try:
-        payload = run_bench(workloads=workloads, quick=args.quick, repeat=repeat)
+        payload = run_bench(
+            workloads=workloads,
+            quick=args.quick,
+            repeat=repeat,
+            timeout=args.timeout,
+            max_iterations=args.max_iterations,
+            max_facts=args.max_facts,
+        )
     except ValueError as exc:
-        raise SystemExit(f"error: {exc}")
+        raise UsageError(str(exc)) from exc
     print(render_results(payload))
     if args.json:
         write_results(payload, args.output)
         print(f"\nresults written to {args.output}")
+    if payload.get("budget_exceeded"):
+        return 1
     return 0 if payload["ok"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     if not args.regenerate:
-        raise SystemExit("error: pass --regenerate (optionally with --check)")
+        raise UsageError("pass --regenerate (optionally with --check)")
     stale, _content = regenerate_experiments(
         args.benchmarks, args.output, check=args.check
     )
@@ -426,6 +471,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="compiled-plan body order: cost-based (default) or greedy",
         )
 
+    def budget_flags(cmd) -> None:
+        cmd.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget for the whole command; on expiry the "
+            "rewrite degrades and evaluation stops with partial results "
+            "(exit code 1)",
+        )
+        cmd.add_argument(
+            "--max-facts", type=int, default=None, metavar="N",
+            help="stop evaluation after deriving more than N facts (exit code 1)",
+        )
+        cmd.add_argument(
+            "--max-iterations", type=int, default=None, metavar="N",
+            help="stop evaluation after N semi-naive iterations, total "
+            "across SCCs (exit code 1)",
+        )
+
     cmd = program_command("run", "evaluate a program over a fact base")
     cmd.add_argument("--data", help="fact file (inline program facts also count)")
     cmd.add_argument(
@@ -433,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_flag(cmd)
     engine_flags(cmd)
+    budget_flags(cmd)
     cmd.set_defaults(func=_cmd_run)
 
     cmd = sub.add_parser("magic", help="magic-sets transformation for a bound query atom")
@@ -448,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also evaluate the original program and compare answers",
     )
     trace_flag(cmd)
+    budget_flags(cmd)
     cmd.set_defaults(func=_cmd_magic)
 
     cmd = sub.add_parser(
@@ -470,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also evaluate the original program and compare answers",
     )
     trace_flag(cmd)
+    budget_flags(cmd)
     cmd.set_defaults(func=_cmd_pipeline)
 
     cmd = program_command("trace", "print the structured trace of a rewrite + evaluation")
@@ -510,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument(
         "--workloads", help="comma-separated subset (default: the whole suite)"
     )
+    budget_flags(cmd)
     cmd.set_defaults(func=_cmd_bench)
 
     cmd = sub.add_parser("report", help="regenerate EXPERIMENTS.md from the benchmarks")
@@ -546,9 +612,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point.  Exit codes: 0 success, 1 budget exceeded (partial
+    results were printed), 2 usage or input error."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except EvaluationAborted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        stats = exc.stats
+        partial = exc.partial
+        if stats is None and partial is not None:
+            stats = partial.stats
+        if stats is not None:
+            print(
+                f"partial results: {stats.facts_derived} facts derived in "
+                f"{stats.iterations} iterations "
+                f"({stats.wall_time_seconds:.3f}s, "
+                f"{stats.rows_scanned} rows scanned)",
+                file=sys.stderr,
+            )
+        if partial is not None and partial.program.query is not None:
+            try:
+                rows = partial.query_rows()
+            except (KeyError, ValueError):
+                rows = frozenset()
+            print(
+                f"partial answers: {len(rows)} rows in {partial.program.query}",
+                file=sys.stderr,
+            )
+        return 1
+    except BrokenPipeError:
+        # stdout was closed by a pager/head downstream; not our error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

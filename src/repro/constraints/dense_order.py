@@ -31,11 +31,12 @@ from typing import Iterable, Iterator, Sequence
 
 from ..datalog.atoms import OrderAtom, evaluate_comparison
 from ..datalog.terms import Constant, Term, Variable
+from ..robustness.errors import ReproError
 
 __all__ = ["OrderConstraintSet", "UnsatisfiableError"]
 
 
-class UnsatisfiableError(ValueError):
+class UnsatisfiableError(ReproError, ValueError):
     """Raised by operations that require a satisfiable constraint set."""
 
 

@@ -52,6 +52,17 @@ from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Substitution, Term, Variable
 from ..observability.trace import get_tracer
+from ..robustness.budget import Budget, Governor
+from ..robustness.errors import BudgetExceededError
+
+
+class AdornmentLimitError(BudgetExceededError, RuntimeError):
+    """The per-predicate adornment count exceeded ``max_adornments``.
+
+    Subclasses ``RuntimeError`` for backward compatibility with callers
+    of the original guard, and ``BudgetExceededError`` so the
+    optimizer's degradation ladder treats it like any budget trip.
+    """
 
 __all__ = [
     "Triplet",
@@ -475,12 +486,18 @@ def compute_adornments(
     local_index: LocalAtomIndex | None = None,
     max_adornments: int = 4096,
     treat_complete_as_inconsistent: bool = True,
+    budget: "Budget | Governor | None" = None,
 ) -> AdornmentResult:
     """Run the bottom-up phase and build the adorned program ``P1``.
 
     ``max_adornments`` bounds the per-predicate adornment count (the
     worst case is doubly exponential — Theorem 5.1); exceeding it raises
-    ``RuntimeError`` rather than looping for hours.
+    :class:`AdornmentLimitError` (a ``RuntimeError``) rather than
+    looping for hours.  ``budget`` (a
+    :class:`~repro.robustness.budget.Budget` or a shared running
+    :class:`~repro.robustness.budget.Governor`) additionally enforces
+    the wall-clock deadline, cancellation and ``max_expansions`` at
+    every adorned-rule expansion.
 
     With ``treat_complete_as_inconsistent=False`` a complete mapping
     (empty residue) does *not* abort the adorned rule: the empty-residue
@@ -505,11 +522,14 @@ def compute_adornments(
         adornment_ids[(predicate, adornment)] = len(adornments[predicate]) + 1
         adornments[predicate].append(adornment)
         if len(adornments[predicate]) > max_adornments:
-            raise RuntimeError(
-                f"adornment count for {predicate} exceeded {max_adornments}"
+            raise AdornmentLimitError(
+                f"adornment count for {predicate} exceeded {max_adornments}",
+                phase="adornments",
+                limit="max_adornments",
             )
         return True
 
+    governor = Governor.of(budget)
     tracer = get_tracer()
     trace_on = tracer.enabled
     rounds = 0
@@ -519,6 +539,8 @@ def compute_adornments(
         "adornments.compute", rules=len(program.rules), constraints=len(constraints)
     ) as compute_span:
         while changed:
+            if governor is not None:
+                governor.check("adornments")
             changed = False
             rounds += 1
             round_start = (len(adorned_rules), len(adornment_ids))
@@ -544,6 +566,8 @@ def compute_adornments(
                 if not subgoal_ready:
                     continue
                 for choice in itertools.product(*choice_sets):
+                    if governor is not None:
+                        governor.expand("adornments")
                     key = (rule_index, tuple(choice))
                     if key in adorned_rule_keys:
                         continue

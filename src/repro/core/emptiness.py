@@ -37,6 +37,7 @@ from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Term, Variable
 from .order_propagation import normalize_rule
+from ..robustness.errors import ReproError
 
 __all__ = [
     "rule_satisfiable_wrt",
@@ -46,7 +47,7 @@ __all__ = [
 ]
 
 
-class EmptinessTooLargeError(ValueError):
+class EmptinessTooLargeError(ReproError, ValueError):
     """The repair-search universe exceeded the configured bound."""
 
 

@@ -46,6 +46,7 @@ from ..datalog.rules import Rule
 from ..datalog.terms import Variable
 
 from .adornments import LocalAtomIndex, compute_adornments
+from ..robustness.errors import ReproError
 
 __all__ = [
     "NonLocalConstraintError",
@@ -56,7 +57,7 @@ __all__ = [
 ]
 
 
-class NonLocalConstraintError(ValueError):
+class NonLocalConstraintError(ReproError, ValueError):
     """An ic has a non-local order or negated atom (undecidable fragment)."""
 
 

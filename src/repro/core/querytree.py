@@ -33,6 +33,7 @@ from typing import Iterable, Sequence
 from ..constraints.dense_order import OrderConstraintSet
 from ..constraints.integrity import IntegrityConstraint
 from ..observability.trace import get_tracer
+from ..robustness.budget import Budget, Governor
 from ..datalog.atoms import Atom, Literal, OrderAtom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
@@ -277,8 +278,18 @@ def _push_labels(
 # ----------------------------------------------------------------------
 # Construction
 # ----------------------------------------------------------------------
-def build_query_tree(result: AdornmentResult) -> QueryTree:
-    """Build the query forest for the program's query predicate."""
+def build_query_tree(
+    result: AdornmentResult, *, budget: "Budget | Governor | None" = None
+) -> QueryTree:
+    """Build the query forest for the program's query predicate.
+
+    ``budget`` (a :class:`~repro.robustness.budget.Budget` or a shared
+    running :class:`~repro.robustness.budget.Governor`) enforces the
+    deadline, cancellation and ``max_expansions`` at every node
+    expansion — the construction is worst-case exponential in the
+    number of adorned equivalence classes.
+    """
+    governor = Governor.of(budget)
     program = result.program
     if program.query is None:
         raise ValueError("the program needs a query predicate")
@@ -307,6 +318,8 @@ def build_query_tree(result: AdornmentResult) -> QueryTree:
     with tracer.span("querytree.build", query=query, roots=len(roots)) as build_span:
         shared = 0
         while queue:
+            if governor is not None:
+                governor.expand("querytree")
             goal = queue.pop(0)
             key = goal.key()
             existing = expanded.get(key)

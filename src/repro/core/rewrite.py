@@ -29,6 +29,8 @@ from typing import Iterable, Sequence
 from ..constraints.integrity import IntegrityConstraint, check_no_idb
 from ..constraints.locality import is_fully_local
 from ..observability.trace import get_tracer
+from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
+from ..robustness.errors import BudgetExceededError, Cancelled, EvaluationAborted, ReproError
 from ..datalog.atoms import Atom, Literal
 from ..datalog.database import Database, Row
 from ..datalog.evaluation import EvaluationResult, evaluate
@@ -46,32 +48,56 @@ __all__ = ["OptimizationReport", "optimize"]
 
 @dataclass
 class OptimizationReport:
-    """All artifacts of one optimization run."""
+    """All artifacts of one optimization run.
+
+    When the run degraded under a budget (see :func:`optimize`),
+    ``fallback_chain`` records each abandoned strategy in order and the
+    tree-phase artifacts (``adornment_result``, ``tree``) are ``None``.
+    """
 
     original: Program
     constraints: tuple[IntegrityConstraint, ...]
     tree_constraints: tuple[IntegrityConstraint, ...]
     residue_only_constraints: tuple[IntegrityConstraint, ...]
     preprocessed: Program
-    adornment_result: AdornmentResult
-    tree: QueryTree
+    adornment_result: AdornmentResult | None
+    tree: QueryTree | None
     program: Program | None
     satisfiable: bool
     complete: bool
     predicate_names: dict[tuple, str] = field(default_factory=dict)
+    fallback_chain: tuple[FallbackStep, ...] = ()
 
-    def evaluate(self, database: Database) -> frozenset[Row]:
+    def evaluate(
+        self,
+        database: Database,
+        *,
+        budget: "Budget | Governor | None" = None,
+        cancellation: CancellationToken | None = None,
+    ) -> frozenset[Row]:
         """Evaluate the rewritten program's query over a database."""
         if self.program is None:
             return frozenset()
-        return evaluate(self.program, database).query_rows()
+        return evaluate(
+            self.program, database, budget=budget, cancellation=cancellation
+        ).query_rows()
 
-    def evaluation(self, database: Database) -> EvaluationResult | None:
+    def evaluation(
+        self,
+        database: Database,
+        *,
+        budget: "Budget | Governor | None" = None,
+        cancellation: CancellationToken | None = None,
+    ) -> EvaluationResult | None:
         if self.program is None:
             return None
-        return evaluate(self.program, database)
+        return evaluate(
+            self.program, database, budget=budget, cancellation=cancellation
+        )
 
     def render_tree(self) -> str:
+        if self.tree is None:
+            return "(no query tree: the tree phase was skipped by a budget fallback)"
         return self.tree.render()
 
     def summary(self) -> str:
@@ -86,6 +112,8 @@ class OptimizationReport:
                 "non-local constraints handled by residue injection only: "
                 + "; ".join(repr(ic) for ic in self.residue_only_constraints)
             )
+        for step in self.fallback_chain:
+            lines.append(f"fallback: {step.describe()}")
         return "\n".join(lines)
 
     def explain(self) -> str:
@@ -110,18 +138,24 @@ class OptimizationReport:
             )
         adornment_lines: list[str] = []
         result = self.adornment_result
-        for predicate in sorted(result.adornments):
-            for adornment in result.adornments[predicate]:
-                name = result.adorned_name(predicate, adornment)
-                residues = sorted(
-                    triplet.render(result.constraints)
-                    for triplet in prune_redundant(adornment)
-                    if not triplet.is_trivial()
-                )
-                adornment_lines.append(f"{name}: {residues if residues else '(trivial)'}")
+        if result is not None:
+            for predicate in sorted(result.adornments):
+                for adornment in result.adornments[predicate]:
+                    name = result.adorned_name(predicate, adornment)
+                    residues = sorted(
+                        triplet.render(result.constraints)
+                        for triplet in prune_redundant(adornment)
+                        if not triplet.is_trivial()
+                    )
+                    adornment_lines.append(f"{name}: {residues if residues else '(trivial)'}")
         if adornment_lines:
             sections.append("== Adornments ==\n" + "\n".join(adornment_lines))
-        if self.tree.roots:
+        if self.fallback_chain:
+            sections.append(
+                "== Budget fallbacks ==\n"
+                + "\n".join(step.describe() for step in self.fallback_chain)
+            )
+        if self.tree is not None and self.tree.roots:
             sections.append("== Query tree ==\n" + self.tree.render())
         if self.program is not None:
             sections.append("== Rewritten program P' ==\n" + repr(self.program))
@@ -260,6 +294,8 @@ def optimize(
     inject_residues: bool = True,
     propagate_orders: bool = True,
     max_adornments: int = 4096,
+    budget: "Budget | Governor | None" = None,
+    cancellation: CancellationToken | None = None,
 ) -> OptimizationReport:
     """Rewrite ``program`` to completely incorporate ``constraints``.
 
@@ -269,8 +305,142 @@ def optimize(
     ``report.complete`` is True when every constraint went through the
     query-tree machinery (all fully local); otherwise the non-local
     constraints were used only for sound residue injection.
+
+    With a ``budget`` (a :class:`~repro.robustness.budget.Budget` or a
+    shared running :class:`~repro.robustness.budget.Governor`) the run
+    is governed and **degrades instead of failing**: when the adornment
+    or query-tree phase trips a limit, the optimizer falls back to the
+    residue-only rewrite (sound single-rule CGM injection via
+    :func:`~repro.core.residues.constrain_program`), and if that too
+    aborts, to the original program unchanged.  Each abandoned rung is
+    recorded in ``report.fallback_chain``.  Cancellation is never
+    degraded — a :class:`~repro.robustness.errors.Cancelled` always
+    propagates.  Without a budget, limit violations (e.g. the
+    ``max_adornments`` guard) raise as before.
     """
     constraints = tuple(constraints)
+    governor = Governor.of(budget, cancellation)
+    if governor is None:
+        return _optimize_full(
+            program,
+            constraints,
+            inject_residues=inject_residues,
+            propagate_orders=propagate_orders,
+            max_adornments=max_adornments,
+            governor=None,
+        )
+    tracer = get_tracer()
+    try:
+        return _optimize_full(
+            program,
+            constraints,
+            inject_residues=inject_residues,
+            propagate_orders=propagate_orders,
+            max_adornments=max_adornments,
+            governor=governor,
+        )
+    except Cancelled:
+        raise
+    except EvaluationAborted as exc:
+        first = FallbackStep(
+            stage="query-tree rewrite",
+            fell_back_to="residue-only rewrite",
+            reason=str(exc),
+        )
+        if tracer.enabled:
+            tracer.event(
+                "budget.fallback",
+                stage=first.stage,
+                fell_back_to=first.fell_back_to,
+                reason=first.reason,
+            )
+    tree_side, residue_side = _split_constraints(constraints)
+    try:
+        return _optimize_residue_only(
+            program,
+            constraints,
+            tree_side,
+            residue_side,
+            inject_residues=inject_residues,
+            fallback_chain=(first,),
+        )
+    except Cancelled:
+        raise
+    except ReproError as exc:
+        second = FallbackStep(
+            stage="residue-only rewrite",
+            fell_back_to="original program",
+            reason=str(exc),
+        )
+        if tracer.enabled:
+            tracer.event(
+                "budget.fallback",
+                stage=second.stage,
+                fell_back_to=second.fell_back_to,
+                reason=second.reason,
+            )
+        return OptimizationReport(
+            original=program,
+            constraints=constraints,
+            tree_constraints=tuple(tree_side),
+            residue_only_constraints=tuple(residue_side),
+            preprocessed=program,
+            adornment_result=None,
+            tree=None,
+            program=program,
+            satisfiable=True,
+            complete=False,
+            fallback_chain=(first, second),
+        )
+
+
+def _optimize_residue_only(
+    program: Program,
+    constraints: tuple[IntegrityConstraint, ...],
+    tree_side: Sequence[IntegrityConstraint],
+    residue_side: Sequence[IntegrityConstraint],
+    *,
+    inject_residues: bool,
+    fallback_chain: tuple[FallbackStep, ...],
+) -> OptimizationReport:
+    """The middle rung of the ladder: sound per-rule residue injection.
+
+    No adornment fixpoint, no query tree — just
+    :func:`~repro.core.residues.constrain_program`, which is linear in
+    the program and therefore safe to run even after a budget trip.
+    """
+    rewritten: Program | None = (
+        constrain_program(program, constraints) if inject_residues else program
+    )
+    satisfiable = True
+    if rewritten is not None and not rewritten.rules_for(program.query):
+        rewritten = None
+        satisfiable = False
+    return OptimizationReport(
+        original=program,
+        constraints=constraints,
+        tree_constraints=tuple(tree_side),
+        residue_only_constraints=tuple(residue_side),
+        preprocessed=program,
+        adornment_result=None,
+        tree=None,
+        program=rewritten,
+        satisfiable=satisfiable,
+        complete=False,
+        fallback_chain=fallback_chain,
+    )
+
+
+def _optimize_full(
+    program: Program,
+    constraints: tuple[IntegrityConstraint, ...],
+    *,
+    inject_residues: bool,
+    propagate_orders: bool,
+    max_adornments: int,
+    governor: Governor | None,
+) -> OptimizationReport:
+    """The top rung: the complete query-tree rewrite of Theorem 4.1."""
     if program.query is None:
         raise ValueError("optimize() needs a program with a query predicate")
     check_no_idb(constraints, program)
@@ -289,6 +459,8 @@ def optimize(
                 residue_only_constraints=len(residue_side),
             )
 
+        if governor is not None:
+            governor.check("optimize")
         with tracer.span("optimize.local_atoms") as span:
             plan: LocalAtomPlan = prepare_local_atoms(program, tree_side)
             working = plan.program
@@ -297,6 +469,8 @@ def optimize(
         if propagate_orders:
             with tracer.span("optimize.order_propagation"):
                 working = propagate_order_constraints(working).program
+        if governor is not None:
+            governor.check("optimize")
         working = working.relevant_rules()
         if not working.rules_for(program.query):
             # The preprocessing already proved the query underivable.
@@ -321,7 +495,11 @@ def optimize(
 
         with tracer.span("optimize.adornments") as span:
             adornment_result = compute_adornments(
-                working, tree_side, local_index=plan.index, max_adornments=max_adornments
+                working,
+                tree_side,
+                local_index=plan.index,
+                max_adornments=max_adornments,
+                budget=governor,
             )
             if trace_on:
                 span.set(
@@ -330,7 +508,7 @@ def optimize(
                     inconsistencies=len(adornment_result.inconsistencies),
                 )
         with tracer.span("optimize.query_tree") as span:
-            tree = build_query_tree(adornment_result)
+            tree = build_query_tree(adornment_result, budget=governor)
             if trace_on:
                 span.set(
                     roots=len(tree.roots),

@@ -31,6 +31,7 @@ from ..datalog.terms import Constant, Term, Variable
 from .configurations import Config, freeze_atoms, linearizations, partitions
 from .conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
 from .homomorphism import extend_homomorphism
+from ..robustness.errors import ReproError
 
 __all__ = [
     "cq_contained",
@@ -41,7 +42,7 @@ __all__ = [
 ]
 
 
-class ContainmentTooLargeError(ValueError):
+class ContainmentTooLargeError(ReproError, ValueError):
     """The case analysis would exceed the configured size bound."""
 
 

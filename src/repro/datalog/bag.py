@@ -34,11 +34,12 @@ from .database import Database, Row
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable
+from ..robustness.errors import ReproError
 
 __all__ = ["BagRelation", "evaluate_bag", "bag_equal", "RecursiveProgramError"]
 
 
-class RecursiveProgramError(ValueError):
+class RecursiveProgramError(ReproError, ValueError):
     """Bag evaluation is defined for nonrecursive programs only."""
 
 

@@ -40,13 +40,22 @@ The engine evaluates a :class:`~repro.datalog.program.Program` over a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..observability.trace import Tracer, get_tracer
+from ..robustness.budget import Budget, CancellationToken, Governor
+from ..robustness.errors import EvaluationAborted
 from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
 from .database import Database, Relation, Row
-from .plan import DEFAULT_IDB_ESTIMATE, RulePlan, compile_rule, order_body_greedy
+from .plan import (
+    DEFAULT_IDB_ESTIMATE,
+    RulePlan,
+    _GovernedList,
+    compile_rule,
+    order_body_greedy,
+)
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable
@@ -86,6 +95,8 @@ class EvaluationStats:
     iterations: int = 0
     index_builds: int = 0
     env_allocations: int = 0
+    budget_trips: int = 0
+    wall_time_seconds: float = 0.0
     rows_scanned_by_rule: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "EvaluationStats") -> None:
@@ -96,6 +107,8 @@ class EvaluationStats:
         self.iterations += other.iterations
         self.index_builds += other.index_builds
         self.env_allocations += other.env_allocations
+        self.budget_trips += other.budget_trips
+        self.wall_time_seconds += other.wall_time_seconds
         for key, value in other.rows_scanned_by_rule.items():
             self.rows_scanned_by_rule[key] = self.rows_scanned_by_rule.get(key, 0) + value
 
@@ -109,6 +122,8 @@ class EvaluationStats:
             "iterations": self.iterations,
             "index_builds": self.index_builds,
             "env_allocations": self.env_allocations,
+            "budget_trips": self.budget_trips,
+            "wall_time_seconds": self.wall_time_seconds,
             "rows_scanned_by_rule": dict(self.rows_scanned_by_rule),
         }
 
@@ -118,7 +133,9 @@ class EvaluationStats:
         The benchmarks report these as work ratios of a transformed
         program against its baseline: a ratio below 1.0 on
         ``facts_derived`` means the transformation derived fewer facts.
-        The per-rule breakdown is not a ratio and is skipped.
+        Only the integer counters are compared: the per-rule breakdown
+        is not a ratio and ``wall_time_seconds`` (a float) is too noisy
+        to be a meaningful work ratio, so both are skipped.
         """
         ratios: dict[str, float] = {}
         mine = self.as_dict()
@@ -328,12 +345,13 @@ class _SlotEngine:
             )
         return plan
 
-    def run(self, plan: RulePlan, relation_of, delta_relation, stats):
+    def run(self, plan: RulePlan, relation_of, delta_relation, stats, governor=None):
         return plan.run(
             relation_of,
             delta_relation,
             stats,
             tracer=self.tracer if self.trace_on else None,
+            governor=governor,
         )
 
     @staticmethod
@@ -371,8 +389,13 @@ class _InterpEngine:
             )
         return join
 
-    def run(self, join: _RuleJoin, relation_of, delta_relation, stats):
-        results: list[dict[Variable, object]] = []
+    def run(self, join: _RuleJoin, relation_of, delta_relation, stats, governor=None):
+        # The governed buffer makes the recursive interpreter cancellable
+        # mid-rule at each emitted environment, mirroring the compiled
+        # engine's per-row ticks.
+        results: list[dict[Variable, object]] = (
+            [] if governor is None else _GovernedList(governor)
+        )
         _run_join(
             join, {}, 0, relation_of, delta_relation, self._edb_lookup, stats, results
         )
@@ -463,6 +486,8 @@ def evaluate(
     tracer: Tracer | None = None,
     engine: str = "slots",
     plan_order: str = "cost",
+    budget: "Budget | Governor | None" = None,
+    cancellation: CancellationToken | None = None,
 ) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``database``.
 
@@ -471,7 +496,8 @@ def evaluate(
     instantiation that produced it (for :func:`derivation_tree`).
     ``max_iterations`` bounds semi-naive rounds per SCC (used by tests
     exploring non-terminating hypotheticals; normal evaluation always
-    terminates).
+    terminates) and *truncates silently* — for an error-raising bound
+    use ``budget`` instead.
 
     ``strategy`` selects ``"seminaive"`` (default, delta-driven) or
     ``"naive"`` (re-evaluate every rule against the full relations each
@@ -489,10 +515,22 @@ def evaluate(
     ``tracer`` overrides the globally installed tracer (see
     :func:`repro.observability.trace.tracing`); the default disabled
     tracer makes instrumentation free.
+
+    ``budget`` (a :class:`~repro.robustness.budget.Budget`, or an
+    already-running :class:`~repro.robustness.budget.Governor` shared
+    with earlier phases) and ``cancellation`` make the run governed:
+    limits are checked at SCC, round and rule boundaries (plus strided
+    per-row ticks inside the join engines), and a violated limit raises
+    :class:`~repro.robustness.errors.BudgetExceededError` (or
+    :class:`~repro.robustness.errors.Cancelled`) carrying the partial
+    fixpoint computed so far in ``exc.partial``.  Because negation is
+    restricted to EDB predicates the program is monotone in its IDB, so
+    the partial fixpoint is always a subset of the full one.
     """
     if tracer is None:
         tracer = get_tracer()
     _check_plan_order(plan_order)
+    governor = Governor.of(budget, cancellation)
     if strategy == "naive":
         return _evaluate_naive(
             program,
@@ -501,10 +539,12 @@ def evaluate(
             tracer=tracer,
             engine=engine,
             plan_order=plan_order,
+            budget=governor,
         )
     if strategy != "seminaive":
         raise ValueError(f"unknown strategy {strategy!r}")
     trace_on = tracer.enabled
+    started = time.perf_counter()
     stats = EvaluationStats()
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
@@ -533,7 +573,7 @@ def evaluate(
 
         def run() -> None:
             rows_before = stats.rows_scanned
-            results = eng.run(plan, relation_of, delta_relation, stats)
+            results = eng.run(plan, relation_of, delta_relation, stats, governor)
             stats.rule_firings += len(results)
             key = plan.rule_key
             stats.rows_scanned_by_rule[key] = (
@@ -554,6 +594,8 @@ def evaluate(
                     )
                 if sink_delta is not None:
                     sink_delta[rule.head.predicate].add(head_row)
+            if governor is not None:
+                governor.check("evaluate", stats)
 
         if not trace_on:
             run()
@@ -582,78 +624,103 @@ def evaluate(
                 index_builds=stats.index_builds - before[4],
             )
 
-    with tracer.span(
-        "evaluate", strategy="seminaive", engine=eng.name, rules=len(program.rules)
-    ) as root:
-        graph = program.dependency_graph()
-        for scc_index, component in enumerate(_sccs(graph)):
-            members = set(component)
-            recursive = len(component) > 1 or any(
-                head in graph.get(head, set()) for head in component
-            )
-            rules = [r for r in program.rules if r.head.predicate in members]
-            with tracer.span(
-                "scc",
-                index=scc_index,
-                members=",".join(sorted(members)),
-                recursive=recursive,
-            ):
-                if not recursive:
+    def partial_result() -> EvaluationResult:
+        return EvaluationResult(
+            idb=idb, stats=stats, program=program, database=database, provenance=prov
+        )
+
+    try:
+        with tracer.span(
+            "evaluate", strategy="seminaive", engine=eng.name, rules=len(program.rules)
+        ) as root:
+            graph = program.dependency_graph()
+            for scc_index, component in enumerate(_sccs(graph)):
+                if governor is not None:
+                    governor.check("evaluate", stats)
+                members = set(component)
+                recursive = len(component) > 1 or any(
+                    head in graph.get(head, set()) for head in component
+                )
+                rules = [r for r in program.rules if r.head.predicate in members]
+                with tracer.span(
+                    "scc",
+                    index=scc_index,
+                    members=",".join(sorted(members)),
+                    recursive=recursive,
+                ):
+                    if not recursive:
+                        for rule in rules:
+                            fire_rule(eng.make_plan(rule, None), None, None, scc_index, None)
+                        continue
+                    # Semi-naive iteration inside a recursive SCC.
+                    exit_rules = []
+                    delta_rules: list[tuple[Rule, int]] = []
                     for rule in rules:
-                        fire_rule(eng.make_plan(rule, None), None, None, scc_index, None)
-                    continue
-                # Semi-naive iteration inside a recursive SCC.
-                exit_rules = []
-                delta_rules: list[tuple[Rule, int]] = []
-                for rule in rules:
-                    recursive_positions = [
-                        i
-                        for i, item in enumerate(rule.body)
-                        if isinstance(item, Literal) and item.positive and item.predicate in members
-                    ]
-                    if not recursive_positions:
-                        exit_rules.append(rule)
-                    else:
-                        for pos in recursive_positions:
-                            delta_rules.append((rule, pos))
-                delta: dict[str, Relation] = {
-                    pred: Relation(program.arity_of(pred)) for pred in members
-                }
-                for rule in exit_rules:
-                    fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
-                # Delta plans are compiled after the exit rules fired, so
-                # cost estimates see the exit-layer IDB sizes; each (rule,
-                # delta-position) is compiled exactly once per SCC.
-                delta_joins = [
-                    eng.make_plan(rule, pos) for rule, pos in delta_rules
-                ]
-                iterations = 0
-                while any(len(d) for d in delta.values()):
-                    iterations += 1
-                    if max_iterations is not None and iterations > max_iterations:
-                        break
-                    stats.iterations += 1
-                    if trace_on:
-                        tracer.event(
-                            "iteration",
-                            scc=scc_index,
-                            index=iterations,
-                            delta_in=sum(len(d) for d in delta.values()),
-                        )
-                    new_delta: dict[str, Relation] = {
+                        recursive_positions = [
+                            i
+                            for i, item in enumerate(rule.body)
+                            if isinstance(item, Literal) and item.positive and item.predicate in members
+                        ]
+                        if not recursive_positions:
+                            exit_rules.append(rule)
+                        else:
+                            for pos in recursive_positions:
+                                delta_rules.append((rule, pos))
+                    delta: dict[str, Relation] = {
                         pred: Relation(program.arity_of(pred)) for pred in members
                     }
-                    for plan in delta_joins:
-                        delta_rel = delta[plan.delta_predicate]
-                        if not len(delta_rel):
-                            continue
-                        fire_rule(plan, delta_rel, new_delta, scc_index, iterations)
-                    delta = new_delta
+                    for rule in exit_rules:
+                        fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
+                    # Delta plans are compiled after the exit rules fired, so
+                    # cost estimates see the exit-layer IDB sizes; each (rule,
+                    # delta-position) is compiled exactly once per SCC.
+                    delta_joins = [
+                        eng.make_plan(rule, pos) for rule, pos in delta_rules
+                    ]
+                    iterations = 0
+                    while any(len(d) for d in delta.values()):
+                        iterations += 1
+                        if max_iterations is not None and iterations > max_iterations:
+                            break
+                        stats.iterations += 1
+                        if governor is not None:
+                            governor.check("evaluate", stats)
+                        if trace_on:
+                            tracer.event(
+                                "iteration",
+                                scc=scc_index,
+                                index=iterations,
+                                delta_in=sum(len(d) for d in delta.values()),
+                            )
+                        new_delta: dict[str, Relation] = {
+                            pred: Relation(program.arity_of(pred)) for pred in members
+                        }
+                        for plan in delta_joins:
+                            delta_rel = delta[plan.delta_predicate]
+                            if not len(delta_rel):
+                                continue
+                            fire_rule(plan, delta_rel, new_delta, scc_index, iterations)
+                        delta = new_delta
+            if trace_on:
+                root.set(
+                    **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+                )
+    except EvaluationAborted as exc:
+        stats.budget_trips += 1
+        stats.wall_time_seconds = time.perf_counter() - started
         if trace_on:
-            root.set(
-                **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+            tracer.event(
+                "budget.trip",
+                phase=exc.phase or "evaluate",
+                limit=exc.limit or "",
+                facts_derived=stats.facts_derived,
+                iterations=stats.iterations,
             )
-    return EvaluationResult(idb=idb, stats=stats, program=program, database=database, provenance=prov)
+        raise exc.with_context(
+            phase="evaluate", partial=partial_result(), stats=stats
+        ) from None
+    stats.wall_time_seconds = time.perf_counter() - started
+    return partial_result()
 
 
 def _evaluate_naive(
@@ -664,12 +731,16 @@ def _evaluate_naive(
     tracer: Tracer | None = None,
     engine: str = "slots",
     plan_order: str = "cost",
+    budget: "Budget | Governor | None" = None,
+    cancellation: CancellationToken | None = None,
 ) -> EvaluationResult:
     """Naive bottom-up evaluation: full re-evaluation until fixpoint."""
     if tracer is None:
         tracer = get_tracer()
     _check_plan_order(plan_order)
+    governor = Governor.of(budget, cancellation)
     trace_on = tracer.enabled
+    started = time.perf_counter()
     stats = EvaluationStats()
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
@@ -690,7 +761,7 @@ def _evaluate_naive(
         head_relation = idb[rule.head.predicate]
         changed = False
         rows_before = stats.rows_scanned
-        results = eng.run(plan, relation_of, None, stats)
+        results = eng.run(plan, relation_of, None, stats, governor)
         stats.rule_firings += len(results)
         key = plan.rule_key
         stats.rows_scanned_by_rule[key] = (
@@ -708,49 +779,72 @@ def _evaluate_naive(
                     rule,
                     tuple(eng.support_rows(plan, env)),
                 )
+        if governor is not None:
+            governor.check("evaluate", stats)
         return changed
 
-    with tracer.span(
-        "evaluate", strategy="naive", engine=eng.name, rules=len(program.rules)
-    ) as root:
-        changed = True
-        while changed:
-            changed = False
-            stats.iterations += 1
-            if trace_on:
-                tracer.event("iteration", index=stats.iterations, delta_in=None)
-            for plan in plans:
-                if not trace_on:
-                    changed |= fire_rule(plan)
-                    continue
-                before = (
-                    stats.probes,
-                    stats.rows_scanned,
-                    stats.facts_derived,
-                    stats.rule_firings,
-                    stats.index_builds,
-                )
-                with tracer.span(
-                    "rule",
-                    predicate=plan.rule.head.predicate,
-                    rule=plan.rule_key,
-                    iteration=stats.iterations,
-                ) as span:
-                    changed |= fire_rule(plan)
-                    span.set(
-                        firings=stats.rule_firings - before[3],
-                        probes=stats.probes - before[0],
-                        rows_scanned=stats.rows_scanned - before[1],
-                        facts_derived=stats.facts_derived - before[2],
-                        index_builds=stats.index_builds - before[4],
+    def partial_result() -> EvaluationResult:
+        return EvaluationResult(
+            idb=idb, stats=stats, program=program, database=database, provenance=prov
+        )
+
+    try:
+        with tracer.span(
+            "evaluate", strategy="naive", engine=eng.name, rules=len(program.rules)
+        ) as root:
+            changed = True
+            while changed:
+                changed = False
+                stats.iterations += 1
+                if governor is not None:
+                    governor.check("evaluate", stats)
+                if trace_on:
+                    tracer.event("iteration", index=stats.iterations, delta_in=None)
+                for plan in plans:
+                    if not trace_on:
+                        changed |= fire_rule(plan)
+                        continue
+                    before = (
+                        stats.probes,
+                        stats.rows_scanned,
+                        stats.facts_derived,
+                        stats.rule_firings,
+                        stats.index_builds,
                     )
+                    with tracer.span(
+                        "rule",
+                        predicate=plan.rule.head.predicate,
+                        rule=plan.rule_key,
+                        iteration=stats.iterations,
+                    ) as span:
+                        changed |= fire_rule(plan)
+                        span.set(
+                            firings=stats.rule_firings - before[3],
+                            probes=stats.probes - before[0],
+                            rows_scanned=stats.rows_scanned - before[1],
+                            facts_derived=stats.facts_derived - before[2],
+                            index_builds=stats.index_builds - before[4],
+                        )
+            if trace_on:
+                root.set(
+                    **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+                )
+    except EvaluationAborted as exc:
+        stats.budget_trips += 1
+        stats.wall_time_seconds = time.perf_counter() - started
         if trace_on:
-            root.set(
-                **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+            tracer.event(
+                "budget.trip",
+                phase=exc.phase or "evaluate",
+                limit=exc.limit or "",
+                facts_derived=stats.facts_derived,
+                iterations=stats.iterations,
             )
-    return EvaluationResult(
-        idb=idb, stats=stats, program=program, database=database, provenance=prov
-    )
+        raise exc.with_context(
+            phase="evaluate", partial=partial_result(), stats=stats
+        ) from None
+    stats.wall_time_seconds = time.perf_counter() - started
+    return partial_result()
 
 
 def evaluate_query(program: Program, database: Database) -> frozenset[Row]:

@@ -33,6 +33,7 @@ from .atoms import Atom, BodyItem, Literal, OrderAtom
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Term, Variable
+from ..robustness.errors import ReproError
 
 __all__ = [
     "ParseError",
@@ -47,7 +48,7 @@ __all__ = [
 ]
 
 
-class ParseError(ValueError):
+class ParseError(ReproError, ValueError):
     """Raised on any syntax error, with position information."""
 
 

@@ -387,6 +387,25 @@ def _emit(env, rels, stats, out):
     out.append(tuple(env))
 
 
+class _GovernedList(list):
+    """The result buffer of a governed rule execution.
+
+    Every emitted row ticks the governor (strided deadline/cancellation
+    check), so even a single explosive join stays cancellable without
+    recompiling the closure chain or touching the ungoverned hot path.
+    """
+
+    __slots__ = ("_governor",)
+
+    def __init__(self, governor):
+        super().__init__()
+        self._governor = governor
+
+    def append(self, item) -> None:
+        list.append(self, item)
+        self._governor.tick("rule")
+
+
 # ----------------------------------------------------------------------
 # The compiled plan
 # ----------------------------------------------------------------------
@@ -544,13 +563,22 @@ class RulePlan:
         self._entry = entry
 
     # ------------------------------------------------------------------
-    def run(self, relation_of, delta_relation: Relation | None, stats, tracer=None):
+    def run(
+        self,
+        relation_of,
+        delta_relation: Relation | None,
+        stats,
+        tracer=None,
+        governor=None,
+    ):
         """Execute the plan; return the result environments (slot tuples).
 
         ``relation_of(predicate, arity)`` resolves non-delta relations;
         indexes are fetched once here (built on first use, counted in
         ``stats.index_builds`` and — under an enabled ``tracer`` —
-        reported as ``index_build`` events).
+        reported as ``index_build`` events).  With a ``governor`` (see
+        :mod:`repro.robustness.budget`) the result buffer ticks it per
+        emitted row, keeping giant single-rule joins cancellable.
         """
         rels = []
         for spec in self.rel_specs:
@@ -570,7 +598,7 @@ class RulePlan:
             else:
                 rels.append(rel.all_rows())
         env = [None] * self.num_slots
-        out: list[tuple] = []
+        out: list[tuple] = [] if governor is None else _GovernedList(governor)
         stats.env_allocations += 1
         self._entry(env, rels, stats, out)
         stats.env_allocations += len(out)

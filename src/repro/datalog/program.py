@@ -20,11 +20,12 @@ from typing import Iterable, Mapping, Sequence
 
 from .atoms import Literal, OrderAtom
 from .rules import Rule, UnsafeRuleError
+from ..robustness.errors import ReproError
 
 __all__ = ["Program", "ProgramError", "PredicateInfo"]
 
 
-class ProgramError(ValueError):
+class ProgramError(ReproError, ValueError):
     """Raised when a rule set violates the paper's program classes."""
 
 

@@ -13,13 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..robustness.errors import ReproError
 from .atoms import Atom, BodyItem, Literal, OrderAtom, body_variables
 from .terms import Constant, Substitution, Variable, fresh_variables, is_variable
 
 __all__ = ["Rule", "limited_variables", "UnsafeRuleError"]
 
 
-class UnsafeRuleError(ValueError):
+class UnsafeRuleError(ReproError, ValueError):
     """Raised when a rule (or constraint) fails the safety condition."""
 
 

@@ -39,6 +39,8 @@ from ..datalog.database import Database, Row
 from ..datalog.evaluation import EvaluationResult, EvaluationStats, evaluate
 from ..datalog.program import Program
 from ..observability.trace import get_tracer
+from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
+from ..robustness.errors import Cancelled, EvaluationAborted
 from .sips import SipsStrategy, left_to_right
 from .transform import MagicProgram, magic_transform, match_query_atom
 
@@ -79,6 +81,7 @@ class PipelineReport:
     magic: MagicProgram | None
     program: Program | None
     satisfiable: bool = True
+    fallback_chain: tuple[FallbackStep, ...] = ()
     _answer_cache: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -92,11 +95,18 @@ class PipelineReport:
         *,
         engine: str = "slots",
         plan_order: str = "cost",
+        budget: "Budget | Governor | None" = None,
+        cancellation: CancellationToken | None = None,
     ) -> EvaluationResult | None:
         if self.program is None:
             return None
         return evaluate(
-            self.program, database, engine=engine, plan_order=plan_order
+            self.program,
+            database,
+            engine=engine,
+            plan_order=plan_order,
+            budget=budget,
+            cancellation=cancellation,
         )
 
     def answers(self, database: Database) -> frozenset[Row]:
@@ -120,6 +130,8 @@ class PipelineReport:
             size = "empty" if stage.program is None else f"{len(stage.program.rules)} rules"
             detail = f" — {stage.detail}" if stage.detail else ""
             lines.append(f"after {stage.name}: {size}{detail}")
+        for step in self.fallback_chain:
+            lines.append(f"fallback: {step.describe()}")
         if self.program is None:
             lines.append("final program: empty (query unsatisfiable)")
         else:
@@ -147,24 +159,36 @@ def run_pipeline(
     *,
     order: str = "semantic-first",
     sips: SipsStrategy = left_to_right,
+    budget: "Budget | Governor | None" = None,
+    cancellation: CancellationToken | None = None,
 ) -> PipelineReport:
     """Chain the semantic rewrite and the magic transform in ``order``.
 
     Returns a :class:`PipelineReport`; ``report.program`` is ``None``
     when the semantic stage proves the query unsatisfiable under the
     constraints.
+
+    With a ``budget`` (or a shared running
+    :class:`~repro.robustness.budget.Governor`) the run degrades
+    instead of failing: the semantic stage degrades internally (see
+    :func:`~repro.core.rewrite.optimize`), and a stage that trips a
+    limit (or an injected fault) is *skipped*, leaving the previous
+    stage's program in place.  Every fallback is recorded in
+    ``report.fallback_chain``.  Cancellation always propagates.
     """
     if order not in PIPELINE_ORDERS:
         raise ValueError(
             f"unknown pipeline order {order!r} (valid: {', '.join(PIPELINE_ORDERS)})"
         )
     constraints = tuple(constraints)
+    governor = Governor.of(budget, cancellation)
     program = _as_query_program(program, query_atom)
 
     tracer = get_tracer()
     trace_on = tracer.enabled
 
     stages: list[PipelineStage] = []
+    fallbacks: list[FallbackStep] = []
     semantic_report: OptimizationReport | None = None
     magic: MagicProgram | None = None
     current: Program | None = program
@@ -175,7 +199,7 @@ def run_pipeline(
         assert current is not None
         rules_in = len(current.rules)
         with tracer.span("pipeline.stage", stage="semantic rewrite") as stage_span:
-            semantic_report = optimize(current, constraints)
+            semantic_report = optimize(current, constraints, budget=governor)
             current = semantic_report.program
             if trace_on:
                 stage_span.set(
@@ -183,9 +207,14 @@ def run_pipeline(
                     rules_out=0 if current is None else len(current.rules),
                     satisfiable=current is not None,
                 )
+        fallbacks.extend(semantic_report.fallback_chain)
         detail = "unsatisfiable" if current is None else (
             "complete" if semantic_report.complete else "residues only for non-local ic's"
         )
+        if semantic_report.fallback_chain:
+            detail = "degraded: " + "; ".join(
+                step.fell_back_to for step in semantic_report.fallback_chain
+            )
         stages.append(PipelineStage("semantic rewrite", current, detail))
 
     def run_magic() -> None:
@@ -213,18 +242,41 @@ def run_pipeline(
         )
 
     plan = {
-        "semantic-first": (run_semantic, run_magic),
-        "magic-first": (run_magic, run_semantic),
-        "magic-only": (run_magic,),
-        "semantic-only": (run_semantic,),
+        "semantic-first": (("semantic rewrite", run_semantic), ("magic transform", run_magic)),
+        "magic-first": (("magic transform", run_magic), ("semantic rewrite", run_semantic)),
+        "magic-only": (("magic transform", run_magic),),
+        "semantic-only": (("semantic rewrite", run_semantic),),
     }[order]
     with tracer.span(
         "pipeline", order=order, query=str(query_atom), rules=len(program.rules)
     ) as pipeline_span:
-        for stage in plan:
+        for stage_name, stage in plan:
             if current is None:
                 break
-            stage()
+            if governor is None:
+                stage()
+                continue
+            try:
+                governor.check("pipeline")
+                stage()
+            except Cancelled:
+                raise
+            except EvaluationAborted as exc:
+                # Skip the stage: the previous stage's program is still a
+                # sound input for whatever comes next.
+                step = FallbackStep(
+                    stage=stage_name,
+                    fell_back_to="skip stage",
+                    reason=str(exc),
+                )
+                fallbacks.append(step)
+                if trace_on:
+                    tracer.event(
+                        "budget.fallback",
+                        stage=step.stage,
+                        fell_back_to=step.fell_back_to,
+                        reason=step.reason,
+                    )
         if trace_on:
             pipeline_span.set(
                 stages=len(stages),
@@ -242,6 +294,7 @@ def run_pipeline(
         magic=magic,
         program=current,
         satisfiable=current is not None,
+        fallback_chain=tuple(fallbacks),
     )
 
 
@@ -252,10 +305,13 @@ def query_atom_answers(
     *,
     engine: str = "slots",
     plan_order: str = "cost",
+    budget: "Budget | Governor | None" = None,
 ) -> tuple[frozenset[Row], EvaluationResult]:
     """Evaluate ``program`` and select the rows matching ``query_atom``."""
     program = _as_query_program(program, query_atom)
-    result = evaluate(program, database, engine=engine, plan_order=plan_order)
+    result = evaluate(
+        program, database, engine=engine, plan_order=plan_order, budget=budget
+    )
     rows = frozenset(
         row for row in result.query_rows() if match_query_atom(row, query_atom)
     )
@@ -301,6 +357,7 @@ def check_equivalence(
     *,
     engine: str = "slots",
     plan_order: str = "cost",
+    budget: "Budget | Governor | None" = None,
 ) -> EquivalenceCheck:
     """Evaluate both programs on ``database`` and compare query answers.
 
@@ -308,21 +365,33 @@ def check_equivalence(
     a :class:`MagicProgram`, or ``None`` (an empty rewriting: the
     transformed side answers nothing).  ``engine``/``plan_order`` select
     the join engine used on both sides (see
-    :func:`repro.datalog.evaluation.evaluate`).
+    :func:`repro.datalog.evaluation.evaluate`); ``budget`` governs both
+    evaluations (a shared governor bounds their combined wall time).
     """
     original_rows, original_result = query_atom_answers(
-        original, database, query_atom, engine=engine, plan_order=plan_order
+        original,
+        database,
+        query_atom,
+        engine=engine,
+        plan_order=plan_order,
+        budget=budget,
     )
     if isinstance(transformed, PipelineReport):
         result = transformed.evaluation(
-            database, engine=engine, plan_order=plan_order
+            database, engine=engine, plan_order=plan_order, budget=budget
         )
     elif isinstance(transformed, MagicProgram):
         result = evaluate(
-            transformed.program, database, engine=engine, plan_order=plan_order
+            transformed.program,
+            database,
+            engine=engine,
+            plan_order=plan_order,
+            budget=budget,
         )
     elif isinstance(transformed, Program):
-        result = evaluate(transformed, database, engine=engine, plan_order=plan_order)
+        result = evaluate(
+            transformed, database, engine=engine, plan_order=plan_order, budget=budget
+        )
     else:
         result = None
     if result is None:

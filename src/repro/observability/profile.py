@@ -77,6 +77,8 @@ class EvaluationProfile:
     sccs: int = 0
     events: int = 0
     index_builds: int = 0
+    budget_trips: list[str] = field(default_factory=list)
+    fallbacks: list[str] = field(default_factory=list)
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -90,6 +92,12 @@ class EvaluationProfile:
             f"evaluation profile: {self.total_time * 1000:.3f} ms total, "
             f"{self.sccs} SCCs, {self.iterations} semi-naive iterations, "
             f"{self.index_builds} index builds",
+        ]
+        for trip in self.budget_trips:
+            lines.append(f"budget trip: {trip}")
+        for fallback in self.fallbacks:
+            lines.append(f"fallback: {fallback}")
+        lines += [
             "",
             f"top {min(top, len(self.rules))} rules by time:",
             f"{'time(ms)':>10} {'calls':>6} {'firings':>8} {'probes':>8} "
@@ -143,6 +151,18 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
             profile.iterations += 1
         elif event.kind == "event" and event.name == "index_build":
             profile.index_builds += 1
+        elif event.kind == "event" and event.name == "budget.trip":
+            profile.budget_trips.append(
+                f"{event.attrs.get('phase', '?')} hit {event.attrs.get('limit', '?')} "
+                f"after {event.attrs.get('iterations', 0)} iterations, "
+                f"{event.attrs.get('facts_derived', 0)} facts"
+            )
+        elif event.kind == "event" and event.name == "budget.fallback":
+            profile.fallbacks.append(
+                f"{event.attrs.get('stage', '?')} -> "
+                f"{event.attrs.get('fell_back_to', '?')} "
+                f"({event.attrs.get('reason', '')})"
+            )
         elif event.kind == "event" and event.name == "plan":
             # The compiled plan of a (rule, delta) pair: keep the most
             # informative one per rule (delta plans override the base

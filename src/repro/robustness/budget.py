@@ -1,0 +1,266 @@
+"""Budgets, deadlines and cooperative cancellation for long-running phases.
+
+The engine's inputs are adversarial by nature: satisfiability w.r.t.
+integrity constraints is undecidable for ``{theta,not}``-programs
+(Theorem 5.1), the adornment phase is worst-case doubly exponential,
+and fixpoint evaluation — polynomial in data — is unbounded in practice
+on generated workloads.  This module supplies the standard production
+guardrails:
+
+* :class:`Budget` — a declarative bundle of limits (wall-clock timeout,
+  semi-naive iterations, derived facts, rows scanned, symbolic
+  expansions);
+* :class:`CancellationToken` — a thread-safe flag an outside caller can
+  set to stop a run at its next checkpoint;
+* :class:`Governor` — the runtime object threaded through the phases.
+  Phases call :meth:`Governor.check` at round boundaries (with their
+  live :class:`~repro.datalog.evaluation.EvaluationStats`) and the
+  cheap strided :meth:`Governor.tick` / :meth:`Governor.expand` inside
+  tight symbolic loops.  A violated limit raises
+  :class:`~repro.robustness.errors.BudgetExceededError` (or
+  :class:`~repro.robustness.errors.Cancelled`), which the engine driver
+  enriches with the partial fixpoint on the way out.
+
+A single :class:`Governor` may be shared across phases (rewrite, then
+magic, then evaluation) so ``--timeout`` bounds the whole command, not
+each phase separately; every ``budget=`` parameter in the package also
+accepts a pre-started governor for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .errors import BudgetExceededError, Cancelled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.evaluation import EvaluationStats
+
+__all__ = ["Budget", "CancellationToken", "Governor", "FallbackStep"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative resource limits for one governed run.
+
+    Every field defaults to ``None`` (unlimited).  ``timeout`` is
+    wall-clock seconds from the moment the :class:`Governor` starts;
+    ``max_iterations`` bounds the *total* semi-naive rounds across all
+    SCCs (unlike the legacy per-SCC ``max_iterations`` argument of
+    :func:`~repro.datalog.evaluation.evaluate`, which truncates
+    silently); ``max_facts`` / ``max_rows_scanned`` bound the derived
+    facts and join rows scanned; ``max_expansions`` bounds symbolic
+    work — adornment enumeration steps and query-tree node expansions.
+    """
+
+    timeout: float | None = None
+    max_iterations: int | None = None
+    max_facts: int | None = None
+    max_rows_scanned: int | None = None
+    max_expansions: int | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.timeout is None
+            and self.max_iterations is None
+            and self.max_facts is None
+            and self.max_rows_scanned is None
+            and self.max_expansions is None
+        )
+
+
+class CancellationToken:
+    """A cooperative cancellation flag, safe to set from another thread."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"<CancellationToken {'cancelled' if self.cancelled else 'live'}>"
+
+
+@dataclass(frozen=True)
+class FallbackStep:
+    """One rung of a degradation ladder, recorded for reports.
+
+    ``stage`` names the strategy that was abandoned, ``fell_back_to``
+    the strategy tried next, and ``reason`` the one-line cause (the
+    message of the aborting exception).
+    """
+
+    stage: str
+    fell_back_to: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.stage} -> {self.fell_back_to} ({self.reason})"
+
+
+class Governor:
+    """The runtime enforcer of one :class:`Budget` (plus cancellation).
+
+    The deadline is anchored when the governor is constructed.  Checks
+    are cooperative and cheap: an inactive governor (no limits, no
+    token) reduces every call to one attribute read, and the strided
+    :meth:`tick` touches the clock only every ``stride`` calls.
+    """
+
+    __slots__ = (
+        "budget",
+        "token",
+        "deadline",
+        "started_at",
+        "active",
+        "expansions",
+        "tripped",
+        "_clock",
+        "_stride",
+        "_ticks",
+    )
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        cancellation: CancellationToken | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        stride: int = 256,
+    ):
+        self.budget = budget if budget is not None else Budget()
+        self.token = cancellation
+        self._clock = clock
+        self._stride = max(1, stride)
+        self._ticks = 0
+        self.started_at = clock()
+        self.deadline = (
+            None if self.budget.timeout is None else self.started_at + self.budget.timeout
+        )
+        self.active = cancellation is not None or not self.budget.unlimited
+        self.expansions = 0
+        self.tripped: BudgetExceededError | Cancelled | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(
+        budget: "Budget | Governor | None",
+        cancellation: CancellationToken | None = None,
+    ) -> "Governor | None":
+        """Normalize a ``budget=`` argument into a governor (or ``None``).
+
+        Accepts a :class:`Budget` (a fresh governor is started now), an
+        already-running :class:`Governor` (shared deadlines across
+        phases), or ``None`` — which yields a governor only when a
+        cancellation token was given.
+        """
+        if isinstance(budget, Governor):
+            return budget
+        if budget is None and cancellation is None:
+            return None
+        return Governor(budget, cancellation)
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return self._clock() - self.started_at
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (``None`` without a timeout)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self._clock()
+
+    def _trip(self, cls, phase: str, limit: str, message: str) -> None:
+        exc = cls(message, phase=phase, limit=limit)
+        self.tripped = exc
+        raise exc
+
+    def _check_clock_and_token(self, phase: str) -> None:
+        if self.token is not None and self.token.cancelled:
+            self._trip(Cancelled, phase, "cancelled", f"{phase} was cancelled")
+        if self.deadline is not None and self._clock() > self.deadline:
+            self._trip(
+                BudgetExceededError,
+                phase,
+                "timeout",
+                f"{phase} exceeded the {self.budget.timeout}s deadline",
+            )
+
+    def check(self, phase: str, stats: "EvaluationStats | None" = None) -> None:
+        """Full checkpoint: cancellation, deadline and stats limits.
+
+        Called at round boundaries (per SCC, per semi-naive iteration,
+        per rule execution) with the evaluation's live stats.
+        """
+        if not self.active:
+            return
+        self._check_clock_and_token(phase)
+        budget = self.budget
+        if stats is None:
+            return
+        if (
+            budget.max_iterations is not None
+            and stats.iterations > budget.max_iterations
+        ):
+            self._trip(
+                BudgetExceededError,
+                phase,
+                "max_iterations",
+                f"{phase} exceeded the {budget.max_iterations}-iteration budget",
+            )
+        if budget.max_facts is not None and stats.facts_derived > budget.max_facts:
+            self._trip(
+                BudgetExceededError,
+                phase,
+                "max_facts",
+                f"{phase} derived more than {budget.max_facts} facts",
+            )
+        if (
+            budget.max_rows_scanned is not None
+            and stats.rows_scanned > budget.max_rows_scanned
+        ):
+            self._trip(
+                BudgetExceededError,
+                phase,
+                "max_rows_scanned",
+                f"{phase} scanned more than {budget.max_rows_scanned} rows",
+            )
+
+    def tick(self, phase: str) -> None:
+        """Strided checkpoint for tight loops: clock and token only.
+
+        Touches the clock once per ``stride`` calls, so it is safe to
+        call per emitted row or per symbolic combination.
+        """
+        if not self.active:
+            return
+        self._ticks += 1
+        if self._ticks % self._stride:
+            return
+        self._check_clock_and_token(phase)
+
+    def expand(self, phase: str) -> None:
+        """Count one symbolic expansion and enforce ``max_expansions``."""
+        if not self.active:
+            return
+        self.expansions += 1
+        limit = self.budget.max_expansions
+        if limit is not None and self.expansions > limit:
+            self._trip(
+                BudgetExceededError,
+                phase,
+                "max_expansions",
+                f"{phase} exceeded the {limit}-expansion budget",
+            )
+        self.tick(phase)

@@ -24,6 +24,77 @@ class TestMaxIterations:
         db = Database.from_rows({"e": [(i, i + 1) for i in range(10)]})
         assert len(evaluate(program, db).rows("t")) == 55
 
+    @pytest.mark.parametrize("engine", ["slots", "interpreted"])
+    def test_exact_boundary_round_reaches_the_fixpoint(self, engine):
+        # The bound is on *completed* rounds: a fixpoint that needs
+        # exactly N rounds is reached under max_iterations=N, and only
+        # N-1 truncates it.
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+        )
+        db = Database.from_rows({"e": [(i, i + 1) for i in range(10)]})
+        full = evaluate(program, db, engine=engine)
+        # The last semi-naive round only confirms the empty delta, so
+        # the last *productive* round is rounds - 1.
+        productive = full.stats.iterations - 1
+        assert productive > 1
+        at_boundary = evaluate(program, db, engine=engine, max_iterations=productive)
+        assert at_boundary.rows("t") == full.rows("t")
+        truncated = evaluate(
+            program, db, engine=engine, max_iterations=productive - 1
+        )
+        assert truncated.rows("t") < full.rows("t")
+
+    @pytest.mark.parametrize("engine", ["slots", "interpreted"])
+    def test_bound_resets_per_scc(self, engine):
+        # Two independent recursive SCCs, each needing R rounds.  The
+        # legacy bound is per-SCC, so max_iterations=R still reaches the
+        # full fixpoint even though 2R rounds ran in total — unlike the
+        # governed Budget.max_iterations, which bounds the total.
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).
+            u(X, Y) :- f(X, Y). u(X, Y) :- f(X, Z), u(Z, Y).
+            """,
+            query="t",
+        )
+        rows = [(i, i + 1) for i in range(10)]
+        db = Database.from_rows({"e": rows, "f": rows})
+        full = evaluate(program, db, engine=engine)
+        per_scc = full.stats.iterations // 2
+        assert full.stats.iterations == 2 * per_scc  # symmetric SCCs
+        bounded = evaluate(program, db, engine=engine, max_iterations=per_scc)
+        assert bounded.rows("t") == full.rows("t")
+        assert bounded.rows("u") == full.rows("u")
+
+    def test_governed_budget_bounds_total_rounds_instead(self):
+        from repro.robustness import Budget, BudgetExceededError
+
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).
+            u(X, Y) :- f(X, Y). u(X, Y) :- f(X, Z), u(Z, Y).
+            """,
+            query="t",
+        )
+        rows = [(i, i + 1) for i in range(10)]
+        db = Database.from_rows({"e": rows, "f": rows})
+        per_scc = evaluate(program, db).stats.iterations // 2
+        with pytest.raises(BudgetExceededError):
+            evaluate(program, db, budget=Budget(max_iterations=per_scc))
+
+    def test_truncation_is_silent_and_partial_is_monotone(self):
+        # The legacy keyword never raises; deeper bounds only add facts.
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+        )
+        db = Database.from_rows({"e": [(i, i + 1) for i in range(10)]})
+        previous = frozenset()
+        for bound in (1, 2, 3, 4):
+            rows = evaluate(program, db, max_iterations=bound).rows("t")
+            assert previous <= rows
+            previous = rows
+
 
 class TestDuplicateBodyItems:
     def test_repeated_literal_harmless(self):

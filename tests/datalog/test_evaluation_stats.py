@@ -31,6 +31,8 @@ def test_as_dict_covers_every_counter_including_iterations():
         "iterations": 3,
         "index_builds": 2,
         "env_allocations": 6,
+        "budget_trips": 0,
+        "wall_time_seconds": 0.0,
         "rows_scanned_by_rule": {"r": 20},
     }
     assert set(payload) == set(EvaluationStats.__dataclass_fields__)
@@ -44,8 +46,19 @@ def test_as_dict_copies_the_per_rule_breakdown():
 
 
 def test_merge_sums_every_counter():
-    left = _stats(rows_scanned_by_rule={"r": 5, "s": 1})
-    left.merge(_stats(iterations=5, rows_scanned_by_rule={"r": 2, "t": 3}))
+    left = _stats(
+        rows_scanned_by_rule={"r": 5, "s": 1},
+        budget_trips=1,
+        wall_time_seconds=0.25,
+    )
+    left.merge(
+        _stats(
+            iterations=5,
+            rows_scanned_by_rule={"r": 2, "t": 3},
+            budget_trips=2,
+            wall_time_seconds=0.5,
+        )
+    )
     assert left.as_dict() == {
         "rule_firings": 8,
         "probes": 20,
@@ -54,12 +67,14 @@ def test_merge_sums_every_counter():
         "iterations": 8,
         "index_builds": 4,
         "env_allocations": 12,
+        "budget_trips": 3,
+        "wall_time_seconds": 0.75,
         "rows_scanned_by_rule": {"r": 7, "s": 1, "t": 3},
     }
 
 
 def test_compare_ratios():
-    baseline = _stats()
+    baseline = _stats(budget_trips=2)
     half = EvaluationStats(
         rule_firings=2,
         probes=5,
@@ -68,14 +83,20 @@ def test_compare_ratios():
         iterations=3,
         index_builds=1,
         env_allocations=3,
+        budget_trips=1,
     )
     ratios = baseline.compare(half)
     assert ratios["probes"] == 0.5
     assert ratios["index_builds"] == 0.5
     assert ratios["env_allocations"] == 0.5
     assert ratios["iterations"] == 1.0
-    # Scalar counters only: the per-rule dict has no meaningful ratio.
-    assert set(ratios) == set(baseline.as_dict()) - {"rows_scanned_by_rule"}
+    assert ratios["budget_trips"] == 0.5
+    # Integer counters only: the per-rule dict has no meaningful ratio,
+    # and wall time is a float too noisy to compare as a work ratio.
+    assert set(ratios) == set(baseline.as_dict()) - {
+        "rows_scanned_by_rule",
+        "wall_time_seconds",
+    }
 
 
 def test_compare_zero_baseline_never_divides_by_zero():
@@ -83,7 +104,13 @@ def test_compare_zero_baseline_never_divides_by_zero():
     other = _stats()
     ratios = empty.compare(other)
     # 0/0 -> 1.0 (no change), n/0 -> inf, and never an exception.
-    assert all(math.isinf(value) for value in ratios.values())
+    # budget_trips is zero on both sides here, so its ratio is 1.0.
+    assert ratios["budget_trips"] == 1.0
+    assert all(
+        math.isinf(value)
+        for key, value in ratios.items()
+        if key != "budget_trips"
+    )
     assert empty.compare(EvaluationStats()) == {
         "rule_firings": 1.0,
         "probes": 1.0,
@@ -92,6 +119,7 @@ def test_compare_zero_baseline_never_divides_by_zero():
         "iterations": 1.0,
         "index_builds": 1.0,
         "env_allocations": 1.0,
+        "budget_trips": 1.0,
     }
 
 
@@ -102,3 +130,17 @@ def test_compare_mixed_zero_and_nonzero_counters():
     assert math.isinf(ratios["rule_firings"])
     assert ratios["probes"] == 0.0
     assert ratios["iterations"] == 1.0
+
+
+def test_wall_time_is_populated_by_evaluate():
+    from repro.datalog.database import Database
+    from repro.datalog.evaluation import evaluate
+    from repro.datalog.parser import parse_program
+
+    program = parse_program(
+        "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+    )
+    database = Database.from_rows({"e": [(1, 2), (2, 3)]})
+    result = evaluate(program, database)
+    assert result.stats.wall_time_seconds > 0.0
+    assert result.stats.budget_trips == 0

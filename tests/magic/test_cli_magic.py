@@ -54,9 +54,9 @@ class TestMagicCommand:
         ]) == 0
         assert "m_p__bf(1)" in capsys.readouterr().out
 
-    def test_bad_goal_exits(self, files):
-        with pytest.raises(SystemExit, match="cannot parse --goal"):
-            main(["magic", files["program.dl"], "--goal", "p(1,"])
+    def test_bad_goal_exits(self, files, capsys):
+        assert main(["magic", files["program.dl"], "--goal", "p(1,"]) == 2
+        assert "cannot parse --goal" in capsys.readouterr().err
 
 
 class TestPipelineCommand:

@@ -116,6 +116,6 @@ def test_report_regenerate_and_check_cycle(tmp_path, capsys):
     assert output.read_text(encoding="utf-8").endswith("drift\n")
 
 
-def test_report_requires_regenerate_flag():
-    with pytest.raises(SystemExit):
-        main(["report"])
+def test_report_requires_regenerate_flag(capsys):
+    assert main(["report"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""The CLI's budget flags and its exit-code contract.
+
+Exit codes: 0 success, 1 budget exceeded (partial results were printed
+to stderr as diagnostics), 2 usage/input error.  A tripped budget must
+never escape as a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+"""
+
+CONSTRAINTS = ":- e(X, Y), Y <= X."
+
+
+def _facts(n=40):
+    return "\n".join(f"e({i}, {i + 1})." for i in range(n)) + "\n"
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    for name, content in {
+        "program.dl": PROGRAM,
+        "ics.dl": CONSTRAINTS,
+        "facts.dl": _facts(),
+    }.items():
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+class TestRunExitCodes:
+    def test_unbudgeted_run_exits_zero(self, files, capsys):
+        code = main(
+            ["run", files["program.dl"], "--query", "p", "--data", files["facts.dl"]]
+        )
+        assert code == 0
+        assert "answers" in capsys.readouterr().out
+
+    def test_generous_budget_exits_zero(self, files):
+        assert main([
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+            "--timeout", "60", "--max-facts", "1000000",
+        ]) == 0
+
+    def test_tiny_timeout_exits_one_with_partial_diagnostics(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+            "--timeout", "0.000001",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "aborted:" in captured.err
+        assert "partial results:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_tiny_fact_budget_exits_one(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+            "--max-facts", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "max_facts" in captured.err or "facts" in captured.err
+
+    def test_tiny_iteration_budget_exits_one(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+            "--max-iterations", "1",
+        ])
+        assert code == 1
+        assert "partial" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope.dl"), "--query", "p"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_query_exits_two(self, files, capsys):
+        code = main(["run", files["program.dl"], "--data", files["facts.dl"]])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPipelineBudget:
+    def test_pipeline_with_tiny_timeout_degrades_but_succeeds(self, files, capsys):
+        # Stage skipping is graceful degradation, not failure: with no
+        # evaluation requested the command still exits 0 and reports
+        # the fallbacks in its summary.
+        code = main([
+            "pipeline", files["program.dl"], "--constraints", files["ics.dl"],
+            "--goal", "p(0, Y)", "--timeout", "0.000001",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fallback:" in out
+
+    def test_magic_with_generous_budget_matches_unbudgeted(self, files, capsys):
+        assert main([
+            "magic", files["program.dl"], "--goal", "p(0, Y)",
+        ]) == 0
+        unbudgeted = capsys.readouterr().out
+        assert main([
+            "magic", files["program.dl"], "--goal", "p(0, Y)", "--timeout", "60",
+        ]) == 0
+        assert capsys.readouterr().out == unbudgeted
+
+
+class TestBenchBudget:
+    def test_quick_bench_with_tiny_timeout_exits_one(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--timeout", "0.0001", "--json", "--output", str(out),
+        ])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["budget_exceeded"] is True
+        # A partial bench is not a fixpoint mismatch.
+        assert payload["ok"] is True
+        rendered = capsys.readouterr().out
+        assert "BUDGET EXCEEDED" in rendered
+
+    def test_quick_bench_unbudgeted_exits_zero(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--quick", "--json", "--output", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["budget_exceeded"] is False
+        assert payload["ok"] is True

@@ -1,0 +1,123 @@
+"""Property: a budget-tripped evaluation yields a *subset* of the fixpoint.
+
+Bottom-up evaluation only ever adds facts (negation is EDB-only), so a
+run interrupted at any cooperative checkpoint must hold a partial IDB
+contained in the unbounded fixpoint — for every workload, every engine
+and every strategy.  Random workloads from the generator module include
+negated EDB literals and order atoms, so the property is exercised on
+the full program class of the paper.
+"""
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.robustness import (
+    Budget,
+    BudgetExceededError,
+    Cancelled,
+    CancellationToken,
+)
+from repro.workloads.generators import random_database, random_program
+
+SEEDS = range(8)
+ENGINES = ("slots", "interpreted")
+
+
+def _workload(seed):
+    program = random_program(seed)
+    database = random_database(seed + 1, nodes=10, edges=30)
+    return program, database
+
+
+def _idb_rows(result):
+    return {
+        predicate: relation.rows() for predicate, relation in result.idb.items()
+    }
+
+
+def _is_subset(partial, full):
+    for predicate, rows in partial.items():
+        if not rows <= full.get(predicate, frozenset()):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tiny_fact_budget_yields_partial_subset_of_fixpoint(seed, engine):
+    program, database = _workload(seed)
+    full = _idb_rows(evaluate(program, database.copy(), engine=engine))
+    total = sum(len(rows) for rows in full.values())
+    if total < 2:
+        pytest.skip("fixpoint too small to interrupt")
+    with pytest.raises(BudgetExceededError) as info:
+        evaluate(program, database.copy(), engine=engine, budget=Budget(max_facts=1))
+    exc = info.value
+    assert exc.phase == "evaluate"
+    assert exc.partial is not None and exc.stats is not None
+    assert exc.stats.budget_trips == 1
+    assert exc.stats.wall_time_seconds > 0.0
+    partial = _idb_rows(exc.partial)
+    assert _is_subset(partial, full)
+    assert sum(len(rows) for rows in partial.values()) < total
+
+
+@pytest.mark.parametrize("strategy", ("seminaive", "naive"))
+def test_both_strategies_honor_the_budget(strategy):
+    program, database = _workload(3)
+    full = _idb_rows(evaluate(program, database.copy(), strategy=strategy))
+    with pytest.raises(BudgetExceededError) as info:
+        evaluate(
+            program,
+            database.copy(),
+            strategy=strategy,
+            budget=Budget(max_facts=1),
+        )
+    assert _is_subset(_idb_rows(info.value.partial), full)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_budget_of_exactly_the_fixpoint_cost_never_trips(engine):
+    # Running again with limits set to the measured fixpoint cost must
+    # reach the same fixpoint without tripping: budgets are strict
+    # bounds, not off-by-one tripwires.
+    program, database = _workload(0)
+    full = evaluate(program, database.copy(), engine=engine)
+    bounded = evaluate(
+        program,
+        database.copy(),
+        engine=engine,
+        budget=Budget(
+            max_iterations=full.stats.iterations,
+            max_facts=full.stats.facts_derived,
+        ),
+    )
+    assert _idb_rows(bounded) == _idb_rows(full)
+    assert bounded.stats.budget_trips == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pre_cancelled_token_aborts_with_empty_or_partial_idb(engine):
+    program, database = _workload(1)
+    full = _idb_rows(evaluate(program, database.copy(), engine=engine))
+    token = CancellationToken()
+    token.cancel()
+    with pytest.raises(Cancelled) as info:
+        evaluate(program, database.copy(), engine=engine, cancellation=token)
+    assert _is_subset(_idb_rows(info.value.partial), full)
+
+
+def test_iteration_budget_partial_matches_silent_truncation_shape():
+    # The governed max_iterations counts *total* rounds; on a single-SCC
+    # program it lines up with the legacy per-SCC bound, so the partial
+    # carried by the exception equals the silently truncated result.
+    program, database = _workload(2)
+    full = evaluate(program, database.copy())
+    if full.stats.iterations < 2:
+        pytest.skip("need a multi-round fixpoint")
+    budget = full.stats.iterations - 1
+    with pytest.raises(BudgetExceededError) as info:
+        evaluate(program, database.copy(), budget=Budget(max_iterations=budget))
+    partial = _idb_rows(info.value.partial)
+    assert _is_subset(partial, _idb_rows(full))
+    assert info.value.limit == "max_iterations"

@@ -87,6 +87,6 @@ class TestCli:
         assert "bench_taint" in payload["workloads"]
         assert "results written to" in capsys.readouterr().out
 
-    def test_bench_rejects_unknown_workloads(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["bench", "--quick", "--workloads", "nope"])
+    def test_bench_rejects_unknown_workloads(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--workloads", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err

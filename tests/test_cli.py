@@ -61,9 +61,10 @@ class TestOptimize:
         ]) == 0
         assert "unsatisfiable" in capsys.readouterr().out
 
-    def test_query_required(self, files):
-        with pytest.raises(SystemExit):
-            main(["optimize", files["program.dl"], "--constraints", files["ics.dl"]])
+    def test_query_required(self, files, capsys):
+        code = main(["optimize", files["program.dl"], "--constraints", files["ics.dl"]])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestRun:
