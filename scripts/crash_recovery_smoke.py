@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Crash-recovery smoke test for CI.
+
+Runs the ``bench_scaling`` workload as a durable session
+(``checkpoint_every=1``), SIGKILLs the process mid-fixpoint, resumes
+from the surviving checkpoints, and verifies the resumed fixpoint
+digest against the committed ``BENCH_results.json`` baseline.  Exits
+non-zero on any deviation: no checkpoints written, the kill landing
+after completion, a resume that recomputes from scratch, or a digest
+mismatch.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/crash_recovery_smoke.py
+
+The script spawns *itself* with ``--child`` for the victim process so
+the workload needs no on-disk serialization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import build_workloads  # noqa: E402
+from repro.persist import CheckpointStore, Session, fixpoint_digest  # noqa: E402
+
+WORKLOAD = "bench_scaling"
+ENGINE_KEY = "slots-cost"
+# Pace the child's rounds so the kill reliably lands mid-fixpoint.
+CHILD_THROTTLE = 0.2
+
+
+def _unit():
+    (unit,) = build_workloads(quick=False)[WORKLOAD]
+    return unit
+
+
+def _run_child(checkpoint_dir: str) -> int:
+    unit = _unit()
+    Session(
+        unit.program,
+        unit.make_database(),
+        store=CheckpointStore(checkpoint_dir),
+        checkpoint_every=1,
+        throttle=CHILD_THROTTLE,
+    ).run()
+    return 0
+
+
+def _wait_for_checkpoints(directory: Path, minimum: int, timeout: float) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        count = len(list(directory.glob("ckpt-*.json")))
+        if count >= minimum:
+            return count
+        time.sleep(0.02)
+    return len(list(directory.glob("ckpt-*.json")))
+
+
+def _baseline_digest() -> str:
+    payload = json.loads((REPO_ROOT / "BENCH_results.json").read_text())
+    return payload["workloads"][WORKLOAD]["engines"][ENGINE_KEY]["fixpoint_sha256"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", metavar="DIR", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory (default: a fresh temporary directory)",
+    )
+    args = parser.parse_args()
+    if args.child:
+        return _run_child(args.child)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_dir = Path(args.checkpoint_dir or tmp)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+        )
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child", str(ckpt_dir)],
+            env=env,
+        )
+        try:
+            count = _wait_for_checkpoints(ckpt_dir, minimum=2, timeout=60.0)
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=60)
+        print(f"killed session pid {child.pid} after {count} checkpoint(s)")
+        if count < 2:
+            print("FAIL: no mid-fixpoint checkpoints were written", file=sys.stderr)
+            return 1
+        if child.returncode != -signal.SIGKILL:
+            print(
+                f"FAIL: child exited with {child.returncode} before the kill",
+                file=sys.stderr,
+            )
+            return 1
+
+        interrupted = CheckpointStore(ckpt_dir).latest()
+        if interrupted is None or interrupted.complete:
+            print("FAIL: kill landed after the fixpoint completed", file=sys.stderr)
+            return 1
+        print(
+            f"latest surviving checkpoint: seq {interrupted.seq}, "
+            f"iteration {interrupted.snapshot.iteration} (incomplete)"
+        )
+
+        unit = _unit()
+        outcome = Session(
+            unit.program,
+            unit.make_database(),
+            store=CheckpointStore(ckpt_dir),
+            checkpoint_every=1,
+        ).resume()
+        if outcome.mode != "resumed":
+            print(f"FAIL: expected a resume, got mode {outcome.mode!r}", file=sys.stderr)
+            return 1
+        print(f"resumed from checkpoint seq {outcome.resumed_seq}")
+
+        digest = fixpoint_digest([(unit.label, outcome.result.idb)])
+        baseline = _baseline_digest()
+        if digest != baseline:
+            print(
+                "FAIL: resumed fixpoint digest diverged from the committed "
+                f"baseline\n  resumed:  {digest}\n  baseline: {baseline}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"resumed fixpoint digest matches baseline: {digest}")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

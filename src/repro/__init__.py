@@ -28,6 +28,16 @@ from .magic import (
     magic_transform,
     run_pipeline,
 )
+from .persist import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointStore,
+    FlakyStore,
+    RetryPolicy,
+    Session,
+    SessionResult,
+)
 from .robustness import (
     Budget,
     BudgetExceededError,
@@ -72,6 +82,14 @@ __all__ = [
     "check_equivalence",
     "magic_transform",
     "run_pipeline",
+    "Checkpoint",
+    "CheckpointCorrupt",
+    "CheckpointError",
+    "CheckpointStore",
+    "FlakyStore",
+    "RetryPolicy",
+    "Session",
+    "SessionResult",
     "Budget",
     "BudgetExceededError",
     "Cancelled",

@@ -285,6 +285,85 @@ def _run_engine(
     return best, stats, digest, tripped
 
 
+def _run_checkpoint_overhead(
+    units: Sequence[BenchUnit],
+    repeat: int,
+    governor: Governor | None = None,
+) -> dict:
+    """Time the same workload at ``checkpoint_every`` 0 / 1 / 10.
+
+    ``0`` is plain in-memory evaluation (no store at all); ``1`` and
+    ``10`` run through a :class:`~repro.persist.session.Session` with a
+    real on-disk :class:`~repro.persist.store.CheckpointStore` in a
+    temporary directory, so the measured overhead includes JSON
+    encoding, hashing and the fsync-rename dance.  All three must
+    produce the same fixpoint digest — persistence may cost time, never
+    answers.
+    """
+    import tempfile
+
+    from .persist import CheckpointStore, Session
+
+    overhead: dict = {"every": {}}
+    for every in (0, 1, 10):
+        best = float("inf")
+        checkpoints = 0
+        digest = ""
+        tripped = False
+        for attempt in range(repeat):
+            with tempfile.TemporaryDirectory() as tmp:
+                databases = [unit.make_database() for unit in units]
+                results = []
+                written = 0
+                start = time.perf_counter()
+                for unit, database in zip(units, databases):
+                    try:
+                        if every == 0:
+                            results.append(evaluate(unit.program, database, budget=governor))
+                        else:
+                            outcome = Session(
+                                unit.program,
+                                database,
+                                store=CheckpointStore(tmp),
+                                checkpoint_every=every,
+                                budget=governor,
+                            ).run()
+                            written += outcome.checkpoints_written
+                            results.append(outcome.result)
+                    except BudgetExceededError as exc:
+                        tripped = True
+                        if exc.partial is not None:
+                            results.append(exc.partial)
+                elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            if attempt == 0:
+                checkpoints = written
+                digest = _fixpoint_digest(
+                    (unit.label, result.idb)
+                    for unit, result in zip(units, results)
+                )
+            if tripped:
+                break
+        overhead["every"][str(every)] = {
+            "time_s": best,
+            "checkpoints": checkpoints,
+            "fixpoint_sha256": digest,
+            "budget_exceeded": tripped,
+        }
+    base = overhead["every"]["0"]
+    overhead["fixpoints_match"] = (
+        None
+        if any(entry["budget_exceeded"] for entry in overhead["every"].values())
+        else len({entry["fixpoint_sha256"] for entry in overhead["every"].values()}) == 1
+    )
+    overhead["overhead_vs_memory"] = {
+        key: (entry["time_s"] / base["time_s"] if base["time_s"] > 0 else float("inf"))
+        for key, entry in overhead["every"].items()
+        if key != "0"
+    }
+    return overhead
+
+
 def run_bench(
     *,
     workloads: Sequence[str] | None = None,
@@ -365,6 +444,17 @@ def run_bench(
                 other["stats"]["rows_scanned"] - base["stats"]["rows_scanned"]
             )
         payload["workloads"][name] = entry
+    if "bench_scaling" in suite:
+        payload["checkpoint_overhead"] = dict(
+            _run_checkpoint_overhead(suite["bench_scaling"], repeat, governor),
+            workload="bench_scaling",
+            engine="slots-cost",
+        )
+        overhead = payload["checkpoint_overhead"]
+        if overhead["fixpoints_match"] is False:
+            payload["ok"] = False
+        if any(e["budget_exceeded"] for e in overhead["every"].values()):
+            payload["budget_exceeded"] = True
     return payload
 
 
@@ -396,6 +486,23 @@ def render_results(payload: Mapping) -> str:
             lines.append(
                 f"{'':<18} fixpoints {'match' if entry['fixpoints_match'] else 'DIFFER'}"
             )
+    overhead = payload.get("checkpoint_overhead")
+    if overhead:
+        lines.append("")
+        lines.append(
+            f"checkpoint overhead ({overhead['workload']}, {overhead['engine']}):"
+        )
+        base_time = overhead["every"]["0"]["time_s"]
+        for key in sorted(overhead["every"], key=int):
+            entry = overhead["every"][key]
+            ratio = entry["time_s"] / base_time if base_time > 0 else float("inf")
+            label = "in-memory" if key == "0" else f"every {key}"
+            lines.append(
+                f"  {label:<10} {entry['time_s'] * 1000:9.2f} ms "
+                f"({ratio:5.2f}x, {entry['checkpoints']} checkpoints)"
+            )
+        if overhead["fixpoints_match"] is False:
+            lines.append("  CHECKPOINT FIXPOINT MISMATCH — persistence changed answers")
     lines.append("")
     if not payload["ok"]:
         lines.append("FIXPOINT MISMATCH — engines disagree")

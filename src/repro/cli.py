@@ -7,6 +7,7 @@ Commands
 ``run``          evaluate a program (optionally optimized) over facts
 ``magic``        magic-sets transformation for a bound query atom
 ``pipeline``     chain the semantic rewrite and magic sets (either order)
+``session``      durable evaluation: run / resume / ingest / inspect
 ``trace``        print the structured trace of a rewrite + evaluation
 ``profile``      per-rule / per-predicate hot-path breakdown
 ``bench``        engine benchmark suite (writes BENCH_results.json)
@@ -33,6 +34,14 @@ Examples::
     python -m repro magic program.dl --goal 'p(1, Y)' --data facts.dl --compare
     python -m repro pipeline program.dl --constraints ics.dl --goal 'p(1, Y)' \
         --order magic-first --data facts.dl --compare --trace
+    python -m repro session run program.dl --query p --data facts.dl \
+        --checkpoint-dir ./ckpts --checkpoint-every 1
+    python -m repro session resume program.dl --query p --data facts.dl \
+        --checkpoint-dir ./ckpts
+    python -m repro session ingest program.dl --query p --data facts.dl \
+        --facts new_facts.dl --checkpoint-dir ./ckpts
+    python -m repro session inspect program.dl --query p --data facts.dl \
+        --checkpoint-dir ./ckpts
     python -m repro trace examples/good_path.dl --query goodPath \
         --constraints examples/good_path_ics.dl
     python -m repro profile examples/good_path.dl --query goodPath --top 5
@@ -79,6 +88,7 @@ from .observability import (
     trace_summary,
     tracing,
 )
+from .persist import CheckpointStore, Session
 from .robustness import Budget, EvaluationAborted, Governor, ReproError
 
 __all__ = ["main"]
@@ -295,6 +305,77 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         return 0
 
     return _with_optional_trace(args, body)
+
+
+def _session_from(args: argparse.Namespace) -> Session:
+    program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
+    if program.query is None:
+        raise UsageError("--query is required for this command")
+    database = _database_from(args, inline_facts)
+    return Session(
+        program,
+        database,
+        store=CheckpointStore(args.checkpoint_dir),
+        checkpoint_every=args.checkpoint_every,
+        strategy=args.strategy,
+        engine=args.engine,
+        plan_order=args.plan_order,
+        budget=_budget_from(args),
+        throttle=args.throttle,
+    )
+
+
+def _print_session_outcome(session: Session, outcome) -> None:
+    result = outcome.result
+    program = result.program
+    for step in outcome.fallback_chain:
+        print(f"fallback: {step.describe()}")
+    detail = "" if outcome.resumed_seq is None else f" from checkpoint {outcome.resumed_seq}"
+    print(f"mode: {outcome.mode}{detail}")
+    print(f"checkpoints written: {outcome.checkpoints_written}")
+    rows = result.query_rows()
+    print(f"answers ({len(rows)}):")
+    for row in sorted(rows, key=repr):
+        print(f"  {program.query}{row!r}")
+    print(
+        f"work (cumulative): {result.stats.iterations} iterations, "
+        f"{result.stats.rows_scanned} rows scanned, "
+        f"{result.stats.facts_derived} facts derived"
+    )
+
+
+def _cmd_session_run(args: argparse.Namespace) -> int:
+    session = _session_from(args)
+    _print_session_outcome(session, session.run())
+    return 0
+
+
+def _cmd_session_resume(args: argparse.Namespace) -> int:
+    session = _session_from(args)
+    _print_session_outcome(session, session.resume())
+    return 0
+
+
+def _cmd_session_ingest(args: argparse.Namespace) -> int:
+    session = _session_from(args)
+    facts = parse_facts(_read(args.facts))
+    if not facts:
+        raise UsageError(f"--facts file {args.facts} holds no ground facts")
+    outcome = session.ingest(facts)
+    _print_session_outcome(session, outcome)
+    print(
+        "note: resumes must now see the ingested facts too "
+        "(append them to the --data file)"
+    )
+    return 0
+
+
+def _cmd_session_inspect(args: argparse.Namespace) -> int:
+    import json as _json
+
+    session = _session_from(args)
+    print(_json.dumps(session.inspect(), indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -536,6 +617,55 @@ def build_parser() -> argparse.ArgumentParser:
     trace_flag(cmd)
     budget_flags(cmd)
     cmd.set_defaults(func=_cmd_pipeline)
+
+    session = sub.add_parser(
+        "session", help="durable evaluation sessions: run / resume / ingest / inspect"
+    )
+    session_sub = session.add_subparsers(dest="session_command", required=True)
+
+    def session_command(name: str, help_text: str, func):
+        cmd = session_sub.add_parser(name, help=help_text)
+        cmd.add_argument("program", help="program file (Datalog rules, inline facts allowed)")
+        cmd.add_argument("--query", help="query predicate name")
+        cmd.add_argument("--data", help="fact file (inline program facts also count)")
+        cmd.add_argument(
+            "--checkpoint-dir", required=True, metavar="DIR",
+            help="checkpoint directory (created if missing)",
+        )
+        cmd.add_argument(
+            "--checkpoint-every", type=int, default=1, metavar="N",
+            help="checkpoint after every N semi-naive rounds (default 1; "
+            "0 = only the final complete checkpoint)",
+        )
+        cmd.add_argument(
+            "--strategy", default="seminaive", choices=("seminaive", "naive"),
+            help="evaluation strategy (checkpoints are strategy-bound)",
+        )
+        cmd.add_argument(
+            "--throttle", type=float, default=0.0, metavar="SECONDS",
+            help="sleep after each checkpoint save (crash-test pacing)",
+        )
+        engine_flags(cmd)
+        budget_flags(cmd)
+        cmd.set_defaults(func=func)
+        return cmd
+
+    session_command(
+        "run", "evaluate with periodic checkpoints", _cmd_session_run
+    )
+    session_command(
+        "resume", "restart from the newest valid checkpoint", _cmd_session_resume
+    )
+    cmd = session_command(
+        "ingest", "add EDB facts and re-derive incrementally", _cmd_session_ingest
+    )
+    cmd.add_argument(
+        "--facts", required=True, metavar="FILE",
+        help="file of new ground facts to ingest",
+    )
+    session_command(
+        "inspect", "summarize the checkpoint store as JSON", _cmd_session_inspect
+    )
 
     cmd = program_command("trace", "print the structured trace of a rewrite + evaluation")
     cmd.add_argument("--data", help="fact file (inline program facts also count)")

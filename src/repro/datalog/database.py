@@ -102,6 +102,15 @@ class Relation:
         membership tests."""
         return self._rows
 
+    def to_rows(self) -> list[Row]:
+        """The rows as a deterministically ordered list (sorted by repr).
+
+        The serialization counterpart of :meth:`rows`: JSON-ready (rows
+        stay tuples; callers listify) and stable across runs, so
+        serialized relations diff and digest cleanly.
+        """
+        return sorted(self._rows, key=repr)
+
     def copy(self) -> "Relation":
         return Relation(self.arity, self._rows)
 
@@ -169,6 +178,38 @@ class Database:
 
     def size(self) -> int:
         return sum(len(rel) for rel in self._relations.values())
+
+    def to_dict(self) -> dict[str, dict[str, object]]:
+        """A JSON-ready snapshot: predicate -> ``{"arity", "rows"}``.
+
+        Rows become lists (JSON has no tuples); :meth:`from_dict`
+        restores them.  Row values must be JSON scalars (ints, strings,
+        floats, bools, ``None``) for the round trip to be lossless —
+        which is what every parser-produced fact contains.
+        """
+        return {
+            predicate: {
+                "arity": relation.arity,
+                "rows": [list(row) for row in relation.to_rows()],
+            }
+            for predicate, relation in sorted(self._relations.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, object]]) -> "Database":
+        """Rebuild a database from a :meth:`to_dict` snapshot.
+
+        Arity is honored even for empty relations, so an empty relation
+        survives the round trip instead of degenerating to "unknown
+        predicate".
+        """
+        db = cls()
+        for predicate, entry in payload.items():
+            relation = Relation(int(entry["arity"]))  # type: ignore[call-overload]
+            for row in entry["rows"]:  # type: ignore[union-attr]
+                relation.add(tuple(row))
+            db._relations[predicate] = relation
+        return db
 
     def copy(self) -> "Database":
         db = Database()

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..observability.trace import Tracer, get_tracer
 from ..robustness.budget import Budget, CancellationToken, Governor
@@ -65,6 +65,7 @@ __all__ = [
     "PLAN_ORDERS",
     "EvaluationStats",
     "EvaluationResult",
+    "EvaluationSnapshot",
     "DerivationNode",
     "evaluate",
     "evaluate_query",
@@ -100,16 +101,19 @@ class EvaluationStats:
     rows_scanned_by_rule: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "EvaluationStats") -> None:
-        self.rule_firings += other.rule_firings
-        self.probes += other.probes
-        self.rows_scanned += other.rows_scanned
-        self.facts_derived += other.facts_derived
-        self.iterations += other.iterations
-        self.index_builds += other.index_builds
-        self.env_allocations += other.env_allocations
-        self.budget_trips += other.budget_trips
-        self.wall_time_seconds += other.wall_time_seconds
-        for key, value in other.rows_scanned_by_rule.items():
+        # getattr with a default, not attribute access: ``other`` may be
+        # a stats object deserialized from an older checkpoint that
+        # predates newer counters (see :meth:`from_dict`).
+        self.rule_firings += getattr(other, "rule_firings", 0)
+        self.probes += getattr(other, "probes", 0)
+        self.rows_scanned += getattr(other, "rows_scanned", 0)
+        self.facts_derived += getattr(other, "facts_derived", 0)
+        self.iterations += getattr(other, "iterations", 0)
+        self.index_builds += getattr(other, "index_builds", 0)
+        self.env_allocations += getattr(other, "env_allocations", 0)
+        self.budget_trips += getattr(other, "budget_trips", 0)
+        self.wall_time_seconds += getattr(other, "wall_time_seconds", 0.0)
+        for key, value in getattr(other, "rows_scanned_by_rule", {}).items():
             self.rows_scanned_by_rule[key] = self.rows_scanned_by_rule.get(key, 0) + value
 
     def as_dict(self) -> dict[str, object]:
@@ -127,6 +131,41 @@ class EvaluationStats:
             "rows_scanned_by_rule": dict(self.rows_scanned_by_rule),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EvaluationStats":
+        """Rebuild stats from an :meth:`as_dict` payload, tolerantly.
+
+        Checkpoints written by older versions predate newer counters
+        (``budget_trips`` and ``wall_time_seconds`` arrived in PR 4, for
+        instance): missing fields default to zero instead of raising
+        ``KeyError``, and unknown fields written by *newer* versions are
+        ignored, so stats survive both directions of a version skew.
+        """
+        stats = cls()
+        for key in (
+            "rule_firings",
+            "probes",
+            "rows_scanned",
+            "facts_derived",
+            "iterations",
+            "index_builds",
+            "env_allocations",
+            "budget_trips",
+        ):
+            setattr(stats, key, int(payload.get(key, 0)))  # type: ignore[call-overload]
+        stats.wall_time_seconds = float(payload.get("wall_time_seconds", 0.0))  # type: ignore[arg-type]
+        by_rule = payload.get("rows_scanned_by_rule", {})
+        stats.rows_scanned_by_rule = {
+            str(rule): int(count) for rule, count in by_rule.items()  # type: ignore[union-attr]
+        }
+        return stats
+
+    def copy(self) -> "EvaluationStats":
+        """An independent copy (checkpoints must not alias live counters)."""
+        fresh = EvaluationStats()
+        fresh.merge(self)
+        return fresh
+
     def compare(self, other: "EvaluationStats") -> dict[str, float]:
         """Per-scalar-counter ratios ``other / self`` (1.0 when both are zero).
 
@@ -143,7 +182,9 @@ class EvaluationStats:
         for key, value in mine.items():
             if not isinstance(value, int):
                 continue
-            other_value = theirs[key]
+            # .get, not [] — ``other`` may have been loaded from an older
+            # checkpoint whose as_dict lacked newer counters.
+            other_value = theirs.get(key, 0)
             if value == 0:
                 ratios[key] = 1.0 if other_value == 0 else float("inf")
             else:
@@ -182,6 +223,60 @@ class EvaluationResult:
         if self.program.query is None:
             raise ValueError("program has no query predicate")
         return self.rows(self.program.query)
+
+
+@dataclass(frozen=True)
+class EvaluationSnapshot:
+    """A resumable point-in-time capture of one evaluation.
+
+    Emitted by :func:`evaluate` through its ``checkpoint_sink`` at
+    semi-naive round boundaries, and accepted back via ``resume_from``
+    to restart the fixpoint from the saved frontier instead of from
+    scratch.  The snapshot is deliberately **engine-agnostic** — it
+    captures only rows, the SCC/iteration cursor and cumulative stats,
+    never compiled plans or indexes — so a snapshot taken under the
+    compiled slot engine resumes correctly under the interpreter (and
+    vice versa).  It is also plain data: the persistence layer
+    (:mod:`repro.persist`) serializes it to the on-disk checkpoint
+    format without reaching into engine internals.
+
+    ``completed_sccs`` counts the SCCs (in the deterministic Tarjan
+    topological order of :func:`_sccs`) whose fixpoints are fully
+    contained in ``idb``; ``scc_index``/``iteration`` locate the
+    in-progress SCC and the rounds already run inside it; ``delta`` is
+    the semi-naive frontier feeding its next round (``None`` for naive
+    snapshots and for completed evaluations).  ``stats`` are cumulative
+    from the very first run, so resumed statistics stay monotone.
+    """
+
+    strategy: str
+    completed_sccs: int
+    scc_index: int | None
+    iteration: int
+    idb: Mapping[str, frozenset]
+    delta: Mapping[str, frozenset] | None
+    stats: EvaluationStats
+    complete: bool = False
+
+
+def _check_resume(
+    resume_from: "EvaluationSnapshot | None", strategy: str, provenance: bool
+) -> None:
+    if resume_from is None:
+        return
+    if provenance:
+        raise ValueError(
+            "provenance=True cannot resume from a snapshot: provenance "
+            "for pre-checkpoint facts was not captured"
+        )
+    if resume_from.strategy != strategy:
+        # A naive snapshot has no frontier, so semi-naive resumption
+        # would treat its facts as exhausted deltas and under-derive;
+        # refuse both directions rather than silently recompute.
+        raise ValueError(
+            f"snapshot was taken under strategy {resume_from.strategy!r}; "
+            f"cannot resume with strategy {strategy!r}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -488,6 +583,9 @@ def evaluate(
     plan_order: str = "cost",
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink: "Callable[[EvaluationSnapshot], None] | None" = None,
+    resume_from: EvaluationSnapshot | None = None,
 ) -> EvaluationResult:
     """Evaluate ``program`` bottom-up over ``database``.
 
@@ -526,11 +624,24 @@ def evaluate(
     fixpoint computed so far in ``exc.partial``.  Because negation is
     restricted to EDB predicates the program is monotone in its IDB, so
     the partial fixpoint is always a subset of the full one.
+
+    ``checkpoint_every`` + ``checkpoint_sink`` make the run durable:
+    after every ``checkpoint_every``-th semi-naive round (counted
+    cumulatively in ``stats.iterations``) the sink receives an
+    :class:`EvaluationSnapshot` of the IDB, the delta frontier and the
+    SCC/iteration cursor; a final ``complete=True`` snapshot is always
+    emitted when a sink is given.  ``resume_from`` restarts evaluation
+    from such a snapshot: completed SCCs are skipped, the in-progress
+    SCC continues from its saved frontier, and statistics continue
+    cumulatively (budget limits therefore account for pre-checkpoint
+    work too).  The snapshot must match ``strategy`` and is
+    engine-independent; ``provenance=True`` cannot resume.
     """
     if tracer is None:
         tracer = get_tracer()
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
+    _check_resume(resume_from, strategy, provenance)
     if strategy == "naive":
         return _evaluate_naive(
             program,
@@ -540,18 +651,52 @@ def evaluate(
             engine=engine,
             plan_order=plan_order,
             budget=governor,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
         )
     if strategy != "seminaive":
         raise ValueError(f"unknown strategy {strategy!r}")
     trace_on = tracer.enabled
     started = time.perf_counter()
     stats = EvaluationStats()
+    base_wall = 0.0
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
     }
+    if resume_from is not None:
+        stats.merge(resume_from.stats)
+        base_wall = stats.wall_time_seconds
+        for pred, rows in resume_from.idb.items():
+            if pred in idb:
+                for row in rows:
+                    idb[pred].add(row)
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
     eng = _make_engine(engine, program, database, idb, plan_order, tracer)
+    checkpointing = checkpoint_sink is not None and checkpoint_every > 0
+
+    def make_snapshot(
+        completed: int,
+        scc_index: int | None,
+        iteration: int,
+        delta: "dict[str, Relation] | None",
+        complete: bool = False,
+    ) -> EvaluationSnapshot:
+        snap_stats = stats.copy()
+        snap_stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+        return EvaluationSnapshot(
+            strategy="seminaive",
+            completed_sccs=completed,
+            scc_index=scc_index,
+            iteration=iteration,
+            idb={pred: rel.rows() for pred, rel in idb.items()},
+            delta=None
+            if delta is None
+            else {pred: rel.rows() for pred, rel in delta.items()},
+            stats=snap_stats,
+            complete=complete,
+        )
 
     def relation_of(predicate: str, arity: int) -> Relation:
         if predicate in idb_preds:
@@ -634,7 +779,15 @@ def evaluate(
             "evaluate", strategy="seminaive", engine=eng.name, rules=len(program.rules)
         ) as root:
             graph = program.dependency_graph()
-            for scc_index, component in enumerate(_sccs(graph)):
+            components = _sccs(graph)
+            for scc_index, component in enumerate(components):
+                if resume_from is not None and scc_index < resume_from.completed_sccs:
+                    continue  # fixpoint already contained in the seeded IDB
+                resuming_here = (
+                    resume_from is not None
+                    and resume_from.scc_index == scc_index
+                    and resume_from.delta is not None
+                )
                 if governor is not None:
                     governor.check("evaluate", stats)
                 members = set(component)
@@ -666,18 +819,33 @@ def evaluate(
                         else:
                             for pos in recursive_positions:
                                 delta_rules.append((rule, pos))
-                    delta: dict[str, Relation] = {
-                        pred: Relation(program.arity_of(pred)) for pred in members
-                    }
-                    for rule in exit_rules:
-                        fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
+                    if resuming_here:
+                        # The snapshot was taken at a round boundary of this
+                        # SCC: its exit rules already fired (their facts are
+                        # in the seeded IDB), so restore the frontier and
+                        # iteration cursor instead of re-deriving round one.
+                        assert resume_from is not None and resume_from.delta is not None
+                        delta = {
+                            pred: Relation(
+                                program.arity_of(pred),
+                                resume_from.delta.get(pred, ()),
+                            )
+                            for pred in members
+                        }
+                        iterations = resume_from.iteration
+                    else:
+                        delta = {
+                            pred: Relation(program.arity_of(pred)) for pred in members
+                        }
+                        for rule in exit_rules:
+                            fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
+                        iterations = 0
                     # Delta plans are compiled after the exit rules fired, so
                     # cost estimates see the exit-layer IDB sizes; each (rule,
                     # delta-position) is compiled exactly once per SCC.
                     delta_joins = [
                         eng.make_plan(rule, pos) for rule, pos in delta_rules
                     ]
-                    iterations = 0
                     while any(len(d) for d in delta.values()):
                         iterations += 1
                         if max_iterations is not None and iterations > max_iterations:
@@ -701,13 +869,23 @@ def evaluate(
                                 continue
                             fire_rule(plan, delta_rel, new_delta, scc_index, iterations)
                         delta = new_delta
+                        if checkpointing and stats.iterations % checkpoint_every == 0:
+                            checkpoint_sink(
+                                make_snapshot(scc_index, scc_index, iterations, delta)
+                            )
+            if checkpoint_sink is not None:
+                checkpoint_sink(
+                    make_snapshot(
+                        len(components), None, stats.iterations, None, complete=True
+                    )
+                )
             if trace_on:
                 root.set(
                     **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
                 )
     except EvaluationAborted as exc:
         stats.budget_trips += 1
-        stats.wall_time_seconds = time.perf_counter() - started
+        stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         if trace_on:
             tracer.event(
                 "budget.trip",
@@ -719,7 +897,7 @@ def evaluate(
         raise exc.with_context(
             phase="evaluate", partial=partial_result(), stats=stats
         ) from None
-    stats.wall_time_seconds = time.perf_counter() - started
+    stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
     return partial_result()
 
 
@@ -733,21 +911,54 @@ def _evaluate_naive(
     plan_order: str = "cost",
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink: "Callable[[EvaluationSnapshot], None] | None" = None,
+    resume_from: EvaluationSnapshot | None = None,
 ) -> EvaluationResult:
-    """Naive bottom-up evaluation: full re-evaluation until fixpoint."""
+    """Naive bottom-up evaluation: full re-evaluation until fixpoint.
+
+    Naive snapshots carry no delta frontier — the whole IDB is the
+    state — so resumption simply re-seeds the relations and keeps
+    iterating; the naive fixpoint loop is idempotent over the seeded
+    facts.
+    """
     if tracer is None:
         tracer = get_tracer()
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
+    _check_resume(resume_from, "naive", provenance)
     trace_on = tracer.enabled
     started = time.perf_counter()
     stats = EvaluationStats()
+    base_wall = 0.0
     idb: dict[str, Relation] = {
         pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
     }
+    if resume_from is not None:
+        stats.merge(resume_from.stats)
+        base_wall = stats.wall_time_seconds
+        for pred, rows in resume_from.idb.items():
+            if pred in idb:
+                for row in rows:
+                    idb[pred].add(row)
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
     eng = _make_engine(engine, program, database, idb, plan_order, tracer)
+    checkpointing = checkpoint_sink is not None and checkpoint_every > 0
+
+    def make_snapshot(complete: bool = False) -> EvaluationSnapshot:
+        snap_stats = stats.copy()
+        snap_stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+        return EvaluationSnapshot(
+            strategy="naive",
+            completed_sccs=0,
+            scc_index=None,
+            iteration=stats.iterations,
+            idb={pred: rel.rows() for pred, rel in idb.items()},
+            delta=None,
+            stats=snap_stats,
+            complete=complete,
+        )
 
     def relation_of(predicate: str, arity: int) -> Relation:
         if predicate in idb_preds:
@@ -825,13 +1036,17 @@ def _evaluate_naive(
                             facts_derived=stats.facts_derived - before[2],
                             index_builds=stats.index_builds - before[4],
                         )
+                if checkpointing and stats.iterations % checkpoint_every == 0:
+                    checkpoint_sink(make_snapshot())
+            if checkpoint_sink is not None:
+                checkpoint_sink(make_snapshot(complete=True))
             if trace_on:
                 root.set(
                     **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
                 )
     except EvaluationAborted as exc:
         stats.budget_trips += 1
-        stats.wall_time_seconds = time.perf_counter() - started
+        stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         if trace_on:
             tracer.event(
                 "budget.trip",
@@ -843,7 +1058,7 @@ def _evaluate_naive(
         raise exc.with_context(
             phase="evaluate", partial=partial_result(), stats=stats
         ) from None
-    stats.wall_time_seconds = time.perf_counter() - started
+    stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
     return partial_result()
 
 

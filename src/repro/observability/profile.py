@@ -79,6 +79,11 @@ class EvaluationProfile:
     index_builds: int = 0
     budget_trips: list[str] = field(default_factory=list)
     fallbacks: list[str] = field(default_factory=list)
+    checkpoint_saves: int = 0
+    checkpoint_loads: int = 0
+    checkpoint_retries: int = 0
+    checkpoint_bytes: int = 0
+    quarantines: list[str] = field(default_factory=list)
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -93,6 +98,14 @@ class EvaluationProfile:
             f"{self.sccs} SCCs, {self.iterations} semi-naive iterations, "
             f"{self.index_builds} index builds",
         ]
+        if self.checkpoint_saves or self.checkpoint_loads or self.checkpoint_retries:
+            lines.append(
+                f"durability: {self.checkpoint_saves} checkpoint saves "
+                f"({self.checkpoint_bytes} bytes), {self.checkpoint_loads} loads, "
+                f"{self.checkpoint_retries} retries"
+            )
+        for quarantine in self.quarantines:
+            lines.append(f"quarantined: {quarantine}")
         for trip in self.budget_trips:
             lines.append(f"budget trip: {trip}")
         for fallback in self.fallbacks:
@@ -156,6 +169,17 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
                 f"{event.attrs.get('phase', '?')} hit {event.attrs.get('limit', '?')} "
                 f"after {event.attrs.get('iterations', 0)} iterations, "
                 f"{event.attrs.get('facts_derived', 0)} facts"
+            )
+        elif event.kind == "event" and event.name == "checkpoint.save":
+            profile.checkpoint_saves += 1
+            profile.checkpoint_bytes += int(event.attrs.get("bytes", 0))  # type: ignore[arg-type]
+        elif event.kind == "event" and event.name == "checkpoint.load":
+            profile.checkpoint_loads += 1
+        elif event.kind == "event" and event.name == "checkpoint.retry":
+            profile.checkpoint_retries += 1
+        elif event.kind == "event" and event.name == "checkpoint.quarantine":
+            profile.quarantines.append(
+                f"{event.attrs.get('path', '?')} ({event.attrs.get('reason', '')})"
             )
         elif event.kind == "event" and event.name == "budget.fallback":
             profile.fallbacks.append(

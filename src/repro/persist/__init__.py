@@ -1,0 +1,51 @@
+"""Durable evaluation sessions: checkpoint/restore, resume, ingest.
+
+The persistence layer makes fixpoints survive process death and absorb
+new facts without cold recomputation (see ``docs/robustness.md``,
+"Durability & recovery"):
+
+* :mod:`repro.persist.checkpoint` — the versioned, content-addressed
+  on-disk format (:class:`Checkpoint`), the workload and fixpoint
+  digests, and the corruption/mismatch error taxonomy;
+* :mod:`repro.persist.store` — :class:`CheckpointStore` (atomic
+  write-temp-fsync-rename saves, checksum-verified loads, quarantine of
+  anything suspect), the chaos-harness :class:`FlakyStore`, and
+  :func:`save_with_retry` under a :class:`RetryPolicy`;
+* :mod:`repro.persist.session` — :class:`Session`, the durable
+  run/resume/ingest/inspect life cycle over both engines.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    fixpoint_digest,
+    workload_digest,
+)
+from .session import Session, SessionResult
+from .store import (
+    CheckpointStore,
+    CheckpointStoreUnavailable,
+    FlakyStore,
+    RetryPolicy,
+    save_with_retry,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "CheckpointStoreUnavailable",
+    "FlakyStore",
+    "RetryPolicy",
+    "Session",
+    "SessionResult",
+    "fixpoint_digest",
+    "save_with_retry",
+    "workload_digest",
+]

@@ -1,0 +1,227 @@
+"""The on-disk checkpoint format: versioned, content-addressed JSON.
+
+A checkpoint is one :class:`~repro.datalog.evaluation.EvaluationSnapshot`
+wrapped with the metadata that makes it safe to trust across process
+boundaries:
+
+* a **format version** (:data:`CHECKPOINT_VERSION`), so a future format
+  change can be detected instead of mis-parsed;
+* a **workload digest** — SHA-256 over the program's rules and query,
+  the integrity constraints and every EDB row — binding the checkpoint
+  to the exact inputs it was computed from.  Resuming a checkpoint
+  against a *different* workload would silently produce answers for
+  neither, so a mismatched digest is treated exactly like corruption;
+* a **content checksum** — SHA-256 over the canonical JSON encoding of
+  the payload, embedded next to it and baked into the filename
+  (``ckpt-<seq>-<checksum12>.json``).  A torn write, a truncated file
+  or a bit flip fails verification on load and the file is quarantined
+  (renamed to ``*.corrupt``), never silently used.
+
+Rows must contain JSON scalars only (ints, strings, floats, bools,
+``None``) — which is what the parser produces — so the relation/row
+round trip is lossless and ``repr``-stable, keeping
+:func:`fixpoint_digest` byte-identical across a save/load cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.database import Database, Row
+from ..datalog.evaluation import EvaluationSnapshot, EvaluationStats
+from ..datalog.program import Program
+from ..robustness.errors import ReproError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    "CheckpointMismatch",
+    "workload_digest",
+    "fixpoint_digest",
+]
+
+#: Format version written into (and required of) every checkpoint file.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """Base class of every persistence-layer error."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint failed structural or checksum verification."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A (valid) checkpoint belongs to a different workload digest."""
+
+
+def workload_digest(
+    program: Program,
+    database: Database,
+    constraints: Sequence[object] = (),
+) -> str:
+    """SHA-256 binding a checkpoint to its exact inputs.
+
+    Covers the rules in program order, the query predicate, the
+    constraints (by ``repr``) and every EDB row (predicates sorted,
+    rows sorted by ``repr``).  Any edit to the program, the constraints
+    or the data changes the digest, which invalidates old checkpoints
+    — including the intended case where :meth:`Session.ingest
+    <repro.persist.session.Session.ingest>` adds facts and re-anchors
+    the session on a new digest.
+    """
+    digest = hashlib.sha256()
+    for rule in program.rules:
+        digest.update(repr(rule).encode())
+        digest.update(b"\n")
+    digest.update(f"query={program.query!r}\n".encode())
+    for constraint in constraints:
+        digest.update(repr(constraint).encode())
+        digest.update(b"\n")
+    for predicate, entry in sorted(database.to_dict().items()):
+        digest.update(predicate.encode())
+        for row in entry["rows"]:  # already sorted by repr
+            digest.update(repr(tuple(row)).encode())
+    return digest.hexdigest()
+
+
+def fixpoint_digest(results: Iterable[tuple[str, Mapping]]) -> str:
+    """SHA-256 over labeled IDB fixpoints, identical to ``repro bench``.
+
+    Each item is ``(label, idb)`` where ``idb`` maps predicates to
+    relations (anything with ``.rows()``).  Byte-compatible with the
+    digests committed in ``BENCH_results.json``, so a resumed fixpoint
+    can be checked against the benchmark baseline.
+    """
+    digest = hashlib.sha256()
+    for unit_label, idb in results:
+        digest.update(unit_label.encode())
+        for predicate in sorted(idb):
+            digest.update(predicate.encode())
+            for row in sorted(idb[predicate].rows(), key=repr):
+                digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def _rows_payload(rows: "Iterable[Row]") -> list[list]:
+    return [list(row) for row in sorted(rows, key=repr)]
+
+
+def _rows_restore(payload: object) -> frozenset:
+    if not isinstance(payload, list):
+        raise CheckpointCorrupt(f"rows payload is {type(payload).__name__}, not a list")
+    return frozenset(tuple(row) for row in payload)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One durable evaluation snapshot plus its binding metadata."""
+
+    seq: int
+    workload: str
+    snapshot: EvaluationSnapshot
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def complete(self) -> bool:
+        return self.snapshot.complete
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The canonical JSON-ready payload (checksum not included)."""
+        snap = self.snapshot
+        return {
+            "version": self.version,
+            "seq": self.seq,
+            "workload": self.workload,
+            "snapshot": {
+                "strategy": snap.strategy,
+                "completed_sccs": snap.completed_sccs,
+                "scc_index": snap.scc_index,
+                "iteration": snap.iteration,
+                "complete": snap.complete,
+                "idb": {pred: _rows_payload(rows) for pred, rows in sorted(snap.idb.items())},
+                "delta": None
+                if snap.delta is None
+                else {pred: _rows_payload(rows) for pred, rows in sorted(snap.delta.items())},
+                "stats": snap.stats.as_dict(),
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Checkpoint":
+        """Rebuild from a payload, raising :class:`CheckpointCorrupt` on bad shapes."""
+        try:
+            version = int(payload["version"])
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointCorrupt(
+                    f"unsupported checkpoint version {version} "
+                    f"(this build reads version {CHECKPOINT_VERSION})"
+                )
+            snap = payload["snapshot"]
+            snapshot = EvaluationSnapshot(
+                strategy=str(snap["strategy"]),
+                completed_sccs=int(snap["completed_sccs"]),
+                scc_index=None if snap["scc_index"] is None else int(snap["scc_index"]),
+                iteration=int(snap["iteration"]),
+                idb={str(p): _rows_restore(rows) for p, rows in snap["idb"].items()},
+                delta=None
+                if snap["delta"] is None
+                else {str(p): _rows_restore(rows) for p, rows in snap["delta"].items()},
+                stats=EvaluationStats.from_dict(snap["stats"]),
+                complete=bool(snap.get("complete", False)),
+            )
+            return cls(
+                seq=int(payload["seq"]),
+                workload=str(payload["workload"]),
+                snapshot=snapshot,
+                version=version,
+            )
+        except CheckpointCorrupt:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointCorrupt(f"malformed checkpoint payload: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def encode(self) -> tuple[str, str]:
+        """``(file text, checksum)`` — canonical JSON with embedded checksum."""
+        payload = self.to_payload()
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        checksum = hashlib.sha256(canonical.encode()).hexdigest()
+        text = json.dumps({"checksum": checksum, "payload": payload}, sort_keys=True)
+        return text, checksum
+
+    @classmethod
+    def decode(cls, text: str) -> "Checkpoint":
+        """Parse and verify a checkpoint file's content.
+
+        Raises :class:`CheckpointCorrupt` when the JSON is unparsable,
+        the envelope is malformed, or the embedded checksum does not
+        match the canonical re-encoding of the payload.
+        """
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorrupt(f"checkpoint is not valid JSON: {exc}") from exc
+        if not isinstance(envelope, dict) or "checksum" not in envelope or "payload" not in envelope:
+            raise CheckpointCorrupt("checkpoint envelope lacks checksum/payload")
+        payload = envelope["payload"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        checksum = hashlib.sha256(canonical.encode()).hexdigest()
+        if checksum != envelope["checksum"]:
+            raise CheckpointCorrupt(
+                f"checksum mismatch: file says {str(envelope['checksum'])[:12]}…, "
+                f"content hashes to {checksum[:12]}…"
+            )
+        return cls.from_payload(payload)
+
+    def filename(self) -> str:
+        """The content-addressed filename: ``ckpt-<seq>-<checksum12>.json``."""
+        _, checksum = self.encode()
+        return f"ckpt-{self.seq:08d}-{checksum[:12]}.json"

@@ -1,0 +1,539 @@
+"""Durable evaluation sessions: run, crash, resume, ingest.
+
+A :class:`Session` binds one workload (program + database + engine
+options) to one checkpoint directory and exposes the durable life
+cycle:
+
+* :meth:`Session.run` — evaluate with periodic checkpoints.  Saves go
+  through :func:`~repro.persist.store.save_with_retry`; a store that
+  stays broken after the retry budget **degrades** the session to plain
+  in-memory evaluation (recorded as a
+  :class:`~repro.robustness.budget.FallbackStep` and a
+  ``budget.fallback`` trace event) instead of failing the run.
+* :meth:`Session.resume` — pick up the newest valid checkpoint for
+  this exact workload digest and restart the fixpoint from its saved
+  frontier.  Corrupt or foreign checkpoints are quarantined during the
+  walk; with no usable checkpoint the session falls back to a fresh
+  run.
+* :meth:`Session.ingest` — add new EDB facts and re-derive
+  **incrementally**: the new facts seed delta relations
+  (Bancilhon–Ramakrishnan differentiation — each rule fires once per
+  changed body position with the delta there and full relations
+  elsewhere), then normal semi-naive rounds propagate inside each SCC,
+  in dependency order.  Every derivation that uses at least one new
+  fact is covered, so the result is row-identical to recomputation.
+  When an ingested predicate occurs **negated** in the program the
+  update is non-monotonic (new facts can retract conclusions), so
+  ingest detects this and falls back to a full recompute — wrong
+  answers are never an option.
+* :meth:`Session.inspect` — a JSON-ready summary of the store.
+
+Statistics stay cumulative across the whole life cycle (resume and
+ingest merge the prior snapshot's counters before adding new work), so
+budget accounting and reports see the true total cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.database import Database, Relation, Row
+from ..datalog.evaluation import (
+    EvaluationResult,
+    EvaluationSnapshot,
+    EvaluationStats,
+    _make_engine,
+    _sccs,
+    evaluate,
+)
+from ..datalog.program import Program
+from ..observability.trace import Tracer, get_tracer
+from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
+from .checkpoint import Checkpoint, workload_digest
+from .store import (
+    CheckpointStore,
+    CheckpointStoreUnavailable,
+    FlakyStore,
+    RetryPolicy,
+    save_with_retry,
+)
+
+__all__ = ["Session", "SessionResult"]
+
+#: Facts accepted by :meth:`Session.ingest`: ground atoms or (predicate, row).
+FactLike = "Atom | tuple[str, Sequence[object]]"
+
+
+@dataclass
+class SessionResult:
+    """The outcome of one session operation.
+
+    ``mode`` records the path taken: ``"fresh"`` (full evaluation),
+    ``"resumed"`` (restarted from a checkpoint), ``"incremental"``
+    (delta-seeded ingest) or ``"recompute"`` (ingest fell back to full
+    re-evaluation).  ``fallback_chain`` lists every degradation taken,
+    in order.
+    """
+
+    result: EvaluationResult
+    mode: str
+    checkpoints_written: int = 0
+    resumed_seq: int | None = None
+    fallback_chain: list[FallbackStep] = field(default_factory=list)
+
+    @property
+    def stats(self) -> EvaluationStats:
+        return self.result.stats
+
+
+class Session:
+    """One durable evaluation workload bound to a checkpoint store."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        *,
+        store: "CheckpointStore | FlakyStore | None" = None,
+        checkpoint_every: int = 1,
+        constraints: Sequence[object] = (),
+        strategy: str = "seminaive",
+        engine: str = "slots",
+        plan_order: str = "cost",
+        budget: "Budget | Governor | None" = None,
+        cancellation: CancellationToken | None = None,
+        tracer: Tracer | None = None,
+        retry: RetryPolicy | None = None,
+        throttle: float = 0.0,
+    ):
+        self.program = program
+        self.database = database
+        self.store = store
+        self.checkpoint_every = checkpoint_every
+        self.constraints = tuple(constraints)
+        self.strategy = strategy
+        self.engine = engine
+        self.plan_order = plan_order
+        self.budget = budget
+        self.cancellation = cancellation
+        self._tracer = tracer
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.throttle = throttle
+        self._last: EvaluationResult | None = None
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def workload(self) -> str:
+        """The digest binding checkpoints to this exact workload."""
+        return workload_digest(self.program, self.database, self.constraints)
+
+    # ------------------------------------------------------------------
+    def _governor(self) -> Governor | None:
+        return Governor.of(self.budget, self.cancellation)
+
+    def _make_sink(
+        self,
+        governor: Governor | None,
+        fallback_chain: list[FallbackStep],
+        counter: list[int],
+    ):
+        """A checkpoint sink that saves-with-retry and degrades on failure."""
+        if self.store is None:
+            return None
+        store = self.store
+        workload = self.workload()
+        state = {"degraded": False}
+
+        def sink(snapshot: EvaluationSnapshot) -> None:
+            if state["degraded"]:
+                return
+            checkpoint = Checkpoint(
+                seq=store.next_seq(), workload=workload, snapshot=snapshot
+            )
+            try:
+                save_with_retry(
+                    store, checkpoint, policy=self.retry, governor=governor
+                )
+            except CheckpointStoreUnavailable as exc:
+                state["degraded"] = True
+                step = FallbackStep(
+                    stage="session.checkpoint",
+                    fell_back_to="in-memory",
+                    reason=str(exc),
+                )
+                fallback_chain.append(step)
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "budget.fallback",
+                        stage=step.stage,
+                        fell_back_to=step.fell_back_to,
+                        reason=step.reason,
+                    )
+                return
+            counter[0] += 1
+            if self.throttle:
+                # Deliberate pacing between checkpoints; the crash tests
+                # use it to make "SIGKILL mid-fixpoint" land reliably
+                # between two saves.
+                time.sleep(self.throttle)
+
+        return sink
+
+    # ------------------------------------------------------------------
+    def run(self, *, resume: bool = False) -> SessionResult:
+        """Evaluate the workload, checkpointing as configured.
+
+        With ``resume=True`` the newest valid checkpoint of this
+        workload (if any) supplies the starting frontier; without one
+        the run is simply fresh.
+        """
+        governor = self._governor()
+        fallback_chain: list[FallbackStep] = []
+        counter = [0]
+        resume_from: EvaluationSnapshot | None = None
+        resumed_seq: int | None = None
+        if resume and self.store is not None:
+            latest = self.store.latest(expect_workload=self.workload())
+            if latest is not None and latest.snapshot.strategy == self.strategy:
+                resume_from = latest.snapshot
+                resumed_seq = latest.seq
+        sink = self._make_sink(governor, fallback_chain, counter)
+        result = evaluate(
+            self.program,
+            self.database,
+            strategy=self.strategy,
+            engine=self.engine,
+            plan_order=self.plan_order,
+            budget=governor,
+            tracer=self._tracer,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_sink=sink,
+            resume_from=resume_from,
+        )
+        self._last = result
+        return SessionResult(
+            result=result,
+            mode="resumed" if resume_from is not None else "fresh",
+            checkpoints_written=counter[0],
+            resumed_seq=resumed_seq,
+            fallback_chain=fallback_chain,
+        )
+
+    def resume(self) -> SessionResult:
+        """:meth:`run` with ``resume=True``."""
+        return self.run(resume=True)
+
+    # ------------------------------------------------------------------
+    def _normalize_facts(self, facts: Iterable[object]) -> list[tuple[str, Row]]:
+        normalized: list[tuple[str, Row]] = []
+        for fact in facts:
+            if isinstance(fact, Atom):
+                if not fact.is_ground():
+                    raise ValueError(f"ingested fact {fact} is not ground")
+                normalized.append(
+                    (fact.predicate, tuple(arg.value for arg in fact.args))  # type: ignore[union-attr]
+                )
+            else:
+                predicate, row = fact  # type: ignore[misc]
+                normalized.append((str(predicate), tuple(row)))
+        return normalized
+
+    def _prior_fixpoint(self) -> "tuple[Mapping[str, frozenset], EvaluationStats] | None":
+        """The last complete fixpoint: in-memory first, else the store."""
+        if self._last is not None:
+            return (
+                {pred: rel.rows() for pred, rel in self._last.idb.items()},
+                self._last.stats,
+            )
+        if self.store is not None:
+            latest = self.store.latest(expect_workload=self.workload())
+            if latest is not None and latest.complete:
+                return latest.snapshot.idb, latest.snapshot.stats
+        return None
+
+    def ingest(self, facts: Iterable[object]) -> SessionResult:
+        """Add EDB facts and bring the fixpoint up to date incrementally.
+
+        Facts are ground :class:`~repro.datalog.atoms.Atom` objects or
+        ``(predicate, row)`` pairs.  Requires a prior *complete*
+        fixpoint (from this session or its store); without one — or
+        when an ingested predicate occurs negated in the program
+        (non-monotonic update) — the session falls back to a full
+        recompute, recorded in the result's ``fallback_chain``.
+        """
+        # The prior fixpoint must be anchored to the *pre-ingest* digest.
+        prior = self._prior_fixpoint()
+        new_rows: dict[str, list[Row]] = {}
+        idb_preds = self.program.idb_predicates
+        for predicate, row in self._normalize_facts(facts):
+            if predicate in idb_preds:
+                raise ValueError(
+                    f"cannot ingest {predicate}: it is an IDB predicate "
+                    "(derived, not stored)"
+                )
+            if self.database.add_row(predicate, row):
+                new_rows.setdefault(predicate, []).append(row)
+
+        fallback_chain: list[FallbackStep] = []
+        if not new_rows and prior is not None:
+            # Nothing actually new: the prior fixpoint still stands.
+            return self._complete_from(prior, "incremental", fallback_chain)
+
+        negated = {
+            lit.predicate
+            for rule in self.program.rules
+            for lit in rule.negative_literals
+        }
+        reason = None
+        if prior is None:
+            reason = "no prior complete fixpoint to increment from"
+        elif negated & set(new_rows):
+            overlap = ", ".join(sorted(negated & set(new_rows)))
+            reason = f"ingested predicate(s) {overlap} occur negated (non-monotonic)"
+        if reason is not None:
+            step = FallbackStep(
+                stage="session.ingest", fell_back_to="recompute", reason=reason
+            )
+            fallback_chain.append(step)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "budget.fallback",
+                    stage=step.stage,
+                    fell_back_to=step.fell_back_to,
+                    reason=step.reason,
+                )
+            fresh = self.run()
+            fresh.mode = "recompute"
+            fresh.fallback_chain = fallback_chain + fresh.fallback_chain
+            return fresh
+
+        assert prior is not None
+        prior_idb, prior_stats = prior
+        governor = self._governor()
+        idb, stats = self._incremental_fixpoint(
+            new_rows, prior_idb, prior_stats, governor
+        )
+        result = EvaluationResult(
+            idb=idb, stats=stats, program=self.program, database=self.database
+        )
+        self._last = result
+        return self._checkpoint_complete(result, "incremental", fallback_chain, governor)
+
+    def _complete_from(
+        self,
+        prior: "tuple[Mapping[str, frozenset], EvaluationStats]",
+        mode: str,
+        fallback_chain: list[FallbackStep],
+    ) -> SessionResult:
+        prior_idb, prior_stats = prior
+        idb = {
+            pred: Relation(self.program.arity_of(pred)) for pred in self.program.idb_predicates
+        }
+        for pred, rows in prior_idb.items():
+            if pred in idb:
+                for row in rows:
+                    idb[pred].add(row)
+        result = EvaluationResult(
+            idb=idb,
+            stats=prior_stats.copy(),
+            program=self.program,
+            database=self.database,
+        )
+        self._last = result
+        return SessionResult(result=result, mode=mode, fallback_chain=fallback_chain)
+
+    def _checkpoint_complete(
+        self,
+        result: EvaluationResult,
+        mode: str,
+        fallback_chain: list[FallbackStep],
+        governor: Governor | None,
+    ) -> SessionResult:
+        """Persist a ``complete=True`` snapshot of ``result`` (post-ingest)."""
+        counter = [0]
+        sink = self._make_sink(governor, fallback_chain, counter)
+        if sink is not None:
+            sink(
+                EvaluationSnapshot(
+                    strategy=self.strategy,
+                    completed_sccs=len(_sccs(self.program.dependency_graph())),
+                    scc_index=None,
+                    iteration=result.stats.iterations,
+                    idb={pred: rel.rows() for pred, rel in result.idb.items()},
+                    delta=None,
+                    stats=result.stats.copy(),
+                    complete=True,
+                )
+            )
+        return SessionResult(
+            result=result,
+            mode=mode,
+            checkpoints_written=counter[0],
+            fallback_chain=fallback_chain,
+        )
+
+    # ------------------------------------------------------------------
+    def _incremental_fixpoint(
+        self,
+        new_rows: Mapping[str, Sequence[Row]],
+        prior_idb: Mapping[str, frozenset],
+        prior_stats: EvaluationStats,
+        governor: Governor | None,
+    ) -> tuple[dict[str, Relation], EvaluationStats]:
+        """Delta-seeded re-derivation over the updated database.
+
+        ``changed`` carries, per predicate, the rows that are new since
+        the prior fixpoint — initially the ingested EDB rows, extended
+        with each SCC's newly derived facts as the dependency order is
+        walked.  For every rule and every positive body position whose
+        predicate changed *outside* the rule's own SCC, the rule fires
+        once with the changed rows as the delta there (and current full
+        relations elsewhere); within the SCC the standard semi-naive
+        rounds take over.  Any derivation using at least one new fact
+        has some body position holding a new fact, so it is reached by
+        one of these firings — which is the differentiation-correctness
+        argument (Bancilhon–Ramakrishnan) behind row-identity with
+        recomputation.
+        """
+        program, database = self.program, self.database
+        tracer = self.tracer
+        started = time.perf_counter()
+        stats = prior_stats.copy()
+        base_wall = stats.wall_time_seconds
+        idb: dict[str, Relation] = {
+            pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+        }
+        for pred, rows in prior_idb.items():
+            if pred in idb:
+                for row in rows:
+                    idb[pred].add(row)
+        idb_preds = program.idb_predicates
+        eng = _make_engine(self.engine, program, database, idb, self.plan_order, tracer)
+
+        def relation_of(predicate: str, arity: int) -> Relation:
+            if predicate in idb_preds:
+                return idb[predicate]
+            return database.relation(predicate, arity)
+
+        changed: dict[str, Relation] = {}
+        for pred, rows in new_rows.items():
+            rel = Relation(database.relation(pred).arity)
+            for row in rows:
+                rel.add(row)
+            changed[pred] = rel
+
+        def fire(plan, delta_relation: Relation, sink: dict[str, Relation]) -> None:
+            rows_before = stats.rows_scanned
+            results = eng.run(plan, relation_of, delta_relation, stats, governor)
+            stats.rule_firings += len(results)
+            key = plan.rule_key
+            stats.rows_scanned_by_rule[key] = (
+                stats.rows_scanned_by_rule.get(key, 0) + stats.rows_scanned - rows_before
+            )
+            head_pred = plan.rule.head.predicate
+            head_relation = idb[head_pred]
+            for env in results:
+                head_row = eng.head_row(plan, env)
+                if head_row in head_relation:
+                    continue
+                head_relation.add(head_row)
+                stats.facts_derived += 1
+                sink[head_pred].add(head_row)
+            if governor is not None:
+                governor.check("ingest", stats)
+
+        graph = program.dependency_graph()
+        for component in _sccs(graph):
+            members = set(component)
+            rules = [r for r in program.rules if r.head.predicate in members]
+            delta: dict[str, Relation] = {
+                pred: Relation(program.arity_of(pred)) for pred in members
+            }
+            scc_new: dict[str, Relation] = {
+                pred: Relation(program.arity_of(pred)) for pred in members
+            }
+            # Phase 1: seed from changed predicates outside this SCC.
+            member_positions: list[tuple] = []
+            for rule in rules:
+                for pos, item in enumerate(rule.body):
+                    if not (isinstance(item, Literal) and item.positive):
+                        continue
+                    if item.predicate in members:
+                        member_positions.append((rule, pos))
+                        continue
+                    delta_rel = changed.get(item.predicate)
+                    if delta_rel is None or not len(delta_rel):
+                        continue
+                    fire(eng.make_plan(rule, pos), delta_rel, delta)
+            for pred in members:
+                for row in delta[pred].rows():
+                    scc_new[pred].add(row)
+            # Phase 2: standard semi-naive rounds within the SCC.
+            delta_joins = [eng.make_plan(rule, pos) for rule, pos in member_positions]
+            while any(len(d) for d in delta.values()):
+                stats.iterations += 1
+                if governor is not None:
+                    governor.check("ingest", stats)
+                new_delta: dict[str, Relation] = {
+                    pred: Relation(program.arity_of(pred)) for pred in members
+                }
+                for plan in delta_joins:
+                    delta_rel = delta[plan.delta_predicate]
+                    if not len(delta_rel):
+                        continue
+                    fire(plan, delta_rel, new_delta)
+                for pred in members:
+                    for row in new_delta[pred].rows():
+                        scc_new[pred].add(row)
+                delta = new_delta
+            for pred in members:
+                if len(scc_new[pred]):
+                    changed[pred] = scc_new[pred]
+        stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+        return idb, stats
+
+    # ------------------------------------------------------------------
+    def inspect(self) -> dict:
+        """A JSON-ready summary of the session's checkpoint store."""
+        info: dict = {
+            "workload": self.workload(),
+            "strategy": self.strategy,
+            "engine": self.engine,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        if self.store is None:
+            info["store"] = None
+            return info
+        paths = self.store.paths()
+        corrupt = sorted(
+            p.name for p in self.store.directory.glob("*.corrupt")
+        )
+        info["store"] = {
+            "directory": str(self.store.directory),
+            "checkpoints": len(paths),
+            "corrupt": corrupt,
+        }
+        # Read-only diagnostic: never quarantine a checkpoint just
+        # because it belongs to a different workload than ours.
+        latest = self.store.latest(
+            expect_workload=self.workload(), quarantine_mismatch=False
+        )
+        info["latest"] = None
+        if latest is not None:
+            info["latest"] = {
+                "seq": latest.seq,
+                "strategy": latest.snapshot.strategy,
+                "complete": latest.complete,
+                "iteration": latest.snapshot.iteration,
+                "completed_sccs": latest.snapshot.completed_sccs,
+                "facts": sum(len(rows) for rows in latest.snapshot.idb.values()),
+                "stats": latest.snapshot.stats.as_dict(),
+            }
+        return info

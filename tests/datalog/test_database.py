@@ -114,3 +114,42 @@ class TestDatabase:
         clone = db.copy()
         clone.add_row("e", (3, 4))
         assert db.size() == 1 and clone.size() == 2
+
+
+class TestSerialization:
+    def test_relation_to_rows_sorted_and_stable(self):
+        rel = Relation(2, [(3, 4), (1, 2), (1, 10)])
+        rows = rel.to_rows()
+        assert rows == sorted(rel.rows(), key=repr)
+        assert rows == rel.to_rows()  # deterministic across calls
+        rows.append((9, 9))  # a copy, not the live row set
+        assert (9, 9) not in rel
+
+    def test_database_round_trip(self):
+        db = Database.from_rows(
+            {"e": [(1, 2), (2, 3)], "label": [("a", 1)], "flag": [()]}
+        )
+        payload = db.to_dict()
+        restored = Database.from_dict(payload)
+        assert restored.predicates() == db.predicates()
+        for pred in db.predicates():
+            assert restored.relation(pred).rows() == db.relation(pred).rows()
+            assert restored.relation(pred).arity == db.relation(pred).arity
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        db = Database.from_rows({"e": [(1, 2)], "name": [("x",)]})
+        text = json.dumps(db.to_dict(), sort_keys=True)
+        restored = Database.from_dict(json.loads(text))
+        assert restored.relation("e").rows() == {(1, 2)}
+        assert restored.relation("name").rows() == {("x",)}
+        # deterministic: same database, same serialization
+        assert json.dumps(db.to_dict(), sort_keys=True) == text
+
+    def test_empty_relation_survives_round_trip_with_arity(self):
+        payload = {"empty": {"arity": 3, "rows": []}}
+        restored = Database.from_dict(payload)
+        assert restored.relation("empty").arity == 3
+        assert len(restored.relation("empty")) == 0
+        assert restored.to_dict() == payload

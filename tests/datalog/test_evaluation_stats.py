@@ -132,6 +132,63 @@ def test_compare_mixed_zero_and_nonzero_counters():
     assert ratios["iterations"] == 1.0
 
 
+def test_from_dict_round_trips_as_dict():
+    stats = _stats(
+        rows_scanned_by_rule={"r": 20}, budget_trips=1, wall_time_seconds=0.5
+    )
+    restored = EvaluationStats.from_dict(stats.as_dict())
+    assert restored.as_dict() == stats.as_dict()
+
+
+def test_from_dict_tolerates_missing_newer_fields():
+    """Checkpoints written by an older build lack newer counters; they
+    must load with zero defaults, not crash."""
+    payload = _stats().as_dict()
+    for key in ("budget_trips", "wall_time_seconds", "rows_scanned_by_rule"):
+        del payload[key]
+    restored = EvaluationStats.from_dict(payload)
+    assert restored.budget_trips == 0
+    assert restored.wall_time_seconds == 0.0
+    assert restored.rows_scanned_by_rule == {}
+    assert restored.rule_firings == 4
+
+
+def test_merge_tolerates_stats_missing_newer_fields():
+    class OldStats:
+        """Stand-in for stats deserialized from an older checkpoint."""
+
+        rule_firings = 3
+        probes = 1
+        rows_scanned = 2
+        facts_derived = 1
+        iterations = 1
+        index_builds = 0
+        env_allocations = 0
+        # no budget_trips / wall_time_seconds / rows_scanned_by_rule
+
+    current = _stats(budget_trips=2, wall_time_seconds=0.25)
+    current.merge(OldStats())
+    assert current.rule_firings == 7
+    assert current.budget_trips == 2  # missing field treated as zero
+    assert current.wall_time_seconds == 0.25
+
+
+def test_compare_tolerates_dict_missing_newer_fields():
+    baseline = _stats(budget_trips=2)
+    ratios = baseline.compare(_stats())
+    assert ratios["budget_trips"] == 0.0  # other side defaults to zero
+
+
+def test_copy_is_independent():
+    stats = _stats(rows_scanned_by_rule={"r": 5})
+    clone = stats.copy()
+    clone.rule_firings += 1
+    clone.rows_scanned_by_rule["r"] = 99
+    assert stats.rule_firings == 4
+    assert stats.rows_scanned_by_rule == {"r": 5}
+    assert clone.as_dict() != stats.as_dict()
+
+
 def test_wall_time_is_populated_by_evaluate():
     from repro.datalog.database import Database
     from repro.datalog.evaluation import evaluate

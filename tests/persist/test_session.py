@@ -1,0 +1,230 @@
+"""Session life cycle: run, resume, ingest, inspect, degradation."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_facts, parse_program
+from repro.persist import CheckpointStore, FlakyStore, RetryPolicy, Session
+from repro.robustness import Budget, BudgetExceededError, FaultInjector
+
+PROGRAM_TEXT = """
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+q(Y) :- path(1, Y).
+"""
+EDGES = [(1, 2), (2, 3), (3, 4), (4, 5)]
+
+
+def _program():
+    return parse_program(PROGRAM_TEXT, query="q")
+
+
+def _database(extra=()):
+    return Database.from_rows({"edge": list(EDGES) + list(extra)})
+
+
+def _rows(result):
+    return {pred: rel.rows() for pred, rel in result.idb.items()}
+
+
+def test_run_writes_checkpoints_and_final_is_complete(tmp_path):
+    store = CheckpointStore(tmp_path)
+    outcome = Session(_program(), _database(), store=store, checkpoint_every=1).run()
+    assert outcome.mode == "fresh"
+    assert outcome.checkpoints_written == len(store.paths()) > 1
+    latest = store.latest()
+    assert latest is not None and latest.complete
+
+
+def test_resume_from_store_is_row_identical(tmp_path):
+    baseline = _rows(Session(_program(), _database()).run().result)
+    store = CheckpointStore(tmp_path)
+    Session(_program(), _database(), store=store, checkpoint_every=1).run()
+    # remove the final (complete) checkpoints so resume really restarts
+    # from a mid-fixpoint frontier
+    paths = store.paths()
+    for path in paths[-2:]:
+        path.unlink()
+    resumed = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path), checkpoint_every=1
+    ).resume()
+    assert resumed.mode == "resumed"
+    assert resumed.resumed_seq is not None
+    assert _rows(resumed.result) == baseline
+
+
+def test_resume_empty_store_falls_back_to_fresh(tmp_path):
+    outcome = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path), checkpoint_every=1
+    ).resume()
+    assert outcome.mode == "fresh"
+    assert outcome.resumed_seq is None
+
+
+def test_resume_ignores_checkpoint_of_other_workload(tmp_path):
+    Session(_program(), _database(), store=CheckpointStore(tmp_path)).run()
+    other_db = _database(extra=[(5, 6)])
+    outcome = Session(
+        _program(), other_db, store=CheckpointStore(tmp_path)
+    ).resume()
+    # foreign checkpoints are quarantined, never resumed from
+    assert outcome.mode == "fresh"
+    assert list(tmp_path.glob("*.corrupt"))
+
+
+@pytest.mark.parametrize("engine", ("slots", "interpreted"))
+def test_ingest_incremental_row_identical_to_recompute(tmp_path, engine):
+    session = Session(
+        _program(),
+        _database(),
+        store=CheckpointStore(tmp_path),
+        checkpoint_every=1,
+        engine=engine,
+    )
+    session.run()
+    outcome = session.ingest([("edge", (5, 6)), ("edge", (0, 1))])
+    assert outcome.mode == "incremental"
+    assert not outcome.fallback_chain
+    recomputed = _rows(
+        Session(_program(), _database(extra=[(5, 6), (0, 1)]), engine=engine)
+        .run()
+        .result
+    )
+    assert _rows(outcome.result) == recomputed
+
+
+def test_ingest_from_store_without_in_memory_result(tmp_path):
+    Session(_program(), _database(), store=CheckpointStore(tmp_path)).run()
+    # a brand-new session (fresh process) ingests off the stored fixpoint
+    session = Session(_program(), _database(), store=CheckpointStore(tmp_path))
+    outcome = session.ingest(parse_facts("edge(5, 6)."))
+    assert outcome.mode == "incremental"
+    recomputed = _rows(Session(_program(), _database(extra=[(5, 6)])).run().result)
+    assert _rows(outcome.result) == recomputed
+
+
+def test_ingest_duplicate_facts_is_noop(tmp_path):
+    session = Session(_program(), _database(), store=CheckpointStore(tmp_path))
+    before = _rows(session.run().result)
+    outcome = session.ingest([("edge", (1, 2))])
+    assert _rows(outcome.result) == before
+    assert outcome.result.stats.iterations == session._last.stats.iterations
+
+
+def test_ingest_negated_predicate_falls_back_to_recompute():
+    program = parse_program(
+        """
+        p(X, Y) :- e(X, Y), not blocked(X).
+        p(X, Y) :- p(X, Z), e(Z, Y), not blocked(Z).
+        q(Y) :- p(1, Y).
+        """,
+        query="q",
+    )
+    database = Database.from_rows({"e": EDGES, "blocked": [(9,)]})
+    session = Session(program, database)
+    session.run()
+    # blocking node 2 RETRACTS q facts: incremental delta-seeding cannot do that
+    outcome = session.ingest([("blocked", (2,))])
+    assert outcome.mode == "recompute"
+    assert any(s.fell_back_to == "recompute" for s in outcome.fallback_chain)
+    fresh_db = Database.from_rows({"e": EDGES, "blocked": [(9,), (2,)]})
+    assert _rows(outcome.result) == _rows(Session(program, fresh_db).run().result)
+
+
+def test_ingest_without_prior_fixpoint_recomputes():
+    session = Session(_program(), _database())
+    outcome = session.ingest([("edge", (5, 6))])
+    assert outcome.mode == "recompute"
+    assert _rows(outcome.result) == _rows(
+        Session(_program(), _database(extra=[(5, 6)])).run().result
+    )
+
+
+def test_ingest_rejects_idb_predicate():
+    session = Session(_program(), _database())
+    session.run()
+    with pytest.raises(ValueError, match="IDB"):
+        session.ingest([("path", (1, 9))])
+
+
+def test_unrecoverable_store_degrades_to_in_memory(tmp_path):
+    injector = FaultInjector().arm_random("checkpoint.save", rate=1.0)
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    outcome = Session(
+        _program(),
+        _database(),
+        store=store,
+        checkpoint_every=1,
+        retry=RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0),
+    ).run()
+    assert outcome.checkpoints_written == 0
+    assert len(outcome.fallback_chain) == 1  # degraded once, not per snapshot
+    step = outcome.fallback_chain[0]
+    assert step.stage == "session.checkpoint" and step.fell_back_to == "in-memory"
+    # evaluation itself still completed correctly in memory
+    assert _rows(outcome.result) == _rows(Session(_program(), _database()).run().result)
+
+
+def test_budget_trip_during_run_propagates(tmp_path):
+    with pytest.raises(BudgetExceededError) as info:
+        Session(
+            _program(),
+            _database(),
+            store=CheckpointStore(tmp_path),
+            checkpoint_every=1,
+            budget=Budget(max_facts=1),
+        ).run()
+    assert info.value.partial is not None
+
+
+def test_inspect_summarizes_store(tmp_path):
+    session = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path), checkpoint_every=1
+    )
+    info = session.inspect()
+    assert info["latest"] is None and info["store"]["checkpoints"] == 0
+    session.run()
+    info = session.inspect()
+    assert info["latest"]["complete"] is True
+    assert info["store"]["checkpoints"] >= 1
+    assert info["workload"] == session.workload()
+    assert info["latest"]["stats"]["facts_derived"] > 0
+
+
+def test_inspect_is_read_only_across_workloads(tmp_path):
+    """Inspecting with a different data file (e.g. pre-ingest) must not
+    quarantine the other workload's valid checkpoints."""
+    session = Session(_program(), _database(), store=CheckpointStore(tmp_path))
+    session.run()
+    session.ingest([("edge", (5, 6))])  # complete checkpoint, new digest
+    stale = Session(_program(), _database(), store=CheckpointStore(tmp_path))
+    info = stale.inspect()
+    assert not info["store"]["corrupt"]
+    assert not list(tmp_path.glob("*.corrupt"))
+    # the stale view still resolves ITS newest checkpoint...
+    assert info["latest"] is not None
+    # ...and the post-ingest session still finds its own afterwards
+    combined = Session(
+        _program(), _database(extra=[(5, 6)]), store=CheckpointStore(tmp_path)
+    )
+    assert combined.inspect()["latest"]["complete"] is True
+
+
+def test_inspect_without_store():
+    info = Session(_program(), _database()).inspect()
+    assert info["store"] is None
+
+
+def test_session_stats_cumulative_and_monotone(tmp_path):
+    store = CheckpointStore(tmp_path)
+    session = Session(_program(), _database(), store=store, checkpoint_every=1)
+    first = session.run()
+    for path in store.paths()[-2:]:
+        path.unlink()
+    resumed = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path), checkpoint_every=1
+    ).resume()
+    # cumulative counters never go backwards across the resume boundary
+    assert resumed.stats.facts_derived == first.stats.facts_derived
+    assert resumed.stats.iterations >= 1
+    assert resumed.stats.wall_time_seconds > 0.0

@@ -1,0 +1,264 @@
+"""Store behavior: atomicity, quarantine, fault flavors, retry policy."""
+
+import os
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.observability import RingBufferSink, Tracer
+from repro.persist.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointMismatch,
+    workload_digest,
+)
+from repro.persist.store import (
+    CheckpointStore,
+    CheckpointStoreUnavailable,
+    FlakyStore,
+    RetryPolicy,
+    save_with_retry,
+)
+from repro.robustness import Budget, BudgetExceededError, FaultInjector, Governor
+
+PROGRAM = parse_program(
+    """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    q(Y) :- path(1, Y).
+    """,
+    query="q",
+)
+
+
+def _database():
+    return Database.from_rows({"edge": [(1, 2), (2, 3), (3, 4)]})
+
+
+def _checkpoints(n=2):
+    snaps = []
+    evaluate(PROGRAM, _database(), checkpoint_every=1, checkpoint_sink=snaps.append)
+    digest = workload_digest(PROGRAM, _database())
+    return [
+        Checkpoint(seq=i + 1, workload=digest, snapshot=snap)
+        for i, snap in enumerate(snaps[:n])
+    ]
+
+
+def test_save_load_latest_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    first, second = _checkpoints(2)
+    store.save(first)
+    store.save(second)
+    assert len(store.paths()) == 2
+    assert store.next_seq() == 3
+    latest = store.latest()
+    assert latest is not None and latest.seq == 2
+    loaded = store.load(store.paths()[0])
+    assert loaded.seq == 1
+
+
+def test_save_leaves_no_temp_files(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save(_checkpoints(1)[0])
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_corrupt_checkpoint_quarantined_on_load(tmp_path):
+    sink = RingBufferSink()
+    store = CheckpointStore(tmp_path, tracer=Tracer([sink]))
+    (ckpt,) = _checkpoints(1)
+    path = store.save(ckpt)
+    # Torn write: truncate the file in place.
+    path.write_bytes(path.read_bytes()[:50])
+    with pytest.raises(CheckpointCorrupt):
+        store.load(path)
+    assert not path.exists()
+    assert path.with_name(path.name + ".corrupt").exists()
+    names = [event.name for event in sink]
+    assert "checkpoint.quarantine" in names
+
+
+def test_latest_walks_past_quarantined_to_older_valid(tmp_path):
+    store = CheckpointStore(tmp_path)
+    first, second = _checkpoints(2)
+    store.save(first)
+    newest = store.save(second)
+    newest.write_text("garbage")
+    latest = store.latest()
+    assert latest is not None and latest.seq == first.seq
+    assert newest.with_name(newest.name + ".corrupt").exists()
+    # the corrupt file is never considered again
+    assert len(store.paths()) == 1
+
+
+def test_workload_mismatch_quarantined(tmp_path):
+    store = CheckpointStore(tmp_path)
+    (ckpt,) = _checkpoints(1)
+    path = store.save(ckpt)
+    with pytest.raises(CheckpointMismatch):
+        store.load(path, expect_workload="0" * 64)
+    assert path.with_name(path.name + ".corrupt").exists()
+    assert store.latest(expect_workload="0" * 64) is None
+
+
+def test_workload_mismatch_not_quarantined_when_read_only(tmp_path):
+    """``quarantine_mismatch=False`` (inspect-type reads) must leave a
+    foreign workload's valid checkpoint untouched on disk."""
+    store = CheckpointStore(tmp_path)
+    (ckpt,) = _checkpoints(1)
+    path = store.save(ckpt)
+    with pytest.raises(CheckpointMismatch):
+        store.load(path, expect_workload="0" * 64, quarantine_mismatch=False)
+    assert path.exists()
+    assert not list(tmp_path.glob("*.corrupt"))
+    assert (
+        store.latest(expect_workload="0" * 64, quarantine_mismatch=False) is None
+    )
+    assert path.exists()  # still loadable by its own workload
+    assert store.latest(expect_workload=ckpt.workload).seq == ckpt.seq
+
+
+def test_empty_store_latest_is_none(tmp_path):
+    assert CheckpointStore(tmp_path).latest() is None
+    assert CheckpointStore(tmp_path / "made" / "up").next_seq() == 1
+
+
+# ----------------------------------------------------------------------
+# FlakyStore fault flavors
+# ----------------------------------------------------------------------
+def test_flaky_transient_then_success(tmp_path):
+    injector = FaultInjector().arm("checkpoint.save", at=1)
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    (ckpt,) = _checkpoints(1)
+    with pytest.raises(OSError):
+        store.save(ckpt)
+    assert store.save(ckpt).exists()
+    assert injector.fired == [("checkpoint.save", 1)]
+
+
+def test_flaky_enospc_flavor(tmp_path):
+    import errno
+
+    injector = FaultInjector().arm("checkpoint.save", at=1)
+    store = FlakyStore(CheckpointStore(tmp_path), injector, flavors=("enospc",))
+    with pytest.raises(OSError) as info:
+        store.save(_checkpoints(1)[0])
+    assert info.value.errno == errno.ENOSPC
+    assert not list(tmp_path.glob("ckpt-*.json"))
+
+
+def test_flaky_torn_write_lands_truncated_bytes(tmp_path):
+    injector = FaultInjector().arm("checkpoint.save", at=1)
+    base = CheckpointStore(tmp_path)
+    store = FlakyStore(base, injector, flavors=("torn",))
+    (ckpt,) = _checkpoints(1)
+    with pytest.raises(OSError):
+        store.save(ckpt)
+    torn = list(tmp_path.glob("ckpt-*.json"))
+    assert len(torn) == 1  # truncated bytes really landed on the final path
+    with pytest.raises(CheckpointCorrupt):
+        base.load(torn[0])
+    assert torn[0].with_name(torn[0].name + ".corrupt").exists()
+
+
+def test_flaky_rejects_unknown_flavor(tmp_path):
+    with pytest.raises(ValueError, match="flavor"):
+        FlakyStore(CheckpointStore(tmp_path), FaultInjector(), flavors=("explode",))
+
+
+def test_flaky_load_faults_and_latest_skips(tmp_path):
+    base = CheckpointStore(tmp_path)
+    first, second = _checkpoints(2)
+    base.save(first)
+    base.save(second)
+    injector = FaultInjector().arm("checkpoint.load", at=1)
+    store = FlakyStore(base, injector)
+    # the newest load faults transiently; latest() falls through to the older
+    latest = store.latest()
+    assert latest is not None and latest.seq == first.seq
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+def test_retry_policy_delays_capped_exponential_with_jitter():
+    policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.3, jitter=0.5, seed=7)
+    delays = list(policy.delays())
+    assert len(delays) == 4
+    caps = [0.1, 0.2, 0.3, 0.3]
+    for delay, cap in zip(delays, caps):
+        assert 0.5 * cap <= delay <= 1.5 * cap
+    # deterministic for a fixed seed
+    assert delays == list(policy.delays())
+    # jitter actually varies across attempts
+    assert len({round(d / c, 6) for d, c in zip(delays, caps)}) > 1
+
+
+def test_save_with_retry_recovers(tmp_path):
+    injector = FaultInjector().arm("checkpoint.save", at=1, times=2)
+    sink = RingBufferSink()
+    store = FlakyStore(
+        CheckpointStore(tmp_path, tracer=Tracer([sink])), injector
+    )
+    sleeps = []
+    path = save_with_retry(
+        store,
+        _checkpoints(1)[0],
+        policy=RetryPolicy(attempts=4, base_delay=0.001, max_delay=0.002),
+        sleep=sleeps.append,
+    )
+    assert path.exists()
+    assert len(sleeps) == 2
+    retries = [event for event in sink if event.name == "checkpoint.retry"]
+    assert len(retries) == 2
+    assert retries[0].attrs["attempt"] == 1
+
+
+def test_save_with_retry_exhaustion_raises_unavailable(tmp_path):
+    injector = FaultInjector().arm_random("checkpoint.save", rate=1.0)
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    with pytest.raises(CheckpointStoreUnavailable, match="after 3 attempts"):
+        save_with_retry(
+            store,
+            _checkpoints(1)[0],
+            policy=RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002),
+            sleep=lambda _s: None,
+        )
+
+
+def test_save_with_retry_respects_governor_deadline(tmp_path):
+    injector = FaultInjector().arm_random("checkpoint.save", rate=1.0)
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    clock = [0.0]
+    governor = Governor(Budget(timeout=10.0), clock=lambda: clock[0])
+    sleeps = []
+
+    def sleep(delay):
+        sleeps.append(delay)
+        clock[0] += delay
+
+    # backoff sleeps are clamped to the remaining deadline
+    clock[0] = 9.999
+    with pytest.raises(CheckpointStoreUnavailable):
+        save_with_retry(
+            store,
+            _checkpoints(1)[0],
+            policy=RetryPolicy(attempts=2, base_delay=5.0, max_delay=5.0, jitter=0.0),
+            governor=governor,
+            sleep=sleep,
+        )
+    assert sleeps and sleeps[0] <= 10.0 - 9.999 + 1e-9
+
+    # and once the deadline passes, the governor aborts before retrying
+    clock[0] = 10.5
+    with pytest.raises(BudgetExceededError):
+        save_with_retry(
+            store,
+            _checkpoints(1)[0],
+            policy=RetryPolicy(attempts=2, base_delay=0.001, max_delay=0.002),
+            governor=governor,
+            sleep=sleep,
+        )
