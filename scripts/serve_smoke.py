@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Serving smoke test for CI (the ``serve-smoke`` job).
+
+Boots the real daemon (``repro serve``) on an ephemeral port with a
+persist directory, then walks the full tenant life cycle over HTTP:
+
+1. register a program, query it (mode ``fresh``, full evaluation);
+2. ingest new facts and query again (answers grow);
+3. SIGKILL the daemon mid-flight;
+4. restart it on the same persist directory, re-register the same
+   workload and verify the tenant comes back ``warm`` — rebuilt from
+   its checkpoint with **zero evaluation** — and that its materialized
+   answers are byte-identical to the pre-kill daemon's.
+
+Exits non-zero on any deviation: a cold restart (mode ``fresh`` after
+the kill), missing answers, or any byte difference in the served JSON.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+PROGRAM = "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y)."
+FACTS = "\n".join(f"e({i}, {i + 1})." for i in range(12))
+INGESTED = "e(12, 13)."
+TENANT = "smoke"
+
+
+def _boot(persist_dir: Path) -> tuple[subprocess.Popen, ServeClient]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--persist-dir",
+            str(persist_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert daemon.stdout is not None
+    line = daemon.stdout.readline().strip()  # "serving on http://host:port"
+    if not line.startswith("serving on "):
+        raise RuntimeError(f"daemon did not announce its URL: {line!r}")
+    url = line.removeprefix("serving on ")
+    client = ServeClient.from_url(url, timeout=60)
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            client.health()
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+    return daemon, client
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        persist = Path(tmp) / "tenants"
+
+        daemon, client = _boot(persist)
+        try:
+            registered = client.register(
+                TENANT, PROGRAM, facts=FACTS, query="p"
+            )
+            print(f"registered: mode={registered['mode']}")
+            if registered["mode"] != "fresh":
+                return _fail(f"first registration was {registered['mode']!r}")
+
+            first = client.query(TENANT, "p(0, Y)")
+            if not first["answers"]:
+                return _fail("fresh query returned no answers")
+
+            client.ingest(TENANT, INGESTED)
+            second = client.query(TENANT, "p(0, Y)")
+            if len(second["answers"]) != len(first["answers"]) + 1:
+                return _fail("ingest did not grow the answer set")
+            print(
+                f"queried: {len(first['answers'])} answers, "
+                f"{len(second['answers'])} after ingest"
+            )
+            before = client.query(TENANT, "p(0, Y)", mode="materialized")
+            before_bytes = json.dumps(before["answers"], sort_keys=True)
+        finally:
+            client.close()
+            os.kill(daemon.pid, signal.SIGKILL)
+            daemon.wait(timeout=60)
+        print(f"killed daemon pid {daemon.pid}")
+
+        daemon, client = _boot(persist)
+        try:
+            # The restarted daemon re-registers the workload *as
+            # ingested* — the post-ingest checkpoint anchors it.
+            reregistered = client.register(
+                TENANT, PROGRAM, facts=FACTS + "\n" + INGESTED, query="p"
+            )
+            print(
+                f"re-registered: mode={reregistered['mode']}, "
+                f"resumed_seq={reregistered['resumed_seq']}"
+            )
+            if reregistered["mode"] != "warm":
+                return _fail(
+                    f"restart recomputed (mode {reregistered['mode']!r}); "
+                    "expected a warm start from the checkpoint"
+                )
+            after = client.query(TENANT, "p(0, Y)", mode="materialized")
+            if after["materialized_mode"] != "warm":
+                return _fail(
+                    f"materialized mode is {after['materialized_mode']!r}, not warm"
+                )
+            after_bytes = json.dumps(after["answers"], sort_keys=True)
+            if after_bytes != before_bytes:
+                return _fail(
+                    "warm answers differ from the pre-kill daemon\n"
+                    f"  before: {before_bytes}\n  after:  {after_bytes}"
+                )
+            magic = client.query(TENANT, "p(0, Y)")
+            if json.dumps(magic["answers"], sort_keys=True) != before_bytes:
+                return _fail("magic-mode answers differ after the warm restart")
+        finally:
+            client.close()
+            daemon.terminate()
+            daemon.wait(timeout=60)
+        print(f"warm answers byte-identical ({len(after['answers'])} rows)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,17 +25,17 @@ are rebuilt (index cost is part of the engine).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import random
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from .datalog.database import Database
 from .datalog.evaluation import EvaluationStats, evaluate
 from .datalog.program import Program
+from .digest import fixpoint_digest
 from .magic import run_pipeline
 from .robustness import Budget, BudgetExceededError, Governor
 from .workloads.generators import (
@@ -231,16 +231,10 @@ def build_workloads(*, quick: bool = False) -> dict[str, list[BenchUnit]]:
     }
 
 
-def _fixpoint_digest(results: Iterable[tuple[str, Mapping]] ) -> str:
-    """SHA-256 over every unit's full IDB, order-independent per relation."""
-    digest = hashlib.sha256()
-    for unit_label, idb in results:
-        digest.update(unit_label.encode())
-        for predicate in sorted(idb):
-            digest.update(predicate.encode())
-            for row in sorted(idb[predicate].rows(), key=repr):
-                digest.update(repr(row).encode())
-    return digest.hexdigest()
+# The one shared fixpoint digest (also used by persist and serve), so
+# the committed BENCH_results.json digests, the checkpoint-resume gate
+# and the serving smoke all compare the same bytes.
+_fixpoint_digest = fixpoint_digest
 
 
 def _run_engine(
@@ -364,6 +358,200 @@ def _run_checkpoint_overhead(
     return overhead
 
 
+def _serve_workloads(quick: bool) -> dict[str, dict]:
+    """Two tenant workloads for the serving benchmark.
+
+    Each is a recursive closure over a seeded random edge set, shipped
+    as program/facts *text* (the daemon's wire format) together with
+    the goal shapes the clients cycle.  Per tenant the bound-first
+    goals share one adornment — the artifact cache collapses them to a
+    single compiled pipeline, so almost every request after warmup is
+    a cache hit."""
+
+    def edge_facts(predicate: str, nodes: int, edges: int, seed: int) -> str:
+        rng = random.Random(seed)
+        rows: set[tuple[int, int]] = set()
+        while len(rows) < edges:
+            left = rng.randrange(nodes - 1)
+            rows.add((left, rng.randrange(left + 1, nodes)))
+        return "\n".join(f"{predicate}({l}, {r})." for l, r in sorted(rows))
+
+    nodes, edges = (18, 30) if quick else (40, 90)
+    return {
+        "alpha": {
+            "program": "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).",
+            "query": "p",
+            "facts": edge_facts("e", nodes, edges, seed=11),
+            "goals": ["p(0, V)", "p(1, V)", "p(2, V)", f"p(0, {nodes - 1})"],
+        },
+        "beta": {
+            "program": "q(X, Y) :- f(X, Y).\nq(X, Y) :- f(X, Z), q(Z, Y).",
+            "query": "q",
+            "facts": edge_facts("f", nodes, edges, seed=23),
+            "goals": ["q(0, V)", "q(3, V)", "q(5, V)", f"q(1, {nodes - 1})"],
+        },
+    }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = int(q * (len(sorted_values) - 1) + 0.5)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _run_serve_bench(
+    *, quick: bool = False, clients: int = 8, rounds: int | None = None
+) -> dict:
+    """The serving benchmark: a real daemon under concurrent clients.
+
+    Boots the full stack (:class:`~repro.serve.app.ServeApp` behind the
+    asyncio HTTP shell) on an ephemeral port, registers two tenants and
+    drives ``clients`` concurrent keep-alive clients cycling the
+    tenants' bound-goal shapes.  Reports client-observed p50/p99
+    latency and throughput, the artifact-cache hit counts observed via
+    ``serve.cache`` trace events (repeated shapes must hit), and an
+    ``answers_match`` gate: every daemon response must equal the
+    single-process pipeline's answers for the same goal — concurrency
+    and caching may cost time, never answers.
+
+    Latencies are wall clock (machine-dependent); ``answers_match``
+    and the hit/miss split are the deterministic part.
+    """
+    import asyncio
+    import threading
+
+    from .datalog.parser import parse_atom, parse_facts, parse_program
+    from .magic.transform import match_query_atom
+    from .observability.trace import RingBufferSink, tracing
+    from .serve.app import ServeApp
+    from .serve.client import ServeClient
+    from .serve.http import ServeDaemon
+    from .serve.wire import rows_payload
+
+    rounds = rounds if rounds is not None else (6 if quick else 25)
+    workloads = _serve_workloads(quick)
+
+    # The single-process ground truth for every (tenant, goal) pair.
+    expected: dict[tuple[str, str], list] = {}
+    for name, spec in workloads.items():
+        program = parse_program(spec["program"], query=spec["query"])
+        database = Database(parse_facts(spec["facts"]))
+        for goal_text in spec["goals"]:
+            goal = parse_atom(goal_text)
+            report = run_pipeline(program, (), goal, order="semantic-first")
+            assert report.program is not None
+            result = evaluate(
+                report.program, database, engine="slots", plan_order="cost"
+            )
+            expected[(name, goal_text)] = rows_payload(
+                frozenset(
+                    row for row in result.query_rows()
+                    if match_query_atom(row, goal)
+                )
+            )
+
+    app = ServeApp()
+    daemon = ServeDaemon(app)
+    ready = threading.Event()
+    loop = asyncio.new_event_loop()
+
+    def _serve() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(daemon.start())
+        ready.set()
+        try:
+            loop.run_until_complete(daemon.serve_forever())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.run_until_complete(daemon.stop())
+            loop.close()
+
+    latencies: list[float] = []
+    mismatches: list[str] = []
+    collect = threading.Lock()
+    plan = [
+        (name, goal) for name, spec in workloads.items() for goal in spec["goals"]
+    ]
+
+    def _client(index: int) -> None:
+        local_latencies: list[float] = []
+        local_mismatches: list[str] = []
+        with ServeClient(daemon.host, daemon.port) as client:
+            for step in range(rounds):
+                name, goal = plan[(index + step) % len(plan)]
+                start = time.perf_counter()
+                response = client.query(name, goal)
+                local_latencies.append(time.perf_counter() - start)
+                if response["answers"] != expected[(name, goal)]:
+                    local_mismatches.append(f"{name}:{goal}")
+        with collect:
+            latencies.extend(local_latencies)
+            mismatches.extend(local_mismatches)
+
+    sink = RingBufferSink()
+    thread = threading.Thread(target=_serve, name="bench-serve", daemon=True)
+    with tracing(sink):
+        thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("serving benchmark daemon failed to start")
+        try:
+            with ServeClient(daemon.host, daemon.port) as setup:
+                for name, spec in workloads.items():
+                    setup.register(
+                        name,
+                        spec["program"],
+                        facts=spec["facts"],
+                        query=spec["query"],
+                    )
+            wall_start = time.perf_counter()
+            workers = [
+                threading.Thread(target=_client, args=(i,), name=f"bench-client-{i}")
+                for i in range(clients)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            wall = time.perf_counter() - wall_start
+            with ServeClient(daemon.host, daemon.port) as probe:
+                stats = probe.stats()
+        finally:
+            asyncio.run_coroutine_threadsafe(daemon.stop(), loop).result(timeout=30)
+            thread.join(timeout=30)
+
+    cache_events = [
+        event for event in sink
+        if event.kind == "event" and event.name == "serve.cache"
+    ]
+    trace_hits = sum(1 for event in cache_events if event.attrs.get("hit"))
+    trace_misses = len(cache_events) - trace_hits
+    ordered = sorted(latencies)
+    return {
+        "clients": clients,
+        "rounds_per_client": rounds,
+        "requests": len(latencies),
+        "tenants": sorted(workloads),
+        "goal_shapes": len(plan),
+        "latency_ms": {
+            "p50": _percentile(ordered, 0.50) * 1000,
+            "p99": _percentile(ordered, 0.99) * 1000,
+            "max": (ordered[-1] if ordered else 0.0) * 1000,
+            "mean": (sum(ordered) / len(ordered) if ordered else 0.0) * 1000,
+        },
+        "wall_time_s": wall,
+        "throughput_rps": len(latencies) / wall if wall > 0 else float("inf"),
+        "cache": stats["cache"],
+        "trace_cache_hits": trace_hits,
+        "trace_cache_misses": trace_misses,
+        "cache_hits_observed": trace_hits > 0,
+        "answers_match": not mismatches,
+        "mismatched": sorted(set(mismatches)),
+    }
+
+
 def run_bench(
     *,
     workloads: Sequence[str] | None = None,
@@ -389,14 +577,19 @@ def run_bench(
     )
     governor = None if budget.unlimited else Governor(budget)
     suite = build_workloads(quick=quick)
+    # ``bench_serve`` is not an engine workload (it benchmarks the
+    # daemon, not an evaluate() configuration) but is selectable by
+    # name like the others; no filter runs everything including it.
+    run_serve = not workloads or "bench_serve" in workloads
     if workloads:
-        unknown = [name for name in workloads if name not in suite]
+        selected = [name for name in workloads if name != "bench_serve"]
+        unknown = [name for name in selected if name not in suite]
         if unknown:
             raise ValueError(
                 f"unknown workloads: {', '.join(unknown)} "
-                f"(available: {', '.join(sorted(suite))})"
+                f"(available: {', '.join(sorted([*suite, 'bench_serve']))})"
             )
-        suite = {name: suite[name] for name in workloads}
+        suite = {name: suite[name] for name in selected}
     payload: dict = {
         "generated_by": "python -m repro bench --json"
         + (" --quick" if quick else ""),
@@ -455,6 +648,10 @@ def run_bench(
             payload["ok"] = False
         if any(e["budget_exceeded"] for e in overhead["every"].values()):
             payload["budget_exceeded"] = True
+    if run_serve:
+        payload["serve"] = _run_serve_bench(quick=quick)
+        if not payload["serve"]["answers_match"]:
+            payload["ok"] = False
     return payload
 
 
@@ -503,6 +700,27 @@ def render_results(payload: Mapping) -> str:
             )
         if overhead["fixpoints_match"] is False:
             lines.append("  CHECKPOINT FIXPOINT MISMATCH — persistence changed answers")
+    serve = payload.get("serve")
+    if serve:
+        latency = serve["latency_ms"]
+        lines.append("")
+        lines.append(
+            f"serving ({serve['clients']} concurrent clients, "
+            f"{serve['requests']} requests over {len(serve['tenants'])} tenants):"
+        )
+        lines.append(
+            f"  latency p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms, "
+            f"max {latency['max']:.2f} ms; {serve['throughput_rps']:.0f} req/s"
+        )
+        lines.append(
+            f"  artifact cache: {serve['trace_cache_hits']} hits, "
+            f"{serve['trace_cache_misses']} misses (serve.cache trace events)"
+        )
+        if not serve["answers_match"]:
+            lines.append(
+                "  SERVE ANSWER MISMATCH — daemon answers differ from the "
+                f"single-process pipeline: {', '.join(serve['mismatched'])}"
+            )
     lines.append("")
     if not payload["ok"]:
         lines.append("FIXPOINT MISMATCH — engines disagree")

@@ -8,6 +8,8 @@ Commands
 ``magic``        magic-sets transformation for a bound query atom
 ``pipeline``     chain the semantic rewrite and magic sets (either order)
 ``session``      durable evaluation: run / resume / ingest / inspect
+``serve``        boot the multi-tenant HTTP serving daemon
+``client``       talk to a running daemon (register / query / ingest / stats)
 ``trace``        print the structured trace of a rewrite + evaluation
 ``profile``      per-rule / per-predicate hot-path breakdown
 ``bench``        engine benchmark suite (writes BENCH_results.json)
@@ -89,17 +91,34 @@ from .observability import (
     tracing,
 )
 from .persist import CheckpointStore, Session
-from .robustness import Budget, EvaluationAborted, Governor, ReproError
+from .robustness import (
+    Budget,
+    EvaluationAborted,
+    Governor,
+    ReproError,
+    UsageError,
+    parse_limit_value,
+    parse_timeout_value,
+)
 
 __all__ = ["main"]
 
 
-class UsageError(ReproError):
-    """Bad command-line input: reported as ``error: ...`` with exit code 2."""
-
-
 def _read(path: str) -> str:
     return Path(path).read_text()
+
+
+def _timeout_value(text: str) -> float:
+    """argparse ``type=`` for ``--timeout``: shared CLI/daemon message."""
+    return parse_timeout_value(text)  # type: ignore[return-value]
+
+
+def _max_facts_value(text: str) -> int:
+    return parse_limit_value(text, option="max-facts")  # type: ignore[return-value]
+
+
+def _max_iterations_value(text: str) -> int:
+    return parse_limit_value(text, option="max-iterations")  # type: ignore[return-value]
 
 
 def _budget_from(args: argparse.Namespace) -> Governor | None:
@@ -378,6 +397,86 @@ def _cmd_session_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeApp, run_server
+
+    defaults = Budget(
+        timeout=args.timeout,
+        max_iterations=args.max_iterations,
+        max_facts=args.max_facts,
+    )
+    app = ServeApp(
+        persist_root=None if args.persist_dir is None else Path(args.persist_dir),
+        defaults=None if defaults.unlimited else defaults,
+        cache_capacity=args.cache_capacity,
+    )
+    return run_server(app, host=args.host, port=args.port)
+
+
+def _print_aborted_response(payload: dict) -> None:
+    """Echo a daemon 503 body the way a local abort prints (exit 1)."""
+    print(f"aborted: {payload.get('error')}", file=sys.stderr)
+    partial = payload.get("partial")
+    if partial:
+        print(
+            f"partial results: {partial.get('facts_derived', 0)} facts derived in "
+            f"{partial.get('iterations', 0)} iterations "
+            f"({partial.get('wall_time_seconds', 0.0):.3f}s, "
+            f"{partial.get('rows_scanned', 0)} rows scanned)",
+            file=sys.stderr,
+        )
+    if "partial_answers" in payload:
+        print(f"partial answers: {payload['partial_answers']} rows", file=sys.stderr)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve.client import ServeClient, ServeClientError
+
+    with ServeClient.from_url(args.url) as client:
+        try:
+            if args.client_command == "health":
+                payload = client.health()
+            elif args.client_command == "stats":
+                payload = client.stats()
+            elif args.client_command == "register":
+                payload = client.register(
+                    args.name,
+                    _read(args.program),
+                    constraints=None if not args.constraints else _read(args.constraints),
+                    facts=None if not args.data else _read(args.data),
+                    query=args.query,
+                    engine=args.engine,
+                )
+            elif args.client_command == "inspect":
+                payload = client.inspect(args.name)
+            elif args.client_command == "query":
+                payload = client.query(
+                    args.name,
+                    args.goal,
+                    mode=args.mode,
+                    order=args.order,
+                    sips=args.sips,
+                    timeout=args.timeout,
+                    max_facts=args.max_facts,
+                    max_iterations=args.max_iterations,
+                )
+            else:  # ingest
+                payload = client.ingest(args.name, _read(args.facts))
+        except ServeClientError as exc:
+            if exc.status == 503 and exc.payload.get("aborted"):
+                _print_aborted_response(exc.payload)
+                return 1
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 2
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     program, inline_facts = parse_program_and_facts(_read(args.program), query=args.query)
     constraints = _load_constraints(args)
@@ -553,18 +652,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def budget_flags(cmd) -> None:
+        # The type= callables raise UsageError with the same normalized
+        # message the serving daemon returns as HTTP 400, so CLI and
+        # daemon diagnose malformed limits identically.
         cmd.add_argument(
-            "--timeout", type=float, default=None, metavar="SECONDS",
+            "--timeout", type=_timeout_value, default=None, metavar="SECONDS",
             help="wall-clock budget for the whole command; on expiry the "
             "rewrite degrades and evaluation stops with partial results "
             "(exit code 1)",
         )
         cmd.add_argument(
-            "--max-facts", type=int, default=None, metavar="N",
+            "--max-facts", type=_max_facts_value, default=None, metavar="N",
             help="stop evaluation after deriving more than N facts (exit code 1)",
         )
         cmd.add_argument(
-            "--max-iterations", type=int, default=None, metavar="N",
+            "--max-iterations", type=_max_iterations_value, default=None, metavar="N",
             help="stop evaluation after N semi-naive iterations, total "
             "across SCCs (exit code 1)",
         )
@@ -667,6 +769,64 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", "summarize the checkpoint store as JSON", _cmd_session_inspect
     )
 
+    cmd = sub.add_parser(
+        "serve", help="boot the multi-tenant HTTP serving daemon"
+    )
+    cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    cmd.add_argument("--port", type=int, default=8484, help="bind port (0 = ephemeral)")
+    cmd.add_argument(
+        "--persist-dir", metavar="DIR",
+        help="root directory for per-tenant checkpoints (enables warm restart)",
+    )
+    cmd.add_argument(
+        "--cache-capacity", type=int, default=128, metavar="N",
+        help="pipeline artifact cache entries (default 128)",
+    )
+    budget_flags(cmd)  # the server-side ceiling every request is clamped to
+    cmd.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser("client", help="talk to a running serving daemon")
+    client.add_argument(
+        "--url", default="http://127.0.0.1:8484", help="daemon base URL"
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    ccmd = client_sub.add_parser("health", help="GET /healthz")
+    ccmd.set_defaults(func=_cmd_client)
+    ccmd = client_sub.add_parser("stats", help="GET /stats")
+    ccmd.set_defaults(func=_cmd_client)
+    ccmd = client_sub.add_parser("register", help="PUT /programs/{name}")
+    ccmd.add_argument("name", help="tenant name")
+    ccmd.add_argument("--program", required=True, help="program file (inline facts allowed)")
+    ccmd.add_argument("--constraints", help="integrity constraint file")
+    ccmd.add_argument("--data", help="fact file")
+    ccmd.add_argument("--query", help="query predicate name")
+    ccmd.add_argument("--engine", choices=("slots", "interpreted"), help="join engine")
+    ccmd.set_defaults(func=_cmd_client)
+    ccmd = client_sub.add_parser("inspect", help="GET /programs/{name}")
+    ccmd.add_argument("name", help="tenant name")
+    ccmd.set_defaults(func=_cmd_client)
+    ccmd = client_sub.add_parser("query", help="POST /programs/{name}/query")
+    ccmd.add_argument("name", help="tenant name")
+    ccmd.add_argument("--goal", required=True, help="query atom, e.g. 'p(1, Y)'")
+    ccmd.add_argument(
+        "--mode", default="magic", choices=("magic", "materialized"),
+        help="answer via the specialized pipeline (default) or the resident fixpoint",
+    )
+    ccmd.add_argument(
+        "--order", default="semantic-first", choices=PIPELINE_ORDERS,
+        help="pipeline stage ordering",
+    )
+    ccmd.add_argument(
+        "--sips", default="left-to-right", choices=sorted(STRATEGIES),
+        help="sideways information passing strategy",
+    )
+    budget_flags(ccmd)  # per-request limits, clamped by the server ceiling
+    ccmd.set_defaults(func=_cmd_client)
+    ccmd = client_sub.add_parser("ingest", help="POST /programs/{name}/ingest")
+    ccmd.add_argument("name", help="tenant name")
+    ccmd.add_argument("--facts", required=True, metavar="FILE", help="new ground facts")
+    ccmd.set_defaults(func=_cmd_client)
+
     cmd = program_command("trace", "print the structured trace of a rewrite + evaluation")
     cmd.add_argument("--data", help="fact file (inline program facts also count)")
     cmd.add_argument("--limit", type=int, help="print at most N events")
@@ -745,8 +905,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point.  Exit codes: 0 success, 1 budget exceeded (partial
     results were printed), 2 usage or input error."""
     parser = build_parser()
-    args = parser.parse_args(argv)
     try:
+        # parse_args sits inside the try: malformed --timeout/--max-facts
+        # values raise UsageError from their type= callables and must
+        # reach the exit-code-2 handler below, not a traceback.
+        args = parser.parse_args(argv)
         return args.func(args)
     except EvaluationAborted as exc:
         print(f"aborted: {exc}", file=sys.stderr)

@@ -95,6 +95,21 @@ class OptimizationReport:
             self.program, database, budget=budget, cancellation=cancellation
         )
 
+    def cache_key(self) -> str:
+        """The data-independent digest keying this report's artifacts.
+
+        SHA-256 over the original program's rules, its query predicate
+        and the constraints — the same :func:`repro.digest.workload_digest`
+        (without EDB rows) that persist and bench use, so a cached
+        rewrite can never be replayed against a program it was not
+        computed from.  The serving layer's artifact cache
+        (:class:`repro.serve.cache.ArtifactCache`) builds its keys on
+        this digest.
+        """
+        from ..digest import program_digest
+
+        return program_digest(self.original, self.constraints)
+
     def render_tree(self) -> str:
         if self.tree is None:
             return "(no query tree: the tree phase was skipped by a budget fallback)"

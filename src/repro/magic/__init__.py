@@ -13,13 +13,18 @@ The subsystem has four layers:
 
 from .adorn import AdornedProgram, AdornedRule, adorn_program, adornment_of
 from .pipeline import (
+    CACHEABLE_ORDERS,
     PIPELINE_ORDERS,
     EquivalenceCheck,
+    PipelineArtifact,
     PipelineReport,
+    artifact_key,
     assert_equivalent,
     check_equivalence,
+    compile_artifact,
     query_atom_answers,
     run_pipeline,
+    specialize_pipeline,
 )
 from .sips import STRATEGIES, get_sips, left_to_right, most_bound_first
 from .transform import MagicProgram, magic_transform, match_query_atom
@@ -29,13 +34,18 @@ __all__ = [
     "AdornedRule",
     "adorn_program",
     "adornment_of",
+    "CACHEABLE_ORDERS",
     "PIPELINE_ORDERS",
     "EquivalenceCheck",
+    "PipelineArtifact",
     "PipelineReport",
+    "artifact_key",
     "assert_equivalent",
     "check_equivalence",
+    "compile_artifact",
     "query_atom_answers",
     "run_pipeline",
+    "specialize_pipeline",
     "STRATEGIES",
     "get_sips",
     "left_to_right",

@@ -38,10 +38,13 @@ from ..datalog.atoms import Atom
 from ..datalog.database import Database, Row
 from ..datalog.evaluation import EvaluationResult, EvaluationStats, evaluate
 from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..digest import program_digest
 from ..observability.trace import get_tracer
 from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
 from ..robustness.errors import Cancelled, EvaluationAborted
-from .sips import SipsStrategy, left_to_right
+from .adorn import adornment_of, bound_args
+from .sips import SipsStrategy, get_sips, left_to_right
 from .transform import MagicProgram, magic_transform, match_query_atom
 
 __all__ = [
@@ -53,6 +56,11 @@ __all__ = [
     "EquivalenceCheck",
     "check_equivalence",
     "assert_equivalent",
+    "CACHEABLE_ORDERS",
+    "PipelineArtifact",
+    "artifact_key",
+    "compile_artifact",
+    "specialize_pipeline",
 ]
 
 #: Valid stage orderings.
@@ -412,6 +420,254 @@ def check_equivalence(
         original_stats=original_result.stats,
         transformed_stats=transformed_stats,
     )
+
+
+# ----------------------------------------------------------------------
+# Cached specialization: compile once per query *shape*, seed per request
+# ----------------------------------------------------------------------
+#
+# In the cacheable orders, everything the pipeline computes — the
+# semantic rewrite, adornment, the magic rules — depends only on the
+# program, the constraints and the query atom's *binding pattern*
+# (which positions are constants), never on the constant values
+# themselves.  The values appear in exactly one place: the magic seed
+# fact.  So a serving workload where every request is ``p(c, Y)`` for a
+# different ``c`` can compile the pipeline once per shape and per
+# request only swap the seed — which is what
+# :func:`specialize_pipeline` does, backed by any mapping-like artifact
+# cache (see :class:`repro.serve.cache.ArtifactCache`).
+#
+# ``magic-first`` is the exception: there the semantic rewrite runs
+# *over* the guarded program, seed included, so constraint residues can
+# fold the request's constants into arbitrary rewritten rules.  Its
+# compiled output is constant-dependent and must not be shared across
+# requests — :func:`specialize_pipeline` bypasses the cache for it.
+
+#: Orders whose compiled template is constant-independent (seed-swap sound).
+CACHEABLE_ORDERS = ("semantic-first", "magic-only", "semantic-only")
+
+
+@dataclass(frozen=True)
+class PipelineArtifact:
+    """One compiled pipeline template, constant-independent.
+
+    ``rules`` hold the final program's rules *without* the magic seed
+    (``None`` when the semantic stage proved the shape unsatisfiable);
+    ``seed_predicate``/``adornment`` rebuild the seed for any query
+    atom of the same shape.  ``semantic_report`` and ``magic`` are the
+    template's sub-reports: valid descriptions of the compiled shape,
+    but ``magic.seed`` carries the *template's* constants, not a later
+    request's.
+    """
+
+    key: tuple
+    order: str
+    sips_name: str
+    predicate: str
+    adornment: str
+    satisfiable: bool
+    original: Program
+    constraints: tuple[IntegrityConstraint, ...]
+    rules: tuple[Rule, ...] | None
+    query: str | None
+    seed_predicate: str | None
+    stages: tuple[PipelineStage, ...]
+    semantic_report: OptimizationReport | None
+    magic: MagicProgram | None
+    fallback_chain: tuple[FallbackStep, ...]
+
+    def specialize(self, query_atom: Atom) -> PipelineReport:
+        """A :class:`PipelineReport` for ``query_atom``, seeded from it.
+
+        ``query_atom`` must share the template's predicate and binding
+        pattern; only its constant values may differ.
+        """
+        if query_atom.predicate != self.predicate:
+            raise ValueError(
+                f"artifact compiled for {self.predicate}, not {query_atom.predicate}"
+            )
+        if adornment_of(query_atom, frozenset()) != self.adornment:
+            raise ValueError(
+                f"artifact compiled for shape {self.predicate}/{self.adornment}, "
+                f"which {query_atom} does not match"
+            )
+        program: Program | None = None
+        if self.rules is not None:
+            rules = self.rules
+            if self.seed_predicate is not None:
+                seed = Rule(
+                    Atom(self.seed_predicate, bound_args(query_atom, self.adornment)),
+                    (),
+                )
+                rules = (seed,) + rules
+            program = Program(rules, self.query, validate=False)
+        return PipelineReport(
+            original=self.original,
+            query_atom=query_atom,
+            constraints=self.constraints,
+            order=self.order,
+            stages=self.stages,
+            semantic_report=self.semantic_report,
+            magic=self.magic,
+            program=program,
+            satisfiable=self.satisfiable,
+            fallback_chain=self.fallback_chain,
+        )
+
+
+def artifact_key(
+    program: Program,
+    constraints: Iterable[IntegrityConstraint],
+    query_atom: Atom,
+    *,
+    order: str = "semantic-first",
+    sips_name: str = "left-to-right",
+) -> tuple:
+    """The cache key of one compiled pipeline shape.
+
+    ``(program-shape digest, order, SIPS, predicate, adornment)`` — the
+    digest is the shared :func:`repro.digest.program_digest` (program
+    rules + query predicate + constraints, no EDB rows: rewrite and
+    adornment artifacts are data-independent, so ingesting facts must
+    *not* invalidate them), and the adornment is the query atom's
+    binding pattern, so ``p(1, Y)`` and ``p(2, Y)`` share one entry
+    while ``p(X, 1)`` compiles its own.
+    """
+    shape = program_digest(program.with_query(query_atom.predicate), tuple(constraints))
+    return (shape, order, sips_name, query_atom.predicate, adornment_of(query_atom, frozenset()))
+
+
+def compile_artifact(
+    program: Program,
+    constraints: Iterable[IntegrityConstraint],
+    query_atom: Atom,
+    *,
+    order: str = "semantic-first",
+    sips_name: str = "left-to-right",
+    budget: "Budget | Governor | None" = None,
+) -> PipelineArtifact:
+    """Run the full pipeline once and strip it down to a reusable template."""
+    if order not in CACHEABLE_ORDERS:
+        raise ValueError(
+            f"pipeline order {order!r} produces constant-dependent programs "
+            f"and cannot be compiled to a shared artifact "
+            f"(cacheable: {', '.join(CACHEABLE_ORDERS)})"
+        )
+    constraints = tuple(constraints)
+    report = run_pipeline(
+        program,
+        constraints,
+        query_atom,
+        order=order,
+        sips=get_sips(sips_name),
+        budget=budget,
+    )
+    rules: tuple[Rule, ...] | None = None
+    seed_predicate: str | None = None
+    adornment = adornment_of(query_atom, frozenset())
+    if report.program is not None:
+        rules = report.program.rules
+        if report.magic is not None:
+            seed = report.magic.seed
+            rules = tuple(rule for rule in rules if rule != seed)
+            seed_predicate = seed.head.predicate
+            adornment = report.magic.adorned.query_adornment
+    return PipelineArtifact(
+        key=artifact_key(
+            program, constraints, query_atom, order=order, sips_name=sips_name
+        ),
+        order=order,
+        sips_name=sips_name,
+        predicate=query_atom.predicate,
+        adornment=adornment,
+        satisfiable=report.satisfiable,
+        original=report.original,
+        constraints=constraints,
+        rules=rules,
+        query=None if report.program is None else report.program.query,
+        seed_predicate=seed_predicate,
+        stages=report.stages,
+        semantic_report=report.semantic_report,
+        magic=report.magic,
+        fallback_chain=report.fallback_chain,
+    )
+
+
+def specialize_pipeline(
+    program: Program,
+    constraints: Iterable[IntegrityConstraint],
+    query_atom: Atom,
+    *,
+    order: str = "semantic-first",
+    sips_name: str = "left-to-right",
+    cache=None,
+    budget: "Budget | Governor | None" = None,
+    cache_site: str = "pipeline.cache",
+) -> tuple[PipelineReport, bool]:
+    """A pipeline report for ``query_atom``, through an artifact cache.
+
+    Returns ``(report, cache_hit)``.  ``cache`` is any object with
+    mapping-style ``get(key)`` / ``put(key, value)`` (e.g.
+    :class:`repro.serve.cache.ArtifactCache`); with ``None`` the
+    pipeline always compiles fresh.  A hit **skips the semantic
+    rewrite, adornment and the magic transform entirely** — only the
+    seed fact is rebuilt from the request's constants — which is the
+    serving fast path.  Every consult emits a ``cache_site`` trace
+    event (default ``pipeline.cache``; the daemon passes
+    ``serve.cache``, which doubles as a chaos-injection site) carrying
+    the hit/miss outcome.
+
+    ``magic-first`` templates are constant-dependent (see
+    :data:`CACHEABLE_ORDERS`), so that order always compiles fresh and
+    its trace events carry ``cacheable=False``.
+    """
+    constraints = tuple(constraints)
+    tracer = get_tracer()
+    if order not in CACHEABLE_ORDERS:
+        tracer.event(
+            cache_site,
+            hit=False,
+            cacheable=False,
+            order=order,
+            predicate=query_atom.predicate,
+            adornment=adornment_of(query_atom, frozenset()),
+        )
+        report = run_pipeline(
+            program,
+            constraints,
+            query_atom,
+            order=order,
+            sips=get_sips(sips_name),
+            budget=budget,
+        )
+        return report, False
+    key = artifact_key(
+        program, constraints, query_atom, order=order, sips_name=sips_name
+    )
+    artifact: PipelineArtifact | None = None
+    if cache is not None:
+        artifact = cache.get(key)
+    hit = artifact is not None
+    tracer.event(
+        cache_site,
+        hit=hit,
+        cacheable=True,
+        order=order,
+        predicate=query_atom.predicate,
+        adornment=key[-1],
+    )
+    if artifact is None:
+        artifact = compile_artifact(
+            program,
+            constraints,
+            query_atom,
+            order=order,
+            sips_name=sips_name,
+            budget=budget,
+        )
+        if cache is not None:
+            cache.put(key, artifact)
+    return artifact.specialize(query_atom), hit
 
 
 def assert_equivalent(

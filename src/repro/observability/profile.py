@@ -32,7 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datalog.evaluation import EvaluationResult
     from ..datalog.program import Program
 
-__all__ = ["RuleProfile", "EvaluationProfile", "build_profile", "profile_evaluation"]
+__all__ = [
+    "RuleProfile",
+    "TenantServeProfile",
+    "EvaluationProfile",
+    "build_profile",
+    "profile_evaluation",
+]
 
 
 @dataclass
@@ -67,6 +73,34 @@ class RuleProfile:
 
 
 @dataclass
+class TenantServeProfile:
+    """Accumulated serving work of one tenant (``serve.request`` spans)."""
+
+    tenant: str
+    requests: int = 0
+    time: float = 0.0
+    queries: int = 0
+    ingests: int = 0
+    errors: int = 0
+    aborted: int = 0
+
+    def absorb(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        self.requests += 1
+        self.time += event.duration
+        kind = attrs.get("kind")
+        if kind == "query":
+            self.queries += 1
+        elif kind == "ingest":
+            self.ingests += 1
+        status = attrs.get("status")
+        if isinstance(status, int) and status >= 400:
+            self.errors += 1
+            if status == 503:
+                self.aborted += 1
+
+
+@dataclass
 class EvaluationProfile:
     """Per-rule and per-predicate breakdown of one (or more) evaluations."""
 
@@ -84,6 +118,9 @@ class EvaluationProfile:
     checkpoint_retries: int = 0
     checkpoint_bytes: int = 0
     quarantines: list[str] = field(default_factory=list)
+    tenants: dict[str, TenantServeProfile] = field(default_factory=dict)
+    serve_cache_hits: int = 0
+    serve_cache_misses: int = 0
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -139,6 +176,25 @@ class EvaluationProfile:
                     f"{entry.time * 1000:10.3f} {entry.firings:8d} {entry.probes:8d} "
                     f"{entry.rows_scanned:9d} {entry.facts_derived:7d}  {name}"
                 )
+        if self.tenants:
+            lines.append("")
+            lines.append(
+                f"serving: {self.serve_cache_hits} artifact cache hits, "
+                f"{self.serve_cache_misses} misses"
+            )
+            lines.append(
+                f"{'time(ms)':>10} {'reqs':>6} {'queries':>8} {'ingests':>8} "
+                f"{'errors':>7} {'aborted':>8}  tenant"
+            )
+            for name in sorted(
+                self.tenants, key=lambda t: (-self.tenants[t].time, t)
+            ):
+                entry = self.tenants[name]
+                lines.append(
+                    f"{entry.time * 1000:10.3f} {entry.requests:6d} "
+                    f"{entry.queries:8d} {entry.ingests:8d} {entry.errors:7d} "
+                    f"{entry.aborted:8d}  {name}"
+                )
         return "\n".join(lines)
 
 
@@ -187,6 +243,16 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
                 f"{event.attrs.get('fell_back_to', '?')} "
                 f"({event.attrs.get('reason', '')})"
             )
+        elif event.kind == "span" and event.name == "serve.request":
+            tenant = str(event.attrs.get("tenant") or "-")
+            profile.tenants.setdefault(
+                tenant, TenantServeProfile(tenant)
+            ).absorb(event)
+        elif event.kind == "event" and event.name in ("serve.cache", "pipeline.cache"):
+            if event.attrs.get("hit"):
+                profile.serve_cache_hits += 1
+            else:
+                profile.serve_cache_misses += 1
         elif event.kind == "event" and event.name == "plan":
             # The compiled plan of a (rule, delta) pair: keep the most
             # informative one per rule (delta plans override the base

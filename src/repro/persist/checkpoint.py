@@ -28,11 +28,11 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
-from ..datalog.database import Database, Row
+from ..datalog.database import Row
 from ..datalog.evaluation import EvaluationSnapshot, EvaluationStats
-from ..datalog.program import Program
+from ..digest import fixpoint_digest, workload_digest
 from ..robustness.errors import ReproError
 
 __all__ = [
@@ -61,52 +61,9 @@ class CheckpointMismatch(CheckpointError):
     """A (valid) checkpoint belongs to a different workload digest."""
 
 
-def workload_digest(
-    program: Program,
-    database: Database,
-    constraints: Sequence[object] = (),
-) -> str:
-    """SHA-256 binding a checkpoint to its exact inputs.
-
-    Covers the rules in program order, the query predicate, the
-    constraints (by ``repr``) and every EDB row (predicates sorted,
-    rows sorted by ``repr``).  Any edit to the program, the constraints
-    or the data changes the digest, which invalidates old checkpoints
-    — including the intended case where :meth:`Session.ingest
-    <repro.persist.session.Session.ingest>` adds facts and re-anchors
-    the session on a new digest.
-    """
-    digest = hashlib.sha256()
-    for rule in program.rules:
-        digest.update(repr(rule).encode())
-        digest.update(b"\n")
-    digest.update(f"query={program.query!r}\n".encode())
-    for constraint in constraints:
-        digest.update(repr(constraint).encode())
-        digest.update(b"\n")
-    for predicate, entry in sorted(database.to_dict().items()):
-        digest.update(predicate.encode())
-        for row in entry["rows"]:  # already sorted by repr
-            digest.update(repr(tuple(row)).encode())
-    return digest.hexdigest()
-
-
-def fixpoint_digest(results: Iterable[tuple[str, Mapping]]) -> str:
-    """SHA-256 over labeled IDB fixpoints, identical to ``repro bench``.
-
-    Each item is ``(label, idb)`` where ``idb`` maps predicates to
-    relations (anything with ``.rows()``).  Byte-compatible with the
-    digests committed in ``BENCH_results.json``, so a resumed fixpoint
-    can be checked against the benchmark baseline.
-    """
-    digest = hashlib.sha256()
-    for unit_label, idb in results:
-        digest.update(unit_label.encode())
-        for predicate in sorted(idb):
-            digest.update(predicate.encode())
-            for row in sorted(idb[predicate].rows(), key=repr):
-                digest.update(repr(row).encode())
-    return digest.hexdigest()
+# workload_digest / fixpoint_digest are re-exported from
+# :mod:`repro.digest` — the single shared definition used by persist,
+# bench and serve (so the three digest computations can't drift).
 
 
 def _rows_payload(rows: "Iterable[Row]") -> list[list]:
@@ -131,6 +88,35 @@ class Checkpoint:
     @property
     def complete(self) -> bool:
         return self.snapshot.complete
+
+    @property
+    def latest_round(self) -> int:
+        """The semi-naive round the snapshot was taken at.
+
+        Exposed on the envelope so summary consumers (``repro session
+        inspect``, the daemon's ``/stats`` endpoint) never re-parse the
+        snapshot payload to learn how far the fixpoint had progressed.
+        """
+        return self.snapshot.iteration
+
+    def summary(self) -> dict:
+        """A JSON-ready envelope summary (no row payloads).
+
+        The shared shape behind ``repro session inspect`` and the
+        serving daemon's ``/stats``: sequence number, strategy,
+        completeness, ``latest_round``, SCC progress, fact count and
+        cumulative stats.
+        """
+        return {
+            "seq": self.seq,
+            "strategy": self.snapshot.strategy,
+            "complete": self.complete,
+            "latest_round": self.latest_round,
+            "iteration": self.snapshot.iteration,
+            "completed_sccs": self.snapshot.completed_sccs,
+            "facts": sum(len(rows) for rows in self.snapshot.idb.values()),
+            "stats": self.snapshot.stats.as_dict(),
+        }
 
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:

@@ -229,6 +229,28 @@ class Session:
         """:meth:`run` with ``resume=True``."""
         return self.run(resume=True)
 
+    def warm_start(self) -> SessionResult | None:
+        """Restore the latest *complete* fixpoint with zero evaluation.
+
+        The serving daemon's restart path: when the store holds a
+        complete checkpoint for this exact workload digest, the saved
+        IDB is rebuilt into an :class:`~repro.datalog.evaluation
+        .EvaluationResult` directly — no rules fire, no rounds run —
+        and the session is primed for incremental :meth:`ingest`.
+        Returns ``None`` when no complete checkpoint exists (the caller
+        decides whether to fall back to :meth:`run`).
+        """
+        if self.store is None:
+            return None
+        latest = self.store.latest(expect_workload=self.workload())
+        if latest is None or not latest.complete:
+            return None
+        outcome = self._complete_from(
+            (latest.snapshot.idb, latest.snapshot.stats), "warm", []
+        )
+        outcome.resumed_seq = latest.seq
+        return outcome
+
     # ------------------------------------------------------------------
     def _normalize_facts(self, facts: Iterable[object]) -> list[tuple[str, Row]]:
         normalized: list[tuple[str, Row]] = []
@@ -521,19 +543,8 @@ class Session:
             "corrupt": corrupt,
         }
         # Read-only diagnostic: never quarantine a checkpoint just
-        # because it belongs to a different workload than ours.
-        latest = self.store.latest(
-            expect_workload=self.workload(), quarantine_mismatch=False
-        )
-        info["latest"] = None
-        if latest is not None:
-            info["latest"] = {
-                "seq": latest.seq,
-                "strategy": latest.snapshot.strategy,
-                "complete": latest.complete,
-                "iteration": latest.snapshot.iteration,
-                "completed_sccs": latest.snapshot.completed_sccs,
-                "facts": sum(len(rows) for rows in latest.snapshot.idb.values()),
-                "stats": latest.snapshot.stats.as_dict(),
-            }
+        # because it belongs to a different workload than ours.  The
+        # envelope summary carries ``latest_round`` and ``age_seconds``
+        # together (shared with the daemon's /stats endpoint).
+        info["latest"] = self.store.latest_summary(expect_workload=self.workload())
         return info

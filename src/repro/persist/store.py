@@ -185,16 +185,64 @@ class CheckpointStore:
         ``quarantine_mismatch``) and the walk continues, so one torn
         final write never blocks recovery from the checkpoint before it.
         """
+        found = self.latest_with_path(
+            expect_workload=expect_workload,
+            quarantine_mismatch=quarantine_mismatch,
+        )
+        return None if found is None else found[0]
+
+    def latest_with_path(
+        self,
+        *,
+        expect_workload: str | None = None,
+        quarantine_mismatch: bool = True,
+    ) -> tuple[Checkpoint, Path] | None:
+        """:meth:`latest` plus the file it was loaded from."""
         for path in reversed(self.paths()):
             try:
-                return self.load(
+                return (
+                    self.load(
+                        path,
+                        expect_workload=expect_workload,
+                        quarantine_mismatch=quarantine_mismatch,
+                    ),
                     path,
-                    expect_workload=expect_workload,
-                    quarantine_mismatch=quarantine_mismatch,
                 )
             except CheckpointError:
                 continue
         return None
+
+    def latest_summary(
+        self,
+        *,
+        expect_workload: str | None = None,
+        now: float | None = None,
+    ) -> dict | None:
+        """The newest checkpoint's envelope summary plus its on-disk age.
+
+        Read-only diagnostic (never quarantines a workload mismatch):
+        the :meth:`Checkpoint.summary
+        <repro.persist.checkpoint.Checkpoint.summary>` dict extended
+        with ``age_seconds`` — the mtime delta between the checkpoint
+        file and ``now`` (wall clock by default) — so ``repro session
+        inspect`` and the serving daemon's ``/stats`` report checkpoint
+        age and round number together from one code path.
+        """
+        found = self.latest_with_path(
+            expect_workload=expect_workload, quarantine_mismatch=False
+        )
+        if found is None:
+            return None
+        checkpoint, path = found
+        summary = checkpoint.summary()
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            summary["age_seconds"] = None
+        else:
+            reference = time.time() if now is None else now
+            summary["age_seconds"] = max(0.0, reference - mtime)
+        return summary
 
     # ------------------------------------------------------------------
     def quarantine(self, path: Path, reason: str) -> Path:
@@ -300,6 +348,16 @@ class FlakyStore:
             except (CheckpointError, OSError):
                 continue
         return None
+
+    def latest_summary(
+        self,
+        *,
+        expect_workload: str | None = None,
+        now: float | None = None,
+    ) -> dict | None:
+        # Read-only diagnostic: served by the underlying store directly
+        # (fault sites cover the save/load paths that matter).
+        return self.store.latest_summary(expect_workload=expect_workload, now=now)
 
     def paths(self) -> list[Path]:
         return self.store.paths()

@@ -12,13 +12,22 @@ bounded, cancellable and degrade-gracefully (see ``docs/robustness.md``):
   harness armed at trace-event sites.
 """
 
-from .budget import Budget, CancellationToken, FallbackStep, Governor
+from .budget import (
+    Budget,
+    CancellationToken,
+    FallbackStep,
+    Governor,
+    RequestGovernorFactory,
+    parse_limit_value,
+    parse_timeout_value,
+)
 from .errors import (
     BudgetExceededError,
     Cancelled,
     EvaluationAborted,
     InjectedFault,
     ReproError,
+    UsageError,
 )
 from .faults import ChaosTracer, FaultInjector, chaos
 
@@ -27,7 +36,11 @@ __all__ = [
     "CancellationToken",
     "FallbackStep",
     "Governor",
+    "RequestGovernorFactory",
+    "parse_timeout_value",
+    "parse_limit_value",
     "ReproError",
+    "UsageError",
     "EvaluationAborted",
     "BudgetExceededError",
     "Cancelled",

@@ -34,12 +34,66 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from .errors import BudgetExceededError, Cancelled
+from .errors import BudgetExceededError, Cancelled, UsageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datalog.evaluation import EvaluationStats
 
-__all__ = ["Budget", "CancellationToken", "Governor", "FallbackStep"]
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "Governor",
+    "FallbackStep",
+    "RequestGovernorFactory",
+    "parse_timeout_value",
+    "parse_limit_value",
+]
+
+
+def parse_timeout_value(value: object, *, option: str = "timeout") -> float | None:
+    """Normalize a caller-supplied timeout into seconds (or ``None``).
+
+    Accepts a number or a numeric string; anything else — or a
+    non-positive or non-finite value — raises
+    :class:`~repro.robustness.errors.UsageError` with the one
+    normalized message both the CLI (exit code 2) and the serving
+    daemon (HTTP 400) report, so ``repro run --timeout banana`` and
+    ``POST /query {"timeout": "banana"}`` diagnose identically.
+    """
+    if value is None:
+        return None
+    message = f"invalid {option} {value!r}: expected a positive number of seconds"
+    if isinstance(value, bool):
+        raise UsageError(message)
+    try:
+        seconds = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise UsageError(message) from None
+    if not seconds > 0 or seconds != seconds or seconds == float("inf"):
+        raise UsageError(message)
+    return seconds
+
+
+def parse_limit_value(value: object, *, option: str = "max-facts") -> int | None:
+    """Normalize a caller-supplied count limit (or ``None``).
+
+    The integer twin of :func:`parse_timeout_value`: accepts an int or
+    an integer string, requires it positive, and raises
+    :class:`~repro.robustness.errors.UsageError` with the shared
+    CLI/daemon message otherwise.
+    """
+    if value is None:
+        return None
+    message = f"invalid {option} {value!r}: expected a positive integer"
+    if isinstance(value, (bool, float)):
+        raise UsageError(message)
+    try:
+        count = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise UsageError(message) from None
+    if count <= 0:
+        raise UsageError(message)
+    return count
 
 
 @dataclass(frozen=True)
@@ -264,3 +318,52 @@ class Governor:
                 f"{phase} exceeded the {limit}-expansion budget",
             )
         self.tick(phase)
+
+
+def _tightest(server: float | None, request: float | None) -> float | None:
+    if server is None:
+        return request
+    if request is None:
+        return server
+    return min(server, request)
+
+
+class RequestGovernorFactory:
+    """Mints one fresh :class:`Governor` per serving request.
+
+    The daemon configures *server defaults* (its SLO ceiling); each
+    request may carry its own ``timeout`` / ``max_facts`` /
+    ``max_iterations``, already normalized by
+    :func:`parse_timeout_value` / :func:`parse_limit_value`.  The
+    effective budget is the **tighter** of the two per limit — a tenant
+    can always ask for less than the server allows, never more — and
+    the governor's deadline is anchored at the moment the request
+    starts, so one slow request can never eat a neighbour's budget (the
+    whole point of per-request governance, vs. the CLI's one shared
+    governor per command).
+    """
+
+    def __init__(self, defaults: Budget | None = None):
+        self.defaults = defaults if defaults is not None else Budget()
+        self.minted = 0
+
+    def for_request(
+        self,
+        *,
+        timeout: float | None = None,
+        max_facts: int | None = None,
+        max_iterations: int | None = None,
+        cancellation: CancellationToken | None = None,
+    ) -> Governor | None:
+        """A fresh governor for one request (``None`` when unbounded)."""
+        budget = Budget(
+            timeout=_tightest(self.defaults.timeout, timeout),
+            max_iterations=_tightest(self.defaults.max_iterations, max_iterations),
+            max_facts=_tightest(self.defaults.max_facts, max_facts),
+            max_rows_scanned=self.defaults.max_rows_scanned,
+            max_expansions=self.defaults.max_expansions,
+        )
+        if budget.unlimited and cancellation is None:
+            return None
+        self.minted += 1
+        return Governor(budget, cancellation)

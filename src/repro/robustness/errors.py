@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ReproError",
+    "UsageError",
     "EvaluationAborted",
     "BudgetExceededError",
     "Cancelled",
@@ -41,6 +42,17 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class of every structured error raised by this package."""
+
+
+class UsageError(ReproError):
+    """Bad caller-supplied input: a malformed flag, goal or payload.
+
+    Raised with an already-normalized, human-readable message.  The CLI
+    reports it as ``error: ...`` with exit code 2; the serving daemon
+    maps it to HTTP 400 with the *same* message text, so both surfaces
+    diagnose bad input identically (see
+    :func:`repro.robustness.budget.parse_timeout_value`).
+    """
 
 
 class EvaluationAborted(ReproError):

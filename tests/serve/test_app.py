@@ -1,0 +1,366 @@
+"""The in-process daemon: routes, concurrency, per-request budgets, chaos.
+
+Drives :class:`ServeApp.handle` directly (no sockets) — the HTTP shell
+is covered separately.  The headline tests: N concurrent clients over
+two tenants get exactly the single-threaded pipeline's answers, and an
+armed ``serve.request`` / ``serve.cache`` fault surfaces as HTTP 503
+carrying the same diagnostics shape as a budget trip.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_atom, parse_facts, parse_program
+from repro.magic import run_pipeline
+from repro.magic.transform import match_query_atom
+from repro.robustness import Budget, FaultInjector
+from repro.robustness.faults import chaos
+from repro.serve.app import ServeApp
+from repro.serve.wire import rows_payload
+
+ALPHA = {
+    "program": "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).",
+    "query": "p",
+    "facts": "\n".join(f"e({i}, {i + 1})." for i in range(10)),
+}
+BETA = {
+    "program": "q(X, Y) :- f(X, Y).\nq(X, Y) :- f(X, Z), q(Z, Y).",
+    "query": "q",
+    "facts": "\n".join(f"f({i}, {i + 2})." for i in range(0, 12, 2)),
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def register(app, name, spec):
+    status, payload = await app.handle("PUT", f"/programs/{name}", spec)
+    assert status == 200, payload
+    return payload
+
+
+def expected_answers(spec, goal_text):
+    program = parse_program(spec["program"], query=spec["query"])
+    database = Database(parse_facts(spec["facts"]))
+    goal = parse_atom(goal_text)
+    report = run_pipeline(program, (), goal, order="semantic-first")
+    assert report.program is not None
+    result = evaluate(report.program, database)
+    return rows_payload(
+        frozenset(row for row in result.query_rows() if match_query_atom(row, goal))
+    )
+
+
+class TestRoutes:
+    def test_healthz(self):
+        app = ServeApp()
+        status, payload = run(app.handle("GET", "/healthz"))
+        assert status == 200
+        assert payload["ok"] is True
+
+    def test_unknown_route_is_400(self):
+        app = ServeApp()
+        status, payload = run(app.handle("GET", "/nope"))
+        assert status == 400
+        assert "no such route" in payload["error"]
+
+    def test_wrong_method_is_400(self):
+        app = ServeApp()
+        status, payload = run(app.handle("POST", "/healthz"))
+        assert status == 400
+        assert "use GET" in payload["error"]
+
+    def test_unknown_tenant_is_404(self):
+        app = ServeApp()
+        status, payload = run(
+            app.handle("POST", "/programs/ghost/query", {"goal": "p(1, Y)"})
+        )
+        assert status == 404
+        assert "register it first" in payload["error"]
+
+    def test_register_then_query_and_stats(self):
+        app = ServeApp()
+
+        async def drive():
+            registered = await register(app, "alpha", ALPHA)
+            assert registered["mode"] == "fresh"
+            assert registered["latest_round"] >= 1
+            status, answer = await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+            assert status == 200
+            status, stats = await app.handle("GET", "/stats")
+            assert status == 200
+            return answer, stats
+
+        answer, stats = run(drive())
+        assert answer["answers"] == expected_answers(ALPHA, "p(0, Y)")
+        assert answer["cache_hit"] is False
+        assert answer["satisfiable"] is True
+        assert stats["tenants"]["alpha"]["queries"] == 1
+        assert stats["cache"]["misses"] == 1
+        # An unbounded request needs no governor at all.
+        assert stats["governors_minted"] == 0
+
+    def test_repeated_shape_hits_the_cache(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            hits = []
+            for constant in (0, 1, 2, 3):
+                _, payload = await app.handle(
+                    "POST", "/programs/alpha/query", {"goal": f"p({constant}, Y)"}
+                )
+                hits.append(payload["cache_hit"])
+                assert payload["answers"] == expected_answers(ALPHA, f"p({constant}, Y)")
+            return hits
+
+        assert run(drive()) == [False, True, True, True]
+
+    def test_goal_must_be_idb(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            return await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "e(1, Y)"}
+            )
+
+        status, payload = run(drive())
+        assert status == 400
+        assert "IDB" in payload["error"]
+
+    def test_materialized_mode_answers_from_resident_fixpoint(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            return await app.handle(
+                "POST",
+                "/programs/alpha/query",
+                {"goal": "p(0, Y)", "mode": "materialized"},
+            )
+
+        status, payload = run(drive())
+        assert status == 200
+        assert payload["mode"] == "materialized"
+        assert payload["materialized_mode"] == "fresh"
+        assert payload["answers"] == expected_answers(ALPHA, "p(0, Y)")
+
+    def test_ingest_refreshes_answers(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            _, before = await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+            status, ingested = await app.handle(
+                "POST", "/programs/alpha/ingest", {"facts": "e(10, 11)."}
+            )
+            assert status == 200
+            _, after = await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+            return before, ingested, after
+
+        before, ingested, after = run(drive())
+        assert ingested["ingested"] == 1
+        assert ingested["mode"] in ("incremental", "recompute")
+        assert [0, 11] in after["answers"]
+        assert len(after["answers"]) == len(before["answers"]) + 1
+        # The artifact cache survives the ingest: keys are data-free.
+        assert after["cache_hit"] is True
+
+    def test_inspect_reports_tenant_summary(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            return await app.handle("GET", "/programs/alpha")
+
+        status, payload = run(drive())
+        assert status == 200
+        assert payload["tenant"] == "alpha"
+        assert payload["query"] == "p"
+        assert payload["edb_facts"] == 10
+        assert payload["latest_round"] >= 1
+
+
+class TestBudgets:
+    def test_request_budget_trip_is_503_with_partial_diagnostics(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            return await app.handle(
+                "POST",
+                "/programs/alpha/query",
+                {"goal": "p(0, Y)", "max_facts": 1},
+            )
+
+        status, payload = run(drive())
+        assert status == 503
+        assert payload["aborted"] is True
+        assert payload["limit"] == "max_facts"
+        assert payload["partial"]["facts_derived"] >= 1
+        assert app.aborted == 1
+        assert app.governors.minted == 1
+
+    def test_server_ceiling_binds_unlimited_requests(self):
+        app = ServeApp(defaults=Budget(max_facts=1))
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            return await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+
+        status, payload = run(drive())
+        assert status == 503
+        assert payload["limit"] == "max_facts"
+
+    def test_aborted_request_does_not_poison_the_next(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            first = await app.handle(
+                "POST",
+                "/programs/alpha/query",
+                {"goal": "p(0, Y)", "max_facts": 1},
+            )
+            second = await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+            return first, second
+
+        (first_status, _), (second_status, second_payload) = run(drive())
+        assert first_status == 503
+        assert second_status == 200
+        assert second_payload["answers"] == expected_answers(ALPHA, "p(0, Y)")
+
+
+class TestChaos:
+    def test_armed_serve_request_fault_is_503(self):
+        app = ServeApp()
+        injector = FaultInjector().arm("serve.request", at=2)
+
+        async def drive():
+            with chaos(injector):
+                first = await register(app, "alpha", ALPHA)
+                second = await app.handle(
+                    "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+                )
+            return first, second
+
+        async def wrapped():
+            # register() asserts 200; the fault fires on the 2nd request.
+            return await drive()
+
+        first, (status, payload) = run(wrapped())
+        assert first["mode"] == "fresh"
+        assert status == 503
+        assert payload["aborted"] is True
+        assert "injected fault" in payload["error"]
+        assert injector.fired == [("serve.request", 2)]
+
+    def test_armed_serve_cache_fault_is_503_and_recoverable(self):
+        app = ServeApp()
+        injector = FaultInjector().arm("serve.cache", at=1)
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            with chaos(injector):
+                faulted = await app.handle(
+                    "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+                )
+            healthy = await app.handle(
+                "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+            )
+            return faulted, healthy
+
+        (status, payload), (after_status, after_payload) = run(drive())
+        assert status == 503
+        assert payload["aborted"] is True
+        assert after_status == 200
+        assert after_payload["answers"] == expected_answers(ALPHA, "p(0, Y)")
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("clients", [8])
+    def test_concurrent_clients_get_single_threaded_answers(self, clients):
+        """N async clients over two tenants; every response equals the
+        single-threaded pipeline's answers for that goal."""
+        app = ServeApp()
+        goals = {
+            "alpha": ["p(0, Y)", "p(1, Y)", "p(2, Y)"],
+            "beta": ["q(0, Y)", "q(2, Y)", "q(4, Y)"],
+        }
+        expected = {
+            (tenant, goal): expected_answers(spec, goal)
+            for tenant, spec in (("alpha", ALPHA), ("beta", BETA))
+            for goal in goals[tenant]
+        }
+
+        async def client(index):
+            plan = sorted(expected)
+            responses = []
+            for step in range(6):
+                tenant, goal = plan[(index + step) % len(plan)]
+                status, payload = await app.handle(
+                    "POST", f"/programs/{tenant}/query", {"goal": goal}
+                )
+                assert status == 200, payload
+                responses.append((tenant, goal, payload["answers"]))
+            return responses
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            await register(app, "beta", BETA)
+            return await asyncio.gather(*(client(i) for i in range(clients)))
+
+        for responses in run(drive()):
+            for tenant, goal, answers in responses:
+                assert answers == expected[(tenant, goal)]
+
+    def test_concurrent_queries_and_ingest_stay_consistent(self):
+        """Writers exclude readers: a query never sees a half-applied
+        ingest — every response matches the pipeline over either the
+        old or the new EDB."""
+        app = ServeApp()
+        before = expected_answers(ALPHA, "p(0, Y)")
+        extended = dict(ALPHA, facts=ALPHA["facts"] + "\ne(10, 11).")
+        after = expected_answers(extended, "p(0, Y)")
+
+        async def reader(index):
+            seen = []
+            for _ in range(4):
+                status, payload = await app.handle(
+                    "POST", "/programs/alpha/query", {"goal": "p(0, Y)"}
+                )
+                assert status == 200, payload
+                seen.append(payload["answers"])
+            return seen
+
+        async def writer():
+            status, payload = await app.handle(
+                "POST", "/programs/alpha/ingest", {"facts": "e(10, 11)."}
+            )
+            assert status == 200, payload
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            results = await asyncio.gather(
+                reader(0), reader(1), reader(2), writer(), reader(3)
+            )
+            return [r for r in results if r is not None]
+
+        for seen in run(drive()):
+            for answers in seen:
+                assert answers in (before, after)

@@ -1,0 +1,73 @@
+"""The artifact cache: LRU behavior, counters, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ArtifactCache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ArtifactCache(0)
+
+
+def test_get_put_and_counters():
+    cache = ArtifactCache(4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["evictions"] == 0
+    assert len(cache) == 1
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ArtifactCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a; b is now the LRU entry
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats()["evictions"] == 1
+
+
+def test_put_overwrites_without_growing():
+    cache = ArtifactCache(2)
+    cache.put("a", 1)
+    cache.put("a", 2)
+    assert len(cache) == 1
+    assert cache.get("a") == 2
+
+
+def test_clear_resets_entries_not_counters():
+    cache = ArtifactCache(2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == 1
+
+
+def test_concurrent_access_is_consistent():
+    cache = ArtifactCache(16)
+
+    def worker(index: int) -> None:
+        for step in range(200):
+            key = f"k{(index + step) % 8}"
+            if cache.get(key) is None:
+                cache.put(key, key)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = cache.stats()
+    assert stats["entries"] <= 8
+    assert stats["hits"] + stats["misses"] == 8 * 200

@@ -1,0 +1,149 @@
+"""The wire format: parsing, normalized limit messages, abort payloads.
+
+The satellite claim under test: a malformed ``timeout`` or
+``max_facts`` produces the byte-identical message on both transports —
+``repro run --timeout banana`` prints it to stderr and exits 2, a POST
+body with ``"timeout": "banana"`` returns it as HTTP 400.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main
+from repro.robustness import UsageError
+from repro.robustness.budget import parse_limit_value, parse_timeout_value
+from repro.serve.app import ServeApp
+from repro.serve.wire import (
+    aborted_payload,
+    parse_ingest,
+    parse_query,
+    parse_register,
+    rows_payload,
+)
+
+PROGRAM = "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y)."
+FACTS = "e(1, 2).\ne(2, 3)."
+
+
+class TestParseRegister:
+    def test_minimal(self):
+        request = parse_register({"program": PROGRAM, "facts": FACTS, "query": "p"})
+        assert request.program.query == "p"
+        assert len(request.facts) == 2
+        assert request.engine == "slots"
+
+    def test_body_must_be_object(self):
+        with pytest.raises(UsageError, match="JSON object"):
+            parse_register([1, 2])
+
+    def test_program_required(self):
+        with pytest.raises(UsageError, match="missing required field 'program'"):
+            parse_register({})
+
+    def test_bad_program_text(self):
+        with pytest.raises(UsageError, match="cannot parse program"):
+            parse_register({"program": "p(X :-"})
+
+    def test_bad_engine_choice(self):
+        with pytest.raises(UsageError, match="invalid engine"):
+            parse_register({"program": PROGRAM, "engine": "turbo"})
+
+
+class TestParseQuery:
+    def test_defaults(self):
+        request = parse_query({"goal": "p(1, Y)"})
+        assert request.mode == "magic"
+        assert request.order == "semantic-first"
+        assert request.sips == "left-to-right"
+        assert request.timeout is None
+
+    def test_bad_goal(self):
+        with pytest.raises(UsageError, match="cannot parse goal"):
+            parse_query({"goal": "p(1"})
+
+    def test_bad_mode(self):
+        with pytest.raises(UsageError, match="invalid mode"):
+            parse_query({"goal": "p(1, Y)", "mode": "psychic"})
+
+    @pytest.mark.parametrize("value", ["banana", -1, 0, "0", False])
+    def test_bad_timeout_is_normalized(self, value):
+        with pytest.raises(UsageError, match="expected a positive number of seconds"):
+            parse_query({"goal": "p(1, Y)", "timeout": value})
+
+    @pytest.mark.parametrize("value", ["many", 0, -3, 2.5])
+    def test_bad_max_facts_is_normalized(self, value):
+        with pytest.raises(UsageError, match="expected a positive integer"):
+            parse_query({"goal": "p(1, Y)", "max_facts": value})
+
+
+class TestParseIngest:
+    def test_facts_required(self):
+        with pytest.raises(UsageError, match="missing required field 'facts'"):
+            parse_ingest({})
+
+    def test_empty_facts_rejected(self):
+        with pytest.raises(UsageError, match="no ground facts"):
+            parse_ingest({"facts": "% just a comment"})
+
+    def test_parses(self):
+        assert len(parse_ingest({"facts": FACTS}).facts) == 2
+
+
+class TestNormalizedMessagesSharedWithCli:
+    """One normalization helper, two transports, identical bytes."""
+
+    def test_timeout_message_identical(self, capsys):
+        assert main(["bench", "--quick", "--timeout", "banana"]) == 2
+        cli_message = capsys.readouterr().err.strip()
+        with pytest.raises(UsageError) as info:
+            parse_timeout_value("banana")
+        assert cli_message == f"error: {info.value}"
+
+    def test_max_facts_message_identical(self, capsys):
+        assert main(["bench", "--quick", "--max-facts", "0"]) == 2
+        cli_message = capsys.readouterr().err.strip()
+        with pytest.raises(UsageError) as info:
+            parse_limit_value("0", option="max-facts")
+        assert cli_message == f"error: {info.value}"
+
+    def test_http_400_carries_the_same_message(self):
+        app = ServeApp()
+
+        async def drive():
+            await app.handle("PUT", "/programs/t", {"program": PROGRAM, "facts": FACTS})
+            return await app.handle(
+                "POST", "/programs/t/query", {"goal": "p(1, Y)", "timeout": "banana"}
+            )
+
+        status, payload = asyncio.run(drive())
+        assert status == 400
+        with pytest.raises(UsageError) as info:
+            parse_timeout_value("banana")
+        assert payload["error"] == str(info.value)
+
+
+def test_rows_payload_is_sorted_and_json_ready():
+    rows = frozenset([(2, 3), (1, 2)])
+    assert rows_payload(rows) == [[1, 2], [2, 3]]
+
+
+def test_aborted_payload_mirrors_cli_diagnostics():
+    from repro.datalog.database import Database
+    from repro.datalog.evaluation import evaluate
+    from repro.datalog.parser import parse_program
+    from repro.robustness import Budget, BudgetExceededError, Governor
+
+    program = parse_program(PROGRAM, query="p")
+    database = Database()
+    for left in range(8):
+        database.add_row("e", (left, left + 1))
+    with pytest.raises(BudgetExceededError) as info:
+        evaluate(program, database, budget=Governor(Budget(max_facts=3)))
+    payload = aborted_payload(info.value)
+    assert payload["aborted"] is True
+    assert payload["limit"] == "max_facts"
+    assert payload["partial"]["facts_derived"] >= 3
+    assert payload["partial"]["iterations"] >= 0
+    assert payload["phase"] == "evaluate"
+    assert payload["partial_answers"] >= 0
