@@ -67,7 +67,7 @@ from .core.emptiness import is_empty_program, unsatisfiable_initialization_rules
 from .core.reachability import is_satisfiable
 from .core.rewrite import optimize
 from .cq.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
-from .datalog.database import Database
+from .datalog.database import STORAGES, Database
 from .datalog.evaluation import evaluate
 from .datalog.parser import (
     parse_atom,
@@ -156,11 +156,15 @@ def _load_database(path: str) -> Database:
 
 
 def _database_from(args: argparse.Namespace, inline_facts) -> Database:
-    """Combine a program file's inline facts with an optional --data file."""
+    """Combine a program file's inline facts with an optional --data file.
+
+    Commands that expose ``--storage`` get their EDB built directly in
+    the requested backend; the rest default to row storage.
+    """
     facts = list(inline_facts)
     if getattr(args, "data", None):
         facts.extend(parse_facts(_read(args.data)))
-    return Database(facts)
+    return Database(facts, storage=getattr(args, "storage", "rows"))
 
 
 def _with_optional_trace(args: argparse.Namespace, body) -> int:
@@ -448,6 +452,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     facts=None if not args.data else _read(args.data),
                     query=args.query,
                     engine=args.engine,
+                    storage=args.storage,
                 )
             elif args.client_command == "inspect":
                 payload = client.inspect(args.name)
@@ -538,6 +543,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             max_iterations=args.max_iterations,
             max_facts=args.max_facts,
+            storage=args.storage,
         )
     except ValueError as exc:
         raise UsageError(str(exc)) from exc
@@ -649,6 +655,11 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--plan-order", default="cost", choices=("cost", "greedy"),
             help="compiled-plan body order: cost-based (default) or greedy",
+        )
+        cmd.add_argument(
+            "--storage", default="rows", choices=STORAGES,
+            help="fact storage: per-row tuple sets (default) or "
+            "dictionary-encoded column arrays with block-at-a-time joins",
         )
 
     def budget_flags(cmd) -> None:
@@ -801,6 +812,10 @@ def build_parser() -> argparse.ArgumentParser:
     ccmd.add_argument("--data", help="fact file")
     ccmd.add_argument("--query", help="query predicate name")
     ccmd.add_argument("--engine", choices=("slots", "interpreted"), help="join engine")
+    ccmd.add_argument(
+        "--storage", choices=STORAGES,
+        help="tenant fact storage backend (daemon default: rows)",
+    )
     ccmd.set_defaults(func=_cmd_client)
     ccmd = client_sub.add_parser("inspect", help="GET /programs/{name}")
     ccmd.add_argument("name", help="tenant name")
@@ -864,6 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument(
         "--workloads", help="comma-separated subset (default: the whole suite)"
+    )
+    cmd.add_argument(
+        "--storage", choices=STORAGES, default=None,
+        help="force every engine config onto one storage backend "
+        "(default: each config's own choice)",
     )
     budget_flags(cmd)
     cmd.set_defaults(func=_cmd_bench)

@@ -1,11 +1,27 @@
-"""EDB storage: relations of ground tuples with on-demand hash indexes.
+"""EDB storage: two interchangeable backends behind one relation contract.
 
-A :class:`Database` maps EDB predicate names to :class:`Relation`
-objects.  Relations store tuples of plain Python values (the ``value``
-payloads of :class:`~repro.datalog.terms.Constant`) and build hash
-indexes lazily, keyed by the set of bound argument positions that a join
-probe uses.  This is the substrate the semi-naive engine
-(:mod:`repro.datalog.evaluation`) runs on.
+A :class:`Database` maps EDB predicate names to relation objects and
+owns the **storage backend** that decides how those relations hold
+their tuples (see ``docs/storage.md`` for the full contract):
+
+* ``storage="rows"`` — :class:`Relation`: per-row tuple sets of plain
+  Python values (the ``value`` payloads of
+  :class:`~repro.datalog.terms.Constant`) with lazily built hash
+  indexes keyed by the bound argument positions a join probe uses.
+  This is the seed backend the tuple-at-a-time engines run on.
+* ``storage="columnar"`` — :class:`ColumnarRelation`: dictionary-encoded
+  column arrays over a per-database :class:`Interner` that maps every
+  constant to a dense int code.  Hash indexes are built over the int
+  columns, and the compiled slot engine executes **batched block
+  kernels** over them (:meth:`repro.datalog.plan.RulePlan.run_blocks`)
+  — one kernel invocation per join step per delta block instead of one
+  slot environment per row.
+
+Both backends expose the same value-level API (``add`` / ``probe`` /
+``index_for`` / ``all_rows`` / ``rows`` / ``to_rows`` / containment),
+so every consumer — the interpreted engine, reports, digests,
+checkpoints — works unchanged on either; fixpoint digests are computed
+over decoded rows and are byte-identical across backends.
 """
 
 from __future__ import annotations
@@ -16,10 +32,75 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from .atoms import Atom
 from .terms import Constant
 
-__all__ = ["Relation", "Database"]
+__all__ = ["STORAGES", "Interner", "Relation", "ColumnarRelation", "Database"]
 
 Value = object
 Row = tuple
+
+#: Valid ``storage`` arguments of :class:`Database` (and ``evaluate``).
+STORAGES = ("rows", "columnar")
+
+#: Probe-side sentinel for constants that were never interned: it hashes
+#: and compares like any object but equals no real code, so a probe key
+#: containing it simply misses every index bucket and row set.
+_MISSING = object()
+
+
+class Interner:
+    """Dictionary encoding: constants to dense int codes, per database.
+
+    Codes are assigned in first-intern order (``0, 1, 2, …``) and never
+    change, so code columns stay valid as relations grow.  Lookup uses
+    Python ``==``/``hash`` semantics — values that compare equal
+    (``1``, ``1.0``, ``True``) share one code, exactly as they collapse
+    into one element of a row-backend tuple set, so interning never
+    changes which rows a database can tell apart.
+
+    ``hits`` counts interning calls that found an existing code — the
+    ``intern_hits`` evaluation counter reports the delta accumulated
+    during one evaluation.
+    """
+
+    __slots__ = ("codes", "values", "hits")
+
+    def __init__(self, values: Iterable[Value] = ()):
+        self.codes: dict = {}
+        self.values: list = []
+        self.hits = 0
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Value) -> int:
+        """The code for ``value``, assigning a fresh one on first sight."""
+        code = self.codes.get(value)
+        if code is None:
+            code = len(self.values)
+            self.codes[value] = code
+            self.values.append(value)
+        else:
+            self.hits += 1
+        return code
+
+    def code_of(self, value: Value):
+        """Probe-side lookup: the code, or the missing sentinel.
+
+        Never inserts — probe constants must not pollute the dictionary
+        with values the data never contained.
+        """
+        return self.codes.get(value, _MISSING)
+
+    def decode(self, code: int) -> Value:
+        return self.values[code]
+
+    def to_list(self) -> list:
+        """The value table in code order (JSON-ready for checkpoints)."""
+        return list(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Interner(values={len(self.values)}, hits={self.hits})"
 
 
 class Relation:
@@ -118,27 +199,279 @@ class Relation:
         return f"Relation(arity={self.arity}, rows={len(self._rows)})"
 
 
+class ColumnarRelation:
+    """Dictionary-encoded columnar storage behind the relation contract.
+
+    Rows live as parallel **code columns** (``columns[i][rowid]`` is the
+    int code of row ``rowid``'s value at position ``i``) over a shared
+    :class:`Interner`; ``_row_set`` holds the code tuples for O(1)
+    dedup/containment.  Code-level hash indexes
+    (:meth:`index_codes`) map a projection of int codes to rowid lists
+    and are maintained incrementally on insert — they are what the
+    batched block kernels of :mod:`repro.datalog.plan` probe.
+
+    The value-level :class:`Relation` API (``probe`` / ``index_for`` /
+    ``all_rows`` / ``rows`` / iteration / containment) is provided by
+    decoding through the interner, so the tuple-at-a-time interpreter
+    and every serialization path run unchanged on this backend.  The
+    decoded row set and any value-level indexes are caches kept
+    incrementally up to date by :meth:`add_codes`.
+    """
+
+    __slots__ = (
+        "arity",
+        "interner",
+        "columns",
+        "_row_set",
+        "_code_indexes",
+        "_value_indexes",
+        "_decoded",
+    )
+
+    def __init__(self, arity: int, interner: Interner, rows: Iterable[Row] = ()):
+        self.arity = arity
+        self.interner = interner
+        self.columns: list[list[int]] = [[] for _ in range(arity)]
+        self._row_set: set[tuple[int, ...]] = set()
+        self._code_indexes: dict[tuple[int, ...], dict] = {}
+        self._value_indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+        self._decoded: set[Row] | None = None
+        for row in rows:
+            self.add(row)
+
+    # -- writes ---------------------------------------------------------
+    def add(self, row: Sequence[Value]) -> bool:
+        """Insert a value tuple (interning it); return True when new."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(f"arity mismatch: expected {self.arity}, got {len(row)}")
+        intern = self.interner.intern
+        return self.add_codes(tuple(intern(v) for v in row))
+
+    def add_codes(self, codes: tuple[int, ...]) -> bool:
+        """Insert an already-encoded row; return True when it was new.
+
+        The code-level write path the block kernels use: appends one
+        code per column, records the rowid in every built code index,
+        and keeps the decoded caches (when materialized) in sync.
+        """
+        if codes in self._row_set:
+            return False
+        self._row_set.add(codes)
+        for column, code in zip(self.columns, codes):
+            column.append(code)
+        if self._code_indexes:
+            rowid = len(self._row_set) - 1
+            for positions, index in self._code_indexes.items():
+                if len(positions) == 1:
+                    key = codes[positions[0]]
+                else:
+                    key = tuple(codes[i] for i in positions)
+                index.setdefault(key, []).append(rowid)
+        if self._decoded is not None or self._value_indexes:
+            values = self.interner.values
+            row = tuple(values[c] for c in codes)
+            if self._decoded is not None:
+                self._decoded.add(row)
+            for positions, index in self._value_indexes.items():
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+        return True
+
+    # -- code-level reads (the block-kernel API) ------------------------
+    def code_rows(self) -> set[tuple[int, ...]]:
+        """The live set of code tuples (read-only view — do not mutate)."""
+        return self._row_set
+
+    def index_codes(self, positions: tuple[int, ...], stats=None) -> dict:
+        """The code-level hash index for ``positions`` → rowid lists.
+
+        Keys are bare int codes for single-position indexes (no tuple
+        allocation on the probe hot path) and code tuples otherwise.
+        Built lazily, maintained incrementally by :meth:`add_codes`;
+        a build increments ``stats.index_builds`` when stats are given.
+        """
+        if not positions:
+            raise ValueError("index_codes needs bound positions; scan columns for full scans")
+        index = self._code_indexes.get(positions)
+        if index is None:
+            index = {}
+            if len(positions) == 1:
+                for rowid, code in enumerate(self.columns[positions[0]]):
+                    index.setdefault(code, []).append(rowid)
+            else:
+                key_columns = [self.columns[i] for i in positions]
+                for rowid, key in enumerate(zip(*key_columns)):
+                    index.setdefault(key, []).append(rowid)
+            self._code_indexes[positions] = index
+            if stats is not None:
+                stats.index_builds += 1
+        return index
+
+    def has_code_index(self, positions: tuple[int, ...]) -> bool:
+        return positions in self._code_indexes
+
+    # -- value-level reads (the Relation contract) ----------------------
+    def _decoded_rows(self) -> set[Row]:
+        if self._decoded is None:
+            values = self.interner.values
+            self._decoded = {
+                tuple(values[c] for c in codes) for codes in self._row_set
+            }
+        return self._decoded
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        get = self.interner.codes.get
+        codes = []
+        for value in row:
+            code = get(value)
+            if code is None:
+                return False
+            codes.append(code)
+        return tuple(codes) in self._row_set
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._decoded_rows())
+
+    def __len__(self) -> int:
+        return len(self._row_set)
+
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._decoded_rows())
+
+    def probe(self, positions: tuple[int, ...], key: Row) -> list[Row]:
+        """Decoded rows matching ``key`` on ``positions`` (Relation API)."""
+        if not positions:
+            return list(self._decoded_rows())
+        return self.index_for(positions).get(tuple(key), [])
+
+    def index_for(self, positions: tuple[int, ...], stats=None) -> dict[Row, list[Row]]:
+        """A value-level hash index (decoded view of :meth:`index_codes`).
+
+        Kept incrementally up to date by :meth:`add_codes` once built,
+        exactly like :meth:`Relation.index_for`, so the tuple-at-a-time
+        engines can run unchanged on columnar storage.
+        """
+        if not positions:
+            raise ValueError("index_for needs bound positions; use all_rows() for full scans")
+        index = self._value_indexes.get(positions)
+        if index is None:
+            built: dict[Row, list[Row]] = defaultdict(list)
+            for row in self._decoded_rows():
+                built[tuple(row[i] for i in positions)].append(row)
+            index = self._value_indexes[positions] = dict(built)
+            if stats is not None:
+                stats.index_builds += 1
+        return index
+
+    def has_index(self, positions: tuple[int, ...]) -> bool:
+        return positions in self._value_indexes
+
+    def all_rows(self) -> set[Row]:
+        """The decoded row set (cached; read-only view — do not mutate)."""
+        return self._decoded_rows()
+
+    def to_rows(self) -> list[Row]:
+        """Decoded rows, deterministically ordered (sorted by repr)."""
+        return sorted(self._decoded_rows(), key=repr)
+
+    def copy(self) -> "ColumnarRelation":
+        """An independent relation **sharing** this one's interner.
+
+        Codes are append-only, so sharing the dictionary keeps copies
+        cheap and code columns mutually valid; indexes and caches are
+        not copied (they rebuild lazily).
+        """
+        fresh = ColumnarRelation(self.arity, self.interner)
+        fresh.columns = [list(column) for column in self.columns]
+        fresh._row_set = set(self._row_set)
+        return fresh
+
+    def __repr__(self) -> str:
+        return f"ColumnarRelation(arity={self.arity}, rows={len(self._row_set)})"
+
+
 class Database:
     """A mapping from predicate names to relations (the EDB).
 
     Construct from ground :class:`Atom` facts or ``(predicate, row)``
-    pairs; query with :meth:`relation` / :meth:`contains`.
+    pairs; query with :meth:`relation` / :meth:`contains`.  ``storage``
+    selects the backend every relation of this database uses:
+    ``"rows"`` (:class:`Relation`, the seed tuple-set backend) or
+    ``"columnar"`` (:class:`ColumnarRelation` over one shared
+    :class:`Interner` owned by the database).  The engines create their
+    IDB/delta relations through :meth:`new_relation`, so evaluation
+    runs entirely in the database's native backend.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "storage", "interner")
 
-    def __init__(self, facts: Iterable[Atom] = ()):
-        self._relations: dict[str, Relation] = {}
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        *,
+        storage: str = "rows",
+        interner: "Interner | None" = None,
+    ):
+        if storage not in STORAGES:
+            raise ValueError(
+                f"unknown storage {storage!r} (valid: {', '.join(STORAGES)})"
+            )
+        self.storage = storage
+        self.interner = (
+            (interner if interner is not None else Interner())
+            if storage == "columnar"
+            else None
+        )
+        self._relations: dict[str, Relation | ColumnarRelation] = {}
         for fact in facts:
             self.add_fact(fact)
 
     @classmethod
-    def from_rows(cls, rows_by_predicate: Mapping[str, Iterable[Sequence[Value]]]) -> "Database":
+    def from_rows(
+        cls,
+        rows_by_predicate: Mapping[str, Iterable[Sequence[Value]]],
+        *,
+        storage: str = "rows",
+    ) -> "Database":
         """Build a database directly from raw value tuples."""
-        db = cls()
+        db = cls(storage=storage)
         for predicate, rows in rows_by_predicate.items():
             for row in rows:
                 db.add_row(predicate, tuple(row))
+        return db
+
+    def new_relation(self, arity: int) -> "Relation | ColumnarRelation":
+        """An empty relation in this database's storage backend.
+
+        The factory the engines use for IDB and delta relations, so
+        derived relations share the database's interner (codes from the
+        EDB and the IDB live in one dictionary) and the whole
+        evaluation stays in one backend.
+        """
+        if self.storage == "columnar":
+            return ColumnarRelation(arity, self.interner)
+        return Relation(arity)
+
+    def to_storage(self, storage: str) -> "Database":
+        """This database converted to ``storage`` (self when it already is).
+
+        Conversion walks predicates and rows in deterministic
+        (sorted-by-repr) order, so a columnar conversion assigns interner
+        codes reproducibly for identical inputs.
+        """
+        if storage not in STORAGES:
+            raise ValueError(
+                f"unknown storage {storage!r} (valid: {', '.join(STORAGES)})"
+            )
+        if storage == self.storage:
+            return self
+        db = Database(storage=storage)
+        for predicate, relation in sorted(self._relations.items()):
+            target = db.new_relation(relation.arity)
+            for row in relation.to_rows():
+                target.add(row)
+            db._relations[predicate] = target
         return db
 
     def add_fact(self, fact: Atom) -> bool:
@@ -150,17 +483,17 @@ class Database:
     def add_row(self, predicate: str, row: Sequence[Value]) -> bool:
         relation = self._relations.get(predicate)
         if relation is None:
-            relation = Relation(len(row))
+            relation = self.new_relation(len(row))
             self._relations[predicate] = relation
         return relation.add(row)
 
-    def relation(self, predicate: str, arity: int | None = None) -> Relation:
+    def relation(self, predicate: str, arity: int | None = None) -> "Relation | ColumnarRelation":
         """The relation for ``predicate`` (an empty one if absent)."""
         relation = self._relations.get(predicate)
         if relation is None:
             if arity is None:
                 raise KeyError(f"unknown predicate {predicate} (pass arity for an empty relation)")
-            return Relation(arity)
+            return self.new_relation(arity)
         return relation
 
     def contains(self, predicate: str, row: Sequence[Value]) -> bool:
@@ -179,40 +512,71 @@ class Database:
     def size(self) -> int:
         return sum(len(rel) for rel in self._relations.values())
 
-    def to_dict(self) -> dict[str, dict[str, object]]:
+    def to_dict(self, *, include_interner: bool = False) -> dict[str, dict[str, object]]:
         """A JSON-ready snapshot: predicate -> ``{"arity", "rows"}``.
 
         Rows become lists (JSON has no tuples); :meth:`from_dict`
         restores them.  Row values must be JSON scalars (ints, strings,
         floats, bools, ``None``) for the round trip to be lossless —
         which is what every parser-produced fact contains.
+
+        Rows are always **decoded** values, never interner codes, so the
+        default payload — and therefore every workload digest computed
+        over it — is byte-identical across storage backends.  With
+        ``include_interner=True`` a columnar database additionally
+        writes its value table under the reserved ``"__interner__"``
+        key, so :meth:`from_dict` can rebuild the same code assignment.
         """
-        return {
+        payload: dict[str, dict[str, object]] = {
             predicate: {
                 "arity": relation.arity,
                 "rows": [list(row) for row in relation.to_rows()],
             }
             for predicate, relation in sorted(self._relations.items())
         }
+        if include_interner and self.interner is not None:
+            payload["__interner__"] = {"values": self.interner.to_list()}
+        return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Mapping[str, object]]) -> "Database":
+    def from_dict(
+        cls,
+        payload: Mapping[str, Mapping[str, object]],
+        *,
+        storage: str | None = None,
+    ) -> "Database":
         """Rebuild a database from a :meth:`to_dict` snapshot.
 
         Arity is honored even for empty relations, so an empty relation
         survives the round trip instead of degenerating to "unknown
-        predicate".
+        predicate".  A payload carrying ``"__interner__"`` restores a
+        columnar database with the saved code assignment; ``storage``
+        overrides the inferred backend (default: columnar when an
+        interner travelled with the payload, rows otherwise).
         """
-        db = cls()
-        for predicate, entry in payload.items():
-            relation = Relation(int(entry["arity"]))  # type: ignore[call-overload]
+        entries = dict(payload)
+        interner_entry = entries.pop("__interner__", None)
+        if storage is None:
+            storage = "columnar" if interner_entry is not None else "rows"
+        interner = None
+        if storage == "columnar" and interner_entry is not None:
+            interner = Interner(interner_entry["values"])  # type: ignore[index]
+        db = cls(storage=storage, interner=interner)
+        for predicate, entry in entries.items():
+            relation = db.new_relation(int(entry["arity"]))  # type: ignore[call-overload]
             for row in entry["rows"]:  # type: ignore[union-attr]
                 relation.add(tuple(row))
             db._relations[predicate] = relation
         return db
 
     def copy(self) -> "Database":
-        db = Database()
+        """An independent database in the same storage backend.
+
+        Columnar copies **share** the interner (codes are append-only,
+        so sharing keeps them mutually valid and copies cheap); rows,
+        indexes and caches are per-copy.
+        """
+        db = Database(storage=self.storage, interner=self.interner)
         db._relations = {p: r.copy() for p, r in self._relations.items()}
         return db
 

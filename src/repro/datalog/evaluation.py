@@ -48,7 +48,7 @@ from ..observability.trace import Tracer, get_tracer
 from ..robustness.budget import Budget, CancellationToken, Governor
 from ..robustness.errors import EvaluationAborted
 from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
-from .database import Database, Relation, Row
+from .database import STORAGES, Database, Relation, Row
 from .plan import (
     DEFAULT_IDB_ESTIMATE,
     RulePlan,
@@ -63,6 +63,7 @@ from .terms import Constant, Variable
 __all__ = [
     "ENGINES",
     "PLAN_ORDERS",
+    "STORAGES",
     "EvaluationStats",
     "EvaluationResult",
     "EvaluationSnapshot",
@@ -77,6 +78,9 @@ ENGINES = ("slots", "interpreted")
 
 #: Valid ``plan_order`` arguments of :func:`evaluate`.
 PLAN_ORDERS = ("cost", "greedy")
+
+# STORAGES (valid ``storage`` arguments) is defined next to the storage
+# backends in :mod:`repro.datalog.database` and re-exported here.
 
 
 @dataclass
@@ -96,6 +100,8 @@ class EvaluationStats:
     iterations: int = 0
     index_builds: int = 0
     env_allocations: int = 0
+    intern_hits: int = 0
+    block_probes: int = 0
     budget_trips: int = 0
     wall_time_seconds: float = 0.0
     rows_scanned_by_rule: dict[str, int] = field(default_factory=dict)
@@ -111,6 +117,8 @@ class EvaluationStats:
         self.iterations += getattr(other, "iterations", 0)
         self.index_builds += getattr(other, "index_builds", 0)
         self.env_allocations += getattr(other, "env_allocations", 0)
+        self.intern_hits += getattr(other, "intern_hits", 0)
+        self.block_probes += getattr(other, "block_probes", 0)
         self.budget_trips += getattr(other, "budget_trips", 0)
         self.wall_time_seconds += getattr(other, "wall_time_seconds", 0.0)
         for key, value in getattr(other, "rows_scanned_by_rule", {}).items():
@@ -126,6 +134,8 @@ class EvaluationStats:
             "iterations": self.iterations,
             "index_builds": self.index_builds,
             "env_allocations": self.env_allocations,
+            "intern_hits": self.intern_hits,
+            "block_probes": self.block_probes,
             "budget_trips": self.budget_trips,
             "wall_time_seconds": self.wall_time_seconds,
             "rows_scanned_by_rule": dict(self.rows_scanned_by_rule),
@@ -150,6 +160,8 @@ class EvaluationStats:
             "iterations",
             "index_builds",
             "env_allocations",
+            "intern_hits",
+            "block_probes",
             "budget_trips",
         ):
             setattr(stats, key, int(payload.get(key, 0)))  # type: ignore[call-overload]
@@ -247,6 +259,12 @@ class EvaluationSnapshot:
     the semi-naive frontier feeding its next round (``None`` for naive
     snapshots and for completed evaluations).  ``stats`` are cumulative
     from the very first run, so resumed statistics stay monotone.
+
+    ``interner`` is the columnar backend's value table in code order
+    (``None`` under rows storage): rows in the snapshot are always
+    decoded values, so the snapshot stays engine- **and**
+    storage-agnostic, but carrying the table lets a columnar resume
+    reproduce the exact code assignment of the checkpointed run.
     """
 
     strategy: str
@@ -257,6 +275,7 @@ class EvaluationSnapshot:
     delta: Mapping[str, frozenset] | None
     stats: EvaluationStats
     complete: bool = False
+    interner: "tuple | None" = None
 
 
 def _check_resume(
@@ -401,9 +420,44 @@ def _run_join(
 
 
 # ----------------------------------------------------------------------
-# Engine adapters: one driver, two join engines
+# Engine adapters: one driver, two join engines (x two storage backends)
 # ----------------------------------------------------------------------
-class _SlotEngine:
+class _EngineBase:
+    """Driver-facing helpers shared by every engine adapter.
+
+    ``run`` returns an engine-specific result batch; :meth:`result_count`
+    sizes it (for ``rule_firings``) and :meth:`derive` inserts the head
+    rows — plus provenance and the semi-naive sink delta — returning the
+    number of *new* facts.  The drivers never reach into batch internals,
+    so a batch can be a list of environments (per-row engines) or a
+    column block (the columnar engine) without driver changes.
+    """
+
+    def result_count(self, results) -> int:
+        return len(results)
+
+    def derive(self, plan, results, head_relation, sink_delta, prov, stats) -> int:
+        rule = plan.rule
+        head_pred = rule.head.predicate
+        new = 0
+        for env in results:
+            head_row = self.head_row(plan, env)
+            if head_row in head_relation:
+                continue
+            head_relation.add(head_row)
+            new += 1
+            if prov is not None:
+                prov[(head_pred, head_row)] = (
+                    rule,
+                    tuple(self.support_rows(plan, env)),
+                )
+            if sink_delta is not None:
+                sink_delta[head_pred].add(head_row)
+        stats.facts_derived += new
+        return new
+
+
+class _SlotEngine(_EngineBase):
     """The compiled slot-based engine (:mod:`repro.datalog.plan`)."""
 
     name = "slots"
@@ -458,7 +512,73 @@ class _SlotEngine:
         return plan.support_rows(env)
 
 
-class _InterpEngine:
+class _ColumnarSlotEngine(_SlotEngine):
+    """The slot engine over columnar storage: batched block kernels.
+
+    Reuses the slot engine's plan compilation unchanged (the step
+    layouts are storage-agnostic) but executes through
+    :meth:`~repro.datalog.plan.RulePlan.run_blocks`, whose result batch
+    is ``(n, code columns)`` rather than per-row environments; head
+    insertion happens at the code level (one dedup set lookup plus one
+    ``add_codes`` per new fact) and decodes only for provenance.
+    """
+
+    name = "slots"
+
+    def __init__(self, program: Program, database: Database, idb, plan_order: str, tracer: Tracer):
+        super().__init__(program, database, idb, plan_order, tracer)
+        self.interner = database.interner
+
+    def run(self, plan: RulePlan, relation_of, delta_relation, stats, governor=None):
+        return plan.run_blocks(
+            relation_of,
+            delta_relation,
+            self.interner,
+            stats,
+            tracer=self.tracer if self.trace_on else None,
+            governor=governor,
+        )
+
+    def result_count(self, results) -> int:
+        return results[0]
+
+    def derive(self, plan, results, head_relation, sink_delta, prov, stats) -> int:
+        n, cols = results
+        if not n:
+            return 0
+        rule = plan.rule
+        head_pred = rule.head.predicate
+        intern = self.interner.intern
+        head_cols = [
+            cols[p] if s else [intern(p)] * n for s, p in plan.head_layout
+        ]
+        keys = zip(*head_cols) if head_cols else iter([()] * n)
+        live = head_relation.code_rows()
+        add_codes = head_relation.add_codes
+        sink = None if sink_delta is None else sink_delta[head_pred].add_codes
+        values = self.interner.values
+        new = 0
+        for i, codes in enumerate(keys):
+            if codes in live:
+                continue
+            add_codes(codes)
+            new += 1
+            if sink is not None:
+                sink(codes)
+            if prov is not None:
+                env = [
+                    None if col is None else values[col[i]] for col in cols
+                ]
+                head_row = tuple(values[c] for c in codes)
+                prov[(head_pred, head_row)] = (
+                    rule,
+                    tuple(plan.support_rows(env)),
+                )
+        stats.facts_derived += new
+        return new
+
+
+class _InterpEngine(_EngineBase):
     """The seed tuple-at-a-time interpreter, kept as the perf baseline."""
 
     name = "interpreted"
@@ -507,8 +627,14 @@ class _InterpEngine:
 
 def _make_engine(engine: str, program, database, idb, plan_order: str, tracer: Tracer):
     if engine == "slots":
+        # The storage backend picks the executor: same compiled plans,
+        # block kernels on columnar databases, closure chains on rows.
+        if database.storage == "columnar":
+            return _ColumnarSlotEngine(program, database, idb, plan_order, tracer)
         return _SlotEngine(program, database, idb, plan_order, tracer)
     if engine == "interpreted":
+        # The interpreter runs unchanged on either backend through the
+        # value-level Relation API (columnar relations decode lazily).
         return _InterpEngine(program, database, idb, plan_order, tracer)
     raise ValueError(f"unknown engine {engine!r} (valid: {', '.join(ENGINES)})")
 
@@ -518,6 +644,17 @@ def _check_plan_order(plan_order: str) -> None:
         raise ValueError(
             f"unknown plan order {plan_order!r} (valid: {', '.join(PLAN_ORDERS)})"
         )
+
+
+def _resolve_storage(database: Database, storage: str | None) -> Database:
+    """Validate ``storage`` and convert ``database`` to it when asked."""
+    if storage is None:
+        return database
+    if storage not in STORAGES:
+        raise ValueError(
+            f"unknown storage {storage!r} (valid: {', '.join(STORAGES)})"
+        )
+    return database.to_storage(storage)
 
 
 def _sccs(graph: Mapping[str, set[str]]) -> list[list[str]]:
@@ -581,6 +718,7 @@ def evaluate(
     tracer: Tracer | None = None,
     engine: str = "slots",
     plan_order: str = "cost",
+    storage: str | None = None,
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
     checkpoint_every: int = 0,
@@ -609,6 +747,13 @@ def evaluate(
     reordering by estimated selectivity) or ``"greedy"`` (the seed
     interpreter's bound-count order); the interpreted engine always
     uses the greedy order.
+
+    ``storage`` selects the storage backend: ``None`` (default)
+    evaluates in the database's own backend, ``"rows"`` / ``"columnar"``
+    convert first (see :meth:`~repro.datalog.database.Database.to_storage`).
+    On columnar storage the slot engine runs the batched block kernels
+    of :meth:`~repro.datalog.plan.RulePlan.run_blocks`; results and
+    fixpoint digests are byte-identical across backends.
 
     ``tracer`` overrides the globally installed tracer (see
     :func:`repro.observability.trace.tracing`); the default disabled
@@ -642,6 +787,7 @@ def evaluate(
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
     _check_resume(resume_from, strategy, provenance)
+    database = _resolve_storage(database, storage)
     if strategy == "naive":
         return _evaluate_naive(
             program,
@@ -661,16 +807,34 @@ def evaluate(
     started = time.perf_counter()
     stats = EvaluationStats()
     base_wall = 0.0
+    interner = database.interner
     idb: dict[str, Relation] = {
-        pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+        pred: database.new_relation(program.arity_of(pred))
+        for pred in program.idb_predicates
     }
     if resume_from is not None:
         stats.merge(resume_from.stats)
         base_wall = stats.wall_time_seconds
+        if interner is not None and resume_from.interner is not None:
+            # Replay the checkpointed value table first so this run
+            # assigns the same codes the checkpointed run did.
+            for value in resume_from.interner:
+                interner.intern(value)
         for pred, rows in resume_from.idb.items():
             if pred in idb:
                 for row in rows:
                     idb[pred].add(row)
+    # intern_hits reports this run's dictionary re-use: the delta of the
+    # interner's hit counter, on top of any resumed base (the hits spent
+    # re-seeding the snapshot rows above are checkpointed work, already
+    # counted by the run that produced the snapshot).
+    base_intern = stats.intern_hits
+    hits0 = 0 if interner is None else interner.hits
+
+    def sync_intern_hits() -> None:
+        if interner is not None:
+            stats.intern_hits = base_intern + interner.hits - hits0
+
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
     eng = _make_engine(engine, program, database, idb, plan_order, tracer)
@@ -683,6 +847,7 @@ def evaluate(
         delta: "dict[str, Relation] | None",
         complete: bool = False,
     ) -> EvaluationSnapshot:
+        sync_intern_hits()
         snap_stats = stats.copy()
         snap_stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         return EvaluationSnapshot(
@@ -696,6 +861,7 @@ def evaluate(
             else {pred: rel.rows() for pred, rel in delta.items()},
             stats=snap_stats,
             complete=complete,
+            interner=None if interner is None else tuple(interner.values),
         )
 
     def relation_of(predicate: str, arity: int) -> Relation:
@@ -719,26 +885,14 @@ def evaluate(
         def run() -> None:
             rows_before = stats.rows_scanned
             results = eng.run(plan, relation_of, delta_relation, stats, governor)
-            stats.rule_firings += len(results)
+            stats.rule_firings += eng.result_count(results)
             key = plan.rule_key
             stats.rows_scanned_by_rule[key] = (
                 stats.rows_scanned_by_rule.get(key, 0)
                 + stats.rows_scanned
                 - rows_before
             )
-            for env in results:
-                head_row = eng.head_row(plan, env)
-                if head_row in head_relation:
-                    continue
-                head_relation.add(head_row)
-                stats.facts_derived += 1
-                if prov is not None:
-                    prov[(rule.head.predicate, head_row)] = (
-                        rule,
-                        tuple(eng.support_rows(plan, env)),
-                    )
-                if sink_delta is not None:
-                    sink_delta[rule.head.predicate].add(head_row)
+            eng.derive(plan, results, head_relation, sink_delta, prov, stats)
             if governor is not None:
                 governor.check("evaluate", stats)
 
@@ -825,17 +979,17 @@ def evaluate(
                         # in the seeded IDB), so restore the frontier and
                         # iteration cursor instead of re-deriving round one.
                         assert resume_from is not None and resume_from.delta is not None
-                        delta = {
-                            pred: Relation(
-                                program.arity_of(pred),
-                                resume_from.delta.get(pred, ()),
-                            )
-                            for pred in members
-                        }
+                        delta = {}
+                        for pred in members:
+                            rel = database.new_relation(program.arity_of(pred))
+                            for row in resume_from.delta.get(pred, ()):
+                                rel.add(row)
+                            delta[pred] = rel
                         iterations = resume_from.iteration
                     else:
                         delta = {
-                            pred: Relation(program.arity_of(pred)) for pred in members
+                            pred: database.new_relation(program.arity_of(pred))
+                            for pred in members
                         }
                         for rule in exit_rules:
                             fire_rule(eng.make_plan(rule, None), None, delta, scc_index, None)
@@ -861,7 +1015,8 @@ def evaluate(
                                 delta_in=sum(len(d) for d in delta.values()),
                             )
                         new_delta: dict[str, Relation] = {
-                            pred: Relation(program.arity_of(pred)) for pred in members
+                            pred: database.new_relation(program.arity_of(pred))
+                            for pred in members
                         }
                         for plan in delta_joins:
                             delta_rel = delta[plan.delta_predicate]
@@ -885,6 +1040,7 @@ def evaluate(
                 )
     except EvaluationAborted as exc:
         stats.budget_trips += 1
+        sync_intern_hits()
         stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         if trace_on:
             tracer.event(
@@ -897,6 +1053,7 @@ def evaluate(
         raise exc.with_context(
             phase="evaluate", partial=partial_result(), stats=stats
         ) from None
+    sync_intern_hits()
     stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
     return partial_result()
 
@@ -909,6 +1066,7 @@ def _evaluate_naive(
     tracer: Tracer | None = None,
     engine: str = "slots",
     plan_order: str = "cost",
+    storage: str | None = None,
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
     checkpoint_every: int = 0,
@@ -927,26 +1085,40 @@ def _evaluate_naive(
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
     _check_resume(resume_from, "naive", provenance)
+    database = _resolve_storage(database, storage)
     trace_on = tracer.enabled
     started = time.perf_counter()
     stats = EvaluationStats()
     base_wall = 0.0
+    interner = database.interner
     idb: dict[str, Relation] = {
-        pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+        pred: database.new_relation(program.arity_of(pred))
+        for pred in program.idb_predicates
     }
     if resume_from is not None:
         stats.merge(resume_from.stats)
         base_wall = stats.wall_time_seconds
+        if interner is not None and resume_from.interner is not None:
+            for value in resume_from.interner:
+                interner.intern(value)
         for pred, rows in resume_from.idb.items():
             if pred in idb:
                 for row in rows:
                     idb[pred].add(row)
+    base_intern = stats.intern_hits
+    hits0 = 0 if interner is None else interner.hits
+
+    def sync_intern_hits() -> None:
+        if interner is not None:
+            stats.intern_hits = base_intern + interner.hits - hits0
+
     prov: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = {} if provenance else None
     idb_preds = program.idb_predicates
     eng = _make_engine(engine, program, database, idb, plan_order, tracer)
     checkpointing = checkpoint_sink is not None and checkpoint_every > 0
 
     def make_snapshot(complete: bool = False) -> EvaluationSnapshot:
+        sync_intern_hits()
         snap_stats = stats.copy()
         snap_stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         return EvaluationSnapshot(
@@ -958,6 +1130,7 @@ def _evaluate_naive(
             delta=None,
             stats=snap_stats,
             complete=complete,
+            interner=None if interner is None else tuple(interner.values),
         )
 
     def relation_of(predicate: str, arity: int) -> Relation:
@@ -968,28 +1141,15 @@ def _evaluate_naive(
     plans = [eng.make_plan(rule, None) for rule in program.rules]
 
     def fire_rule(plan) -> bool:
-        rule = plan.rule
-        head_relation = idb[rule.head.predicate]
-        changed = False
+        head_relation = idb[plan.rule.head.predicate]
         rows_before = stats.rows_scanned
         results = eng.run(plan, relation_of, None, stats, governor)
-        stats.rule_firings += len(results)
+        stats.rule_firings += eng.result_count(results)
         key = plan.rule_key
         stats.rows_scanned_by_rule[key] = (
             stats.rows_scanned_by_rule.get(key, 0) + stats.rows_scanned - rows_before
         )
-        for env in results:
-            head_row = eng.head_row(plan, env)
-            if head_row in head_relation:
-                continue
-            head_relation.add(head_row)
-            stats.facts_derived += 1
-            changed = True
-            if prov is not None:
-                prov[(rule.head.predicate, head_row)] = (
-                    rule,
-                    tuple(eng.support_rows(plan, env)),
-                )
+        changed = eng.derive(plan, results, head_relation, None, prov, stats) > 0
         if governor is not None:
             governor.check("evaluate", stats)
         return changed
@@ -1046,6 +1206,7 @@ def _evaluate_naive(
                 )
     except EvaluationAborted as exc:
         stats.budget_trips += 1
+        sync_intern_hits()
         stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
         if trace_on:
             tracer.event(
@@ -1058,6 +1219,7 @@ def _evaluate_naive(
         raise exc.with_context(
             phase="evaluate", partial=partial_result(), stats=stats
         ) from None
+    sync_intern_hits()
     stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
     return partial_result()
 

@@ -33,10 +33,21 @@ Relations are accessed through :meth:`Relation.index_for` /
 :meth:`Relation.all_rows`: the index for a probe's position set is
 fetched **once per rule execution** (built lazily, reused across
 semi-naive iterations) instead of once per probed row.
+
+On columnar storage (``Database(storage="columnar")``, see
+:mod:`repro.datalog.database` and ``docs/storage.md``) the same
+compiled plan executes through :meth:`RulePlan.run_blocks` instead:
+each step becomes one **batched kernel invocation over the whole
+block** of surviving bindings — a probe loop over int-code keys against
+a code-level hash index, followed by C-speed list-comprehension gathers
+of the live columns — rather than one closure call per row.  The step
+layouts (probe keys, sets, checks, filters) are shared between the two
+executors, so both compute identical results from one compilation.
 """
 
 from __future__ import annotations
 
+from itertools import repeat as _repeat
 from typing import Callable, Sequence
 
 from .atoms import Literal, OrderAtom, evaluate_comparison
@@ -603,6 +614,227 @@ class RulePlan:
         self._entry(env, rels, stats, out)
         stats.env_allocations += len(out)
         return out
+
+    # ------------------------------------------------------------------
+    def run_blocks(
+        self,
+        relation_of,
+        delta_relation,
+        interner,
+        stats,
+        tracer=None,
+        governor=None,
+    ):
+        """Batched execution over columnar relations: ``(n, cols)``.
+
+        The columnar counterpart of :meth:`run`.  The block state is a
+        list of **code columns** indexed by slot (``None`` for slots not
+        yet bound) plus the current row count ``n``; every step is one
+        kernel invocation over the whole block:
+
+        * *scan* — probe the code-level hash index once per input row
+          (``stats.probes`` counts input rows, identically to the
+          per-row engine; ``stats.block_probes`` counts kernel calls),
+          accumulate matching rowids, then gather the live columns and
+          the newly bound columns with list comprehensions — the only
+          per-row Python in the loop is one dict lookup;
+        * *existence / negation / order filters* — build a keep list
+          over the block and compact every live column through it.
+
+        Probe-key constants resolve through ``interner.code_of`` (a
+        value the data never contained misses every bucket — it is
+        **not** interned); ``=``/``!=`` filters compare codes directly,
+        other comparisons decode through the interner's value table.
+        ``stats.rows_scanned`` counts exactly what the per-row engine
+        counts, so governor row budgets behave identically; a
+        ``governor`` is ticked once per kernel with the block size.
+        """
+        num_slots = self.num_slots
+        cols: list = [None] * num_slots
+        n = 1
+        code_of = interner.code_of
+        values = interner.values
+
+        def compact(keep: list) -> None:
+            nonlocal cols, n
+            if len(keep) != n:
+                cols = [
+                    None if col is None else [col[i] for i in keep] for col in cols
+                ]
+                n = len(keep)
+
+        for step in self.steps:
+            if n == 0:
+                break
+            kind = step.__class__
+            if kind is _ScanStep:
+                rel = (
+                    delta_relation
+                    if step.is_delta
+                    else relation_of(step.literal.predicate, step.literal.atom.arity)
+                )
+                stats.probes += n
+                stats.block_probes += 1
+                rel_cols = rel.columns
+                sel: list[int] = []
+                rids: list[int] = []
+                if step.key_positions:
+                    if tracer is not None and not rel.has_code_index(step.key_positions):
+                        index = rel.index_codes(step.key_positions, stats)
+                        tracer.event(
+                            "index_build",
+                            predicate=step.literal.predicate,
+                            positions=",".join(map(str, step.key_positions)),
+                            rows=len(rel),
+                            delta=step.is_delta,
+                        )
+                    else:
+                        index = rel.index_codes(step.key_positions, stats)
+                    layout = step.key_layout
+                    if len(layout) == 1:
+                        is_slot, payload = layout[0]
+                        keys = cols[payload] if is_slot else _repeat(code_of(payload), n)
+                    else:
+                        keys = zip(
+                            *(
+                                cols[p] if s else _repeat(code_of(p), n)
+                                for s, p in layout
+                            )
+                        )
+                    get = index.get
+                    sel_append = sel.append
+                    rids_append = rids.append
+                    sel_extend = sel.extend
+                    rids_extend = rids.extend
+                    i = 0
+                    for key in keys:
+                        hit = get(key)
+                        if hit:
+                            if len(hit) == 1:
+                                sel_append(i)
+                                rids_append(hit[0])
+                            else:
+                                sel_extend(_repeat(i, len(hit)))
+                                rids_extend(hit)
+                        i += 1
+                    stats.rows_scanned += len(rids)
+                else:
+                    m = len(rel)
+                    stats.rows_scanned += n * m
+                    if m:
+                        base = list(range(m))
+                        if n == 1:
+                            sel = [0] * m
+                            rids = base
+                        else:
+                            rids = base * n
+                            sel = [i for i in range(n) for _ in base]
+                if rids and step.checks:
+                    # Repeated variables within the literal: both sides
+                    # come from the same scanned row, so compare columns.
+                    setpos = {slot: pos for slot, pos in step.sets}
+                    pairs = [
+                        (rel_cols[setpos[slot]], rel_cols[pos])
+                        for slot, pos in step.checks
+                    ]
+                    kept_sel: list[int] = []
+                    kept_rids: list[int] = []
+                    for i, r in zip(sel, rids):
+                        for left, right in pairs:
+                            if left[r] != right[r]:
+                                break
+                        else:
+                            kept_sel.append(i)
+                            kept_rids.append(r)
+                    sel, rids = kept_sel, kept_rids
+                stats.env_allocations += 1
+                new_cols: list = [None] * num_slots
+                for slot in range(num_slots):
+                    col = cols[slot]
+                    if col is not None:
+                        new_cols[slot] = [col[i] for i in sel]
+                for slot, pos in step.sets:
+                    col = rel_cols[pos]
+                    new_cols[slot] = [col[r] for r in rids]
+                cols = new_cols
+                n = len(rids)
+            elif kind is _ExistsStep:
+                rel = (
+                    delta_relation
+                    if step.is_delta
+                    else relation_of(step.literal.predicate, step.literal.atom.arity)
+                )
+                stats.probes += n
+                stats.block_probes += 1
+                rowset = rel.code_rows()
+                if not step.layout:
+                    # Propositional literal: one global membership test.
+                    if () not in rowset:
+                        compact([])
+                else:
+                    keys = zip(
+                        *(
+                            cols[p] if s else _repeat(code_of(p), n)
+                            for s, p in step.layout
+                        )
+                    )
+                    compact([i for i, key in enumerate(keys) if key in rowset])
+            elif kind is _NegStep:
+                rel = relation_of(step.literal.predicate, step.literal.atom.arity)
+                rowset = rel.code_rows()
+                if not step.layout:
+                    if () in rowset:
+                        compact([])
+                else:
+                    keys = zip(
+                        *(
+                            cols[p] if s else _repeat(code_of(p), n)
+                            for s, p in step.layout
+                        )
+                    )
+                    compact([i for i, key in enumerate(keys) if key not in rowset])
+            else:
+                assert kind is _OrderStep
+                ls, lp = step.left
+                rs, rp = step.right
+                op = step.atom.op
+                if not ls and not rs:
+                    # Ground order atom: one evaluation decides the block.
+                    if not evaluate_comparison(lp, rp, op):
+                        compact([])
+                elif op == "=" or op == "!=":
+                    # Codes are bijective with ==-distinct values, so
+                    # (in)equality compares codes without decoding; an
+                    # un-interned constant can equal no stored value.
+                    left = cols[lp] if ls else _repeat(code_of(lp), n)
+                    right = cols[rp] if rs else _repeat(code_of(rp), n)
+                    if op == "=":
+                        compact(
+                            [i for i, (a, b) in enumerate(zip(left, right)) if a == b]
+                        )
+                    else:
+                        compact(
+                            [i for i, (a, b) in enumerate(zip(left, right)) if a != b]
+                        )
+                else:
+                    # Ordering comparisons need real values: codes are
+                    # dense ints in first-seen order, not value order.
+                    left = (
+                        [values[c] for c in cols[lp]] if ls else _repeat(lp, n)
+                    )
+                    right = (
+                        [values[c] for c in cols[rp]] if rs else _repeat(rp, n)
+                    )
+                    compact(
+                        [
+                            i
+                            for i, (a, b) in enumerate(zip(left, right))
+                            if evaluate_comparison(a, b, op)
+                        ]
+                    )
+            if governor is not None:
+                governor.tick_batch("rule", n)
+        return n, cols
 
     def head_row(self, env: Sequence[object]) -> tuple:
         return tuple(env[p] if s else p for s, p in self.head_layout)

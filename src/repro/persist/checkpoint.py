@@ -136,6 +136,10 @@ class Checkpoint:
                 "delta": None
                 if snap.delta is None
                 else {pred: _rows_payload(rows) for pred, rows in sorted(snap.delta.items())},
+                # The columnar interner's value table in code order (None
+                # under rows storage): rows above are always decoded, so
+                # this is extra metadata, not a second row encoding.
+                "interner": None if snap.interner is None else list(snap.interner),
                 "stats": snap.stats.as_dict(),
             },
         }
@@ -162,6 +166,11 @@ class Checkpoint:
                 else {str(p): _rows_restore(rows) for p, rows in snap["delta"].items()},
                 stats=EvaluationStats.from_dict(snap["stats"]),
                 complete=bool(snap.get("complete", False)),
+                # .get: checkpoints written before the columnar backend
+                # carry no interner and load as storage-agnostic.
+                interner=None
+                if snap.get("interner") is None
+                else tuple(snap["interner"]),
             )
             return cls(
                 seq=int(payload["seq"]),

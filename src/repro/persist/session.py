@@ -103,6 +103,7 @@ class Session:
         strategy: str = "seminaive",
         engine: str = "slots",
         plan_order: str = "cost",
+        storage: str | None = None,
         budget: "Budget | Governor | None" = None,
         cancellation: CancellationToken | None = None,
         tracer: Tracer | None = None,
@@ -110,7 +111,13 @@ class Session:
         throttle: float = 0.0,
     ):
         self.program = program
-        self.database = database
+        # The session evaluates (and ingests) in one storage backend for
+        # its whole life cycle; ``storage=None`` keeps the database's
+        # own.  Conversion happens once here, not per run — the workload
+        # digest is computed over decoded rows, so it is unaffected.
+        self.database = (
+            database if storage is None else database.to_storage(storage)
+        )
         self.store = store
         self.checkpoint_every = checkpoint_every
         self.constraints = tuple(constraints)
@@ -356,7 +363,8 @@ class Session:
     ) -> SessionResult:
         prior_idb, prior_stats = prior
         idb = {
-            pred: Relation(self.program.arity_of(pred)) for pred in self.program.idb_predicates
+            pred: self.database.new_relation(self.program.arity_of(pred))
+            for pred in self.program.idb_predicates
         }
         for pred, rows in prior_idb.items():
             if pred in idb:
@@ -430,7 +438,8 @@ class Session:
         stats = prior_stats.copy()
         base_wall = stats.wall_time_seconds
         idb: dict[str, Relation] = {
-            pred: Relation(program.arity_of(pred)) for pred in program.idb_predicates
+            pred: database.new_relation(program.arity_of(pred))
+            for pred in program.idb_predicates
         }
         for pred, rows in prior_idb.items():
             if pred in idb:
@@ -446,7 +455,7 @@ class Session:
 
         changed: dict[str, Relation] = {}
         for pred, rows in new_rows.items():
-            rel = Relation(database.relation(pred).arity)
+            rel = database.new_relation(database.relation(pred).arity)
             for row in rows:
                 rel.add(row)
             changed[pred] = rel
@@ -454,20 +463,12 @@ class Session:
         def fire(plan, delta_relation: Relation, sink: dict[str, Relation]) -> None:
             rows_before = stats.rows_scanned
             results = eng.run(plan, relation_of, delta_relation, stats, governor)
-            stats.rule_firings += len(results)
+            stats.rule_firings += eng.result_count(results)
             key = plan.rule_key
             stats.rows_scanned_by_rule[key] = (
                 stats.rows_scanned_by_rule.get(key, 0) + stats.rows_scanned - rows_before
             )
-            head_pred = plan.rule.head.predicate
-            head_relation = idb[head_pred]
-            for env in results:
-                head_row = eng.head_row(plan, env)
-                if head_row in head_relation:
-                    continue
-                head_relation.add(head_row)
-                stats.facts_derived += 1
-                sink[head_pred].add(head_row)
+            eng.derive(plan, results, idb[plan.rule.head.predicate], sink, None, stats)
             if governor is not None:
                 governor.check("ingest", stats)
 
@@ -476,10 +477,10 @@ class Session:
             members = set(component)
             rules = [r for r in program.rules if r.head.predicate in members]
             delta: dict[str, Relation] = {
-                pred: Relation(program.arity_of(pred)) for pred in members
+                pred: database.new_relation(program.arity_of(pred)) for pred in members
             }
             scc_new: dict[str, Relation] = {
-                pred: Relation(program.arity_of(pred)) for pred in members
+                pred: database.new_relation(program.arity_of(pred)) for pred in members
             }
             # Phase 1: seed from changed predicates outside this SCC.
             member_positions: list[tuple] = []
@@ -504,7 +505,8 @@ class Session:
                 if governor is not None:
                     governor.check("ingest", stats)
                 new_delta: dict[str, Relation] = {
-                    pred: Relation(program.arity_of(pred)) for pred in members
+                    pred: database.new_relation(program.arity_of(pred))
+                    for pred in members
                 }
                 for plan in delta_joins:
                     delta_rel = delta[plan.delta_predicate]
@@ -528,6 +530,7 @@ class Session:
             "workload": self.workload(),
             "strategy": self.strategy,
             "engine": self.engine,
+            "storage": self.database.storage,
             "checkpoint_every": self.checkpoint_every,
         }
         if self.store is None:

@@ -100,6 +100,7 @@ class ServeClient:
         facts: str | None = None,
         query: str | None = None,
         engine: str | None = None,
+        storage: str | None = None,
     ) -> dict:
         payload: dict = {"program": program}
         if constraints is not None:
@@ -110,6 +111,8 @@ class ServeClient:
             payload["query"] = query
         if engine is not None:
             payload["engine"] = engine
+        if storage is not None:
+            payload["storage"] = storage
         return self.request("PUT", f"/programs/{name}", payload)
 
     def inspect(self, name: str) -> dict:

@@ -115,10 +115,14 @@ class Tenant:
         self.name = name
         self.program = request.program
         self.constraints = request.constraints
-        self.database = Database(request.facts)
+        # The tenant's EDB is built directly in the requested storage
+        # backend, so queries (materialized and magic-specialized alike)
+        # evaluate on it without per-request conversion.
+        self.database = Database(request.facts, storage=request.storage)
         self.engine = request.engine
         self.plan_order = request.plan_order
         self.strategy = request.strategy
+        self.storage = request.storage
         self.lock = ReadWriteLock()
         self.registered_at = time.time()
         self.queries = 0
@@ -170,6 +174,7 @@ class Tenant:
             "constraints": len(self.constraints),
             "engine": self.engine,
             "strategy": self.strategy,
+            "storage": self.storage,
             "mode": self.mode,
             "edb_facts": edb_facts,
             "queries": self.queries,

@@ -86,6 +86,7 @@ class RegisterRequest:
     engine: str
     plan_order: str
     strategy: str
+    storage: str = "rows"
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,7 @@ def parse_register(payload: object) -> RegisterRequest:
         engine=_choice_field(payload, "engine", ("slots", "interpreted"), "slots"),
         plan_order=_choice_field(payload, "plan_order", ("cost", "greedy"), "cost"),
         strategy=_choice_field(payload, "strategy", ("seminaive", "naive"), "seminaive"),
+        storage=_choice_field(payload, "storage", ("rows", "columnar"), "rows"),
     )
 
 

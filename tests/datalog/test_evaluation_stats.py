@@ -31,6 +31,8 @@ def test_as_dict_covers_every_counter_including_iterations():
         "iterations": 3,
         "index_builds": 2,
         "env_allocations": 6,
+        "intern_hits": 0,
+        "block_probes": 0,
         "budget_trips": 0,
         "wall_time_seconds": 0.0,
         "rows_scanned_by_rule": {"r": 20},
@@ -55,6 +57,8 @@ def test_merge_sums_every_counter():
         _stats(
             iterations=5,
             rows_scanned_by_rule={"r": 2, "t": 3},
+            intern_hits=7,
+            block_probes=4,
             budget_trips=2,
             wall_time_seconds=0.5,
         )
@@ -67,6 +71,8 @@ def test_merge_sums_every_counter():
         "iterations": 8,
         "index_builds": 4,
         "env_allocations": 12,
+        "intern_hits": 7,
+        "block_probes": 4,
         "budget_trips": 3,
         "wall_time_seconds": 0.75,
         "rows_scanned_by_rule": {"r": 7, "s": 1, "t": 3},
@@ -104,12 +110,15 @@ def test_compare_zero_baseline_never_divides_by_zero():
     other = _stats()
     ratios = empty.compare(other)
     # 0/0 -> 1.0 (no change), n/0 -> inf, and never an exception.
-    # budget_trips is zero on both sides here, so its ratio is 1.0.
-    assert ratios["budget_trips"] == 1.0
+    # budget_trips, intern_hits and block_probes are zero on both sides
+    # here, so their ratios are 1.0.
+    zero_on_both = {"budget_trips", "intern_hits", "block_probes"}
+    for key in zero_on_both:
+        assert ratios[key] == 1.0
     assert all(
         math.isinf(value)
         for key, value in ratios.items()
-        if key != "budget_trips"
+        if key not in zero_on_both
     )
     assert empty.compare(EvaluationStats()) == {
         "rule_firings": 1.0,
@@ -119,8 +128,25 @@ def test_compare_zero_baseline_never_divides_by_zero():
         "iterations": 1.0,
         "index_builds": 1.0,
         "env_allocations": 1.0,
+        "intern_hits": 1.0,
+        "block_probes": 1.0,
         "budget_trips": 1.0,
     }
+
+
+def test_compare_zero_guard_covers_storage_counters():
+    """The PR 4 zero-guard, re-asserted for the columnar counters: a
+    rows-backend baseline has zero intern_hits/block_probes, and
+    comparing a columnar run against it must yield inf, not raise."""
+    rows_baseline = _stats()  # intern_hits == block_probes == 0
+    columnar = _stats(intern_hits=12, block_probes=9)
+    ratios = rows_baseline.compare(columnar)
+    assert math.isinf(ratios["intern_hits"])
+    assert math.isinf(ratios["block_probes"])
+    # And the reverse direction divides normally.
+    back = columnar.compare(rows_baseline)
+    assert back["intern_hits"] == 0.0
+    assert back["block_probes"] == 0.0
 
 
 def test_compare_mixed_zero_and_nonzero_counters():

@@ -1,0 +1,254 @@
+"""The columnar storage backend: interner semantics, relation ops,
+serialization round trips and checkpoint/resume interner travel.
+
+The contract under test is written up in ``docs/storage.md``: both
+backends expose the same value-level API (``add``/``probe``/
+``index_for``/``all_rows``), differ only in representation, and every
+digest (workload, fixpoint) is computed over *decoded* rows so it is
+byte-identical across backends.
+"""
+
+import pytest
+
+from repro.datalog.database import (
+    _MISSING,
+    STORAGES,
+    ColumnarRelation,
+    Database,
+    Interner,
+    Relation,
+)
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.digest import fixpoint_digest, workload_digest
+from repro.persist.checkpoint import Checkpoint
+from repro.workloads.generators import random_workload
+
+
+# ---------------------------------------------------------------- interner
+def test_intern_is_idempotent_and_dense():
+    interner = Interner()
+    a = interner.intern("a")
+    b = interner.intern("b")
+    assert (a, b) == (0, 1)
+    assert interner.intern("a") == a
+    assert len(interner) == 2
+    assert interner.decode(a) == "a"
+    assert interner.to_list() == ["a", "b"]
+
+
+def test_intern_counts_hits_only_for_repeats():
+    interner = Interner()
+    interner.intern("x")
+    assert interner.hits == 0
+    interner.intern("x")
+    interner.intern("x")
+    assert interner.hits == 2
+
+
+def test_code_of_missing_value_is_a_probe_miss_sentinel():
+    """``code_of`` on a never-interned constant returns a sentinel that
+    hashes fine but equals nothing — so a probe key built from it
+    misses every index bucket instead of raising."""
+    interner = Interner()
+    interner.intern("present")
+    missing = interner.code_of("absent")
+    assert missing is _MISSING
+    assert missing != interner.intern("present")
+    assert hash(missing) is not None  # usable as a dict key
+
+
+def test_interner_collapses_numeric_equals_like_row_sets_do():
+    """``1 == 1.0 == True`` in Python, so the interner maps them to one
+    code — exactly mirroring what a row *set* does with ``(1,)`` and
+    ``(True,)``.  Backends therefore collapse these identically."""
+    interner = Interner()
+    assert interner.intern(1) == interner.intern(1.0) == interner.intern(True)
+    rows = Relation(1, [(1,), (True,)])
+    columnar = ColumnarRelation(1, Interner(), [(1,), (True,)])
+    assert len(rows) == len(columnar) == 1
+
+
+def test_interner_seeded_from_values_reproduces_codes():
+    seeded = Interner(["a", "b", "c"])
+    assert seeded.code_of("b") == 1
+    assert seeded.to_list() == ["a", "b", "c"]
+
+
+# ------------------------------------------------------------- relations
+def test_columnar_relation_matches_row_relation_api():
+    rows = [("a", 1), ("b", 2), ("a", 3)]
+    plain = Relation(2, rows)
+    columnar = ColumnarRelation(2, Interner(), rows)
+
+    assert len(columnar) == len(plain) == 3
+    assert columnar.rows() == plain.rows()
+    assert ("a", 1) in columnar
+    assert ("z", 9) not in columnar
+    assert sorted(columnar.to_rows()) == sorted(plain.to_rows())
+    assert columnar.all_rows() == plain.all_rows()
+    assert sorted(columnar.probe((0,), ("a",))) == sorted(plain.probe((0,), ("a",)))
+    assert columnar.index_for((0,)) == plain.index_for((0,))
+
+
+def test_columnar_add_rejects_duplicates_and_wrong_arity():
+    rel = ColumnarRelation(2, Interner())
+    assert rel.add(("a", "b"))
+    assert not rel.add(("a", "b"))
+    with pytest.raises(ValueError):
+        rel.add(("a",))
+
+
+def test_columnar_probe_with_unknown_constant_misses():
+    rel = ColumnarRelation(2, Interner(), [("a", "b")])
+    assert rel.probe((0,), ("never-seen",)) == []
+
+
+def test_columnar_copy_shares_the_interner():
+    interner = Interner()
+    rel = ColumnarRelation(2, interner, [("a", "b")])
+    clone = rel.copy()
+    assert clone.interner is interner
+    clone.add(("c", "d"))
+    assert len(rel) == 1  # rows are independent...
+    assert interner.code_of("c") is not _MISSING  # ...the dictionary is shared
+
+
+# -------------------------------------------------------------- database
+def test_database_storage_selection_and_relation_classes():
+    db_rows = Database.from_rows({"e": [(1, 2)]})
+    db_col = Database.from_rows({"e": [(1, 2)]}, storage="columnar")
+    assert db_rows.storage == "rows"
+    assert db_col.storage == "columnar"
+    assert isinstance(db_rows.relation("e"), Relation)
+    assert isinstance(db_col.relation("e"), ColumnarRelation)
+    assert db_rows.interner is None
+    assert db_col.interner is not None
+
+
+def test_unknown_storage_is_rejected():
+    with pytest.raises(ValueError):
+        Database(storage="parquet")
+    with pytest.raises(ValueError):
+        Database.from_rows({"e": [(1, 2)]}).to_storage("parquet")
+
+
+def test_to_storage_round_trip_preserves_every_row():
+    _, database, _ = random_workload(3)
+    columnar = database.to_storage("columnar")
+    back = columnar.to_storage("rows")
+    for pred in database.predicates():
+        assert columnar.relation(pred).rows() == database.relation(pred).rows()
+        assert back.relation(pred).rows() == database.relation(pred).rows()
+    # Converting to the storage a database is already in is the identity.
+    assert columnar.to_storage("columnar") is columnar
+
+
+def test_new_relation_shares_the_database_interner():
+    db = Database.from_rows({"e": [("a", "b")]}, storage="columnar")
+    fresh = db.new_relation(2)
+    assert isinstance(fresh, ColumnarRelation)
+    assert fresh.interner is db.interner
+
+
+def test_workload_digest_is_storage_invariant():
+    program, database, _ = random_workload(5)
+    rows_digest = workload_digest(program, database)
+    columnar_digest = workload_digest(program, database.to_storage("columnar"))
+    assert rows_digest == columnar_digest
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_fixpoint_digest_is_storage_invariant(storage):
+    program, database, _ = random_workload(7)
+    baseline = evaluate(program, database.copy())
+    result = evaluate(program, database.copy(), storage=storage)
+    assert fixpoint_digest([("w", result.idb)]) == fixpoint_digest([("w", baseline.idb)])
+
+
+# ---------------------------------------------------------- serialization
+def test_to_dict_from_dict_round_trips_the_interner():
+    db = Database.from_rows({"e": [("a", "b"), ("b", "c")]}, storage="columnar")
+    payload = db.to_dict(include_interner=True)
+    assert "__interner__" in payload
+    restored = Database.from_dict(payload)
+    # The interner key marks the payload as columnar; codes reproduce.
+    assert restored.storage == "columnar"
+    assert restored.relation("e").rows() == db.relation("e").rows()
+    assert restored.interner.to_list() == db.interner.to_list()
+
+
+def test_to_dict_without_interner_is_storage_agnostic():
+    db = Database.from_rows({"e": [(1, 2)]}, storage="columnar")
+    payload = db.to_dict()
+    assert "__interner__" not in payload
+    assert Database.from_dict(payload).storage == "rows"
+    assert Database.from_dict(payload, storage="columnar").storage == "columnar"
+
+
+def test_checkpoint_round_trips_the_interner_table():
+    program = parse_program(
+        "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).", query="t"
+    )
+    database = Database.from_rows(
+        {"e": [("a", "b"), ("b", "c")]}, storage="columnar"
+    )
+    snapshots = []
+    evaluate(
+        program,
+        database,
+        checkpoint_every=1,
+        checkpoint_sink=snapshots.append,
+    )
+    assert snapshots and snapshots[-1].interner is not None
+    checkpoint = Checkpoint(
+        seq=1, workload=workload_digest(program, database), snapshot=snapshots[-1]
+    )
+    text, _checksum = checkpoint.encode()
+    loaded = Checkpoint.decode(text)
+    assert loaded.snapshot.interner == snapshots[-1].interner
+    assert loaded.snapshot.idb == snapshots[-1].idb
+
+
+def test_pre_columnar_checkpoints_load_without_interner():
+    """Payloads written before the columnar backend carry no interner
+    field and must load as storage-agnostic snapshots."""
+    program = parse_program("t(X, Y) :- e(X, Y).", query="t")
+    database = Database.from_rows({"e": [(1, 2)]})
+    snapshots = []
+    evaluate(program, database, checkpoint_every=1, checkpoint_sink=snapshots.append)
+    checkpoint = Checkpoint(
+        seq=1, workload=workload_digest(program, database), snapshot=snapshots[-1]
+    )
+    payload = checkpoint.to_payload()
+    del payload["snapshot"]["interner"]
+    restored = Checkpoint.from_payload(payload)
+    assert restored.snapshot.interner is None
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_resume_from_mid_run_snapshot_matches_fresh_run(storage):
+    """A snapshot taken mid-fixpoint resumes to the same answers the
+    uninterrupted run computes, in either backend — and a columnar
+    resume replays the snapshot's interner so code assignment (and the
+    resulting fixpoint) is reproduced exactly."""
+    program, database, _ = random_workload(11)
+    fresh = evaluate(program, database.copy(), storage=storage)
+
+    snapshots = []
+    evaluate(
+        program,
+        database.copy(),
+        storage=storage,
+        checkpoint_every=1,
+        checkpoint_sink=snapshots.append,
+    )
+    partial = next((s for s in snapshots if not s.complete), snapshots[0])
+    if storage == "columnar":
+        assert partial.interner is not None
+    resumed = evaluate(
+        program, database.copy(), storage=storage, resume_from=partial
+    )
+    assert {p: resumed.rows(p) for p in program.idb_predicates} == {
+        p: fresh.rows(p) for p in program.idb_predicates
+    }

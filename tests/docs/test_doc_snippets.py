@@ -35,9 +35,18 @@ def _blocks(language):
 def test_docs_exist_and_are_cross_linked():
     assert (REPO_ROOT / "docs" / "architecture.md").exists()
     assert (REPO_ROOT / "docs" / "observability.md").exists()
+    assert (REPO_ROOT / "docs" / "storage.md").exists()
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/architecture.md" in readme
     assert "docs/observability.md" in readme
+    assert "docs/storage.md" in readme
+    # The storage contract is reachable from the architecture and
+    # performance pages, and documents both backends by name.
+    for page in ("architecture.md", "performance.md", "serving.md"):
+        text = (REPO_ROOT / "docs" / page).read_text(encoding="utf-8")
+        assert "storage.md" in text, f"docs/{page} does not link storage.md"
+    storage = (REPO_ROOT / "docs" / "storage.md").read_text(encoding="utf-8")
+    assert "`rows`" in storage and "`columnar`" in storage
 
 
 @pytest.mark.parametrize("source", list(_blocks("python")))
