@@ -172,7 +172,13 @@ def build_workloads(*, quick: bool = False) -> dict[str, list[BenchUnit]]:
     ``quick`` shrinks every workload to CI-smoke size (the fixpoint
     gate is just as strict; only the timings lose meaning).
     """
-    colors, nodes, edges = (2, 24, 30) if quick else (3, 70, 110)
+    # The full scaling workload is deliberately dense *and* deep
+    # (degree ~17 over 350 nodes): density multiplies the join work per
+    # accepted fact and depth multiplies the semi-naive rounds — both
+    # are work the sharded evaluator parallelizes, while the closure
+    # size (the merge work the master serializes) grows only with the
+    # node count — see docs/parallel.md.
+    colors, nodes, edges = (2, 24, 30) if quick else (3, 350, 6000)
     scaling_program = _colored_closure_program(colors)
 
     gp_program, _ = good_path()
@@ -288,6 +294,89 @@ def _run_engine(
         if tripped:
             break
     return best, stats, digest, tripped
+
+
+def _run_parallel(
+    units: Sequence[BenchUnit],
+    workers: int,
+    repeat: int,
+    governor: Governor | None = None,
+) -> dict:
+    """Time ``repeat`` sharded runs of the suite at one worker count.
+
+    The pools (fork + program/EDB/interner shipping) are built outside
+    the timed region and reported as ``shard_overhead_seconds`` — they
+    are the per-run fixed cost a resident tenant pays once.  Two
+    timings come back: ``time_s`` is raw wall clock, and
+    ``critical_path_s`` is the modeled multicore critical path
+    (master serial time + per-barrier max of worker CPU time) reported
+    by :func:`repro.parallel.engine.evaluate_sharded` — on a machine
+    with >= ``workers`` free cores the two converge, while on a
+    saturated box wall clock only measures time-slicing.  Speedups are
+    quoted on the critical-path basis with the wall numbers alongside.
+    """
+    from .parallel import WorkerPool, evaluate_sharded
+
+    best_wall = float("inf")
+    best_crit = float("inf")
+    overhead = float("inf")
+    stats = EvaluationStats()
+    digest = ""
+    tripped = False
+    for attempt in range(repeat):
+        databases = [
+            unit.make_database().to_storage("columnar") for unit in units
+        ]
+        fork_start = time.perf_counter()
+        pools = [
+            WorkerPool(unit.program, database, workers)
+            for unit, database in zip(units, databases)
+        ]
+        shard_overhead = time.perf_counter() - fork_start
+        results = []
+        crit = 0.0
+        start = time.perf_counter()
+        try:
+            for unit, database, shard_pool in zip(units, databases, pools):
+                try:
+                    result = evaluate_sharded(
+                        unit.program,
+                        database,
+                        workers=workers,
+                        pool=shard_pool,
+                        budget=governor,
+                    )
+                except BudgetExceededError as exc:
+                    tripped = True
+                    if exc.partial is not None:
+                        results.append(exc.partial)
+                        crit += exc.partial.shards["critical_path_seconds"]
+                else:
+                    results.append(result)
+                    crit += result.shards["critical_path_seconds"]
+            elapsed = time.perf_counter() - start
+        finally:
+            for shard_pool in pools:
+                shard_pool.close()
+        best_wall = min(best_wall, elapsed)
+        best_crit = min(best_crit, crit)
+        overhead = min(overhead, shard_overhead)
+        if attempt == 0:
+            for result in results:
+                stats.merge(result.stats)
+            digest = _fixpoint_digest(
+                (unit.label, result.idb) for unit, result in zip(units, results)
+            )
+        if tripped:
+            break
+    return {
+        "time_s": best_wall,
+        "critical_path_s": best_crit,
+        "shard_overhead_seconds": overhead,
+        "fixpoint_sha256": digest,
+        "stats": stats.as_dict(),
+        "budget_exceeded": tripped,
+    }
 
 
 def _run_checkpoint_overhead(
@@ -572,8 +661,17 @@ def run_bench(
     max_iterations: int | None = None,
     max_facts: int | None = None,
     storage: str | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Run the suite; return the JSON-ready results payload.
+
+    ``workers=N`` adds a sharded-evaluation axis to every engine
+    workload: each is re-run at worker counts {1, 2, ..., N} (the
+    powers of two up to ``N``) with per-count timings, the modeled
+    ``critical_path_s``, pool construction cost
+    (``shard_overhead_seconds``, outside the timed region) and
+    ``speedup_parallel_vs_columnar`` on both the critical-path and
+    wall bases.  Sharded digests join the cross-engine fixpoint gate.
 
     ``payload["ok"]`` is False when any workload's fixpoints differ
     between engines — the CLI turns that into a non-zero exit.
@@ -589,6 +687,8 @@ def run_bench(
     ``budget_exceeded`` and its ``fixpoints_match`` becomes ``None``
     (partial fixpoints are not comparable), without flipping
     ``payload["ok"]``.  The CLI exits 1 when any budget tripped."""
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive int, got {workers!r}")
     budget = Budget(
         timeout=timeout, max_iterations=max_iterations, max_facts=max_facts
     )
@@ -628,10 +728,18 @@ def run_bench(
         "repeat": repeat,
         "engines": [label for label, _ in configs],
         "storage": storage,
+        "workers": workers,
         "workloads": {},
         "ok": True,
         "budget_exceeded": False,
     }
+    workers_axis: list[int] = []
+    if workers is not None:
+        count = 1
+        while count < workers:
+            workers_axis.append(count)
+            count *= 2
+        workers_axis.append(workers)
     for name, units in suite.items():
         entry: dict = {"units": [unit.label for unit in units], "engines": {}}
         digests: dict[str, str] = {}
@@ -676,6 +784,61 @@ def run_bench(
             entry["speedup_columnar_vs_rows"] = (
                 rows_time / col_time if col_time > 0 else float("inf")
             )
+        if workers_axis:
+            by_count = {
+                str(count): _run_parallel(units, count, repeat, governor)
+                for count in workers_axis
+            }
+            parallel_tripped = any(
+                e["budget_exceeded"] for e in by_count.values()
+            )
+            parallel: dict = {"workers": by_count}
+            if any_tripped or parallel_tripped:
+                parallel["fixpoints_match"] = None
+                if parallel_tripped:
+                    entry["budget_exceeded"] = True
+                    entry["fixpoints_match"] = None
+                    payload["budget_exceeded"] = True
+            else:
+                # The sharded digests join the cross-engine gate: every
+                # worker count must reproduce the sequential fixpoint.
+                reference = digests.get("slots-columnar") or next(
+                    iter(digests.values())
+                )
+                parallel["fixpoints_match"] = all(
+                    e["fixpoint_sha256"] == reference for e in by_count.values()
+                )
+                if not parallel["fixpoints_match"]:
+                    payload["ok"] = False
+            columnar = entry["engines"].get("slots-columnar")
+            if columnar is not None and columnar["time_s"] > 0:
+                parallel["speedup_parallel_vs_columnar"] = {
+                    # Quoted on the modeled critical path (see
+                    # docs/parallel.md): master serial time plus the
+                    # per-barrier max of worker CPU time — what the
+                    # fleet's wall clock becomes given >= N free cores.
+                    # Raw wall-clock ratios ride alongside; on a box
+                    # with fewer cores than workers they only measure
+                    # time-slicing.
+                    "basis": "critical_path",
+                    "critical_path": {
+                        count: (
+                            columnar["time_s"] / e["critical_path_s"]
+                            if e["critical_path_s"] > 0
+                            else float("inf")
+                        )
+                        for count, e in by_count.items()
+                    },
+                    "wall": {
+                        count: (
+                            columnar["time_s"] / e["time_s"]
+                            if e["time_s"] > 0
+                            else float("inf")
+                        )
+                        for count, e in by_count.items()
+                    },
+                }
+            entry["parallel"] = parallel
         payload["workloads"][name] = entry
     if "bench_scaling" in suite:
         payload["checkpoint_overhead"] = dict(
@@ -715,12 +878,32 @@ def render_results(payload: Mapping) -> str:
                 f"{stats['probes']:9d} {stats['facts_derived']:8d}  "
                 f"{engine['fixpoint_sha256'][:12]}"
             )
+        parallel = entry.get("parallel")
+        if parallel:
+            speedups = parallel.get("speedup_parallel_vs_columnar", {})
+            for count in sorted(parallel["workers"], key=int):
+                shard = parallel["workers"][count]
+                modeled = speedups.get("critical_path", {}).get(count)
+                wallx = speedups.get("wall", {}).get(count)
+                suffix = (
+                    ""
+                    if modeled is None
+                    else f" {modeled:6.2f}x crit-path, {wallx:.2f}x wall"
+                )
+                lines.append(
+                    f"{name:<18} {'sharded-w' + count:<15} "
+                    f"{shard['time_s'] * 1000:9.2f} crit "
+                    f"{shard['critical_path_s'] * 1000:8.2f}{suffix}  "
+                    f"{shard['fixpoint_sha256'][:12]}"
+                )
         if entry.get("budget_exceeded"):
             lines.append(
                 f"{'':<18} budget exceeded — partial fixpoints, not comparable"
             )
         else:
             verdict = "match" if entry["fixpoints_match"] else "DIFFER"
+            if parallel and parallel.get("fixpoints_match") is False:
+                verdict = "DIFFER (sharded)"
             columnar = entry.get("speedup_columnar_vs_rows")
             extra = "" if columnar is None else f"; columnar {columnar:.2f}x vs rows"
             lines.append(f"{'':<18} fixpoints {verdict}{extra}")

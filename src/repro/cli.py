@@ -138,6 +138,21 @@ def _budget_from(args: argparse.Namespace) -> Governor | None:
     return Governor(budget)
 
 
+def _workers_from(args: argparse.Namespace) -> "int | None":
+    """Validate ``--workers`` against the other engine flags early, so
+    misuse is a clean usage error (exit 2), not a traceback."""
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    if workers < 1:
+        raise UsageError(f"--workers must be a positive integer, got {workers}")
+    if getattr(args, "engine", "slots") != "slots":
+        raise UsageError("--workers requires the compiled slot engine (--engine slots)")
+    if getattr(args, "strategy", "seminaive") != "seminaive":
+        raise UsageError("--workers requires --strategy seminaive")
+    return workers
+
+
 def _load_program(args: argparse.Namespace) -> Program:
     program = parse_program(_read(args.program), query=args.query)
     if program.query is None:
@@ -208,6 +223,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     constraints = _load_constraints(args)
     database = _database_from(args, inline_facts)
     governor = _budget_from(args)
+    workers = _workers_from(args)
 
     def body() -> int:
         original = evaluate(
@@ -215,6 +231,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             database,
             engine=args.engine,
             plan_order=args.plan_order,
+            workers=workers,
             budget=governor,
         )
         print(f"answers ({len(original.query_rows())}):")
@@ -343,6 +360,7 @@ def _session_from(args: argparse.Namespace) -> Session:
         strategy=args.strategy,
         engine=args.engine,
         plan_order=args.plan_order,
+        workers=_workers_from(args),
         budget=_budget_from(args),
         throttle=args.throttle,
     )
@@ -409,10 +427,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         max_facts=args.max_facts,
     )
+    if args.workers is not None and args.workers < 1:
+        raise UsageError(f"--workers must be a positive integer, got {args.workers}")
     app = ServeApp(
         persist_root=None if args.persist_dir is None else Path(args.persist_dir),
         defaults=None if defaults.unlimited else defaults,
         cache_capacity=args.cache_capacity,
+        workers=args.workers,
     )
     return run_server(app, host=args.host, port=args.port)
 
@@ -453,6 +474,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     query=args.query,
                     engine=args.engine,
                     storage=args.storage,
+                    workers=args.workers,
                 )
             elif args.client_command == "inspect":
                 payload = client.inspect(args.name)
@@ -523,6 +545,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         engine=args.engine,
         plan_order=args.plan_order,
+        workers=_workers_from(args),
     )
     print(profile.render(top=args.top))
     if program.query is not None:
@@ -544,6 +567,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             max_facts=args.max_facts,
             storage=args.storage,
+            workers=args.workers,
         )
     except ValueError as exc:
         raise UsageError(str(exc)) from exc
@@ -660,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--storage", default="rows", choices=STORAGES,
             help="fact storage: per-row tuple sets (default) or "
             "dictionary-encoded column arrays with block-at-a-time joins",
+        )
+        cmd.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="shard semi-naive evaluation across N forked worker "
+            "processes (requires the slot engine; evaluation runs on "
+            "columnar storage — see docs/parallel.md)",
         )
 
     def budget_flags(cmd) -> None:
@@ -793,6 +823,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=128, metavar="N",
         help="pipeline artifact cache entries (default 128)",
     )
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="default worker count for tenant materialization: shard "
+        "each tenant's fixpoint runs across N forked processes "
+        "(per-tenant 'workers' on register overrides)",
+    )
     budget_flags(cmd)  # the server-side ceiling every request is clamped to
     cmd.set_defaults(func=_cmd_serve)
 
@@ -815,6 +851,10 @@ def build_parser() -> argparse.ArgumentParser:
     ccmd.add_argument(
         "--storage", choices=STORAGES,
         help="tenant fact storage backend (daemon default: rows)",
+    )
+    ccmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard this tenant's fixpoint runs across N forked processes",
     )
     ccmd.set_defaults(func=_cmd_client)
     ccmd = client_sub.add_parser("inspect", help="GET /programs/{name}")
@@ -884,6 +924,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage", choices=STORAGES, default=None,
         help="force every engine config onto one storage backend "
         "(default: each config's own choice)",
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="also benchmark sharded evaluation at worker counts "
+        "1, 2, ... N (powers of two), gated on digest equality",
     )
     budget_flags(cmd)
     cmd.set_defaults(func=_cmd_bench)

@@ -26,6 +26,7 @@ over decoded rows and are byte-identical across backends.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -95,6 +96,27 @@ class Interner:
     def to_list(self) -> list:
         """The value table in code order (JSON-ready for checkpoints)."""
         return list(self.values)
+
+    def digest(self) -> str:
+        """SHA-256 over the value table in code order.
+
+        Two interners with equal digests assign the same code to every
+        value, so code columns and shard messages produced against one
+        decode identically against the other.  This is the equality the
+        parallel workers' mirrors are held to.
+        """
+        hasher = hashlib.sha256()
+        for value in self.values:
+            hasher.update(repr(value).encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def __reduce__(self):
+        # Pickle only the value table: codes are a pure function of it
+        # (first-intern order) and ``hits`` is process-local telemetry.
+        # This keeps worker hand-off payloads compact and guarantees the
+        # unpickled interner assigns identical codes.
+        return (Interner, (list(self.values),))
 
     def __len__(self) -> int:
         return len(self.values)
@@ -277,6 +299,39 @@ class ColumnarRelation:
                 key = tuple(row[i] for i in positions)
                 index.setdefault(key, []).append(row)
         return True
+
+    def extend_codes(self, rows: Iterable[tuple[int, ...]]) -> int:
+        """Bulk :meth:`add_codes`: insert a batch of code tuples.
+
+        Returns the number of rows that were new.  While the relation
+        has no built indexes and no decoded caches the batch extends
+        the row set and the columns wholesale — one update per column
+        instead of one per cell — which is the hot path for shard
+        hand-off in :mod:`repro.parallel`; otherwise it falls back to
+        per-row inserts so every incremental structure stays in sync.
+        """
+        live = self._row_set
+        batch: set = set()
+        fresh = []
+        for codes in rows:
+            if codes in live or codes in batch:
+                continue
+            batch.add(codes)
+            fresh.append(codes)
+        if not fresh:
+            return 0
+        if (
+            not self._code_indexes
+            and not self._value_indexes
+            and self._decoded is None
+        ):
+            self._row_set.update(fresh)
+            for column, extension in zip(self.columns, zip(*fresh)):
+                column.extend(extension)
+        else:
+            for codes in fresh:
+                self.add_codes(codes)
+        return len(fresh)
 
     # -- code-level reads (the block-kernel API) ------------------------
     def code_rows(self) -> set[tuple[int, ...]]:

@@ -120,9 +120,21 @@ class EvaluationStats:
         self.intern_hits += getattr(other, "intern_hits", 0)
         self.block_probes += getattr(other, "block_probes", 0)
         self.budget_trips += getattr(other, "budget_trips", 0)
-        self.wall_time_seconds += getattr(other, "wall_time_seconds", 0.0)
+        # Wall-clock merges in integer nanoseconds: float ``+=`` is
+        # commutative but not associative, so shard stats merged in
+        # different orders could disagree in the last bits.  Integer
+        # addition is exact, so any merge order yields the same float.
+        self.wall_time_seconds = (
+            round(self.wall_time_seconds * 1e9)
+            + round(getattr(other, "wall_time_seconds", 0.0) * 1e9)
+        ) / 1e9
+        merged = self.rows_scanned_by_rule
         for key, value in getattr(other, "rows_scanned_by_rule", {}).items():
-            self.rows_scanned_by_rule[key] = self.rows_scanned_by_rule.get(key, 0) + value
+            merged[key] = merged.get(key, 0) + value
+        # Keep the per-rule attribution sorted by rule key so the dict's
+        # insertion order — and every JSON rendering of it — is
+        # independent of the order shard stats arrived in.
+        self.rows_scanned_by_rule = dict(sorted(merged.items()))
 
     def as_dict(self) -> dict[str, object]:
         """The counters as a plain dict (benchmark ``extra_info`` payloads)."""
@@ -138,7 +150,7 @@ class EvaluationStats:
             "block_probes": self.block_probes,
             "budget_trips": self.budget_trips,
             "wall_time_seconds": self.wall_time_seconds,
-            "rows_scanned_by_rule": dict(self.rows_scanned_by_rule),
+            "rows_scanned_by_rule": dict(sorted(self.rows_scanned_by_rule.items())),
         }
 
     @classmethod
@@ -217,6 +229,10 @@ class EvaluationResult:
     program: Program
     database: Database
     provenance: dict[Fact, tuple[Rule, tuple[Fact, ...]]] | None = None
+    #: Sharded-evaluation report (``evaluate(..., workers=N)`` only):
+    #: per-worker task/CPU totals plus the modeled critical path — see
+    #: :func:`repro.parallel.engine.evaluate_sharded`.
+    shards: dict | None = None
 
     def relation(self, predicate: str) -> Relation:
         """The computed relation for an IDB predicate (empty if none derived)."""
@@ -719,6 +735,7 @@ def evaluate(
     engine: str = "slots",
     plan_order: str = "cost",
     storage: str | None = None,
+    workers: int | None = None,
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
     checkpoint_every: int = 0,
@@ -755,6 +772,15 @@ def evaluate(
     of :meth:`~repro.datalog.plan.RulePlan.run_blocks`; results and
     fixpoint digests are byte-identical across backends.
 
+    ``workers=N`` shards the evaluation across ``N`` forked worker
+    processes (:mod:`repro.parallel`): each semi-naive delta is
+    hash-partitioned by code row, workers run the columnar block
+    kernels over their shard, and frontiers merge at round boundaries.
+    Requires ``engine="slots"`` and ``strategy="seminaive"``;
+    ``provenance`` is unsupported.  Fixpoints, digests, iteration
+    counts and ``rows_scanned`` are byte-identical to the sequential
+    engines; see ``docs/parallel.md``.
+
     ``tracer`` overrides the globally installed tracer (see
     :func:`repro.observability.trace.tracing`); the default disabled
     tracer makes instrumentation free.
@@ -784,6 +810,34 @@ def evaluate(
     """
     if tracer is None:
         tracer = get_tracer()
+    if workers is not None:
+        # The multiprocess sharded evaluator (docs/parallel.md): the
+        # compiled columnar engine, hash-partitioned across N forked
+        # workers.  Imported lazily — repro.parallel imports this
+        # module at its own top level.
+        if engine != "slots":
+            raise ValueError(
+                "workers=N requires the compiled slot engine "
+                f"(engine='slots'), got engine={engine!r}"
+            )
+        from ..parallel.engine import evaluate_sharded
+
+        return evaluate_sharded(
+            program,
+            database,
+            workers=workers,
+            provenance=provenance,
+            max_iterations=max_iterations,
+            strategy=strategy,
+            tracer=tracer,
+            plan_order=plan_order,
+            storage=storage,
+            budget=budget,
+            cancellation=cancellation,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
+        )
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
     _check_resume(resume_from, strategy, provenance)

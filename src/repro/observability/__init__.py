@@ -28,7 +28,13 @@ from .trace import (
     set_tracer,
     tracing,
 )
-from .profile import EvaluationProfile, RuleProfile, build_profile, profile_evaluation
+from .profile import (
+    EvaluationProfile,
+    RuleProfile,
+    ShardProfile,
+    build_profile,
+    profile_evaluation,
+)
 from .report import (
     Experiment,
     md_table,
@@ -52,6 +58,7 @@ __all__ = [
     "read_jsonl",
     "EvaluationProfile",
     "RuleProfile",
+    "ShardProfile",
     "build_profile",
     "profile_evaluation",
     "Experiment",

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "RuleProfile",
+    "ShardProfile",
     "TenantServeProfile",
     "EvaluationProfile",
     "build_profile",
@@ -70,6 +71,41 @@ class RuleProfile:
         self.rows_scanned += int(attrs.get("rows_scanned", 0))  # type: ignore[arg-type]
         self.facts_derived += int(attrs.get("facts_derived", 0))  # type: ignore[arg-type]
         self.index_builds += int(attrs.get("index_builds", 0))  # type: ignore[arg-type]
+
+
+@dataclass
+class ShardProfile:
+    """Accumulated work of one shard worker (``shard.*`` trace events).
+
+    ``tasks`` counts dispatches, ``delta_rows``/``update_rows`` the
+    rows shipped to the worker (frontier shards and accept-log
+    replication respectively), ``results``/``accepted`` the candidate
+    head rows it shipped back and how many the master accepted, and
+    ``elapsed`` the worker-side wall time summed over its tasks.
+    """
+
+    worker: int
+    tasks: int = 0
+    delta_rows: int = 0
+    update_rows: int = 0
+    results: int = 0
+    accepted: int = 0
+    elapsed: float = 0.0
+    aborted: int = 0
+
+    def absorb_dispatch(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        self.tasks += 1
+        self.delta_rows += int(attrs.get("delta_rows", 0))  # type: ignore[arg-type]
+        self.update_rows += int(attrs.get("update_rows", 0))  # type: ignore[arg-type]
+
+    def absorb_merge(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        self.results += int(attrs.get("results", 0))  # type: ignore[arg-type]
+        self.accepted += int(attrs.get("accepted", 0))  # type: ignore[arg-type]
+        self.elapsed += float(attrs.get("elapsed", 0.0))  # type: ignore[arg-type]
+        if attrs.get("aborted"):
+            self.aborted += 1
 
 
 @dataclass
@@ -121,6 +157,7 @@ class EvaluationProfile:
     tenants: dict[str, TenantServeProfile] = field(default_factory=dict)
     serve_cache_hits: int = 0
     serve_cache_misses: int = 0
+    shards: dict[int, ShardProfile] = field(default_factory=dict)
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -175,6 +212,21 @@ class EvaluationProfile:
                 lines.append(
                     f"{entry.time * 1000:10.3f} {entry.firings:8d} {entry.probes:8d} "
                     f"{entry.rows_scanned:9d} {entry.facts_derived:7d}  {name}"
+                )
+        if self.shards:
+            lines.append("")
+            lines.append(f"shard workers ({len(self.shards)}):")
+            lines.append(
+                f"{'worker':>6} {'tasks':>6} {'delta':>8} {'updates':>8} "
+                f"{'results':>8} {'accepted':>9} {'time(ms)':>10}"
+            )
+            for worker in sorted(self.shards):
+                entry = self.shards[worker]
+                flag = "  ABORTED" if entry.aborted else ""
+                lines.append(
+                    f"{entry.worker:6d} {entry.tasks:6d} {entry.delta_rows:8d} "
+                    f"{entry.update_rows:8d} {entry.results:8d} "
+                    f"{entry.accepted:9d} {entry.elapsed * 1000:10.3f}{flag}"
                 )
         if self.tenants:
             lines.append("")
@@ -248,6 +300,16 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
             profile.tenants.setdefault(
                 tenant, TenantServeProfile(tenant)
             ).absorb(event)
+        elif event.kind == "event" and event.name == "shard.dispatch":
+            worker = int(event.attrs.get("worker", -1))  # type: ignore[arg-type]
+            profile.shards.setdefault(worker, ShardProfile(worker)).absorb_dispatch(
+                event
+            )
+        elif event.kind == "event" and event.name == "shard.merge":
+            worker = int(event.attrs.get("worker", -1))  # type: ignore[arg-type]
+            profile.shards.setdefault(worker, ShardProfile(worker)).absorb_merge(
+                event
+            )
         elif event.kind == "event" and event.name in ("serve.cache", "pipeline.cache"):
             if event.attrs.get("hit"):
                 profile.serve_cache_hits += 1
@@ -275,8 +337,14 @@ def profile_evaluation(
     strategy: str = "seminaive",
     engine: str = "slots",
     plan_order: str = "cost",
+    workers: "int | None" = None,
 ) -> tuple[EvaluationProfile, "EvaluationResult"]:
-    """Evaluate ``program`` under a fresh tracer and profile the run."""
+    """Evaluate ``program`` under a fresh tracer and profile the run.
+
+    With ``workers=N`` the sharded evaluator runs and the profile gains
+    a per-shard section fed by the ``shard.dispatch``/``shard.merge``
+    trace events.
+    """
     from ..datalog.evaluation import evaluate
 
     sink = RingBufferSink()
@@ -288,5 +356,6 @@ def profile_evaluation(
         tracer=tracer,
         engine=engine,
         plan_order=plan_order,
+        workers=workers,
     )
     return build_profile(sink), result

@@ -1,0 +1,15 @@
+"""Multiprocess sharded semi-naive evaluation.
+
+``evaluate(..., workers=N)`` (:mod:`repro.datalog.evaluation`)
+dispatches here: each semi-naive delta is hash-partitioned by code row
+across ``N`` forked worker processes, which run the columnar block
+kernels over their shard and ship candidate head rows back; the master
+merges frontiers at round boundaries.  Fixpoints, digests and the join
+work counters are byte-identical to the sequential engines — see
+``docs/parallel.md`` for the sharding scheme, the barrier protocol,
+governor slicing and the failure modes.
+"""
+
+from .engine import WorkerFailure, WorkerPool, evaluate_sharded
+
+__all__ = ["WorkerFailure", "WorkerPool", "evaluate_sharded"]

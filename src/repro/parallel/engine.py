@@ -1,0 +1,1090 @@
+"""The sharded semi-naive master: hash-partitioned multiprocess evaluation.
+
+``evaluate_sharded`` mirrors the sequential seminaive driver of
+:mod:`repro.datalog.evaluation` SCC by SCC, but farms every delta join
+out to ``workers`` forked processes (:mod:`repro.parallel.worker`):
+
+* **Sharding** — each semi-naive delta block is hash-partitioned by its
+  full code row (``hash(codes) % workers``; int-tuple hashing is
+  ``PYTHONHASHSEED``-independent, so the partition is deterministic).
+  The compiled plans always scan the delta literal *first*, so
+  partitioning delta rows partitions the join work exactly: per-rule
+  ``rows_scanned`` sums across shards to the sequential count.
+* **Barriers** — linear SCCs (no delta plan reads a same-SCC relation
+  through a non-delta literal) synchronize once per round; nonlinear
+  SCCs synchronize once per plan, with the facts accepted so far
+  flushed to every mirror before the next plan fires — reproducing the
+  sequential engine's live visibility and therefore its iteration
+  counts and fixpoint digests byte for byte.
+* **Lazy replication** — the master keeps an append-only accept log per
+  IDB predicate and a ship cursor into it.  A barrier ships a
+  predicate's unshipped suffix only if one of the plans it runs reads
+  that predicate through a non-delta literal; predicates that are only
+  delta-scanned and head-derived (the common transitive-closure shape)
+  are never replicated at all, which is what makes the fleet's
+  per-round traffic proportional to the *frontier*, not the fixpoint.
+* **Authority** — workers pre-deduplicate candidate heads against
+  their mirrors and against everything they have already shipped, but
+  only the master accepts facts into the IDB; the accepted rows travel
+  back to the workers through the accept log.
+* **Governance** — one :class:`~repro.robustness.budget.Governor`
+  rules the fleet: the master checks all limits at barriers with the
+  cumulative stats, and every task carries the governor's *remaining*
+  wall-clock slice as the worker-side budget.  Any worker trip aborts
+  the fleet; the master folds the aborted workers' partial stats in
+  via :meth:`EvaluationStats.merge` (order-independent by
+  construction) and raises the usual
+  :class:`~repro.robustness.errors.BudgetExceededError` carrying a
+  merged partial fixpoint — a subset of the true one, because every
+  shipped head row is a sound derivation.
+
+The worker warm-start reuses the PR 5 checkpoint envelope (workload
+digest + IDB seed + checksum) and ships the EDB with its interner, so
+code columns mean the same thing in every process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import time
+from collections import defaultdict
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable
+
+from ..datalog.atoms import Literal
+from ..datalog.database import Database, Interner, Relation
+from ..datalog.evaluation import (
+    EvaluationResult,
+    EvaluationSnapshot,
+    EvaluationStats,
+    _check_plan_order,
+    _check_resume,
+    _ColumnarSlotEngine,
+    _resolve_storage,
+    _sccs,
+)
+from ..datalog.program import Program
+from ..datalog.terms import Constant, Variable
+from ..digest import workload_digest
+from ..observability.trace import Tracer, get_tracer
+from ..persist.checkpoint import Checkpoint
+from ..robustness.budget import Budget, CancellationToken, Governor
+from ..robustness.errors import BudgetExceededError, EvaluationAborted, ReproError
+from .worker import worker_main
+
+__all__ = ["WorkerFailure", "WorkerPool", "evaluate_sharded"]
+
+
+class WorkerFailure(ReproError):
+    """A shard worker died or broke protocol (not a budget trip).
+
+    Budget trips inside workers travel the normal
+    :class:`~repro.robustness.errors.BudgetExceededError` path (CLI
+    exit 1, partial fixpoint attached); this error is for crashes and
+    protocol violations and maps to the input/environment exit code 2.
+    """
+
+
+def _fork_context():
+    # Fork keeps warm-start cheap (the program and EDB payloads still
+    # travel the pipe, but the interpreter state does not have to be
+    # re-imported); fall back to the platform default where fork is
+    # unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _pre_intern_head_constants(program: Program, database: Database) -> None:
+    """Intern every rule-head constant into the database's dictionary.
+
+    Derivation is the only place evaluation *creates* interner codes
+    (body constants probe without inserting).  Minting them all before
+    the warm payload is built means the shipped value table is closed
+    under derivation: workers never assign a code the master has not,
+    so the dictionaries stay identical for the whole run.
+    """
+    interner = database.interner
+    for rule in program.rules:
+        for arg in rule.head.args:
+            if isinstance(arg, Constant):
+                interner.intern(arg.value)
+
+
+def _columns_of(rows) -> list[list[int]]:
+    """Transpose code tuples into per-position columns for shipping."""
+    return [list(column) for column in zip(*rows)]
+
+
+def _rows_of(n: int, columns) -> list[tuple[int, ...]]:
+    if not columns:
+        return [()] * n
+    return list(zip(*columns))
+
+
+class _DeltaBuffer:
+    """A semi-naive frontier on the master: ordered rows + a seen-set.
+
+    The master never joins against its own delta (the workers do), so
+    the frontier does not need columnar storage, indexes or decoded
+    caches — just insertion order for deterministic sharding and a set
+    for deduplication.  Implements the slivers of the Relation API the
+    driver touches (``add``/``add_codes`` for the exit-rule sink and
+    resume seeding, ``rows`` for checkpoint snapshots, ``code_rows``
+    for sharding).
+    """
+
+    __slots__ = ("arity", "interner", "row_list", "seen")
+
+    def __init__(self, arity: int, interner: Interner):
+        self.arity = arity
+        self.interner = interner
+        self.row_list: list[tuple[int, ...]] = []
+        self.seen: set[tuple[int, ...]] = set()
+
+    def __len__(self) -> int:
+        return len(self.row_list)
+
+    def add(self, row) -> bool:
+        intern = self.interner.intern
+        return self.add_codes(tuple(intern(value) for value in row))
+
+    def add_codes(self, codes: tuple[int, ...]) -> bool:
+        if codes in self.seen:
+            return False
+        self.seen.add(codes)
+        self.row_list.append(codes)
+        return True
+
+    def extend(self, rows) -> None:
+        """Bulk-append rows already deduplicated by the caller."""
+        self.row_list.extend(rows)
+        self.seen.update(rows)
+
+    def code_rows(self):
+        return self.row_list
+
+    def rows(self) -> frozenset:
+        decode = self.interner.decode
+        return frozenset(
+            tuple(decode(code) for code in codes) for codes in self.row_list
+        )
+
+
+class _ShardedEngine(_ColumnarSlotEngine):
+    """The master's local engine: columnar derive that records accepts.
+
+    Non-recursive SCCs and exit rules run on the master (they fire once
+    — forking them buys nothing); every code row the master accepts is
+    appended to the per-predicate accept log so later barriers can
+    replicate it into whichever worker mirrors turn out to need it.
+    """
+
+    name = "sharded"
+
+    def __init__(self, program, database, idb, plan_order, tracer, accept_log):
+        super().__init__(program, database, idb, plan_order, tracer)
+        self.accept_log = accept_log
+
+    def derive(self, plan, results, head_relation, sink_delta, prov, stats):
+        n, cols = results
+        if not n:
+            return 0
+        head_pred = plan.rule.head.predicate
+        intern = self.interner.intern
+        head_cols = [
+            cols[p] if s else [intern(p)] * n for s, p in plan.head_layout
+        ]
+        keys = zip(*head_cols) if head_cols else iter([()] * n)
+        live = head_relation.code_rows()
+        add_codes = head_relation.add_codes
+        sink = None if sink_delta is None else sink_delta[head_pred].add_codes
+        out = self.accept_log[head_pred]
+        new = 0
+        for codes in keys:
+            if codes in live:
+                continue
+            add_codes(codes)
+            new += 1
+            out.append(codes)
+            if sink is not None:
+                sink(codes)
+        stats.facts_derived += new
+        return new
+
+
+def _shard_rows(rows, workers: int, column: "int | None" = None):
+    """Partition code rows into per-worker buckets.
+
+    ``column=None`` hashes the full code row (mirror mode); an int
+    hashes that single position (aligned mode, so all rows of one
+    partition land on the worker that owns it).  Int and int-tuple
+    hashing are both ``PYTHONHASHSEED``-independent.
+    """
+    shards = [[] for _ in range(workers)]
+    if workers == 1:
+        shards[0].extend(rows)
+        return shards
+    if column is None:
+        for codes in rows:
+            shards[hash(codes) % workers].append(codes)
+    else:
+        for codes in rows:
+            shards[hash(codes[column]) % workers].append(codes)
+    return shards
+
+
+def _alignment(delta_rules, members, program: Program) -> "dict[str, int] | None":
+    """A partition column per member predicate, if the SCC admits one.
+
+    Aligned sharding needs every delta derivation to land on the worker
+    that owns its head row: for each delta rule there must be a
+    variable shared between the delta literal (at its partition column)
+    and the head (at the head predicate's partition column).  The
+    choice must be consistent across all the SCC's delta rules; the
+    search is brute force over the (tiny) product of member arities.
+    Returns ``None`` — mirror mode — when no assignment exists.
+    """
+    if not delta_rules:
+        return None
+    constraints = []
+    for _, rule, pos in delta_rules:
+        delta_literal = rule.body[pos]
+        pairs = set()
+        for ci, arg in enumerate(delta_literal.args):
+            if not isinstance(arg, Variable):
+                continue
+            for cj, head_arg in enumerate(rule.head.args):
+                if head_arg == arg:
+                    pairs.add((ci, cj))
+        if not pairs:
+            return None
+        constraints.append((delta_literal.predicate, rule.head.predicate, pairs))
+    preds = sorted(members)
+    arities = [program.arity_of(pred) for pred in preds]
+    combos = 1
+    for arity in arities:
+        combos *= arity
+        if combos > 256:
+            return None
+    for choice in itertools.product(*(range(arity) for arity in arities)):
+        columns = dict(zip(preds, choice))
+        if all(
+            (columns[dp], columns[hp]) in pairs for dp, hp, pairs in constraints
+        ):
+            return columns
+    return None
+
+
+class WorkerPool:
+    """A fleet of warmed shard workers bound to one program + EDB.
+
+    Construction forks the processes and performs the warm-start
+    hand-off (program, EDB with interner, checkpoint envelope); both
+    are the per-run fixed cost the benchmarks report separately as
+    ``shard_overhead_seconds``.  The pool is a context manager; it is
+    single-use per evaluation but a benchmark may construct it ahead
+    of the timed region and pass it to ``evaluate(..., workers=N)``
+    via ``evaluate_sharded(..., pool=...)``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        workers: int,
+        *,
+        plan_order: str = "cost",
+        idb: "dict[str, Relation] | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if database.storage != "columnar":
+            raise ValueError("WorkerPool requires a columnar database")
+        self.program = program
+        self.database = database
+        self.workers = workers
+        self.plan_order = plan_order
+        _pre_intern_head_constants(program, database)
+        interner = database.interner
+        snapshot = EvaluationSnapshot(
+            strategy="seminaive",
+            completed_sccs=0,
+            scc_index=None,
+            iteration=0,
+            idb={
+                pred: relation.rows()
+                for pred, relation in (idb or {}).items()
+                if len(relation)
+            },
+            delta=None,
+            stats=EvaluationStats(),
+            complete=False,
+            interner=tuple(interner.values),
+        )
+        envelope, _ = Checkpoint(
+            seq=0,
+            workload=workload_digest(program, database),
+            snapshot=snapshot,
+        ).encode()
+        self.interner_digest = interner.digest()
+        warm = {
+            "workers": workers,
+            "program": program,
+            "plan_order": plan_order,
+            "edb": database.to_dict(include_interner=True),
+            "envelope": envelope,
+            "interner_digest": self.interner_digest,
+        }
+        ctx = _fork_context()
+        self.conns = []
+        self.procs = []
+        self._closed = False
+        try:
+            for index in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self.conns.append(parent_conn)
+                self.procs.append(proc)
+            for index, conn in enumerate(self.conns):
+                conn.send(("warm", {**warm, "index": index}))
+            for index, conn in enumerate(self.conns):
+                kind, payload = self._recv(index)
+                if kind != "ready":
+                    raise WorkerFailure(
+                        f"worker {index} failed to warm up: "
+                        f"{payload.get('message', kind)}"
+                    )
+                if payload.get("interner_digest") != self.interner_digest:
+                    raise WorkerFailure(
+                        f"worker {index} warm-start interner digest mismatch"
+                    )
+        except BaseException:
+            self.close()
+            raise
+        # Values shipped so far; take_intern_extension() sends the rest.
+        self.sent_values = len(interner)
+
+    # ------------------------------------------------------------------
+    def take_intern_extension(self) -> list:
+        """Values interned by the master since the last barrier."""
+        values = self.database.interner.values
+        extension = list(values[self.sent_values :])
+        self.sent_values = len(values)
+        return extension
+
+    def _recv(self, index: int):
+        try:
+            return self.conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerFailure(
+                f"worker {index} died mid-protocol ({exc.__class__.__name__})"
+            ) from exc
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self.conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def evaluate_sharded(
+    program: Program,
+    database: Database,
+    *,
+    workers: int,
+    pool: WorkerPool | None = None,
+    provenance: bool = False,
+    max_iterations: int | None = None,
+    strategy: str = "seminaive",
+    tracer: Tracer | None = None,
+    plan_order: str = "cost",
+    storage: str | None = None,
+    budget: "Budget | Governor | None" = None,
+    cancellation: CancellationToken | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_sink: "Callable[[EvaluationSnapshot], None] | None" = None,
+    resume_from: EvaluationSnapshot | None = None,
+) -> EvaluationResult:
+    """Semi-naive evaluation sharded across ``workers`` processes.
+
+    The public entry point is ``evaluate(..., workers=N)``; benchmarks
+    call this directly with a pre-built ``pool`` so fork + EDB shipping
+    stays outside the timed region.  Results — fixpoint, digests,
+    ``iterations``, ``rule_firings``, ``facts_derived``,
+    ``rows_scanned`` (total and per rule) — are byte-identical to the
+    sequential columnar engine; the per-process counters (``probes``,
+    ``block_probes``, ``env_allocations``, ``index_builds``) report
+    fleet totals and therefore exceed the sequential values.
+
+    Restrictions: ``strategy`` must be ``"seminaive"`` (delta sharding
+    is meaningless under naive re-evaluation) and ``provenance`` is
+    unsupported (support tuples are process-local).  ``checkpoint_*``
+    and ``resume_from`` work exactly as in the sequential engine.
+    """
+    if not isinstance(workers, int) or workers < 1:
+        raise ValueError(f"workers must be a positive int, got {workers!r}")
+    if provenance:
+        raise ValueError(
+            "workers=N cannot record provenance (support tuples are "
+            "process-local); use the sequential engine for derivation trees"
+        )
+    if strategy != "seminaive":
+        raise ValueError(
+            f"workers=N requires strategy='seminaive', got {strategy!r} "
+            "(delta sharding has no meaning under naive re-evaluation)"
+        )
+    if tracer is None:
+        tracer = get_tracer()
+    _check_plan_order(plan_order)
+    governor = Governor.of(budget, cancellation)
+    _check_resume(resume_from, "seminaive", provenance)
+    database = _resolve_storage(database, storage).to_storage("columnar")
+
+    trace_on = tracer.enabled
+    started = time.perf_counter()
+    started_cpu = time.process_time()
+    stats = EvaluationStats()
+    base_wall = 0.0
+    interner = database.interner
+    idb: dict[str, Relation] = {
+        pred: database.new_relation(program.arity_of(pred))
+        for pred in program.idb_predicates
+    }
+    if resume_from is not None:
+        stats.merge(resume_from.stats)
+        base_wall = stats.wall_time_seconds
+        if resume_from.interner is not None:
+            for value in resume_from.interner:
+                interner.intern(value)
+        for pred, rows in resume_from.idb.items():
+            if pred in idb:
+                for row in rows:
+                    idb[pred].add(row)
+    base_intern = stats.intern_hits
+    hits0 = interner.hits
+
+    def sync_intern_hits() -> None:
+        stats.intern_hits = base_intern + interner.hits - hits0
+
+    # Every code row ever accepted into the IDB, in acceptance order,
+    # plus the per-predicate cursor up to which the workers have been
+    # told.  Rows seeded from a resume snapshot are excluded on purpose:
+    # they ride the warm-start envelope instead.
+    accept_log: "defaultdict[str, list[tuple]]" = defaultdict(list)
+    shipped_upto: "defaultdict[str, int]" = defaultdict(int)
+    eng = _ShardedEngine(program, database, idb, plan_order, tracer, accept_log)
+    checkpointing = checkpoint_sink is not None and checkpoint_every > 0
+
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(
+            program, database, workers, plan_order=plan_order, idb=idb
+        )
+    else:
+        if resume_from is not None:
+            raise ValueError(
+                "a pre-built pool cannot resume from a snapshot; let "
+                "evaluate_sharded construct its own pool"
+            )
+        if pool.workers != workers:
+            raise ValueError(
+                f"pool has {pool.workers} workers, evaluation asked for {workers}"
+            )
+        if pool.database is not database or pool.program is not program:
+            raise ValueError(
+                "pool was built for a different program/database object"
+            )
+        if pool.plan_order != plan_order:
+            raise ValueError(
+                f"pool was built with plan_order={pool.plan_order!r}, "
+                f"evaluation asked for {plan_order!r}"
+            )
+
+    idb_preds = program.idb_predicates
+    conn_index = {conn: index for index, conn in enumerate(pool.conns)}
+
+    # Per-worker accounting and the modeled critical path.  Both sides
+    # report CPU time (``time.process_time``), which is immune to core
+    # contention: the master's own CPU is its serial work (dispatch
+    # pickling, merge, dedup — it runs while workers idle), and on a
+    # machine with >= ``workers`` free cores the fleet's wall clock
+    # converges to ``master_cpu + sum over barriers of max(worker
+    # cpu)``, so the benchmarks report that quantity
+    # (``critical_path_seconds``) alongside raw wall time.
+    worker_report = [
+        {"tasks": 0, "cpu_seconds": 0.0, "wall_seconds": 0.0, "results": 0, "accepted": 0}
+        for _ in range(pool.workers)
+    ]
+    path = {"barrier_max_cpu": 0.0}
+
+    def shard_report() -> dict:
+        master_serial = max(0.0, time.process_time() - started_cpu)
+        return {
+            "workers": pool.workers,
+            "per_worker": [
+                {key: round(val, 6) if isinstance(val, float) else val
+                 for key, val in report.items()}
+                for report in worker_report
+            ],
+            "master_serial_seconds": round(master_serial, 6),
+            "critical_path_seconds": round(
+                master_serial + path["barrier_max_cpu"], 6
+            ),
+        }
+
+    def make_snapshot(
+        completed: int,
+        scc_index: "int | None",
+        iteration: int,
+        delta: "dict[str, _DeltaBuffer] | None",
+        complete: bool = False,
+    ) -> EvaluationSnapshot:
+        sync_intern_hits()
+        snap_stats = stats.copy()
+        snap_stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+        return EvaluationSnapshot(
+            strategy="seminaive",
+            completed_sccs=completed,
+            scc_index=scc_index,
+            iteration=iteration,
+            idb={pred: rel.rows() for pred, rel in idb.items()},
+            delta=None
+            if delta is None
+            else {pred: rel.rows() for pred, rel in delta.items()},
+            stats=snap_stats,
+            complete=complete,
+            interner=tuple(interner.values),
+        )
+
+    def relation_of(predicate: str, arity: int) -> Relation:
+        if predicate in idb_preds:
+            return idb[predicate]
+        return database.relation(predicate, arity)
+
+    def fire_rule(plan, delta_relation, sink_delta, scc_index, iteration) -> None:
+        """Run one rule locally on the master (exit / non-recursive)."""
+        head_relation = idb[plan.rule.head.predicate]
+
+        def run() -> None:
+            rows_before = stats.rows_scanned
+            results = eng.run(plan, relation_of, delta_relation, stats, governor)
+            stats.rule_firings += eng.result_count(results)
+            key = plan.rule_key
+            stats.rows_scanned_by_rule[key] = (
+                stats.rows_scanned_by_rule.get(key, 0)
+                + stats.rows_scanned
+                - rows_before
+            )
+            eng.derive(plan, results, head_relation, sink_delta, None, stats)
+            if governor is not None:
+                governor.check("evaluate", stats)
+
+        if not trace_on:
+            run()
+            return
+        before = (
+            stats.probes,
+            stats.rows_scanned,
+            stats.facts_derived,
+            stats.rule_firings,
+            stats.index_builds,
+        )
+        with tracer.span(
+            "rule",
+            predicate=plan.rule.head.predicate,
+            rule=plan.rule_key,
+            scc=scc_index,
+            iteration=iteration,
+            delta=delta_relation is not None,
+        ) as span:
+            run()
+            span.set(
+                firings=stats.rule_firings - before[3],
+                probes=stats.probes - before[0],
+                rows_scanned=stats.rows_scanned - before[1],
+                facts_derived=stats.facts_derived - before[2],
+                index_builds=stats.index_builds - before[4],
+            )
+
+    def barrier(
+        run_plan_ids,
+        delta_by_pred,
+        compile_specs,
+        plan_meta,
+        needed,
+        new_delta,
+        scc_index,
+        iteration,
+        aligned_cols=None,
+        ship_delta=True,
+    ) -> None:
+        """One fleet synchronization: dispatch tasks, merge replies.
+
+        ``plan_meta`` maps plan id -> (rule_key, head_pred) for stats
+        attribution and head acceptance; ``needed`` is the set of IDB
+        predicates the dispatched plans read through non-delta literals
+        (only their accept-log suffixes are shipped).  In aligned mode
+        (``aligned_cols`` set) the delta ships only on the SCC's first
+        round (``ship_delta``) — afterwards each worker's frontier *is*
+        its shard — and replies are accepted without re-deduplication,
+        because partition ownership makes the workers' mirror checks
+        exact.  Raises on worker budget trips and crashes.
+        """
+        extension = pool.take_intern_extension()
+        updates = []
+        for pred in sorted(needed):
+            log = accept_log[pred]
+            cursor = shipped_upto[pred]
+            if len(log) > cursor:
+                fresh = log[cursor:]
+                updates.append((pred, len(fresh), _columns_of(fresh)))
+            shipped_upto[pred] = len(log)
+        compile_payload = None
+        if compile_specs is not None:
+            # The workers compile against the master's sizes at this
+            # exact point — right after the SCC's exit rules, the same
+            # point the sequential engine compiles at — so cost-based
+            # plan orders (and with them per-rule ``rows_scanned``)
+            # match a sequential run's even when the worker mirrors are
+            # lazily behind.
+            compile_payload = {
+                "specs": compile_specs,
+                "sizes": {pred: len(rel) for pred, rel in idb.items()},
+                "aligned": aligned_cols,
+            }
+        deadline = None if governor is None else governor.remaining()
+        shared = pickle.dumps(
+            {
+                "intern": extension,
+                "updates": updates,
+                "compile": compile_payload,
+                "plans": run_plan_ids,
+                "deadline": deadline,
+            },
+            pickle.HIGHEST_PROTOCOL,
+        )
+        shard_by_pred = {}
+        if ship_delta:
+            shard_by_pred = {
+                pred: _shard_rows(
+                    rel.code_rows(),
+                    pool.workers,
+                    None if aligned_cols is None else aligned_cols[pred],
+                )
+                for pred, rel in delta_by_pred.items()
+                if len(rel)
+            }
+        update_rows = sum(n for _, n, _ in updates)
+        for index, conn in enumerate(pool.conns):
+            shard = [
+                (pred, len(bucket), _columns_of(bucket))
+                for pred, buckets in shard_by_pred.items()
+                for bucket in (buckets[index],)
+                if bucket
+            ]
+            try:
+                conn.send(("task", shared, shard))
+            except (BrokenPipeError, OSError) as exc:
+                # A worker that died between barriers surfaces here,
+                # on the dispatch send — same failure mode as a death
+                # mid-protocol on the receive side.
+                raise WorkerFailure(
+                    f"worker {index} died before dispatch "
+                    f"({exc.__class__.__name__})"
+                ) from exc
+            if trace_on:
+                tracer.event(
+                    "shard.dispatch",
+                    worker=index,
+                    scc=scc_index,
+                    iteration=iteration,
+                    plans=len(run_plan_ids),
+                    delta_rows=sum(n for _, n, _ in shard),
+                    update_rows=update_rows,
+                )
+
+        # Merge replies in arrival order, overlapping the master's
+        # dedup work with the slower workers' compute.  Every decision
+        # below is content-based (sets and sums), so arrival order
+        # cannot change what is accepted — only which worker a
+        # duplicate is attributed to in the trace.
+        aborted: "dict | None" = None
+        round_max_cpu = 0.0
+        firings_by_plan: "defaultdict[int, int]" = defaultdict(int)
+        rows_by_plan: "defaultdict[int, int]" = defaultdict(int)
+        accepted_by_plan: "defaultdict[int, int]" = defaultdict(int)
+        accepted_rows: "dict[str, list[tuple]]" = {}
+        batch_seen: "dict[str, set]" = {}
+        pending_conns = list(pool.conns)
+        while pending_conns:
+            for conn in _conn_wait(pending_conns):
+                pending_conns.remove(conn)
+                index = conn_index[conn]
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerFailure(
+                        f"worker {index} died mid-protocol "
+                        f"({exc.__class__.__name__})"
+                    ) from exc
+                if kind == "error":
+                    raise WorkerFailure(
+                        f"worker {index} failed:\n{payload.get('message', '')}"
+                    )
+                cpu = payload.get("cpu", 0.0)
+                report = worker_report[index]
+                report["tasks"] += 1
+                report["cpu_seconds"] += cpu
+                report["wall_seconds"] += payload.get("elapsed", 0.0)
+                round_max_cpu = max(round_max_cpu, cpu)
+                if kind == "abort":
+                    # Fold the tripped worker's partial counters in
+                    # through the order-independent merge; its head rows
+                    # are sound derivations, merged below like any
+                    # other reply's.
+                    stats.merge(EvaluationStats.from_dict(payload["stats"]))
+                    aborted = payload
+                else:
+                    wstats = payload["stats"]
+                    stats.probes += wstats["probes"]
+                    stats.env_allocations += wstats["env_allocations"]
+                    stats.block_probes += wstats["block_probes"]
+                    stats.index_builds += wstats["index_builds"]
+                    for plan_id, count, rows in payload["plans"]:
+                        stats.rule_firings += count
+                        stats.rows_scanned += rows
+                        firings_by_plan[plan_id] += count
+                        rows_by_plan[plan_id] += rows
+                        key = plan_meta[plan_id][0]
+                        stats.rows_scanned_by_rule[key] = (
+                            stats.rows_scanned_by_rule.get(key, 0) + rows
+                        )
+                results = 0
+                accepted = 0
+                for plan_id, n, cols in payload.get("heads", ()):
+                    head_pred = plan_meta[plan_id][1]
+                    results += n
+                    if aligned_cols is not None:
+                        # Partition ownership: the shipping worker is
+                        # the only process that can derive these rows
+                        # and its mirror is complete for its partition,
+                        # so every row is fresh by construction.
+                        acc = accepted_rows.setdefault(head_pred, [])
+                        acc.extend(_rows_of(n, cols))
+                        accepted += n
+                        accepted_by_plan[plan_id] += n
+                        continue
+                    live = idb[head_pred].code_rows()
+                    seen = batch_seen.get(head_pred)
+                    if seen is None:
+                        seen = batch_seen[head_pred] = set()
+                        accepted_rows[head_pred] = []
+                    acc = accepted_rows[head_pred]
+                    for codes in _rows_of(n, cols):
+                        if codes in live or codes in seen:
+                            continue
+                        seen.add(codes)
+                        acc.append(codes)
+                        accepted += 1
+                        accepted_by_plan[plan_id] += 1
+                report["results"] += results
+                report["accepted"] += accepted
+                if trace_on:
+                    tracer.event(
+                        "shard.merge",
+                        worker=index,
+                        scc=scc_index,
+                        iteration=iteration,
+                        results=results,
+                        accepted=accepted,
+                        elapsed=round(payload.get("elapsed", 0.0), 6),
+                        aborted=kind == "abort",
+                    )
+        path["barrier_max_cpu"] += round_max_cpu
+        for pred, acc in accepted_rows.items():
+            if not acc:
+                continue
+            idb[pred].extend_codes(acc)
+            accept_log[pred].extend(acc)
+            new_delta[pred].extend(acc)
+            stats.facts_derived += len(acc)
+        if trace_on:
+            for plan_id in run_plan_ids:
+                if not (
+                    firings_by_plan[plan_id]
+                    or rows_by_plan[plan_id]
+                    or accepted_by_plan[plan_id]
+                ):
+                    continue
+                key, head_pred = plan_meta[plan_id]
+                with tracer.span(
+                    "rule",
+                    predicate=head_pred,
+                    rule=key,
+                    scc=scc_index,
+                    iteration=iteration,
+                    delta=True,
+                ) as span:
+                    span.set(
+                        firings=firings_by_plan[plan_id],
+                        rows_scanned=rows_by_plan[plan_id],
+                        facts_derived=accepted_by_plan[plan_id],
+                    )
+        if aborted is not None:
+            raise BudgetExceededError(
+                aborted.get("message")
+                or "worker budget slice exhausted; fleet aborted",
+                limit=aborted.get("limit") or "timeout",
+            )
+        if governor is not None:
+            governor.check("evaluate", stats)
+
+    def partial_result() -> EvaluationResult:
+        return EvaluationResult(
+            idb=idb,
+            stats=stats,
+            program=program,
+            database=database,
+            provenance=None,
+            shards=shard_report(),
+        )
+
+    try:
+        with tracer.span(
+            "evaluate",
+            strategy="seminaive",
+            engine=eng.name,
+            rules=len(program.rules),
+            workers=pool.workers,
+        ) as root:
+            graph = program.dependency_graph()
+            components = _sccs(graph)
+            for scc_index, component in enumerate(components):
+                if resume_from is not None and scc_index < resume_from.completed_sccs:
+                    continue
+                resuming_here = (
+                    resume_from is not None
+                    and resume_from.scc_index == scc_index
+                    and resume_from.delta is not None
+                )
+                if governor is not None:
+                    governor.check("evaluate", stats)
+                members = set(component)
+                recursive = len(component) > 1 or any(
+                    head in graph.get(head, set()) for head in component
+                )
+                indexed_rules = [
+                    (index, rule)
+                    for index, rule in enumerate(program.rules)
+                    if rule.head.predicate in members
+                ]
+                with tracer.span(
+                    "scc",
+                    index=scc_index,
+                    members=",".join(sorted(members)),
+                    recursive=recursive,
+                ):
+                    if not recursive:
+                        for _, rule in indexed_rules:
+                            fire_rule(
+                                eng.make_plan(rule, None), None, None, scc_index, None
+                            )
+                        continue
+                    exit_rules = []
+                    delta_rules: "list[tuple[int, Rule, int]]" = []
+                    for rule_index, rule in indexed_rules:
+                        recursive_positions = [
+                            i
+                            for i, item in enumerate(rule.body)
+                            if isinstance(item, Literal)
+                            and item.positive
+                            and item.predicate in members
+                        ]
+                        if not recursive_positions:
+                            exit_rules.append(rule)
+                        else:
+                            for pos in recursive_positions:
+                                delta_rules.append((rule_index, rule, pos))
+                    if resuming_here:
+                        assert resume_from is not None and resume_from.delta is not None
+                        delta = {}
+                        for pred in members:
+                            buf = _DeltaBuffer(program.arity_of(pred), interner)
+                            for row in resume_from.delta.get(pred, ()):
+                                buf.add(row)
+                            delta[pred] = buf
+                        iterations = resume_from.iteration
+                    else:
+                        delta = {
+                            pred: _DeltaBuffer(program.arity_of(pred), interner)
+                            for pred in members
+                        }
+                        for rule in exit_rules:
+                            fire_rule(
+                                eng.make_plan(rule, None), None, delta, scc_index, None
+                            )
+                        iterations = 0
+                    compile_specs = [
+                        (rule_index, pos) for rule_index, _, pos in delta_rules
+                    ]
+                    plan_meta = {
+                        plan_id: (repr(rule), rule.head.predicate)
+                        for plan_id, (_, rule, pos) in enumerate(delta_rules)
+                    }
+                    delta_pred_of = {
+                        plan_id: rule.body[pos].predicate
+                        for plan_id, (_, rule, pos) in enumerate(delta_rules)
+                    }
+                    # The IDB predicates each plan reads through
+                    # non-delta literals (positive or negated): exactly
+                    # the mirrors that must be current before it runs.
+                    needed_of = [
+                        {
+                            item.predicate
+                            for i, item in enumerate(rule.body)
+                            if i != pos
+                            and isinstance(item, Literal)
+                            and item.predicate in idb_preds
+                        }
+                        for _, rule, pos in delta_rules
+                    ]
+                    # A delta plan that reads a same-SCC relation through
+                    # a non-delta literal sees facts derived earlier in
+                    # the same round; those SCCs barrier per plan so the
+                    # mirrors can be refreshed in between.
+                    nonlinear = any(
+                        i != pos
+                        and isinstance(item, Literal)
+                        and item.positive
+                        and item.predicate in members
+                        for _, rule, pos in delta_rules
+                        for i, item in enumerate(rule.body)
+                    )
+                    # Aligned sharding needs the workers' mirrors to be
+                    # exact for their partitions, which nonlinear SCCs
+                    # (reading whole same-SCC relations) cannot give.
+                    aligned_cols = (
+                        None if nonlinear else _alignment(delta_rules, members, program)
+                    )
+                    first_round = True
+                    while any(len(d) for d in delta.values()):
+                        iterations += 1
+                        if max_iterations is not None and iterations > max_iterations:
+                            break
+                        stats.iterations += 1
+                        if governor is not None:
+                            governor.check("evaluate", stats)
+                        if trace_on:
+                            tracer.event(
+                                "iteration",
+                                scc=scc_index,
+                                index=iterations,
+                                delta_in=sum(len(d) for d in delta.values()),
+                            )
+                        new_delta: dict[str, _DeltaBuffer] = {
+                            pred: _DeltaBuffer(program.arity_of(pred), interner)
+                            for pred in members
+                        }
+                        if nonlinear:
+                            for plan_id in range(len(delta_rules)):
+                                delta_rel = delta[delta_pred_of[plan_id]]
+                                if not len(delta_rel):
+                                    continue
+                                barrier(
+                                    [plan_id],
+                                    {delta_pred_of[plan_id]: delta_rel},
+                                    compile_specs,
+                                    plan_meta,
+                                    needed_of[plan_id],
+                                    new_delta,
+                                    scc_index,
+                                    iterations,
+                                )
+                                compile_specs = None
+                        else:
+                            run_ids = [
+                                plan_id
+                                for plan_id in range(len(delta_rules))
+                                if len(delta[delta_pred_of[plan_id]])
+                            ]
+                            needed = set()
+                            for plan_id in run_ids:
+                                needed |= needed_of[plan_id]
+                            barrier(
+                                run_ids,
+                                delta,
+                                compile_specs,
+                                plan_meta,
+                                needed,
+                                new_delta,
+                                scc_index,
+                                iterations,
+                                aligned_cols,
+                                aligned_cols is None or first_round,
+                            )
+                            compile_specs = None
+                        first_round = False
+                        delta = new_delta
+                        if checkpointing and stats.iterations % checkpoint_every == 0:
+                            checkpoint_sink(
+                                make_snapshot(scc_index, scc_index, iterations, delta)
+                            )
+            if checkpoint_sink is not None:
+                checkpoint_sink(
+                    make_snapshot(
+                        len(components), None, stats.iterations, None, complete=True
+                    )
+                )
+            if trace_on:
+                root.set(
+                    **{k: v for k, v in stats.as_dict().items() if isinstance(v, int)}
+                )
+    except EvaluationAborted as exc:
+        stats.budget_trips += 1
+        sync_intern_hits()
+        stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+        if trace_on:
+            tracer.event(
+                "budget.trip",
+                phase=exc.phase or "evaluate",
+                limit=exc.limit or "",
+                facts_derived=stats.facts_derived,
+                iterations=stats.iterations,
+            )
+        raise exc.with_context(
+            phase="evaluate", partial=partial_result(), stats=stats
+        ) from None
+    finally:
+        if own_pool:
+            pool.close()
+    sync_intern_hits()
+    stats.wall_time_seconds = base_wall + (time.perf_counter() - started)
+    return partial_result()

@@ -104,6 +104,7 @@ class Session:
         engine: str = "slots",
         plan_order: str = "cost",
         storage: str | None = None,
+        workers: int | None = None,
         budget: "Budget | Governor | None" = None,
         cancellation: CancellationToken | None = None,
         tracer: Tracer | None = None,
@@ -124,6 +125,11 @@ class Session:
         self.strategy = strategy
         self.engine = engine
         self.plan_order = plan_order
+        # ``workers=N`` shards full runs and resumes across N forked
+        # processes (see docs/parallel.md); incremental ingest stays
+        # sequential — its delta-seeded firings are far below the
+        # sharding break-even point.
+        self.workers = workers
         self.budget = budget
         self.cancellation = cancellation
         self._tracer = tracer
@@ -217,6 +223,7 @@ class Session:
             strategy=self.strategy,
             engine=self.engine,
             plan_order=self.plan_order,
+            workers=self.workers,
             budget=governor,
             tracer=self._tracer,
             checkpoint_every=self.checkpoint_every,
@@ -531,6 +538,7 @@ class Session:
             "strategy": self.strategy,
             "engine": self.engine,
             "storage": self.database.storage,
+            "workers": self.workers,
             "checkpoint_every": self.checkpoint_every,
         }
         if self.store is None:

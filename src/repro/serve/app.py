@@ -72,9 +72,14 @@ class ServeApp:
         persist_root: "Path | None" = None,
         defaults: Budget | None = None,
         cache_capacity: int = 128,
+        workers: "int | None" = None,
     ):
         self.registry = TenantRegistry(persist_root)
         self.cache = ArtifactCache(cache_capacity)
+        # Daemon-wide default worker count for tenant materialization;
+        # a register request's own ``workers`` wins, and the default is
+        # only applied where sharding is legal (slot engine, semi-naive).
+        self.workers = workers
         self.governors = RequestGovernorFactory(defaults)
         self.started_at = time.monotonic()
         self.requests = 0
@@ -177,6 +182,15 @@ class ServeApp:
     # ------------------------------------------------------------------
     async def _register(self, name: str, payload: object) -> tuple[int, dict]:
         request = parse_register(payload)
+        if (
+            request.workers is None
+            and self.workers is not None
+            and request.engine == "slots"
+            and request.strategy == "seminaive"
+        ):
+            import dataclasses
+
+            request = dataclasses.replace(request, workers=self.workers)
         tenant = self.registry.create(name, request)
         async with self.registry.lock.write_locked():
             outcome = await asyncio.get_running_loop().run_in_executor(

@@ -101,6 +101,7 @@ class ServeClient:
         query: str | None = None,
         engine: str | None = None,
         storage: str | None = None,
+        workers: int | None = None,
     ) -> dict:
         payload: dict = {"program": program}
         if constraints is not None:
@@ -113,6 +114,8 @@ class ServeClient:
             payload["engine"] = engine
         if storage is not None:
             payload["storage"] = storage
+        if workers is not None:
+            payload["workers"] = workers
         return self.request("PUT", f"/programs/{name}", payload)
 
     def inspect(self, name: str) -> dict:

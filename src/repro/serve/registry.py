@@ -123,6 +123,7 @@ class Tenant:
         self.plan_order = request.plan_order
         self.strategy = request.strategy
         self.storage = request.storage
+        self.workers = request.workers
         self.lock = ReadWriteLock()
         self.registered_at = time.time()
         self.queries = 0
@@ -139,6 +140,7 @@ class Tenant:
             strategy=self.strategy,
             engine=self.engine,
             plan_order=self.plan_order,
+            workers=self.workers,
         )
         self.materialized: SessionResult | None = None
         self.mode: str | None = None
@@ -175,6 +177,7 @@ class Tenant:
             "engine": self.engine,
             "strategy": self.strategy,
             "storage": self.storage,
+            "workers": self.workers,
             "mode": self.mode,
             "edb_facts": edb_facts,
             "queries": self.queries,

@@ -87,6 +87,10 @@ class RegisterRequest:
     plan_order: str
     strategy: str
     storage: str = "rows"
+    #: Shard the tenant's materialization/resume runs across N forked
+    #: worker processes (``None`` = the daemon's default; see
+    #: docs/parallel.md).  Requires the slot engine and semi-naive.
+    workers: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -131,14 +135,27 @@ def parse_register(payload: object) -> RegisterRequest:
             constraints = tuple(parse_constraints(constraints_text))
         except Exception as exc:
             raise UsageError(f"cannot parse constraints: {exc}") from exc
+    engine = _choice_field(payload, "engine", ("slots", "interpreted"), "slots")
+    strategy = _choice_field(payload, "strategy", ("seminaive", "naive"), "seminaive")
+    workers = payload.get("workers")
+    if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+            raise UsageError(
+                f"field 'workers' must be a positive integer, got {workers!r}"
+            )
+        if engine != "slots":
+            raise UsageError("workers requires the compiled slot engine (engine='slots')")
+        if strategy != "seminaive":
+            raise UsageError("workers requires strategy='seminaive'")
     return RegisterRequest(
         program=program,
         facts=tuple(facts),
         constraints=constraints,
-        engine=_choice_field(payload, "engine", ("slots", "interpreted"), "slots"),
+        engine=engine,
         plan_order=_choice_field(payload, "plan_order", ("cost", "greedy"), "cost"),
-        strategy=_choice_field(payload, "strategy", ("seminaive", "naive"), "seminaive"),
+        strategy=strategy,
         storage=_choice_field(payload, "storage", ("rows", "columnar"), "rows"),
+        workers=workers,
     )
 
 

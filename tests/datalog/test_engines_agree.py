@@ -14,6 +14,9 @@ import pytest
 
 from repro.datalog.database import STORAGES
 from repro.datalog.evaluation import evaluate
+from repro.digest import fixpoint_digest
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceededError
 from repro.workloads.generators import random_workload
 from repro.workloads.programs import good_path
 from repro.workloads.generators import good_path_bidirectional_database
@@ -57,6 +60,100 @@ def test_engines_agree_on_denser_graphs(seed):
     ]
     for other in fixpoints[1:]:
         assert other == fixpoints[0]
+
+
+# ----------------------------------------------------------------------
+# The workers axis: the multiprocess sharded evaluator (repro.parallel)
+# held to the sequential slot engine.  A WorkerPool is bound to one
+# program + EDB, so every seed costs a fresh fork — seeds are pooled
+# inside each worker-count case instead of crossed into the parametrize
+# grid to keep the fork bill bounded.
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: ``random_workload`` draws negated EDB literals and order-atom
+#: filters at these seeds; the denser draws run enough semi-naive
+#: rounds to exercise repeated barrier merges.
+SHARDED_SEEDS = (
+    (0, {}),
+    (3, {}),
+    (7, {}),
+    (21, {"nodes": 8, "edges": 40}),
+    (24, {"nodes": 8, "edges": 40}),
+)
+
+
+def _digest(result):
+    return fixpoint_digest([("workload", result.idb)])
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_sharded_evaluator_matches_sequential_slots(workers):
+    """``evaluate(..., workers=N)`` must reproduce the sequential slot
+    engine exactly: same fixpoint digest, same iteration count, and the
+    same join-work counters — sharding redistributes the work, it never
+    changes it (docs/parallel.md)."""
+    for seed, kwargs in SHARDED_SEEDS:
+        program, database, _ = random_workload(seed, **kwargs)
+        sequential = evaluate(
+            program, database.copy(), engine="slots", storage="columnar"
+        )
+        sharded = evaluate(
+            program,
+            database.copy(),
+            engine="slots",
+            storage="columnar",
+            workers=workers,
+        )
+        label = f"seed={seed} workers={workers}"
+        assert _digest(sharded) == _digest(sequential), label
+        assert sharded.stats.iterations == sequential.stats.iterations, label
+        assert sharded.stats.rule_firings == sequential.stats.rule_firings, label
+        assert sharded.stats.facts_derived == sequential.stats.facts_derived, label
+        assert sharded.stats.rows_scanned == sequential.stats.rows_scanned, label
+        assert (
+            sharded.stats.rows_scanned_by_rule
+            == sequential.stats.rows_scanned_by_rule
+        ), label
+        assert sharded.shards is not None and sharded.shards["workers"] == workers
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_sharded_evaluator_agrees_across_input_storages(storage):
+    """The sharded evaluator accepts either storage backend as input
+    (converting to columnar for the hand-off) and lands on the same
+    digest either way."""
+    program, database, _ = random_workload(21, nodes=8, edges=40)
+    sequential = evaluate(program, database.copy(), engine="slots", storage=storage)
+    sharded = evaluate(
+        program, database.copy(), engine="slots", storage=storage, workers=2
+    )
+    assert _digest(sharded) == _digest(sequential)
+    assert sharded.stats.iterations == sequential.stats.iterations
+
+
+def test_sharded_budget_trip_partial_is_subset_of_fixpoint():
+    """A budget trip mid-fleet aborts every worker and merges what was
+    accepted so far: the partial IDB must be a subset of the true
+    fixpoint, with merged stats and a sharding report attached."""
+    program, database, _ = random_workload(21, nodes=8, edges=40)
+    full = evaluate(program, database.copy(), engine="slots", storage="columnar")
+    with pytest.raises(BudgetExceededError) as info:
+        evaluate(
+            program,
+            database.copy(),
+            engine="slots",
+            storage="columnar",
+            workers=4,
+            budget=Budget(max_facts=1),
+        )
+    exc = info.value
+    assert exc.partial is not None and exc.stats is not None
+    for predicate, relation in exc.partial.idb.items():
+        assert set(relation.rows()) <= set(full.rows(predicate)), predicate
+    derived = sum(len(rel) for rel in exc.partial.idb.values())
+    assert derived < sum(len(full.rows(p)) for p in program.idb_predicates)
+    assert exc.partial.shards is not None and exc.partial.shards["workers"] == 4
 
 
 def test_storages_agree_on_example31():

@@ -79,6 +79,45 @@ def test_merge_sums_every_counter():
     }
 
 
+def test_merge_is_order_independent():
+    """Sharded evaluation merges per-worker stats in arrival order,
+    which varies run to run — the merged result (including the float
+    wall time, summed in integer nanoseconds, and the per-rule dict's
+    insertion order) must not depend on it."""
+    import random
+
+    parts = [
+        _stats(
+            rule_firings=i,
+            probes=i * 3,
+            rows_scanned=i * 7,
+            facts_derived=i * 2,
+            iterations=i,
+            wall_time_seconds=0.1 * i + 1e-9 * i,
+            budget_trips=i % 2,
+            rows_scanned_by_rule={f"r{i % 3}": i, f"s{i % 5}": 2 * i},
+        )
+        for i in range(12)
+    ]
+    reference = None
+    rng = random.Random(0)
+    for _ in range(20):
+        order = parts[:]
+        rng.shuffle(order)
+        merged = EvaluationStats()
+        for part in order:
+            merged.merge(part)
+        payload = merged.as_dict()
+        # Bitwise equality, including the float and dict key order.
+        if reference is None:
+            reference = payload
+        assert payload == reference
+        assert list(payload["rows_scanned_by_rule"]) == sorted(
+            payload["rows_scanned_by_rule"]
+        )
+        assert merged.wall_time_seconds == reference["wall_time_seconds"]
+
+
 def test_compare_ratios():
     baseline = _stats(budget_trips=2)
     half = EvaluationStats(

@@ -1,0 +1,124 @@
+"""The ``--workers`` flag across the CLI surface.
+
+Exit-code contract (shared with the budget flags): 0 success, 1 budget
+trip with partial diagnostics on stderr, 2 usage error — a sharded run
+must degrade exactly like a sequential one, never with a traceback.
+"""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+"""
+
+
+def _facts(n=40):
+    return "\n".join(f"e({i}, {i + 1})." for i in range(n)) + "\n"
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = {}
+    for name, content in {
+        "program.dl": PROGRAM,
+        "facts.dl": _facts(),
+    }.items():
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+class TestRunWorkers:
+    def test_sharded_run_matches_sequential_output(self, files, capsys):
+        base = [
+            "run", files["program.dl"], "--query", "p", "--data", files["facts.dl"],
+        ]
+        assert main(base) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        # Answers are identical; only the trailing "work:" line differs,
+        # because probes/env-allocations report fleet totals there.
+        def answers(text):
+            return [line for line in text.splitlines() if not line.startswith("work:")]
+
+        assert answers(sharded) == answers(sequential)
+
+    def test_zero_workers_exits_two(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"], "--workers", "0",
+        ])
+        assert code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_with_interpreted_engine_exits_two(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"], "--workers", "2",
+            "--engine", "interpreted",
+        ])
+        assert code == 2
+        assert "slot engine" in capsys.readouterr().err
+
+    def test_fact_budget_trip_exits_one_with_partial(self, files, capsys):
+        code = main([
+            "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"], "--workers", "4", "--max-facts", "5",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "aborted:" in captured.err
+        assert "partial results:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_timeout_trip_exits_one(self, files, capsys):
+        # A timeout this small trips during the fleet warm-up; the exit
+        # path must still be the clean budget-trip one (docs/parallel.md
+        # failure modes), identical to the sequential engine's.
+        code = main([
+            "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"], "--workers", "4",
+            "--timeout", "0.000001",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "aborted:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestSessionWorkers:
+    def test_session_run_with_workers(self, files, tmp_path, capsys):
+        code = main([
+            "session", "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"],
+            "--checkpoint-dir", str(tmp_path / "ckpt"), "--workers", "2",
+        ])
+        assert code == 0
+        assert "p" in capsys.readouterr().out
+
+    def test_session_naive_strategy_rejects_workers(self, files, tmp_path, capsys):
+        code = main([
+            "session", "run", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"],
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--workers", "2", "--strategy", "naive",
+        ])
+        assert code == 2
+        assert "seminaive" in capsys.readouterr().err
+
+
+class TestProfileWorkers:
+    def test_profile_renders_shard_worker_table(self, files, capsys):
+        code = main([
+            "profile", files["program.dl"], "--query", "p",
+            "--data", files["facts.dl"], "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard workers (2):" in out

@@ -1,0 +1,84 @@
+"""Interner hand-off: stable, compact serialization.
+
+The sharded evaluator's correctness rests on master and workers
+assigning the *same* code to every value (docs/parallel.md).  The
+serialized form is the value table in code order — codes are a pure
+function of it — and :meth:`Interner.digest` is the equality the
+warm-start protocol checks.  These tests pin that contract across the
+three transports the code uses: pickle (fork hand-off), the
+``Database.to_dict(include_interner=True)`` snapshot (EDB shipping and
+checkpoints), and a real forked :class:`WorkerPool` warm-up.
+"""
+
+import pickle
+
+from repro.datalog.database import Database, Interner
+from repro.parallel import WorkerPool
+from repro.workloads.generators import random_workload
+
+
+def _sample_interner() -> Interner:
+    interner = Interner()
+    for value in ("a", "b", 1, 2.5, None, True, "z", 0):
+        interner.intern(value)
+    # Re-intern everything once so ``hits`` is nonzero.
+    for value in ("a", "b", 1, 2.5):
+        interner.intern(value)
+    return interner
+
+
+def test_pickle_round_trip_preserves_codes_and_digest():
+    original = _sample_interner()
+    restored = pickle.loads(pickle.dumps(original))
+    assert restored.digest() == original.digest()
+    assert restored.codes == original.codes
+    assert restored.values == original.values
+    # ``hits`` is process-local telemetry and must not travel.
+    assert restored.hits == 0
+
+
+def test_pickle_payload_is_compact_and_independent_of_hits():
+    """The pickle carries only the value table: two interners with the
+    same values serialize to identical bytes no matter how many lookup
+    hits each has seen, and the payload holds no redundant code map."""
+    hot = _sample_interner()
+    cold = Interner(hot.to_list())
+    assert hot.hits > 0 and cold.hits == 0
+    assert pickle.dumps(hot) == pickle.dumps(cold)
+
+
+def test_database_snapshot_round_trip_preserves_code_assignment():
+    program, database, _ = random_workload(5, nodes=8, edges=40)
+    columnar = database.to_storage("columnar")
+    # Derive extra codes past the EDB by interning fresh values.
+    columnar.interner.intern(("synthetic", 1))
+    restored = Database.from_dict(columnar.to_dict(include_interner=True))
+    assert restored.storage == "columnar"
+    assert restored.interner.digest() == columnar.interner.digest()
+    assert restored.interner.codes == columnar.interner.codes
+    # And the restored relations decode to the same rows.
+    for predicate in columnar.predicates():
+        assert set(restored.relation(predicate).to_rows()) == set(
+            columnar.relation(predicate).to_rows()
+        )
+
+
+def test_fork_hand_off_digest_matches_across_processes():
+    """WorkerPool warm-up raises WorkerFailure unless every forked
+    worker reports back the master's interner digest — constructing a
+    pool IS the cross-process digest assertion."""
+    program, database, _ = random_workload(0)
+    columnar = database.to_storage("columnar")
+    with WorkerPool(program, columnar, 2) as pool:
+        assert pool.interner_digest == columnar.interner.digest()
+
+
+def test_equal_digests_imply_equal_codes():
+    left = _sample_interner()
+    right = Interner(left.to_list())
+    assert left.digest() == right.digest()
+    for value in left.to_list():
+        assert left.code_of(value) == right.code_of(value)
+    # Any divergence in the table changes the digest.
+    right.intern("extra")
+    assert left.digest() != right.digest()

@@ -1,0 +1,226 @@
+"""The sharded evaluator's own contract: argument validation, the
+pool protocol, the sharding report, checkpoint/resume symmetry with the
+sequential engine, trace events, and worker-death failure modes.
+
+Cross-engine *agreement* (digests, iterations, work counters) lives in
+``tests/datalog/test_engines_agree.py``; this file covers everything
+around the fixpoint itself.
+"""
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.digest import fixpoint_digest
+from repro.observability import RingBufferSink, tracing
+from repro.parallel import WorkerFailure, WorkerPool, evaluate_sharded
+from repro.workloads.generators import random_workload
+
+
+def _workload(seed=21, **kwargs):
+    kwargs.setdefault("nodes", 8)
+    kwargs.setdefault("edges", 40)
+    program, database, _ = random_workload(seed, **kwargs)
+    return program, database.to_storage("columnar")
+
+
+def _digest(result):
+    return fixpoint_digest([("workload", result.idb)])
+
+
+# ----------------------------------------------------------------------
+# Validation
+
+
+class TestValidation:
+    def test_rejects_non_positive_workers(self):
+        program, database = _workload()
+        with pytest.raises(ValueError, match="positive int"):
+            evaluate_sharded(program, database, workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            WorkerPool(program, database, 0)
+
+    def test_rejects_provenance(self):
+        program, database = _workload()
+        with pytest.raises(ValueError, match="provenance"):
+            evaluate_sharded(program, database, workers=2, provenance=True)
+
+    def test_rejects_naive_strategy(self):
+        program, database = _workload()
+        with pytest.raises(ValueError, match="seminaive"):
+            evaluate_sharded(program, database, workers=2, strategy="naive")
+
+    def test_evaluate_rejects_workers_on_interpreted_engine(self):
+        program, database = _workload()
+        with pytest.raises(ValueError, match="slot engine"):
+            evaluate(program, database, engine="interpreted", workers=2)
+
+    def test_pool_requires_columnar_database(self):
+        program, database, _ = random_workload(0)
+        with pytest.raises(ValueError, match="columnar"):
+            WorkerPool(program, database, 2)  # rows backend
+
+
+class TestPoolMismatch:
+    def test_worker_count_mismatch(self):
+        program, database = _workload(0, nodes=4, edges=6)
+        with WorkerPool(program, database, 2) as pool:
+            with pytest.raises(ValueError, match="pool has 2 workers"):
+                evaluate_sharded(program, database, workers=4, pool=pool)
+
+    def test_different_database_object(self):
+        program, database = _workload(0, nodes=4, edges=6)
+        with WorkerPool(program, database, 2) as pool:
+            with pytest.raises(ValueError, match="different program/database"):
+                evaluate_sharded(program, database.copy(), workers=2, pool=pool)
+
+    def test_plan_order_mismatch(self):
+        program, database = _workload(0, nodes=4, edges=6)
+        with WorkerPool(program, database, 2, plan_order="cost") as pool:
+            with pytest.raises(ValueError, match="plan_order"):
+                evaluate_sharded(
+                    program, database, workers=2, pool=pool, plan_order="greedy"
+                )
+
+    def test_prebuilt_pool_cannot_resume(self):
+        program, database = _workload(0, nodes=4, edges=6)
+        snaps = []
+        evaluate(
+            program,
+            database.copy(),
+            checkpoint_every=1,
+            checkpoint_sink=snaps.append,
+        )
+        with WorkerPool(program, database, 2) as pool:
+            with pytest.raises(ValueError, match="cannot resume"):
+                evaluate_sharded(
+                    program, database, workers=2, pool=pool, resume_from=snaps[0]
+                )
+
+
+# ----------------------------------------------------------------------
+# The sharding report and the pre-built pool path
+
+
+def test_shards_report_shape_and_accounting():
+    program, database = _workload()
+    result = evaluate_sharded(program, database, workers=2)
+    shards = result.shards
+    assert shards["workers"] == 2
+    assert len(shards["per_worker"]) == 2
+    for report in shards["per_worker"]:
+        assert set(report) == {
+            "tasks", "cpu_seconds", "wall_seconds", "results", "accepted",
+        }
+        assert report["tasks"] >= 0 and report["cpu_seconds"] >= 0.0
+    # Something was actually dispatched, and the modeled critical path
+    # is master serial time plus at least one barrier's worker CPU.
+    assert sum(r["tasks"] for r in shards["per_worker"]) > 0
+    assert shards["critical_path_seconds"] >= shards["master_serial_seconds"]
+    assert shards["master_serial_seconds"] >= 0.0
+
+
+def test_prebuilt_pool_matches_own_pool_digest():
+    program, database = _workload()
+    own = evaluate_sharded(program, database.copy(), workers=2)
+    pooled_db = database.copy().to_storage("columnar")
+    with WorkerPool(program, pooled_db, 2) as pool:
+        pooled = evaluate_sharded(program, pooled_db, workers=2, pool=pool)
+    assert _digest(pooled) == _digest(own)
+    assert pooled.stats.iterations == own.stats.iterations
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume symmetry with the sequential engine
+
+
+def test_sharded_checkpoints_resume_sequentially_and_back():
+    program, database = _workload()
+    reference = evaluate(program, database.copy(), engine="slots")
+    # Sharded run writes checkpoints...
+    snaps = []
+    sharded = evaluate_sharded(
+        program,
+        database.copy(),
+        workers=2,
+        checkpoint_every=1,
+        checkpoint_sink=snaps.append,
+    )
+    assert _digest(sharded) == _digest(reference)
+    assert snaps, "checkpoint_every=1 must emit at least one snapshot"
+    mid = snaps[len(snaps) // 2]
+    # ...the sequential engine resumes from one of them...
+    sequential_resumed = evaluate(
+        program, database.copy(), engine="slots", resume_from=mid
+    )
+    assert _digest(sequential_resumed) == _digest(reference)
+    # ...and the sharded evaluator resumes from a sequential snapshot.
+    seq_snaps = []
+    evaluate(
+        program,
+        database.copy(),
+        engine="slots",
+        checkpoint_every=1,
+        checkpoint_sink=seq_snaps.append,
+    )
+    sharded_resumed = evaluate_sharded(
+        program,
+        database.copy().to_storage("columnar"),
+        workers=2,
+        resume_from=seq_snaps[len(seq_snaps) // 2],
+    )
+    assert _digest(sharded_resumed) == _digest(reference)
+
+
+# ----------------------------------------------------------------------
+# Trace events
+
+
+def test_dispatch_and_merge_trace_events():
+    program, database = _workload()
+    sink = RingBufferSink()
+    with tracing(sink):
+        evaluate_sharded(program, database, workers=2)
+    events = [e for e in sink.events if e.name.startswith("shard.")]
+    dispatches = [e for e in events if e.name == "shard.dispatch"]
+    merges = [e for e in events if e.name == "shard.merge"]
+    assert dispatches and merges
+    for event in dispatches:
+        assert event.attrs["worker"] in (0, 1)
+        assert event.attrs["delta_rows"] >= 0
+    for event in merges:
+        assert event.attrs["results"] >= 0
+        assert event.attrs["accepted"] >= 0
+        assert event.attrs["elapsed"] >= 0.0
+    # Every dispatched (worker, scc, iteration) barrier merges back.
+    dispatched = {
+        (e.attrs["worker"], e.attrs["scc"], e.attrs["iteration"])
+        for e in dispatches
+    }
+    merged = {
+        (e.attrs["worker"], e.attrs["scc"], e.attrs["iteration"])
+        for e in merges
+    }
+    assert dispatched == merged
+
+
+# ----------------------------------------------------------------------
+# Failure modes
+
+
+def test_dead_worker_surfaces_as_worker_failure():
+    program, database = _workload()
+    pool = WorkerPool(program, database, 2)
+    try:
+        pool.procs[0].terminate()
+        pool.procs[0].join(timeout=5.0)
+        with pytest.raises(WorkerFailure, match="worker 0"):
+            evaluate_sharded(program, database, workers=2, pool=pool)
+    finally:
+        pool.close()
+
+
+def test_pool_close_is_idempotent():
+    program, database = _workload(0, nodes=4, edges=6)
+    pool = WorkerPool(program, database, 1)
+    pool.close()
+    pool.close()  # second close is a no-op, not an error

@@ -192,6 +192,61 @@ class TestRoutes:
         assert payload["latest_round"] >= 1
 
 
+class TestWorkers:
+    def test_register_with_workers_materializes_sharded(self):
+        app = ServeApp()
+
+        async def drive():
+            await register(app, "alpha", {**ALPHA, "workers": 2})
+            status, info = await app.handle("GET", "/programs/alpha")
+            assert status == 200
+            status, answer = await app.handle(
+                "POST", "/programs/alpha/query",
+                {"goal": "p(0, Y)", "mode": "materialized"},
+            )
+            assert status == 200
+            return info, answer
+
+        info, answer = run(drive())
+        assert info["workers"] == 2
+        assert answer["answers"] == expected_answers(ALPHA, "p(0, Y)")
+
+    def test_non_positive_workers_is_400(self):
+        app = ServeApp()
+        status, payload = run(
+            app.handle("PUT", "/programs/alpha", {**ALPHA, "workers": 0})
+        )
+        assert status == 400
+        assert "positive integer" in payload["error"]
+
+    def test_workers_with_interpreted_engine_is_400(self):
+        app = ServeApp()
+        status, payload = run(
+            app.handle(
+                "PUT", "/programs/alpha",
+                {**ALPHA, "workers": 2, "engine": "interpreted"},
+            )
+        )
+        assert status == 400
+        assert "slot engine" in payload["error"]
+
+    def test_daemon_default_applies_only_where_sharding_is_legal(self):
+        app = ServeApp(workers=2)
+
+        async def drive():
+            await register(app, "alpha", ALPHA)
+            _, sharded = await app.handle("GET", "/programs/alpha")
+            # An interpreted tenant must NOT inherit the daemon default
+            # (it would be rejected as a usage error if it did).
+            await register(app, "beta", {**BETA, "engine": "interpreted"})
+            _, sequential = await app.handle("GET", "/programs/beta")
+            return sharded, sequential
+
+        sharded, sequential = run(drive())
+        assert sharded["workers"] == 2
+        assert sequential["workers"] is None
+
+
 class TestBudgets:
     def test_request_budget_trip_is_503_with_partial_diagnostics(self):
         app = ServeApp()

@@ -67,6 +67,46 @@ def test_unknown_workload_rejected():
         run_bench(workloads=["bench_nonexistent"], quick=True, repeat=1)
 
 
+class TestWorkersAxis:
+    @pytest.fixture(scope="class")
+    def parallel_payload(self):
+        return run_bench(
+            workloads=["bench_scaling"], quick=True, repeat=1, workers=2
+        )
+
+    def test_parallel_entry_shape(self, parallel_payload):
+        assert parallel_payload["workers"] == 2
+        entry = parallel_payload["workloads"]["bench_scaling"]
+        parallel = entry["parallel"]
+        # Powers of two up to the requested count.
+        assert set(parallel["workers"]) == {"1", "2"}
+        for run in parallel["workers"].values():
+            assert run["time_s"] >= 0
+            assert run["critical_path_s"] >= 0
+            assert run["shard_overhead_seconds"] >= 0
+            assert len(run["fixpoint_sha256"]) == 64
+        speedup = parallel["speedup_parallel_vs_columnar"]
+        assert speedup["basis"] == "critical_path"
+        assert set(speedup["critical_path"]) == {"1", "2"}
+        assert set(speedup["wall"]) == {"1", "2"}
+
+    def test_parallel_digests_gate_against_columnar(self, parallel_payload):
+        assert parallel_payload["ok"] is True
+        entry = parallel_payload["workloads"]["bench_scaling"]
+        reference = entry["engines"]["slots-columnar"]["fixpoint_sha256"]
+        for run in entry["parallel"]["workers"].values():
+            assert run["fixpoint_sha256"] == reference
+        assert entry["parallel"]["fixpoints_match"] is True
+
+    def test_render_shows_sharded_rows(self, parallel_payload):
+        text = render_results(parallel_payload)
+        assert "sharded-w2" in text
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_bench(workloads=["bench_scaling"], quick=True, workers=0)
+
+
 class TestCli:
     def test_bench_json_writes_results(self, tmp_path, capsys):
         out = tmp_path / "BENCH_results.json"
