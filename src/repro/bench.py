@@ -379,6 +379,104 @@ def _run_parallel(
     }
 
 
+def _run_recovery(
+    units: Sequence[BenchUnit],
+    workers: int,
+    repeat: int,
+    governor: Governor | None = None,
+) -> dict:
+    """The cost of surviving one injected worker kill per workload.
+
+    Two timed configurations, both under a chaos tracer so the tracing
+    overhead cancels out of the ratio: a *clean* sharded run (nothing
+    armed) and a *killed* run where the second ``shard.dispatch``
+    occurrence SIGKILLs its worker — the supervisor respawns a warm
+    replacement and re-dispatches the lost shard.  ``overhead_ratio``
+    is killed/clean wall time (best of ``repeat``); the digests must
+    stay byte-identical, which ``run_bench`` folds into the
+    cross-engine gate.
+    """
+    from .parallel import WorkerPool, evaluate_sharded
+    from .robustness.faults import FaultInjector, chaos
+
+    def one_pass(inject: bool):
+        databases = [
+            unit.make_database().to_storage("columnar") for unit in units
+        ]
+        pools = [
+            WorkerPool(unit.program, database, workers)
+            for unit, database in zip(units, databases)
+        ]
+        injector = FaultInjector()
+        if inject:
+            injector.arm("shard.dispatch", at=2)
+        results = []
+        tripped = False
+        start = time.perf_counter()
+        try:
+            with chaos(injector):
+                for unit, database, shard_pool in zip(units, databases, pools):
+                    try:
+                        results.append(
+                            evaluate_sharded(
+                                unit.program,
+                                database,
+                                workers=workers,
+                                pool=shard_pool,
+                                budget=governor,
+                            )
+                        )
+                    except BudgetExceededError as exc:
+                        tripped = True
+                        if exc.partial is not None:
+                            results.append(exc.partial)
+            elapsed = time.perf_counter() - start
+        finally:
+            for shard_pool in pools:
+                shard_pool.close()
+        if inject and not injector.fired:
+            raise RuntimeError(
+                "recovery bench armed a worker kill that never fired"
+            )
+        digest = _fixpoint_digest(
+            (unit.label, result.idb) for unit, result in zip(units, results)
+        )
+        restarts = sum(r.stats.worker_restarts for r in results)
+        redispatched = sum(r.stats.shards_redispatched for r in results)
+        return elapsed, digest, restarts, redispatched, tripped
+
+    clean_s = killed_s = float("inf")
+    clean_digest = killed_digest = ""
+    restarts = redispatched = 0
+    tripped = False
+    for attempt in range(repeat):
+        elapsed, digest, _, _, one_tripped = one_pass(False)
+        clean_s = min(clean_s, elapsed)
+        tripped = tripped or one_tripped
+        if attempt == 0:
+            clean_digest = digest
+        elapsed, digest, one_restarts, one_redispatched, one_tripped = one_pass(True)
+        killed_s = min(killed_s, elapsed)
+        tripped = tripped or one_tripped
+        if attempt == 0:
+            killed_digest = digest
+            restarts = one_restarts
+            redispatched = one_redispatched
+        if tripped:
+            break
+    return {
+        "workers": workers,
+        "clean_s": clean_s,
+        "killed_s": killed_s,
+        "overhead_ratio": killed_s / clean_s if clean_s > 0 else float("inf"),
+        "clean_sha256": clean_digest,
+        "fixpoint_sha256": killed_digest,
+        "worker_restarts": restarts,
+        "shards_redispatched": redispatched,
+        "budget_exceeded": tripped,
+    }
+
+
 def _run_checkpoint_overhead(
     units: Sequence[BenchUnit],
     repeat: int,
@@ -839,6 +937,28 @@ def run_bench(
                     },
                 }
             entry["parallel"] = parallel
+            # The recovery section: one injected worker kill at the
+            # fleet's widest configuration must not change the digest,
+            # and its wall-clock overhead is the supervision cost the
+            # robustness story pays.
+            recovery = _run_recovery(units, workers_axis[-1], repeat, governor)
+            if recovery["budget_exceeded"] or any_tripped:
+                # Partial fixpoints are not comparable (see above).
+                recovery["digest_match"] = None
+                if recovery["budget_exceeded"]:
+                    entry["budget_exceeded"] = True
+                    payload["budget_exceeded"] = True
+            else:
+                reference = digests.get("slots-columnar") or next(
+                    iter(digests.values())
+                )
+                recovery["digest_match"] = (
+                    recovery["fixpoint_sha256"] == reference
+                    and recovery["clean_sha256"] == reference
+                )
+                if not recovery["digest_match"]:
+                    payload["ok"] = False
+            entry["recovery"] = recovery
         payload["workloads"][name] = entry
     if "bench_scaling" in suite:
         payload["checkpoint_overhead"] = dict(
@@ -896,6 +1016,19 @@ def render_results(payload: Mapping) -> str:
                     f"{shard['critical_path_s'] * 1000:8.2f}{suffix}  "
                     f"{shard['fixpoint_sha256'][:12]}"
                 )
+        recovery = entry.get("recovery")
+        if recovery:
+            verdict = {True: "digest match", False: "DIGEST MISMATCH", None: "n/a"}[
+                recovery.get("digest_match")
+            ]
+            lines.append(
+                f"{name:<18} {'recovery-w' + str(recovery['workers']):<15} "
+                f"{recovery['killed_s'] * 1000:9.2f} clean "
+                f"{recovery['clean_s'] * 1000:7.2f} "
+                f"{recovery['overhead_ratio']:5.2f}x kill-overhead, "
+                f"{recovery['worker_restarts']} restart(s), "
+                f"{recovery['shards_redispatched']} re-dispatch(es); {verdict}"
+            )
         if entry.get("budget_exceeded"):
             lines.append(
                 f"{'':<18} budget exceeded — partial fixpoints, not comparable"

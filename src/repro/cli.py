@@ -153,6 +153,25 @@ def _workers_from(args: argparse.Namespace) -> "int | None":
     return workers
 
 
+def _supervision_from(args: argparse.Namespace):
+    """Build a :class:`SupervisionPolicy` from ``--worker-retries``.
+
+    ``None`` means "use the default policy" (3 restarts); the flag only
+    makes sense alongside ``--workers``, so misuse is a usage error.
+    """
+    retries = getattr(args, "worker_retries", None)
+    if retries is None:
+        return None
+    if retries < 0:
+        raise UsageError(f"--worker-retries must be >= 0, got {retries}")
+    if getattr(args, "workers", None) is None:
+        raise UsageError("--worker-retries requires --workers")
+    from .parallel import SupervisionPolicy
+    from .persist.store import RetryPolicy
+
+    return SupervisionPolicy(retry=RetryPolicy(attempts=retries + 1))
+
+
 def _load_program(args: argparse.Namespace) -> Program:
     program = parse_program(_read(args.program), query=args.query)
     if program.query is None:
@@ -224,6 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     database = _database_from(args, inline_facts)
     governor = _budget_from(args)
     workers = _workers_from(args)
+    supervision = _supervision_from(args)
 
     def body() -> int:
         original = evaluate(
@@ -232,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             engine=args.engine,
             plan_order=args.plan_order,
             workers=workers,
+            supervision=supervision,
             budget=governor,
         )
         print(f"answers ({len(original.query_rows())}):")
@@ -546,6 +567,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine=args.engine,
         plan_order=args.plan_order,
         workers=_workers_from(args),
+        supervision=_supervision_from(args),
     )
     print(profile.render(top=args.top))
     if program.query is not None:
@@ -690,6 +712,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard semi-naive evaluation across N forked worker "
             "processes (requires the slot engine; evaluation runs on "
             "columnar storage — see docs/parallel.md)",
+        )
+        cmd.add_argument(
+            "--worker-retries", type=int, default=None, metavar="N",
+            help="worker-fleet supervision retry budget: total worker "
+            "restarts allowed per evaluation before degrading to fewer "
+            "workers and finally sequential (default 3; requires "
+            "--workers — see docs/robustness.md)",
         )
 
     def budget_flags(cmd) -> None:

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..observability.trace import Tracer, get_tracer
-from ..robustness.budget import Budget, CancellationToken, Governor
+from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
 from ..robustness.errors import EvaluationAborted
 from .atoms import Atom, Literal, OrderAtom, evaluate_comparison
 from .database import STORAGES, Database, Relation, Row
@@ -103,6 +103,9 @@ class EvaluationStats:
     intern_hits: int = 0
     block_probes: int = 0
     budget_trips: int = 0
+    worker_restarts: int = 0
+    shards_redispatched: int = 0
+    degradations: int = 0
     wall_time_seconds: float = 0.0
     rows_scanned_by_rule: dict[str, int] = field(default_factory=dict)
 
@@ -120,6 +123,9 @@ class EvaluationStats:
         self.intern_hits += getattr(other, "intern_hits", 0)
         self.block_probes += getattr(other, "block_probes", 0)
         self.budget_trips += getattr(other, "budget_trips", 0)
+        self.worker_restarts += getattr(other, "worker_restarts", 0)
+        self.shards_redispatched += getattr(other, "shards_redispatched", 0)
+        self.degradations += getattr(other, "degradations", 0)
         # Wall-clock merges in integer nanoseconds: float ``+=`` is
         # commutative but not associative, so shard stats merged in
         # different orders could disagree in the last bits.  Integer
@@ -149,6 +155,9 @@ class EvaluationStats:
             "intern_hits": self.intern_hits,
             "block_probes": self.block_probes,
             "budget_trips": self.budget_trips,
+            "worker_restarts": self.worker_restarts,
+            "shards_redispatched": self.shards_redispatched,
+            "degradations": self.degradations,
             "wall_time_seconds": self.wall_time_seconds,
             "rows_scanned_by_rule": dict(sorted(self.rows_scanned_by_rule.items())),
         }
@@ -175,6 +184,9 @@ class EvaluationStats:
             "intern_hits",
             "block_probes",
             "budget_trips",
+            "worker_restarts",
+            "shards_redispatched",
+            "degradations",
         ):
             setattr(stats, key, int(payload.get(key, 0)))  # type: ignore[call-overload]
         stats.wall_time_seconds = float(payload.get("wall_time_seconds", 0.0))  # type: ignore[arg-type]
@@ -233,6 +245,12 @@ class EvaluationResult:
     #: per-worker task/CPU totals plus the modeled critical path — see
     #: :func:`repro.parallel.engine.evaluate_sharded`.
     shards: dict | None = None
+    #: Degradation-ladder rungs taken on the way to this result
+    #: (``evaluate(..., workers=N)`` only): one
+    #: :class:`~repro.robustness.budget.FallbackStep` per abandoned
+    #: fleet configuration when worker recovery exhausted its retry
+    #: budget.  Empty on clean runs.
+    fallbacks: tuple = ()
 
     def relation(self, predicate: str) -> Relation:
         """The computed relation for an IDB predicate (empty if none derived)."""
@@ -736,6 +754,7 @@ def evaluate(
     plan_order: str = "cost",
     storage: str | None = None,
     workers: int | None = None,
+    supervision: "object | None" = None,
     budget: "Budget | Governor | None" = None,
     cancellation: CancellationToken | None = None,
     checkpoint_every: int = 0,
@@ -779,7 +798,14 @@ def evaluate(
     Requires ``engine="slots"`` and ``strategy="seminaive"``;
     ``provenance`` is unsupported.  Fixpoints, digests, iteration
     counts and ``rows_scanned`` are byte-identical to the sequential
-    engines; see ``docs/parallel.md``.
+    engines; see ``docs/parallel.md``.  Worker deaths are recovered by
+    the supervision layer (respawn + shard re-dispatch under a bounded
+    retry budget); when recovery is exhausted the run *degrades* —
+    half the workers, then sequential columnar — recording each rung
+    as a :class:`~repro.robustness.budget.FallbackStep` in
+    ``result.fallbacks`` instead of raising.  ``supervision`` accepts
+    a :class:`~repro.parallel.supervisor.SupervisionPolicy` overriding
+    the default retry/straggler settings.
 
     ``tracer`` overrides the globally installed tracer (see
     :func:`repro.observability.trace.tracing`); the default disabled
@@ -820,24 +846,91 @@ def evaluate(
                 "workers=N requires the compiled slot engine "
                 f"(engine='slots'), got engine={engine!r}"
             )
-        from ..parallel.engine import evaluate_sharded
+        from ..parallel.engine import WorkerFailure, evaluate_sharded
 
-        return evaluate_sharded(
-            program,
-            database,
-            workers=workers,
-            provenance=provenance,
-            max_iterations=max_iterations,
-            strategy=strategy,
-            tracer=tracer,
-            plan_order=plan_order,
-            storage=storage,
-            budget=budget,
-            cancellation=cancellation,
-            checkpoint_every=checkpoint_every,
-            checkpoint_sink=checkpoint_sink,
-            resume_from=resume_from,
-        )
+        # The fleet degradation ladder: a sharded run whose supervisor
+        # exhausted its recovery budget (or whose pool could not warm
+        # up) is *retried* at half the worker count, down to one, then
+        # sequentially on the columnar engine — a recoverable fault
+        # costs rungs and time, never the answer and never exit 2.
+        # Budget trips and cancellation are not recoverable faults:
+        # they propagate as usual (exit 1).
+        rungs = []
+        count = workers
+        while count >= 1:
+            rungs.append(count)
+            count //= 2
+        steps: list[FallbackStep] = []
+        carried_restarts = 0
+        carried_redispatched = 0
+        result = None
+        for rung, count in enumerate(rungs):
+            try:
+                result = evaluate_sharded(
+                    program,
+                    database,
+                    workers=count,
+                    provenance=provenance,
+                    max_iterations=max_iterations,
+                    strategy=strategy,
+                    tracer=tracer,
+                    plan_order=plan_order,
+                    storage=storage,
+                    budget=budget,
+                    cancellation=cancellation,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_sink=checkpoint_sink,
+                    resume_from=resume_from,
+                    supervision=supervision,
+                )
+                break
+            except WorkerFailure as exc:
+                recovery = getattr(exc, "recovery", None) or {}
+                carried_restarts += recovery.get("worker_restarts", 0)
+                carried_redispatched += recovery.get("shards_redispatched", 0)
+                fell_back_to = (
+                    f"sharded-w{rungs[rung + 1]}"
+                    if rung + 1 < len(rungs)
+                    else "sequential-columnar"
+                )
+                step = FallbackStep(
+                    stage=f"sharded-w{count}",
+                    fell_back_to=fell_back_to,
+                    reason=str(exc),
+                )
+                steps.append(step)
+                if tracer.enabled:
+                    tracer.event(
+                        "shard.degrade",
+                        stage=step.stage,
+                        fell_back_to=step.fell_back_to,
+                        reason=step.reason,
+                    )
+        if result is None:
+            # Every sharded rung failed: the sequential columnar engine
+            # is the ladder's floor (no fleet, nothing left to crash).
+            result = evaluate(
+                program,
+                database,
+                provenance=provenance,
+                max_iterations=max_iterations,
+                strategy=strategy,
+                tracer=tracer,
+                engine="slots",
+                plan_order=plan_order,
+                storage="columnar",
+                budget=budget,
+                cancellation=cancellation,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=checkpoint_sink,
+                resume_from=resume_from,
+            )
+        if steps:
+            result.stats.degradations += len(steps)
+            result.stats.worker_restarts += carried_restarts
+            result.stats.shards_redispatched += carried_redispatched
+            result.fallbacks = tuple(steps) + tuple(result.fallbacks)
+        return result
     _check_plan_order(plan_order)
     governor = Governor.of(budget, cancellation)
     _check_resume(resume_from, strategy, provenance)

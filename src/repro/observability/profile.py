@@ -92,6 +92,8 @@ class ShardProfile:
     accepted: int = 0
     elapsed: float = 0.0
     aborted: int = 0
+    retries: int = 0
+    respawns: int = 0
 
     def absorb_dispatch(self, event: TraceEvent) -> None:
         attrs = event.attrs
@@ -158,6 +160,9 @@ class EvaluationProfile:
     serve_cache_hits: int = 0
     serve_cache_misses: int = 0
     shards: dict[int, ShardProfile] = field(default_factory=dict)
+    worker_restarts: int = 0
+    shards_redispatched: int = 0
+    degradations: list[str] = field(default_factory=list)
 
     def top_rules(self, k: int = 10, *, key: str = "time") -> list[RuleProfile]:
         """The k hottest rules by ``key`` (any counter attribute)."""
@@ -184,6 +189,13 @@ class EvaluationProfile:
             lines.append(f"budget trip: {trip}")
         for fallback in self.fallbacks:
             lines.append(f"fallback: {fallback}")
+        if self.worker_restarts or self.shards_redispatched:
+            lines.append(
+                f"recovery: {self.worker_restarts} worker restart(s), "
+                f"{self.shards_redispatched} shard(s) re-dispatched"
+            )
+        for degradation in self.degradations:
+            lines.append(f"degraded: {degradation}")
         lines += [
             "",
             f"top {min(top, len(self.rules))} rules by time:",
@@ -223,6 +235,8 @@ class EvaluationProfile:
             for worker in sorted(self.shards):
                 entry = self.shards[worker]
                 flag = "  ABORTED" if entry.aborted else ""
+                if entry.respawns:
+                    flag += f"  RESPAWNED x{entry.respawns}"
                 lines.append(
                     f"{entry.worker:6d} {entry.tasks:6d} {entry.delta_rows:8d} "
                     f"{entry.update_rows:8d} {entry.results:8d} "
@@ -310,6 +324,21 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
             profile.shards.setdefault(worker, ShardProfile(worker)).absorb_merge(
                 event
             )
+        elif event.kind == "event" and event.name == "shard.retry":
+            worker = int(event.attrs.get("worker", -1))  # type: ignore[arg-type]
+            profile.shards.setdefault(worker, ShardProfile(worker)).retries += 1
+        elif event.kind == "event" and event.name == "shard.respawn":
+            worker = int(event.attrs.get("worker", -1))  # type: ignore[arg-type]
+            entry = profile.shards.setdefault(worker, ShardProfile(worker))
+            entry.respawns += 1
+            profile.worker_restarts += 1
+            profile.shards_redispatched += 1
+        elif event.kind == "event" and event.name == "shard.degrade":
+            profile.degradations.append(
+                f"{event.attrs.get('stage', '?')} -> "
+                f"{event.attrs.get('fell_back_to', '?')} "
+                f"({event.attrs.get('reason', '')})"
+            )
         elif event.kind == "event" and event.name in ("serve.cache", "pipeline.cache"):
             if event.attrs.get("hit"):
                 profile.serve_cache_hits += 1
@@ -338,6 +367,7 @@ def profile_evaluation(
     engine: str = "slots",
     plan_order: str = "cost",
     workers: "int | None" = None,
+    supervision: "object | None" = None,
 ) -> tuple[EvaluationProfile, "EvaluationResult"]:
     """Evaluate ``program`` under a fresh tracer and profile the run.
 
@@ -357,5 +387,6 @@ def profile_evaluation(
         engine=engine,
         plan_order=plan_order,
         workers=workers,
+        supervision=supervision,
     )
     return build_profile(sink), result

@@ -8,8 +8,23 @@ merges frontiers at round boundaries.  Fixpoints, digests and the join
 work counters are byte-identical to the sequential engines — see
 ``docs/parallel.md`` for the sharding scheme, the barrier protocol,
 governor slicing and the failure modes.
+
+Worker deaths, protocol breaks and stragglers are supervised: the
+master respawns warm replacements and re-dispatches the lost shard
+under a bounded retry budget (:class:`SupervisionPolicy`), raising
+:class:`FleetExhausted` only when the budget runs dry — at which point
+the evaluation ladder degrades (half the workers, then sequential
+columnar) instead of failing.
 """
 
-from .engine import WorkerFailure, WorkerPool, evaluate_sharded
+from .engine import FleetExhausted, WorkerFailure, WorkerPool, evaluate_sharded
+from .supervisor import DEFAULT_SUPERVISION, SupervisionPolicy
 
-__all__ = ["WorkerFailure", "WorkerPool", "evaluate_sharded"]
+__all__ = [
+    "DEFAULT_SUPERVISION",
+    "FleetExhausted",
+    "SupervisionPolicy",
+    "WorkerFailure",
+    "WorkerPool",
+    "evaluate_sharded",
+]

@@ -71,10 +71,22 @@ from ..digest import workload_digest
 from ..observability.trace import Tracer, get_tracer
 from ..persist.checkpoint import Checkpoint
 from ..robustness.budget import Budget, CancellationToken, Governor
-from ..robustness.errors import BudgetExceededError, EvaluationAborted, ReproError
+from ..robustness.errors import (
+    BudgetExceededError,
+    EvaluationAborted,
+    InjectedFault,
+    ReproError,
+)
+from .supervisor import DEFAULT_SUPERVISION, SupervisionPolicy
 from .worker import worker_main
 
-__all__ = ["WorkerFailure", "WorkerPool", "evaluate_sharded"]
+__all__ = [
+    "FleetExhausted",
+    "SupervisionPolicy",
+    "WorkerFailure",
+    "WorkerPool",
+    "evaluate_sharded",
+]
 
 
 class WorkerFailure(ReproError):
@@ -83,7 +95,30 @@ class WorkerFailure(ReproError):
     Budget trips inside workers travel the normal
     :class:`~repro.robustness.errors.BudgetExceededError` path (CLI
     exit 1, partial fixpoint attached); this error is for crashes and
-    protocol violations and maps to the input/environment exit code 2.
+    protocol violations the supervision layer could not (or was not
+    allowed to) recover from.  Raised out of ``evaluate_sharded``
+    directly it maps to exit code 2, but the public
+    ``evaluate(..., workers=N)`` entry point catches it and *degrades*
+    down the fleet ladder instead — see ``docs/parallel.md``.
+
+    ``recovery`` carries the worker-restart / shard-re-dispatch
+    counters accumulated before the failure, so the degradation ladder
+    can fold them into the final result's stats.
+    """
+
+    def __init__(self, message: str, *, recovery: "dict | None" = None):
+        super().__init__(message)
+        self.recovery: dict = dict(recovery or {})
+
+
+class FleetExhausted(WorkerFailure):
+    """The supervision retry budget ran out for this evaluation run.
+
+    Every respawn consumes one :class:`~repro.persist.store.RetryPolicy`
+    backoff delay; when the iterator runs dry the fleet is declared
+    unrecoverable at its current size and this error asks the caller to
+    degrade (``evaluate`` halves the worker count, then falls back to
+    the sequential columnar engine).
     """
 
 
@@ -309,7 +344,37 @@ class WorkerPool:
         self.workers = workers
         self.plan_order = plan_order
         _pre_intern_head_constants(program, database)
-        interner = database.interner
+        warm = self._warm_payload(idb)
+        self._ctx = _fork_context()
+        self.conns = []
+        self.procs = []
+        self._closed = False
+        try:
+            for index in range(workers):
+                proc, conn = self._spawn()
+                self.conns.append(conn)
+                self.procs.append(proc)
+            for index, conn in enumerate(self.conns):
+                conn.send(("warm", {**warm, "index": index}))
+            for index in range(workers):
+                self._check_ready(index)
+        except BaseException:
+            self.close()
+            raise
+        # Values shipped so far; take_intern_extension() sends the rest.
+        self.sent_values = len(database.interner)
+
+    # ------------------------------------------------------------------
+    def _warm_payload(self, idb: "dict[str, Relation] | None") -> dict:
+        """The warm-start hand-off, built from the *current* state.
+
+        Called at construction and again on every :meth:`respawn`: a
+        replacement worker is warmed from the master's live IDB and
+        interner (a superset of anything the dead worker knew), so its
+        mirrors are complete up to the current barrier and re-shipped
+        accept-log suffixes deduplicate as no-ops.
+        """
+        interner = self.database.interner
         snapshot = EvaluationSnapshot(
             strategy="seminaive",
             completed_sccs=0,
@@ -327,52 +392,71 @@ class WorkerPool:
         )
         envelope, _ = Checkpoint(
             seq=0,
-            workload=workload_digest(program, database),
+            workload=workload_digest(self.program, self.database),
             snapshot=snapshot,
         ).encode()
         self.interner_digest = interner.digest()
-        warm = {
-            "workers": workers,
-            "program": program,
-            "plan_order": plan_order,
-            "edb": database.to_dict(include_interner=True),
+        return {
+            "workers": self.workers,
+            "program": self.program,
+            "plan_order": self.plan_order,
+            "edb": self.database.to_dict(include_interner=True),
             "envelope": envelope,
             "interner_digest": self.interner_digest,
         }
-        ctx = _fork_context()
-        self.conns = []
-        self.procs = []
-        self._closed = False
-        try:
-            for index in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=worker_main, args=(child_conn,), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                self.conns.append(parent_conn)
-                self.procs.append(proc)
-            for index, conn in enumerate(self.conns):
-                conn.send(("warm", {**warm, "index": index}))
-            for index, conn in enumerate(self.conns):
-                kind, payload = self._recv(index)
-                if kind != "ready":
-                    raise WorkerFailure(
-                        f"worker {index} failed to warm up: "
-                        f"{payload.get('message', kind)}"
-                    )
-                if payload.get("interner_digest") != self.interner_digest:
-                    raise WorkerFailure(
-                        f"worker {index} warm-start interner digest mismatch"
-                    )
-        except BaseException:
-            self.close()
-            raise
-        # Values shipped so far; take_intern_extension() sends the rest.
-        self.sent_values = len(interner)
 
-    # ------------------------------------------------------------------
+    def _spawn(self):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _check_ready(self, index: int) -> None:
+        kind, payload = self._recv(index)
+        if kind != "ready":
+            raise WorkerFailure(
+                f"worker {index} failed to warm up: "
+                f"{payload.get('message', kind)}"
+            )
+        if payload.get("interner_digest") != self.interner_digest:
+            raise WorkerFailure(
+                f"worker {index} warm-start interner digest mismatch"
+            )
+
+    def kill(self, index: int) -> None:
+        """SIGKILL worker ``index`` and reap it (the chaos kill lever)."""
+        proc = self.procs[index]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+
+    def respawn(self, index: int, *, idb: "dict[str, Relation] | None" = None) -> object:
+        """Reap worker ``index`` and warm a replacement in its slot.
+
+        The replacement is warmed from the master's *current* IDB and
+        interner (``idb`` is the live relation map), which is exactly
+        the state a worker is held to at a barrier boundary: mid-merge
+        the round's accepted rows are not yet flushed, so the envelope
+        captures barrier-start state and the in-flight task's update
+        suffixes re-absorb idempotently.  Returns the new connection;
+        raises :class:`WorkerFailure` if the replacement fails to warm.
+        """
+        self.kill(index)
+        try:
+            self.conns[index].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        warm = self._warm_payload(idb)
+        proc, conn = self._spawn()
+        self.procs[index] = proc
+        self.conns[index] = conn
+        conn.send(("warm", {**warm, "index": index}))
+        self._check_ready(index)
+        return conn
+
     def take_intern_extension(self) -> list:
         """Values interned by the master since the last barrier."""
         values = self.database.interner.values
@@ -402,10 +486,21 @@ class WorkerPool:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - terminate-resistant
+                proc.kill()
+                proc.join(timeout=1.0)
         for conn in self.conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover
+                pass
+        # The joins above reaped every exit status; close() releases the
+        # Process objects' OS resources too, so an aborted round leaves
+        # no dead or zombie worker behind in the pool.
+        for proc in self.procs:
+            try:
+                proc.close()
+            except ValueError:  # pragma: no cover - still-running straggler
                 pass
 
     def __enter__(self) -> "WorkerPool":
@@ -432,6 +527,7 @@ def evaluate_sharded(
     checkpoint_every: int = 0,
     checkpoint_sink: "Callable[[EvaluationSnapshot], None] | None" = None,
     resume_from: EvaluationSnapshot | None = None,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> EvaluationResult:
     """Semi-naive evaluation sharded across ``workers`` processes.
 
@@ -448,6 +544,15 @@ def evaluate_sharded(
     is meaningless under naive re-evaluation) and ``provenance`` is
     unsupported (support tuples are process-local).  ``checkpoint_*``
     and ``resume_from`` work exactly as in the sequential engine.
+
+    Worker deaths and stragglers are handled by the supervision layer
+    (``supervision``, a :class:`SupervisionPolicy`): the dead worker is
+    respawned warm from the master's current state and its shard
+    re-dispatched — byte-identical results, because shards are pure
+    functions of ``(round, partition)`` and a dead worker's reply was
+    never merged.  Recovery is bounded by the policy's retry budget;
+    exhausting it raises :class:`FleetExhausted`, which the public
+    ``evaluate`` entry point turns into a degradation-ladder rung.
     """
     if not isinstance(workers, int) or workers < 1:
         raise ValueError(f"workers must be a positive int, got {workers!r}")
@@ -467,6 +572,11 @@ def evaluate_sharded(
     governor = Governor.of(budget, cancellation)
     _check_resume(resume_from, "seminaive", provenance)
     database = _resolve_storage(database, storage).to_storage("columnar")
+    policy = supervision if supervision is not None else DEFAULT_SUPERVISION
+    # One backoff iterator per run: every worker recovery consumes one
+    # delay, so the whole evaluation is bounded to ``attempts - 1``
+    # respawns before FleetExhausted asks the caller to degrade.
+    retry_delays = policy.retry.delays()
 
     trace_on = tracer.enabled
     started = time.perf_counter()
@@ -529,7 +639,10 @@ def evaluate_sharded(
             )
 
     idb_preds = program.idb_predicates
-    conn_index = {conn: index for index, conn in enumerate(pool.conns)}
+    # Per-worker dispatch heartbeat (``time.monotonic`` at the last
+    # successful send): merge-side liveness checks measure straggler
+    # time from here.
+    sent_at = [0.0] * pool.workers
 
     # Per-worker accounting and the modeled critical path.  Both sides
     # report CPU time (``time.process_time``), which is immune to core
@@ -643,6 +756,7 @@ def evaluate_sharded(
         new_delta,
         scc_index,
         iteration,
+        compile_cache,
         aligned_cols=None,
         ship_delta=True,
     ) -> None:
@@ -656,7 +770,15 @@ def evaluate_sharded(
         round (``ship_delta``) — afterwards each worker's frontier *is*
         its shard — and replies are accepted without re-deduplication,
         because partition ownership makes the workers' mirror checks
-        exact.  Raises on worker budget trips and crashes.
+        exact.
+
+        ``compile_cache`` retains the SCC's compile payload past its
+        first barrier so a replacement worker (which has no compiled
+        plans) can be re-dispatched mid-SCC.  Worker deaths, protocol
+        errors and stragglers are *recovered* — respawn plus shard
+        re-dispatch under the run's retry budget — raising
+        :class:`FleetExhausted` only when the budget runs dry; worker
+        budget trips still raise the usual abort.
         """
         extension = pool.take_intern_extension()
         updates = []
@@ -680,17 +802,16 @@ def evaluate_sharded(
                 "sizes": {pred: len(rel) for pred, rel in idb.items()},
                 "aligned": aligned_cols,
             }
+            compile_cache["payload"] = compile_payload
         deadline = None if governor is None else governor.remaining()
-        shared = pickle.dumps(
-            {
-                "intern": extension,
-                "updates": updates,
-                "compile": compile_payload,
-                "plans": run_plan_ids,
-                "deadline": deadline,
-            },
-            pickle.HIGHEST_PROTOCOL,
-        )
+        task = {
+            "intern": extension,
+            "updates": updates,
+            "compile": compile_payload,
+            "plans": run_plan_ids,
+            "deadline": deadline,
+        }
+        shared = pickle.dumps(task, pickle.HIGHEST_PROTOCOL)
         shard_by_pred = {}
         if ship_delta:
             shard_by_pred = {
@@ -703,33 +824,137 @@ def evaluate_sharded(
                 if len(rel)
             }
         update_rows = sum(n for _, n, _ in updates)
-        for index, conn in enumerate(pool.conns):
+        straggler_limit = policy.straggler_limit(deadline)
+
+        def recovery_shard(index: int) -> list:
+            """The lost shard, recomputed for a replacement worker.
+
+            Shards are pure functions of ``(round, partition)``: the
+            master's delta buffers hold the full current-round frontier
+            (in aligned mode too — ``new_delta`` accumulates every
+            accepted row), so the replacement's bucket comes out
+            byte-identical to the one the dead worker held, even when
+            the original dispatch shipped no delta at all
+            (``ship_delta=False``: live workers keep their own
+            frontier, but a replacement lost its).
+            """
+            shard = []
+            for pred, rel in delta_by_pred.items():
+                if not len(rel):
+                    continue
+                column = None if aligned_cols is None else aligned_cols[pred]
+                bucket = _shard_rows(rel.code_rows(), pool.workers, column)[index]
+                if bucket:
+                    shard.append((pred, len(bucket), _columns_of(bucket)))
+            return shard
+
+        def recover(index: int, reason: str) -> None:
+            """Respawn worker ``index`` and re-dispatch its shard.
+
+            Loops until the replacement is warm and dispatched or the
+            retry budget runs dry (:class:`FleetExhausted`).  Each
+            attempt consumes one backoff delay, clamped to the
+            governor's remaining deadline — recovery never outlives
+            ``--timeout``.
+            """
+            while True:
+                if governor is not None:
+                    governor.check("evaluate", stats)
+                delay = next(retry_delays, None)
+                if delay is None:
+                    raise FleetExhausted(
+                        f"worker {index} unrecoverable: retry budget of "
+                        f"{policy.retry.attempts - 1} restart(s) exhausted "
+                        f"({reason})",
+                        recovery={
+                            "worker_restarts": stats.worker_restarts,
+                            "shards_redispatched": stats.shards_redispatched,
+                        },
+                    )
+                if trace_on:
+                    tracer.event(
+                        "shard.retry",
+                        worker=index,
+                        scc=scc_index,
+                        iteration=iteration,
+                        delay=round(delay, 6),
+                        reason=reason,
+                    )
+                remaining = None if governor is None else governor.remaining()
+                if remaining is not None:
+                    delay = max(0.0, min(delay, remaining))
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    conn = pool.respawn(index, idb=idb)
+                except WorkerFailure as exc:
+                    reason = f"respawn failed: {exc}"
+                    continue
+                stats.worker_restarts += 1
+                if trace_on:
+                    tracer.event(
+                        "shard.respawn",
+                        worker=index,
+                        scc=scc_index,
+                        iteration=iteration,
+                        reason=reason,
+                    )
+                # The recovery task always carries the SCC's compile
+                # payload (the replacement has no plans) and a fresh
+                # deadline slice; interner extension and accept-log
+                # updates re-absorb idempotently on top of the warm
+                # envelope.
+                blob = pickle.dumps(
+                    {
+                        **task,
+                        "compile": compile_cache.get("payload"),
+                        "deadline": None
+                        if governor is None
+                        else governor.remaining(),
+                    },
+                    pickle.HIGHEST_PROTOCOL,
+                )
+                try:
+                    conn.send(("task", blob, recovery_shard(index)))
+                except (BrokenPipeError, OSError) as exc:
+                    reason = f"re-dispatch failed ({exc.__class__.__name__})"
+                    continue
+                stats.shards_redispatched += 1
+                sent_at[index] = time.monotonic()
+                return
+
+        for index in range(pool.workers):
             shard = [
                 (pred, len(bucket), _columns_of(bucket))
                 for pred, buckets in shard_by_pred.items()
                 for bucket in (buckets[index],)
                 if bucket
             ]
-            try:
-                conn.send(("task", shared, shard))
-            except (BrokenPipeError, OSError) as exc:
-                # A worker that died between barriers surfaces here,
-                # on the dispatch send — same failure mode as a death
-                # mid-protocol on the receive side.
-                raise WorkerFailure(
-                    f"worker {index} died before dispatch "
-                    f"({exc.__class__.__name__})"
-                ) from exc
             if trace_on:
-                tracer.event(
-                    "shard.dispatch",
-                    worker=index,
-                    scc=scc_index,
-                    iteration=iteration,
-                    plans=len(run_plan_ids),
-                    delta_rows=sum(n for _, n, _ in shard),
-                    update_rows=update_rows,
-                )
+                try:
+                    tracer.event(
+                        "shard.dispatch",
+                        worker=index,
+                        scc=scc_index,
+                        iteration=iteration,
+                        plans=len(run_plan_ids),
+                        delta_rows=sum(n for _, n, _ in shard),
+                        update_rows=update_rows,
+                    )
+                except InjectedFault:
+                    # The chaos harness's worker-kill site: an armed
+                    # fault at ``shard.dispatch`` kills this worker
+                    # instead of aborting the run — the dead pipe on
+                    # the send below engages recovery.
+                    pool.kill(index)
+            try:
+                pool.conns[index].send(("task", shared, shard))
+                sent_at[index] = time.monotonic()
+            except (BrokenPipeError, OSError) as exc:
+                # A worker that died between barriers (or was killed by
+                # the chaos site above) surfaces here, on the dispatch
+                # send.
+                recover(index, f"died before dispatch ({exc.__class__.__name__})")
 
         # Merge replies in arrival order, overlapping the master's
         # dedup work with the slower workers' compute.  Every decision
@@ -743,22 +968,50 @@ def evaluate_sharded(
         accepted_by_plan: "defaultdict[int, int]" = defaultdict(int)
         accepted_rows: "dict[str, list[tuple]]" = {}
         batch_seen: "dict[str, set]" = {}
-        pending_conns = list(pool.conns)
-        while pending_conns:
-            for conn in _conn_wait(pending_conns):
-                pending_conns.remove(conn)
-                index = conn_index[conn]
+        outstanding = set(range(pool.workers))
+        while outstanding:
+            # Deadline-based liveness: without a straggler limit the
+            # wait blocks (a dead worker's pipe closes and wakes it);
+            # with one, the wait polls so silent-but-alive workers can
+            # be declared stuck, killed and recovered.
+            by_conn = {pool.conns[i]: i for i in outstanding}
+            ready = _conn_wait(
+                list(by_conn), None if straggler_limit is None else 0.05
+            )
+            if not ready:
+                now = time.monotonic()
+                for index in sorted(by_conn.values()):
+                    if not pool.procs[index].is_alive():
+                        recover(index, "died mid-round")
+                    elif (
+                        straggler_limit is not None
+                        and now - sent_at[index] > straggler_limit
+                    ):
+                        pool.kill(index)
+                        recover(
+                            index,
+                            f"straggler exceeded {straggler_limit:.3f}s",
+                        )
+                continue
+            for conn in ready:
+                index = by_conn[conn]
                 try:
                     kind, payload = conn.recv()
                 except (EOFError, OSError) as exc:
-                    raise WorkerFailure(
-                        f"worker {index} died mid-protocol "
-                        f"({exc.__class__.__name__})"
-                    ) from exc
-                if kind == "error":
-                    raise WorkerFailure(
-                        f"worker {index} failed:\n{payload.get('message', '')}"
+                    recover(
+                        index, f"died mid-protocol ({exc.__class__.__name__})"
                     )
+                    continue
+                if kind == "error":
+                    # A protocol break (worker traceback) is treated
+                    # like a crash: kill the broken worker, recover.
+                    pool.kill(index)
+                    recover(
+                        index,
+                        f"worker error: {payload.get('message', '').strip().splitlines()[-1] if payload.get('message') else 'unknown'}",
+                    )
+                    continue
+                outstanding.discard(index)
                 cpu = payload.get("cpu", 0.0)
                 report = worker_report[index]
                 report["tasks"] += 1
@@ -818,16 +1071,23 @@ def evaluate_sharded(
                 report["results"] += results
                 report["accepted"] += accepted
                 if trace_on:
-                    tracer.event(
-                        "shard.merge",
-                        worker=index,
-                        scc=scc_index,
-                        iteration=iteration,
-                        results=results,
-                        accepted=accepted,
-                        elapsed=round(payload.get("elapsed", 0.0), 6),
-                        aborted=kind == "abort",
-                    )
+                    try:
+                        tracer.event(
+                            "shard.merge",
+                            worker=index,
+                            scc=scc_index,
+                            iteration=iteration,
+                            results=results,
+                            accepted=accepted,
+                            elapsed=round(payload.get("elapsed", 0.0), 6),
+                            aborted=kind == "abort",
+                        )
+                    except InjectedFault:
+                        # Chaos worker-kill at the merge ack: the reply
+                        # was already folded in, so the kill costs
+                        # nothing this round — the dead pipe engages
+                        # recovery at the next dispatch.
+                        pool.kill(index)
         path["barrier_max_cpu"] += round_max_cpu
         for pred, acc in accepted_rows.items():
             if not acc:
@@ -995,6 +1255,10 @@ def evaluate_sharded(
                         None if nonlinear else _alignment(delta_rules, members, program)
                     )
                     first_round = True
+                    # Retained past the SCC's first barrier so recovery
+                    # can re-dispatch the compile payload to replacement
+                    # workers that never saw it.
+                    compile_cache: dict = {}
                     while any(len(d) for d in delta.values()):
                         iterations += 1
                         if max_iterations is not None and iterations > max_iterations:
@@ -1027,6 +1291,7 @@ def evaluate_sharded(
                                     new_delta,
                                     scc_index,
                                     iterations,
+                                    compile_cache,
                                 )
                                 compile_specs = None
                         else:
@@ -1047,6 +1312,7 @@ def evaluate_sharded(
                                 new_delta,
                                 scc_index,
                                 iterations,
+                                compile_cache,
                                 aligned_cols,
                                 aligned_cols is None or first_round,
                             )

@@ -231,6 +231,10 @@ class Session:
             resume_from=resume_from,
         )
         self._last = result
+        # Degradation-ladder rungs the fleet took (worker recovery
+        # exhaustion) join the session's own fallback steps, so callers
+        # see one chain for the whole run.
+        fallback_chain.extend(getattr(result, "fallbacks", ()))
         return SessionResult(
             result=result,
             mode="resumed" if resume_from is not None else "fresh",

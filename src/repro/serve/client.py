@@ -4,14 +4,25 @@ Backs the ``repro client`` CLI command, the serving benchmark and the
 ``serve-smoke`` CI script.  One :class:`ServeClient` holds one
 keep-alive connection; errors surface as :class:`ServeClientError`
 carrying the HTTP status and the decoded JSON body, so callers can
-distinguish bad input (400), unknown tenants (404) and budget-tripped
-requests (503, with partial diagnostics) without string matching.
+distinguish bad input (400), unknown tenants (404), shed load (429)
+and budget-tripped requests (503, with partial diagnostics) without
+string matching.
+
+Transport failures (a dropped keep-alive, a daemon mid-restart) are
+retried under the shared :class:`~repro.persist.store.RetryPolicy` —
+the same capped-exponential-backoff-with-seeded-jitter curve the
+checkpoint store and the worker-fleet supervisor use — and the retry
+counts are surfaced on the client (``retries_total``,
+``last_retries``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.client import HTTPConnection
+
+from ..persist.store import RetryPolicy
 
 __all__ = ["ServeClient", "ServeClientError"]
 
@@ -28,10 +39,21 @@ class ServeClientError(Exception):
 class ServeClient:
     """Blocking JSON client over one keep-alive HTTP connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8484, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8484,
+        timeout: float = 60.0,
+        *,
+        retry: RetryPolicy | None = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Transport retries across the client's lifetime / last request.
+        self.retries_total = 0
+        self.last_retries = 0
         self._conn: HTTPConnection | None = None
 
     @classmethod
@@ -58,30 +80,47 @@ class ServeClient:
         self.close()
         return False
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One round trip; raises :class:`ServeClientError` on >= 400."""
-        body = None if payload is None else json.dumps(payload)
+    def _round_trip(self, method: str, path: str, body: "str | None"):
         conn = self._connection()
-        try:
-            conn.request(
-                method, path, body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            response = conn.getresponse()
-            raw = response.read()
-        except (ConnectionError, OSError):
-            # The daemon may have dropped the keep-alive; one clean retry.
-            self.close()
-            conn = self._connection()
-            conn.request(
-                method, path, body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            response = conn.getresponse()
-            raw = response.read()
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        response = conn.getresponse()
+        return response, response.read()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One round trip; raises :class:`ServeClientError` on >= 400.
+
+        Transport failures (a dropped keep-alive, connection refused
+        while the daemon restarts) retry on a fresh connection under
+        the client's :class:`~repro.persist.store.RetryPolicy`: the
+        backoff delays are capped-exponential with seeded jitter, and
+        the attempt count is bounded — the final failure re-raises.
+        """
+        body = None if payload is None else json.dumps(payload)
+        self.last_retries = 0
+        delays = self.retry.delays()
+        while True:
+            try:
+                response, raw = self._round_trip(method, path, body)
+                break
+            except (ConnectionError, OSError):
+                self.close()
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.last_retries += 1
+                self.retries_total += 1
+                if delay > 0:
+                    time.sleep(delay)
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
         if response.status >= 400:
             raise ServeClientError(response.status, decoded)
+        if self.last_retries:
+            # Only annotate when a retry actually happened, so clean
+            # responses stay byte-identical to the daemon's payload.
+            decoded["client_retries"] = self.last_retries
         return decoded
 
     # ------------------------------------------------------------------

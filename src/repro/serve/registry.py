@@ -128,6 +128,17 @@ class Tenant:
         self.registered_at = time.time()
         self.queries = 0
         self.ingests = 0
+        # Fleet-recovery bookkeeping: cumulative counters across every
+        # materialization/ingest, plus the degraded flag that drives
+        # the app's admission control (a tenant whose *latest*
+        # evaluation had to walk the degradation ladder sheds load
+        # until a later run completes at full strength).
+        self.worker_restarts = 0
+        self.shards_redispatched = 0
+        self.degradations = 0
+        self.degraded = False
+        self.inflight = 0
+        self.shed = 0
         store = None if persist_dir is None else CheckpointStore(persist_dir)
         # checkpoint_every=0: sessions write only complete fixpoints —
         # the daemon checkpoints *results*, not mid-fixpoint frontiers.
@@ -156,13 +167,23 @@ class Tenant:
             outcome = self.session.run()
         self.materialized = outcome
         self.mode = outcome.mode
+        self._absorb_recovery(outcome)
         return outcome
 
     def ingest(self, facts: Iterable[object]) -> SessionResult:
         outcome = self.session.ingest(facts)
         self.materialized = outcome
         self.ingests += 1
+        self._absorb_recovery(outcome)
         return outcome
+
+    def _absorb_recovery(self, outcome: SessionResult) -> None:
+        """Fold one evaluation's recovery counters into the tenant."""
+        stats = outcome.result.stats
+        self.worker_restarts += getattr(stats, "worker_restarts", 0)
+        self.shards_redispatched += getattr(stats, "shards_redispatched", 0)
+        self.degradations += getattr(stats, "degradations", 0)
+        self.degraded = getattr(stats, "degradations", 0) > 0
 
     # -- diagnostics ----------------------------------------------------
     def info(self) -> dict:
@@ -182,6 +203,13 @@ class Tenant:
             "edb_facts": edb_facts,
             "queries": self.queries,
             "ingests": self.ingests,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "recovery": {
+                "worker_restarts": self.worker_restarts,
+                "shards_redispatched": self.shards_redispatched,
+                "degradations": self.degradations,
+            },
         }
         if self.materialized is not None:
             result = self.materialized.result

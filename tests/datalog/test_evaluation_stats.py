@@ -35,6 +35,9 @@ def test_as_dict_covers_every_counter_including_iterations():
         "block_probes": 0,
         "budget_trips": 0,
         "wall_time_seconds": 0.0,
+        "worker_restarts": 0,
+        "shards_redispatched": 0,
+        "degradations": 0,
         "rows_scanned_by_rule": {"r": 20},
     }
     assert set(payload) == set(EvaluationStats.__dataclass_fields__)
@@ -75,6 +78,9 @@ def test_merge_sums_every_counter():
         "block_probes": 4,
         "budget_trips": 3,
         "wall_time_seconds": 0.75,
+        "worker_restarts": 0,
+        "shards_redispatched": 0,
+        "degradations": 0,
         "rows_scanned_by_rule": {"r": 7, "s": 1, "t": 3},
     }
 
@@ -149,9 +155,16 @@ def test_compare_zero_baseline_never_divides_by_zero():
     other = _stats()
     ratios = empty.compare(other)
     # 0/0 -> 1.0 (no change), n/0 -> inf, and never an exception.
-    # budget_trips, intern_hits and block_probes are zero on both sides
-    # here, so their ratios are 1.0.
-    zero_on_both = {"budget_trips", "intern_hits", "block_probes"}
+    # budget_trips, intern_hits, block_probes and the recovery counters
+    # are zero on both sides here, so their ratios are 1.0.
+    zero_on_both = {
+        "budget_trips",
+        "intern_hits",
+        "block_probes",
+        "worker_restarts",
+        "shards_redispatched",
+        "degradations",
+    }
     for key in zero_on_both:
         assert ratios[key] == 1.0
     assert all(
@@ -170,6 +183,9 @@ def test_compare_zero_baseline_never_divides_by_zero():
         "intern_hits": 1.0,
         "block_probes": 1.0,
         "budget_trips": 1.0,
+        "worker_restarts": 1.0,
+        "shards_redispatched": 1.0,
+        "degradations": 1.0,
     }
 
 

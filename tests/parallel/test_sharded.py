@@ -204,19 +204,107 @@ def test_dispatch_and_merge_trace_events():
 
 
 # ----------------------------------------------------------------------
-# Failure modes
+# Failure modes and supervision
 
 
-def test_dead_worker_surfaces_as_worker_failure():
+def test_dead_worker_is_recovered_not_fatal():
+    """A worker dead before dispatch is respawned, not a WorkerFailure."""
     program, database = _workload()
+    reference = evaluate(program, database.copy(), engine="slots")
     pool = WorkerPool(program, database, 2)
     try:
         pool.procs[0].terminate()
         pool.procs[0].join(timeout=5.0)
-        with pytest.raises(WorkerFailure, match="worker 0"):
+        result = evaluate_sharded(program, database, workers=2, pool=pool)
+    finally:
+        pool.close()
+    assert _digest(result) == _digest(reference)
+    assert result.stats.worker_restarts >= 1
+    assert result.stats.shards_redispatched >= 1
+    assert result.stats.iterations == reference.stats.iterations
+    assert result.stats.rule_firings == reference.stats.rule_firings
+
+
+def test_recovery_exhaustion_raises_fleet_exhausted():
+    """A worker that dies on every respawn drains the retry budget."""
+    from repro.parallel import FleetExhausted, SupervisionPolicy
+    from repro.persist.store import RetryPolicy
+
+    program, database = _workload()
+    pool = WorkerPool(program, database, 2)
+    original_respawn = pool.respawn
+
+    def doomed_respawn(index, *, idb=None):
+        conn = original_respawn(index, idb=idb)
+        pool.kill(index)  # replacement dies immediately
+        return conn
+
+    pool.respawn = doomed_respawn
+    try:
+        pool.procs[0].terminate()
+        pool.procs[0].join(timeout=5.0)
+        with pytest.raises(FleetExhausted, match="retry budget"):
+            evaluate_sharded(
+                program,
+                database,
+                workers=2,
+                pool=pool,
+                supervision=SupervisionPolicy(
+                    retry=RetryPolicy(attempts=2, base_delay=0.0)
+                ),
+            )
+    finally:
+        pool.close()
+
+
+def test_straggler_is_killed_and_recovered():
+    """A SIGSTOP-ed worker trips the straggler timeout and is replaced."""
+    import signal
+
+    from repro.parallel import SupervisionPolicy
+    from repro.persist.store import RetryPolicy
+
+    program, database = _workload()
+    reference = evaluate(program, database.copy(), engine="slots")
+    pool = WorkerPool(program, database, 2)
+    try:
+        import os
+
+        os.kill(pool.procs[0].pid, signal.SIGSTOP)
+        result = evaluate_sharded(
+            program,
+            database,
+            workers=2,
+            pool=pool,
+            supervision=SupervisionPolicy(
+                retry=RetryPolicy(base_delay=0.0),
+                straggler_timeout=0.5,
+            ),
+        )
+    finally:
+        pool.close()
+    assert _digest(result) == _digest(reference)
+    assert result.stats.worker_restarts >= 1
+
+
+def test_recovery_trace_events():
+    """shard.retry and shard.respawn events are emitted on recovery."""
+    program, database = _workload()
+    pool = WorkerPool(program, database, 2)
+    sink = RingBufferSink()
+    try:
+        pool.procs[1].terminate()
+        pool.procs[1].join(timeout=5.0)
+        with tracing(sink):
             evaluate_sharded(program, database, workers=2, pool=pool)
     finally:
         pool.close()
+    retries = [e for e in sink.events if e.name == "shard.retry"]
+    respawns = [e for e in sink.events if e.name == "shard.respawn"]
+    assert retries and respawns
+    assert retries[0].attrs["worker"] == 1
+    assert "reason" in retries[0].attrs and retries[0].attrs["delay"] >= 0.0
+    assert respawns[0].attrs["worker"] == 1
 
 
 def test_pool_close_is_idempotent():
@@ -224,3 +312,18 @@ def test_pool_close_is_idempotent():
     pool = WorkerPool(program, database, 1)
     pool.close()
     pool.close()  # second close is a no-op, not an error
+
+
+def test_pool_close_leaves_no_zombies():
+    """After an aborted round every worker process is reaped and closed."""
+    program, database = _workload()
+    pool = WorkerPool(program, database, 2)
+    procs = list(pool.procs)
+    pool.procs[0].terminate()
+    pool.procs[0].join(timeout=5.0)
+    pool.close()
+    for proc in procs:
+        # A closed Process raises ValueError on any operation: the pool
+        # released the underlying handle, so no zombie can linger.
+        with pytest.raises(ValueError):
+            proc.is_alive()
