@@ -33,6 +33,7 @@ import random
 import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from .datalog.database import Database
@@ -556,6 +557,166 @@ def _run_checkpoint_overhead(
     return overhead
 
 
+def _run_journal(
+    units: Sequence[BenchUnit],
+    repeat: int,
+    governor: Governor | None = None,
+    *,
+    batches: int = 5,
+    rows_per_batch: int = 4,
+) -> dict:
+    """The write-ahead journal's two durability costs.
+
+    ``fsync_overhead``: the same ingest sequence through a journaled
+    session versus one with the journal disabled — the ratio is the
+    price of the append+fsync acknowledgment on every ingest.
+
+    ``replay_vs_recompute``: recovery of a journal suffix (checkpoint
+    covers only the initial EDB; every ingest is un-checkpointed
+    journal records) versus a cold in-memory recompute of the full
+    post-ingest fixpoint.  Both paths must land on the same digest —
+    replay may cost time, never answers (``digest_match`` is a CI
+    gate).
+    """
+    import tempfile
+
+    from .persist import CheckpointStore, IngestJournal, Session
+
+    unit = units[0]
+    sample = unit.make_database()
+    predicate = sorted(sample.predicates())[0]
+    top = max(
+        (row[0] for row in sample.relation(predicate).rows() if isinstance(row[0], int)),
+        default=0,
+    )
+
+    def ingest_batches() -> list[list[tuple[str, tuple]]]:
+        # Fresh chain nodes above the generated graph: every batch
+        # extends the closure without colliding with existing rows.
+        return [
+            [
+                (predicate, (top + 1 + batch * rows_per_batch + i,
+                             top + 2 + batch * rows_per_batch + i))
+                for i in range(rows_per_batch)
+            ]
+            for batch in range(batches)
+        ]
+
+    journal: dict = {"batches": batches, "rows_per_batch": rows_per_batch}
+    tripped = False
+    digests = {}
+    for flavor in ("journaled", "unjournaled"):
+        best = float("inf")
+        for attempt in range(repeat):
+            with tempfile.TemporaryDirectory() as tmp:
+                session = Session(
+                    unit.program,
+                    unit.make_database(),
+                    store=CheckpointStore(tmp),
+                    journal="auto" if flavor == "journaled" else None,
+                    checkpoint_every=0,
+                    budget=governor,
+                )
+                try:
+                    session.run()
+                    start = time.perf_counter()
+                    for batch in ingest_batches():
+                        outcome = session.ingest(batch)
+                    best = min(best, time.perf_counter() - start)
+                except BudgetExceededError:
+                    tripped = True
+                    break
+                if attempt == 0:
+                    digests[flavor] = _fixpoint_digest(
+                        [(unit.label, outcome.result.idb)]
+                    )
+            if tripped:
+                break
+        journal[flavor] = {"ingest_time_s": best}
+    journal["fsync_overhead"] = (
+        journal["journaled"]["ingest_time_s"]
+        / journal["unjournaled"]["ingest_time_s"]
+        if journal["unjournaled"]["ingest_time_s"] > 0
+        else float("inf")
+    )
+
+    replay_best = float("inf")
+    recompute_best = float("inf")
+    replay_digest = recompute_digest = ""
+    replayed = 0
+    for attempt in range(repeat):
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                # Checkpoint covers only the initial EDB; the ingests
+                # live solely in the journal (store-less session
+                # sharing the same journal directory).
+                Session(
+                    unit.program,
+                    unit.make_database(),
+                    store=CheckpointStore(tmp),
+                    checkpoint_every=0,
+                    budget=governor,
+                ).run()
+                writer = Session(
+                    unit.program,
+                    unit.make_database(),
+                    store=None,
+                    journal=IngestJournal(Path(tmp) / "journal"),
+                    budget=governor,
+                )
+                writer.run()
+                for batch in ingest_batches():
+                    writer.ingest(batch)
+                writer.journal.close()
+
+                fresh = Session(
+                    unit.program,
+                    unit.make_database(),
+                    store=CheckpointStore(tmp),
+                    checkpoint_every=0,
+                    budget=governor,
+                )
+                start = time.perf_counter()
+                recovered = fresh.recover()
+                replay_best = min(replay_best, time.perf_counter() - start)
+
+                cold_db = unit.make_database()
+                for batch in ingest_batches():
+                    for pred, row in batch:
+                        cold_db.add_row(pred, row)
+                start = time.perf_counter()
+                cold = evaluate(unit.program, cold_db, budget=governor)
+                recompute_best = min(
+                    recompute_best, time.perf_counter() - start
+                )
+            except BudgetExceededError:
+                tripped = True
+                break
+            if attempt == 0:
+                replayed = recovered.replayed
+                replay_digest = _fixpoint_digest([(unit.label, recovered.result.idb)])
+                recompute_digest = _fixpoint_digest([(unit.label, cold.idb)])
+    journal["replay"] = {
+        "time_s": replay_best,
+        "records_replayed": replayed,
+        "fixpoint_sha256": replay_digest,
+    }
+    journal["recompute"] = {
+        "time_s": recompute_best,
+        "fixpoint_sha256": recompute_digest,
+    }
+    journal["replay_vs_recompute"] = (
+        replay_best / recompute_best if recompute_best > 0 else float("inf")
+    )
+    journal["budget_exceeded"] = tripped
+    journal["digest_match"] = (
+        None
+        if tripped
+        else len({replay_digest, recompute_digest, *digests.values()}) == 1
+    )
+    return journal
+
+
 def _serve_workloads(quick: bool) -> dict[str, dict]:
     """Two tenant workloads for the serving benchmark.
 
@@ -971,6 +1132,15 @@ def run_bench(
             payload["ok"] = False
         if any(e["budget_exceeded"] for e in overhead["every"].values()):
             payload["budget_exceeded"] = True
+        payload["journal"] = dict(
+            _run_journal(suite["bench_scaling"], repeat, governor),
+            workload="bench_scaling",
+            engine="slots-cost",
+        )
+        if payload["journal"]["digest_match"] is False:
+            payload["ok"] = False
+        if payload["journal"]["budget_exceeded"]:
+            payload["budget_exceeded"] = True
     if run_serve:
         payload["serve"] = _run_serve_bench(quick=quick)
         if not payload["serve"]["answers_match"]:
@@ -1057,6 +1227,26 @@ def render_results(payload: Mapping) -> str:
             )
         if overhead["fixpoints_match"] is False:
             lines.append("  CHECKPOINT FIXPOINT MISMATCH — persistence changed answers")
+    journal = payload.get("journal")
+    if journal:
+        lines.append("")
+        lines.append(
+            f"ingest journal ({journal['workload']}, {journal['engine']}, "
+            f"{journal['batches']}x{journal['rows_per_batch']} rows):"
+        )
+        lines.append(
+            f"  fsync-per-ingest {journal['journaled']['ingest_time_s'] * 1000:9.2f} ms "
+            f"vs unjournaled {journal['unjournaled']['ingest_time_s'] * 1000:9.2f} ms "
+            f"({journal['fsync_overhead']:.2f}x)"
+        )
+        lines.append(
+            f"  suffix replay    {journal['replay']['time_s'] * 1000:9.2f} ms "
+            f"({journal['replay']['records_replayed']} records) vs cold recompute "
+            f"{journal['recompute']['time_s'] * 1000:9.2f} ms "
+            f"({journal['replay_vs_recompute']:.2f}x)"
+        )
+        if journal["digest_match"] is False:
+            lines.append("  JOURNAL DIGEST MISMATCH — replay changed answers")
     serve = payload.get("serve")
     if serve:
         latency = serve["latency_ms"]

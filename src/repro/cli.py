@@ -7,7 +7,7 @@ Commands
 ``run``          evaluate a program (optionally optimized) over facts
 ``magic``        magic-sets transformation for a bound query atom
 ``pipeline``     chain the semantic rewrite and magic sets (either order)
-``session``      durable evaluation: run / resume / ingest / inspect
+``session``      durable evaluation: run / resume / recover / ingest / inspect
 ``serve``        boot the multi-tenant HTTP serving daemon
 ``client``       talk to a running daemon (register / query / ingest / stats)
 ``trace``        print the structured trace of a rewrite + evaluation
@@ -373,10 +373,18 @@ def _session_from(args: argparse.Namespace) -> Session:
     if program.query is None:
         raise UsageError("--query is required for this command")
     database = _database_from(args, inline_facts)
+    journal: "IngestJournal | None | str" = "auto"
+    if getattr(args, "no_journal", False):
+        journal = None
+    elif getattr(args, "journal_dir", None):
+        from .persist import IngestJournal
+
+        journal = IngestJournal(args.journal_dir)
     return Session(
         program,
         database,
         store=CheckpointStore(args.checkpoint_dir),
+        journal=journal,
         checkpoint_every=args.checkpoint_every,
         strategy=args.strategy,
         engine=args.engine,
@@ -415,6 +423,15 @@ def _cmd_session_run(args: argparse.Namespace) -> int:
 def _cmd_session_resume(args: argparse.Namespace) -> int:
     session = _session_from(args)
     _print_session_outcome(session, session.resume())
+    return 0
+
+
+def _cmd_session_recover(args: argparse.Namespace) -> int:
+    session = _session_from(args)
+    outcome = session.recover()
+    _print_session_outcome(session, outcome)
+    if outcome.replayed:
+        print(f"journal records replayed: {outcome.replayed}")
     return 0
 
 
@@ -791,7 +808,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.set_defaults(func=_cmd_pipeline)
 
     session = sub.add_parser(
-        "session", help="durable evaluation sessions: run / resume / ingest / inspect"
+        "session",
+        help="durable evaluation sessions: run / resume / recover / ingest / inspect",
     )
     session_sub = session.add_subparsers(dest="session_command", required=True)
 
@@ -817,6 +835,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--throttle", type=float, default=0.0, metavar="SECONDS",
             help="sleep after each checkpoint save (crash-test pacing)",
         )
+        cmd.add_argument(
+            "--journal-dir", metavar="DIR",
+            help="write-ahead ingest journal directory "
+            "(default: <checkpoint-dir>/journal)",
+        )
+        cmd.add_argument(
+            "--no-journal", action="store_true",
+            help="disable the write-ahead ingest journal (ingests are "
+            "then only durable once their checkpoint lands)",
+        )
         engine_flags(cmd)
         budget_flags(cmd)
         cmd.set_defaults(func=func)
@@ -827,6 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session_command(
         "resume", "restart from the newest valid checkpoint", _cmd_session_resume
+    )
+    session_command(
+        "recover",
+        "crash recovery: newest complete checkpoint + journal replay",
+        _cmd_session_recover,
     )
     cmd = session_command(
         "ingest", "add EDB facts and re-derive incrementally", _cmd_session_ingest

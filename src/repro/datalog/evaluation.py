@@ -299,6 +299,14 @@ class EvaluationSnapshot:
     decoded values, so the snapshot stays engine- **and**
     storage-agnostic, but carrying the table lets a columnar resume
     reproduce the exact code assignment of the checkpointed run.
+
+    ``edb`` is the extensional database at snapshot time, carried only
+    on *complete* snapshots written by the persistence layer: ingested
+    facts live nowhere else once the write-ahead journal compacts, so a
+    complete checkpoint must be self-contained — restore = EDB + IDB
+    from the checkpoint, then replay the journal suffix.  ``None`` on
+    engine-emitted mid-evaluation snapshots (resume re-uses the live
+    session database) and on checkpoints written before the journal.
     """
 
     strategy: str
@@ -310,6 +318,7 @@ class EvaluationSnapshot:
     stats: EvaluationStats
     complete: bool = False
     interner: "tuple | None" = None
+    edb: "Mapping[str, frozenset] | None" = None
 
 
 def _check_resume(

@@ -155,6 +155,13 @@ class EvaluationProfile:
     checkpoint_loads: int = 0
     checkpoint_retries: int = 0
     checkpoint_bytes: int = 0
+    journal_appends: int = 0
+    journal_fsyncs: int = 0
+    journal_bytes: int = 0
+    journal_retries: int = 0
+    journal_replayed: int = 0
+    journal_truncations: int = 0
+    journal_compactions: int = 0
     quarantines: list[str] = field(default_factory=list)
     tenants: dict[str, TenantServeProfile] = field(default_factory=dict)
     serve_cache_hits: int = 0
@@ -182,6 +189,15 @@ class EvaluationProfile:
                 f"durability: {self.checkpoint_saves} checkpoint saves "
                 f"({self.checkpoint_bytes} bytes), {self.checkpoint_loads} loads, "
                 f"{self.checkpoint_retries} retries"
+            )
+        if self.journal_appends or self.journal_replayed or self.journal_retries:
+            lines.append(
+                f"journal: {self.journal_appends} appends / "
+                f"{self.journal_fsyncs} fsyncs ({self.journal_bytes} bytes), "
+                f"{self.journal_retries} retries, "
+                f"{self.journal_replayed} records replayed, "
+                f"{self.journal_truncations} torn-tail truncations, "
+                f"{self.journal_compactions} compactions"
             )
         for quarantine in self.quarantines:
             lines.append(f"quarantined: {quarantine}")
@@ -299,6 +315,19 @@ def build_profile(events: Iterable[TraceEvent]) -> EvaluationProfile:
             profile.checkpoint_loads += 1
         elif event.kind == "event" and event.name == "checkpoint.retry":
             profile.checkpoint_retries += 1
+        elif event.kind == "event" and event.name == "journal.append":
+            profile.journal_appends += 1
+        elif event.kind == "event" and event.name == "journal.fsync":
+            profile.journal_fsyncs += 1
+            profile.journal_bytes += int(event.attrs.get("bytes", 0))  # type: ignore[arg-type]
+        elif event.kind == "event" and event.name == "journal.retry":
+            profile.journal_retries += 1
+        elif event.kind == "event" and event.name == "journal.replay":
+            profile.journal_replayed += int(event.attrs.get("records", 0))  # type: ignore[arg-type]
+        elif event.kind == "event" and event.name == "journal.truncate":
+            profile.journal_truncations += 1
+        elif event.kind == "event" and event.name == "journal.compact":
+            profile.journal_compactions += 1
         elif event.kind == "event" and event.name == "checkpoint.quarantine":
             profile.quarantines.append(
                 f"{event.attrs.get('path', '?')} ({event.attrs.get('reason', '')})"

@@ -11,8 +11,13 @@ new facts without cold recomputation (see ``docs/robustness.md``,
   write-temp-fsync-rename saves, checksum-verified loads, quarantine of
   anything suspect), the chaos-harness :class:`FlakyStore`, and
   :func:`save_with_retry` under a :class:`RetryPolicy`;
+* :mod:`repro.persist.journal` — :class:`IngestJournal`, the
+  append-only CRC-framed write-ahead log of acknowledged ingests
+  (fsync-before-ack, torn-tail truncation, segment rotation and
+  compaction), the chaos-harness :class:`FlakyJournal`, and
+  :func:`commit_with_retry`;
 * :mod:`repro.persist.session` — :class:`Session`, the durable
-  run/resume/ingest/inspect life cycle over both engines.
+  run/resume/ingest/recover/inspect life cycle over both engines.
 """
 
 from .checkpoint import (
@@ -23,6 +28,17 @@ from .checkpoint import (
     CheckpointMismatch,
     fixpoint_digest,
     workload_digest,
+)
+from .journal import (
+    JOURNAL_VERSION,
+    FlakyJournal,
+    IngestJournal,
+    JournalCorrupt,
+    JournalError,
+    JournalMismatch,
+    JournalRecord,
+    JournalUnavailable,
+    commit_with_retry,
 )
 from .session import Session, SessionResult
 from .store import (
@@ -41,10 +57,19 @@ __all__ = [
     "CheckpointMismatch",
     "CheckpointStore",
     "CheckpointStoreUnavailable",
+    "FlakyJournal",
     "FlakyStore",
+    "IngestJournal",
+    "JOURNAL_VERSION",
+    "JournalCorrupt",
+    "JournalError",
+    "JournalMismatch",
+    "JournalRecord",
+    "JournalUnavailable",
     "RetryPolicy",
     "Session",
     "SessionResult",
+    "commit_with_retry",
     "fixpoint_digest",
     "save_with_retry",
     "workload_digest",

@@ -140,6 +140,13 @@ class Checkpoint:
                 # under rows storage): rows above are always decoded, so
                 # this is extra metadata, not a second row encoding.
                 "interner": None if snap.interner is None else list(snap.interner),
+                # The extensional database on complete snapshots: the
+                # write-ahead journal compacts once this checkpoint
+                # lands, so the checkpoint becomes the only durable
+                # copy of the ingested facts it covers.
+                "edb": None
+                if snap.edb is None
+                else {pred: _rows_payload(rows) for pred, rows in sorted(snap.edb.items())},
                 "stats": snap.stats.as_dict(),
             },
         }
@@ -171,6 +178,11 @@ class Checkpoint:
                 interner=None
                 if snap.get("interner") is None
                 else tuple(snap["interner"]),
+                # .get: checkpoints written before the ingest journal
+                # carry no EDB and load as derived-state-only.
+                edb=None
+                if snap.get("edb") is None
+                else {str(p): _rows_restore(rows) for p, rows in snap["edb"].items()},
             )
             return cls(
                 seq=int(payload["seq"]),

@@ -26,7 +26,21 @@ cycle:
   update is non-monotonic (new facts can retract conclusions), so
   ingest detects this and falls back to a full recompute — wrong
   answers are never an option.
-* :meth:`Session.inspect` — a JSON-ready summary of the store.
+
+  Ingest is **journal-first**: the normalized new rows are appended to
+  the session's :class:`~repro.persist.journal.IngestJournal` and
+  ``fsync``\\ ed *before* the in-memory EDB mutates — the fsync is the
+  acknowledgment point, so an acknowledged ingest survives a SIGKILL
+  at any later instant (mid-fixpoint, mid-checkpoint, or with the
+  checkpoint store degraded).  Once the post-ingest complete
+  checkpoint lands, the covered journal prefix is compacted away.
+* :meth:`Session.recover` — crash recovery: chain the journal's
+  acknowledged records onto the initial EDB, restore the newest
+  *complete* checkpoint along that chain, and idempotently replay the
+  uncovered suffix (incrementally when monotone, by recompute
+  otherwise).  The resulting fixpoint is byte-identical to a cold
+  recompute over (initial EDB + every acknowledged ingest).
+* :meth:`Session.inspect` — a JSON-ready summary of store + journal.
 
 Statistics stay cumulative across the whole life cycle (resume and
 ingest merge the prior snapshot's counters before adding new work), so
@@ -36,7 +50,8 @@ budget accounting and reports see the true total cost.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..datalog.atoms import Atom, Literal
@@ -52,7 +67,14 @@ from ..datalog.evaluation import (
 from ..datalog.program import Program
 from ..observability.trace import Tracer, get_tracer
 from ..robustness.budget import Budget, CancellationToken, FallbackStep, Governor
-from .checkpoint import Checkpoint, workload_digest
+from .checkpoint import Checkpoint, CheckpointError, workload_digest
+from .journal import (
+    FlakyJournal,
+    IngestJournal,
+    JournalMismatch,
+    JournalRecord,
+    commit_with_retry,
+)
 from .store import (
     CheckpointStore,
     CheckpointStoreUnavailable,
@@ -73,9 +95,11 @@ class SessionResult:
 
     ``mode`` records the path taken: ``"fresh"`` (full evaluation),
     ``"resumed"`` (restarted from a checkpoint), ``"incremental"``
-    (delta-seeded ingest) or ``"recompute"`` (ingest fell back to full
-    re-evaluation).  ``fallback_chain`` lists every degradation taken,
-    in order.
+    (delta-seeded ingest), ``"recompute"`` (ingest fell back to full
+    re-evaluation), ``"warm"`` (zero-evaluation checkpoint restore) or
+    ``"recovered"`` (checkpoint restore plus journal replay).
+    ``fallback_chain`` lists every degradation taken, in order;
+    ``replayed`` counts the journal records recovery re-applied.
     """
 
     result: EvaluationResult
@@ -83,6 +107,7 @@ class SessionResult:
     checkpoints_written: int = 0
     resumed_seq: int | None = None
     fallback_chain: list[FallbackStep] = field(default_factory=list)
+    replayed: int = 0
 
     @property
     def stats(self) -> EvaluationStats:
@@ -98,6 +123,7 @@ class Session:
         database: Database,
         *,
         store: "CheckpointStore | FlakyStore | None" = None,
+        journal: "IngestJournal | FlakyJournal | None | str" = "auto",
         checkpoint_every: int = 1,
         constraints: Sequence[object] = (),
         strategy: str = "seminaive",
@@ -120,6 +146,22 @@ class Session:
             database if storage is None else database.to_storage(storage)
         )
         self.store = store
+        # ``journal="auto"`` (the default) co-locates the write-ahead
+        # ingest journal with the checkpoint store (``<dir>/journal``);
+        # pass an explicit journal to place it elsewhere, or ``None``
+        # to run without write-ahead durability.
+        if journal == "auto":
+            self.journal = (
+                None
+                if store is None
+                else IngestJournal(Path(store.directory) / "journal", tracer=tracer)
+            )
+        else:
+            self.journal = journal  # type: ignore[assignment]
+        # The highest journal sequence the newest *complete* checkpoint
+        # is known to cover (recovery recomputes it from the digest
+        # chain; ingest advances it as covering checkpoints land).
+        self._covered_seq = 0
         self.checkpoint_every = checkpoint_every
         self.constraints = tuple(constraints)
         self.strategy = strategy
@@ -165,6 +207,11 @@ class Session:
         def sink(snapshot: EvaluationSnapshot) -> None:
             if state["degraded"]:
                 return
+            if snapshot.complete and snapshot.edb is None:
+                # Complete checkpoints are self-contained: they carry
+                # the EDB so the journal can compact the records they
+                # cover without losing the only copy of ingested facts.
+                snapshot = replace(snapshot, edb=self._edb_rows())
             checkpoint = Checkpoint(
                 seq=store.next_seq(), workload=workload, snapshot=snapshot
             )
@@ -297,6 +344,67 @@ class Session:
                 return latest.snapshot.idb, latest.snapshot.stats
         return None
 
+    def _negated_predicates(self) -> set[str]:
+        return {
+            lit.predicate
+            for rule in self.program.rules
+            for lit in rule.negative_literals
+        }
+
+    def _edb_rows(self) -> dict[str, frozenset]:
+        return {
+            pred: frozenset(tuple(row) for row in self.database.relation(pred).rows())
+            for pred in sorted(self.database.predicates())
+        }
+
+    def _trace_fallback(self, step: FallbackStep) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "budget.fallback",
+                stage=step.stage,
+                fell_back_to=step.fell_back_to,
+                reason=step.reason,
+            )
+
+    def _journal_commit(
+        self, new_rows: Mapping[str, Sequence[Row]], governor: Governor | None
+    ) -> int | None:
+        """Append + fsync the normalized rows; returns the acked seq.
+
+        This is the **acknowledgment point** of an ingest: it runs
+        before any in-memory mutation, so a commit that fails after the
+        retry budget leaves the session byte-identical to before the
+        call — the caller simply never acked.  The record carries the
+        *pre-ingest* workload digest, the chain link recovery uses.
+        """
+        if self.journal is None:
+            return None
+        record = JournalRecord(
+            seq=self.journal.next_seq(),
+            workload=self.workload(),
+            rows=tuple(
+                (predicate, tuple(row))
+                for predicate in sorted(new_rows)
+                for row in new_rows[predicate]
+            ),
+        )
+        commit_with_retry(
+            self.journal, record, policy=self.retry, governor=governor
+        )
+        return record.seq
+
+    def _mark_covered(self, seq: int | None, outcome: SessionResult) -> None:
+        """Compact the journal once a covering complete checkpoint landed."""
+        if self.journal is None or seq is None:
+            return
+        degraded = any(
+            step.stage == "session.checkpoint" for step in outcome.fallback_chain
+        )
+        if outcome.checkpoints_written > 0 and not degraded:
+            self._covered_seq = max(self._covered_seq, seq)
+            self.journal.compact(self._covered_seq)
+
     def ingest(self, facts: Iterable[object]) -> SessionResult:
         """Add EDB facts and bring the fixpoint up to date incrementally.
 
@@ -306,57 +414,75 @@ class Session:
         when an ingested predicate occurs negated in the program
         (non-monotonic update) — the session falls back to a full
         recompute, recorded in the result's ``fallback_chain``.
+
+        Ordering is **journal-first**: normalize and validate, decide
+        the path (incremental vs. recompute), journal the new rows with
+        append+fsync, and only then mutate the EDB and derive.  A crash
+        or budget trip at any point after the fsync is recoverable via
+        :meth:`recover`; a journal failure before the fsync leaves the
+        session completely untouched (nothing was acknowledged).
         """
-        # The prior fixpoint must be anchored to the *pre-ingest* digest.
-        prior = self._prior_fixpoint()
-        new_rows: dict[str, list[Row]] = {}
+        # Normalize and validate BEFORE any state changes: an invalid
+        # fact must never leave a half-applied batch behind.
+        normalized = self._normalize_facts(facts)
         idb_preds = self.program.idb_predicates
-        for predicate, row in self._normalize_facts(facts):
+        for predicate, _row in normalized:
             if predicate in idb_preds:
                 raise ValueError(
                     f"cannot ingest {predicate}: it is an IDB predicate "
                     "(derived, not stored)"
                 )
-            if self.database.add_row(predicate, row):
-                new_rows.setdefault(predicate, []).append(row)
+        # The prior fixpoint must be anchored to the *pre-ingest* digest.
+        prior = self._prior_fixpoint()
+        # Deduplicate against the current EDB without mutating it — the
+        # fallback decision below must be taken on a pristine session.
+        new_rows: dict[str, list[Row]] = {}
+        pending: set[tuple[str, Row]] = set()
+        for predicate, row in normalized:
+            if self.database.contains(predicate, row) or (predicate, row) in pending:
+                continue
+            pending.add((predicate, row))
+            new_rows.setdefault(predicate, []).append(row)
 
         fallback_chain: list[FallbackStep] = []
         if not new_rows and prior is not None:
             # Nothing actually new: the prior fixpoint still stands.
             return self._complete_from(prior, "incremental", fallback_chain)
 
-        negated = {
-            lit.predicate
-            for rule in self.program.rules
-            for lit in rule.negative_literals
-        }
         reason = None
         if prior is None:
             reason = "no prior complete fixpoint to increment from"
-        elif negated & set(new_rows):
-            overlap = ", ".join(sorted(negated & set(new_rows)))
-            reason = f"ingested predicate(s) {overlap} occur negated (non-monotonic)"
+        else:
+            overlap = self._negated_predicates() & set(new_rows)
+            if overlap:
+                reason = (
+                    f"ingested predicate(s) {', '.join(sorted(overlap))} "
+                    "occur negated (non-monotonic)"
+                )
+
+        governor = self._governor()
+        # Journal-first: fsync the acknowledged rows before the EDB
+        # mutates.  From here on, any crash — including a budget trip
+        # inside the recompute fallback below — is recoverable.
+        journaled_seq = self._journal_commit(new_rows, governor)
+        for predicate, rows in new_rows.items():
+            for row in rows:
+                self.database.add_row(predicate, row)
+
         if reason is not None:
             step = FallbackStep(
                 stage="session.ingest", fell_back_to="recompute", reason=reason
             )
             fallback_chain.append(step)
-            tracer = self.tracer
-            if tracer.enabled:
-                tracer.event(
-                    "budget.fallback",
-                    stage=step.stage,
-                    fell_back_to=step.fell_back_to,
-                    reason=step.reason,
-                )
+            self._trace_fallback(step)
             fresh = self.run()
             fresh.mode = "recompute"
             fresh.fallback_chain = fallback_chain + fresh.fallback_chain
+            self._mark_covered(journaled_seq, fresh)
             return fresh
 
         assert prior is not None
         prior_idb, prior_stats = prior
-        governor = self._governor()
         idb, stats = self._incremental_fixpoint(
             new_rows, prior_idb, prior_stats, governor
         )
@@ -364,7 +490,235 @@ class Session:
             idb=idb, stats=stats, program=self.program, database=self.database
         )
         self._last = result
-        return self._checkpoint_complete(result, "incremental", fallback_chain, governor)
+        outcome = self._checkpoint_complete(
+            result, "incremental", fallback_chain, governor
+        )
+        self._mark_covered(journaled_seq, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _newest_self_contained(self) -> "Checkpoint | None":
+        """The newest complete, EDB-carrying checkpoint that binds here.
+
+        A *self-contained* checkpoint carries the extensional database
+        alongside the fixpoint, so it can seed recovery even after the
+        journal compacted the records it covers.  Binding is verified
+        from the checkpoint's own contents: its EDB must reproduce its
+        workload digest under this session's program and constraints
+        (rules out a different workload sharing the directory), and it
+        must contain every row of this session's initial EDB (rules
+        out a checkpoint from an older registration whose facts have
+        since changed).
+        """
+        if self.store is None:
+            return None
+        for path in sorted(self.store.paths(), reverse=True):
+            try:
+                found = self.store.load(path, quarantine_mismatch=False)
+            except CheckpointError:
+                continue
+            if not found.complete or found.snapshot.edb is None:
+                continue
+            probe = Database(storage=self.database.storage)
+            for predicate, rows in found.snapshot.edb.items():
+                for row in rows:
+                    probe.add_row(predicate, row)
+            if workload_digest(self.program, probe, self.constraints) != found.workload:
+                continue
+            if not all(
+                probe.contains(predicate, row)
+                for predicate in self.database.predicates()
+                for row in self.database.relation(predicate).rows()
+            ):
+                continue
+            return found
+        return None
+
+    def recover(self) -> SessionResult:
+        """Crash recovery: newest complete checkpoint + journal replay.
+
+        The session must be constructed with the workload's *initial*
+        EDB (as first registered).  Recovery then:
+
+        1. replays the journal's acknowledged records onto the digest
+           chain — each record carries the pre-ingest workload digest,
+           so the chain positions every record against the initial EDB
+           (records whose rows the EDB already contains are stale and
+           skipped; a record that neither chains nor is contained
+           raises :class:`~repro.persist.journal.JournalMismatch`);
+        2. restores the newest *complete* checkpoint bound to any
+           digest along the chain (zero evaluation, like
+           :meth:`warm_start`);
+        3. re-applies the uncovered suffix — incrementally for a
+           monotone suffix, by governed recompute otherwise — and
+           writes a fresh covering checkpoint, after which the covered
+           journal prefix is compacted away.
+
+        The result is byte-identical to a cold recompute over (initial
+        EDB + every acknowledged ingest), which is exactly the
+        crash-consistency property the kill-sweep tests assert.  With
+        no journal and no checkpoint this is simply a fresh run, so
+        callers can use ``recover()`` unconditionally at startup.
+        """
+        governor = self._governor()
+        fallback_chain: list[FallbackStep] = []
+        records = [] if self.journal is None else self.journal.replay()
+        # Pre-seed from the newest self-contained checkpoint: it is the
+        # durable copy of every ingested fact whose journal record has
+        # been compacted away, and folding its EDB in first makes the
+        # digest chain below start at that checkpoint's digest (covered
+        # records then read as stale and skip; live records chain on).
+        base = self._newest_self_contained()
+        if base is not None:
+            assert base.snapshot.edb is not None
+            for predicate, rows in base.snapshot.edb.items():
+                for row in rows:
+                    self.database.add_row(predicate, row)
+        digests = [self.workload()]
+        applicable: list[JournalRecord] = []
+        absorbed_seq = 0
+        if records:
+            scratch = self.database.copy()
+            for record in records:
+                if record.workload == digests[-1]:
+                    for predicate, row in record.rows:
+                        scratch.add_row(predicate, row)
+                    applicable.append(record)
+                    digests.append(
+                        workload_digest(self.program, scratch, self.constraints)
+                    )
+                elif all(
+                    scratch.contains(predicate, row) for predicate, row in record.rows
+                ):
+                    # Stale: the initial EDB already includes these rows
+                    # (e.g. a re-registration that resent ingested
+                    # facts).  Idempotent replay skips them.
+                    absorbed_seq = max(absorbed_seq, record.seq)
+                    continue
+                else:
+                    raise JournalMismatch(
+                        f"journal record {record.seq} does not chain onto this "
+                        f"workload (expected digest {digests[-1][:12]}…, record "
+                        f"carries {record.workload[:12]}…)"
+                    )
+        checkpoint = None
+        best_k = 0
+        if self.store is not None:
+            for k in range(len(digests) - 1, -1, -1):
+                found = self.store.latest(
+                    expect_workload=digests[k], quarantine_mismatch=False
+                )
+                if found is not None and found.complete:
+                    checkpoint, best_k = found, k
+                    break
+        if checkpoint is None and base is not None:
+            # The chain probe can miss when the newest file at the base
+            # digest is an incomplete mid-evaluation snapshot; the base
+            # itself is complete and sits at digests[0] by construction.
+            checkpoint, best_k = base, 0
+
+        if checkpoint is None:
+            # No covering checkpoint anywhere: the journal is the only
+            # durable copy — fold every acknowledged record into the
+            # EDB and recompute under the governor.
+            for record in applicable:
+                for predicate, row in record.rows:
+                    self.database.add_row(predicate, row)
+            if applicable:
+                step = FallbackStep(
+                    stage="session.recover",
+                    fell_back_to="recompute",
+                    reason="no complete checkpoint covers the journal chain",
+                )
+                fallback_chain.append(step)
+                self._trace_fallback(step)
+            outcome = self.run()
+            outcome.fallback_chain = fallback_chain + outcome.fallback_chain
+            if applicable:
+                outcome.mode = "recovered"
+                outcome.replayed = len(applicable)
+                self._mark_covered(applicable[-1].seq, outcome)
+            elif absorbed_seq and self.journal is not None:
+                self._mark_covered(absorbed_seq, outcome)
+            return outcome
+
+        covered, suffix = applicable[:best_k], applicable[best_k:]
+        for record in covered:
+            for predicate, row in record.rows:
+                self.database.add_row(predicate, row)
+        # Records are compactable only once a *self-contained* durable
+        # copy of their rows exists: absorbed records are contained in
+        # the session's initial EDB (re-supplied at every recovery),
+        # chain-covered records in the covering checkpoint's EDB — if
+        # it carries one.  A covering checkpoint without an EDB defers
+        # compaction until the next EDB-carrying checkpoint lands.
+        compactable = absorbed_seq
+        if covered and checkpoint.snapshot.edb is not None:
+            compactable = max(compactable, covered[-1].seq)
+        if compactable:
+            self._covered_seq = max(self._covered_seq, compactable)
+        prior = (checkpoint.snapshot.idb, checkpoint.snapshot.stats)
+
+        if not suffix:
+            # Pure warm restore: the newest complete checkpoint already
+            # reflects every acknowledged record.
+            outcome = self._complete_from(
+                prior, "recovered" if covered else "warm", fallback_chain
+            )
+            outcome.resumed_seq = checkpoint.seq
+            outcome.replayed = len(covered)
+            if self.journal is not None and self._covered_seq:
+                self.journal.compact(self._covered_seq)
+            return outcome
+
+        new_rows: dict[str, list[Row]] = {}
+        for record in suffix:
+            for predicate, row in record.rows:
+                new_rows.setdefault(predicate, []).append(row)
+        for predicate, rows in new_rows.items():
+            for row in rows:
+                self.database.add_row(predicate, row)
+        overlap = self._negated_predicates() & set(new_rows)
+        if overlap:
+            step = FallbackStep(
+                stage="session.recover",
+                fell_back_to="recompute",
+                reason=(
+                    f"replayed predicate(s) {', '.join(sorted(overlap))} "
+                    "occur negated (non-monotonic)"
+                ),
+            )
+            fallback_chain.append(step)
+            self._trace_fallback(step)
+            outcome = self.run()
+            outcome.mode = "recovered"
+            outcome.replayed = len(covered) + len(suffix)
+            outcome.fallback_chain = fallback_chain + outcome.fallback_chain
+            self._mark_covered(suffix[-1].seq, outcome)
+            return outcome
+
+        idb, stats = self._incremental_fixpoint(
+            new_rows, prior[0], prior[1], governor
+        )
+        result = EvaluationResult(
+            idb=idb, stats=stats, program=self.program, database=self.database
+        )
+        self._last = result
+        outcome = self._checkpoint_complete(
+            result, "recovered", fallback_chain, governor
+        )
+        outcome.resumed_seq = checkpoint.seq
+        outcome.replayed = len(covered) + len(suffix)
+        self._mark_covered(suffix[-1].seq, outcome)
+        return outcome
+
+    def journal_info(self) -> dict | None:
+        """The journal's JSON-ready summary with this session's lag view."""
+        if self.journal is None:
+            return None
+        info = self.journal.info()
+        info["lag"] = self.journal.lag(max(self._covered_seq, info["covered_seq"]))
+        return info
 
     def _complete_from(
         self,
@@ -550,7 +904,7 @@ class Session:
             return info
         paths = self.store.paths()
         corrupt = sorted(
-            p.name for p in self.store.directory.glob("*.corrupt")
+            p.name for p in self.store.directory.glob("*.corrupt*")
         )
         info["store"] = {
             "directory": str(self.store.directory),
@@ -562,4 +916,5 @@ class Session:
         # envelope summary carries ``latest_round`` and ``age_seconds``
         # together (shared with the daemon's /stats endpoint).
         info["latest"] = self.store.latest_summary(expect_workload=self.workload())
+        info["journal"] = self.journal_info()
         return info

@@ -246,8 +246,18 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------
     def quarantine(self, path: Path, reason: str) -> Path:
-        """Rename a bad checkpoint to ``*.corrupt`` so it is never reused."""
+        """Rename a bad checkpoint to ``*.corrupt`` so it is never reused.
+
+        Quarantined copies are forensic evidence, so the suffix is made
+        unique (``.corrupt``, ``.corrupt.1``, …) — a later quarantine
+        of a recreated file with the same name must never overwrite an
+        earlier one.
+        """
         target = path.with_name(path.name + ".corrupt")
+        bump = 0
+        while target.exists():
+            bump += 1
+            target = path.with_name(f"{path.name}.corrupt.{bump}")
         try:
             os.replace(path, target)
         except OSError:

@@ -43,6 +43,7 @@ from ..magic.transform import match_query_atom
 from ..observability.trace import get_tracer
 from ..robustness.budget import Budget, RequestGovernorFactory
 from ..robustness.errors import EvaluationAborted, ReproError, UsageError
+from ..persist.journal import JournalUnavailable
 from .cache import ArtifactCache
 from .registry import Tenant, TenantRegistry, UnknownTenant
 from .wire import (
@@ -129,6 +130,14 @@ class ServeApp:
         if isinstance(exc, UnknownTenant):
             self.rejected += 1
             return 404, {"error": str(exc)}
+        if isinstance(exc, JournalUnavailable):
+            # The write-ahead journal could not fsync within the retry
+            # budget: the ingest was NOT acknowledged and nothing
+            # mutated — retryable, so 503 rather than 400.  Degrading
+            # to an unjournaled ingest here would silently reintroduce
+            # the lost-acknowledged-write window the journal closes.
+            self.aborted += 1
+            return 503, {"error": str(exc), "retryable": True}
         if isinstance(exc, EvaluationAborted):
             self.aborted += 1
             return 503, aborted_payload(exc)
@@ -229,12 +238,22 @@ class ServeApp:
         """
         degraded = []
         recovery = {"worker_restarts": 0, "shards_redispatched": 0, "degradations": 0}
+        # Journal lag: acknowledged-but-not-yet-checkpointed ingest
+        # records across the fleet — the work a kill right now would
+        # replay on restart.  Durability is not at risk (the records
+        # are fsynced), but a persistently growing lag means
+        # checkpoints keep failing and restarts keep getting slower.
+        journal = {"lag": 0, "replayed": 0}
         async with self.registry.lock.read_locked():
             for name in self.registry.names():
                 tenant = self.registry.get(name)
                 recovery["worker_restarts"] += tenant.worker_restarts
                 recovery["shards_redispatched"] += tenant.shards_redispatched
                 recovery["degradations"] += tenant.degradations
+                info = tenant.session.journal_info()
+                if info is not None:
+                    journal["lag"] += info["lag"]
+                journal["replayed"] += tenant.replayed
                 if tenant.degraded:
                     degraded.append(name)
         return {
@@ -244,10 +263,12 @@ class ServeApp:
             "tenants": len(self.registry),
             "degraded_tenants": degraded,
             "recovery": recovery,
+            "journal": journal,
         }
 
     async def _stats(self) -> dict:
         recovery = {"worker_restarts": 0, "shards_redispatched": 0, "degradations": 0}
+        journal = {"lag": 0, "replayed": 0}
         async with self.registry.lock.read_locked():
             tenants = {}
             for name in self.registry.names():
@@ -257,6 +278,10 @@ class ServeApp:
                 recovery["worker_restarts"] += tenant.worker_restarts
                 recovery["shards_redispatched"] += tenant.shards_redispatched
                 recovery["degradations"] += tenant.degradations
+                per_tenant = tenants[name].get("journal")
+                if per_tenant is not None:
+                    journal["lag"] += per_tenant["lag"]
+                journal["replayed"] += tenant.replayed
         return {
             "uptime_seconds": time.monotonic() - self.started_at,
             "requests": self.requests,
@@ -265,6 +290,7 @@ class ServeApp:
             "shed": self.shed,
             "governors_minted": self.governors.minted,
             "recovery": recovery,
+            "journal": journal,
             "cache": self.cache.stats(),
             "tenants": tenants,
         }

@@ -6,13 +6,16 @@ the live EDB and a *materialized* fixpoint kept current across ingests
 anchors it to a per-tenant checkpoint directory when the daemon runs
 with ``--persist-dir``.
 
-Registration is where warm start happens: when the tenant's directory
-already holds a complete checkpoint for this exact workload digest,
-:meth:`~repro.persist.session.Session.warm_start` rebuilds the
-fixpoint from the saved IDB with **zero evaluation** — a restarted
-daemon answers ``materialized`` queries for its old tenants without
-re-running a single semi-naive round (asserted byte-for-byte by the
-``serve-smoke`` CI job).
+Registration is where recovery happens: the tenant materializes via
+:meth:`~repro.persist.session.Session.recover`, which restores the
+newest complete checkpoint with **zero evaluation** and replays the
+suffix of the tenant's write-ahead ingest journal — the acknowledged
+ingests a kill arrived before a checkpoint could cover.  A restarted
+daemon therefore answers ``materialized`` queries for its old tenants
+without losing a single acknowledged write (asserted byte-for-byte by
+the ``serve-smoke`` and journal-kill CI jobs).  Both the journal and
+the checkpoints live under the tenant's directory when the daemon
+runs with ``--persist-dir``.
 
 Concurrency follows the read/write split of the API: queries only read
 tenant state and run concurrently; ``ingest`` (and re-registration)
@@ -139,6 +142,9 @@ class Tenant:
         self.degraded = False
         self.inflight = 0
         self.shed = 0
+        # Journal replay bookkeeping: records re-applied at the last
+        # materialization (crash recovery), surfaced via /stats.
+        self.replayed = 0
         store = None if persist_dir is None else CheckpointStore(persist_dir)
         # checkpoint_every=0: sessions write only complete fixpoints —
         # the daemon checkpoints *results*, not mid-fixpoint frontiers.
@@ -158,15 +164,20 @@ class Tenant:
 
     # -- lifecycle (CPU-bound; call from an executor) -------------------
     def materialize(self) -> SessionResult:
-        """Bring the full fixpoint resident: warm from a checkpoint if
-        one matches this exact workload, else evaluate (and persist)."""
-        outcome = self.session.warm_start()
-        if outcome is None:
-            # checkpoint_every=0 still writes the final complete
-            # snapshot, which is exactly the restart anchor we want.
-            outcome = self.session.run()
+        """Bring the full fixpoint resident, crash-consistently.
+
+        :meth:`~repro.persist.session.Session.recover` subsumes the
+        old warm-start-else-run split: it restores the newest complete
+        checkpoint when one covers the workload, replays any journal
+        suffix of acknowledged ingests the kill arrived before a
+        checkpoint could cover, and falls back to a fresh evaluation
+        when the persist dir is empty — so a SIGKILLed daemon comes
+        back serving every ingest it ever acknowledged.
+        """
+        outcome = self.session.recover()
         self.materialized = outcome
         self.mode = outcome.mode
+        self.replayed += outcome.replayed
         self._absorb_recovery(outcome)
         return outcome
 
@@ -219,6 +230,16 @@ class Tenant:
             info["checkpoint"] = self.session.store.latest_summary(
                 expect_workload=self.session.workload()
             )
+        journal = self.session.journal_info()
+        if journal is not None:
+            # The fsynced-but-not-yet-checkpointed window: records a
+            # kill right now would have to replay on the next start.
+            info["journal"] = {
+                "records": journal["records"],
+                "last_seq": journal["last_seq"],
+                "lag": journal["lag"],
+                "replayed": self.replayed,
+            }
         return info
 
 

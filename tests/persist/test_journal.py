@@ -1,0 +1,227 @@
+"""IngestJournal mechanics: framing, torn tails, rotation, compaction.
+
+The journal is the durability substrate under ``Session.ingest`` — an
+append-only log of CRC-framed records where a record is *acknowledged*
+exactly when its fsync returns.  These tests pin the format and the
+recovery-relevant invariants directly; crash/recovery semantics through
+the session layer live in ``test_recover.py``.
+"""
+
+import zlib
+
+import pytest
+
+from repro.observability import RingBufferSink, Tracer
+from repro.persist.journal import (
+    FlakyJournal,
+    IngestJournal,
+    JournalRecord,
+    JournalUnavailable,
+    commit_with_retry,
+)
+from repro.persist.store import RetryPolicy
+from repro.robustness import FaultInjector
+
+
+def _record(seq, rows=((("edge"), (1, 2)),)):
+    return JournalRecord(
+        seq=seq, workload="w" * 64, rows=tuple((p, tuple(r)) for p, r in rows)
+    )
+
+
+def test_record_payload_round_trip():
+    record = _record(3, rows=[("edge", (1, 2)), ("edge", ("a", "b"))])
+    assert JournalRecord.from_payload(record.to_payload()) == record
+
+
+def test_frame_is_crc_checked():
+    record = _record(1)
+    frame = record.encode()
+    magic, crc, length, payload = frame.split(b" ", 3)
+    assert magic == b"J1"
+    assert payload.endswith(b"\n")
+    body = payload[:-1]
+    assert int(length) == len(body)
+    assert int(crc, 16) == zlib.crc32(body) & 0xFFFFFFFF
+
+
+def test_commit_then_reopen_replays_in_order(tmp_path):
+    with IngestJournal(tmp_path) as journal:
+        for seq in (1, 2, 3):
+            journal.commit(_record(seq))
+    reopened = IngestJournal(tmp_path)
+    assert [r.seq for r in reopened.replay()] == [1, 2, 3]
+    assert reopened.next_seq() == 4
+    assert [r.seq for r in reopened.replay(after_seq=2)] == [3]
+
+
+def test_torn_tail_is_truncated_on_open(tmp_path):
+    sink = RingBufferSink()
+    with IngestJournal(tmp_path) as journal:
+        journal.commit(_record(1))
+        journal.commit(_record(2))
+    (segment,) = sorted(tmp_path.glob("journal-*.log"))
+    data = segment.read_bytes()
+    # A crash mid-append leaves a partial frame after the fsynced ones.
+    segment.write_bytes(data + _record(3).encode()[:11])
+    reopened = IngestJournal(tmp_path, tracer=Tracer([sink]))
+    assert [r.seq for r in reopened.replay()] == [1, 2]
+    assert "journal.truncate" in [event.name for event in sink]
+    # The truncated tail is gone from disk, not just skipped in memory.
+    assert segment.read_bytes() == data
+    # Appending after the truncation extends the clean prefix.
+    reopened.commit(_record(3))
+    assert [r.seq for r in IngestJournal(tmp_path).replay()] == [1, 2, 3]
+
+
+def test_corrupted_middle_frame_drops_the_suffix(tmp_path):
+    with IngestJournal(tmp_path) as journal:
+        journal.commit(_record(1))
+        journal.commit(_record(2))
+    (segment,) = sorted(tmp_path.glob("journal-*.log"))
+    data = bytearray(segment.read_bytes())
+    data[len(data) // 4] ^= 0xFF  # flip a bit inside the first frame
+    segment.write_bytes(bytes(data))
+    # Everything from the corrupt frame on is indistinguishable from a
+    # torn tail: replay stops at the last verifiable prefix.
+    assert IngestJournal(tmp_path).replay() == []
+
+
+def test_segment_rotation_and_info(tmp_path):
+    journal = IngestJournal(tmp_path, segment_records=2)
+    for seq in range(1, 6):
+        journal.commit(_record(seq))
+    assert len(sorted(tmp_path.glob("journal-*.log"))) == 3
+    info = journal.info()
+    assert info["records"] == 5
+    assert info["last_seq"] == 5
+    assert info["lag"] == 5
+
+
+def test_compaction_removes_only_fully_covered_segments(tmp_path):
+    journal = IngestJournal(tmp_path, segment_records=2)
+    for seq in range(1, 6):
+        journal.commit(_record(seq))
+    removed = journal.compact(4)
+    assert removed == 2  # segments [1,2] and [3,4]; seq 5 stays
+    assert [r.seq for r in journal.replay()] == [5]
+    assert journal.lag(4) == 1
+    assert journal.lag(5) == 0
+    # A fresh open sees the same surviving suffix.
+    assert [r.seq for r in IngestJournal(tmp_path).replay()] == [5]
+    assert IngestJournal(tmp_path).next_seq() == 6
+
+
+def test_append_without_sync_is_not_acknowledged(tmp_path):
+    journal = IngestJournal(tmp_path)
+    journal.commit(_record(1))
+    journal.append(_record(2))  # written, never fsynced
+    # The unsynced record is invisible to a recovery-style reopen scan
+    # of acknowledged state: replay on a fresh handle may see it only
+    # if the bytes happened to land, but this handle has not acked it.
+    assert journal.last_seq == 1
+    journal.sync()
+    assert journal.last_seq == 2
+
+
+def test_retry_after_failed_append_does_not_duplicate(tmp_path):
+    journal = IngestJournal(tmp_path)
+    journal.commit(_record(1))
+    # Simulate a failed attempt: append lands bytes but the fsync never
+    # runs (crash window).  The re-attempt must overwrite, not append.
+    journal.append(_record(2))
+    journal.commit(_record(2))
+    assert [r.seq for r in IngestJournal(tmp_path).replay()] == [1, 2]
+
+
+@pytest.mark.parametrize("site", ["journal.append", "journal.fsync"])
+def test_transient_fault_is_retried_to_success(tmp_path, site):
+    injector = FaultInjector().arm(site, at=1)
+    journal = FlakyJournal(IngestJournal(tmp_path), injector)
+    commit_with_retry(
+        journal,
+        _record(1),
+        policy=RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0),
+        sleep=lambda _s: None,
+    )
+    assert [r.seq for r in journal.replay()] == [1]
+
+
+def test_exhausted_retries_raise_journal_unavailable(tmp_path):
+    injector = FaultInjector().arm_random("journal.append", rate=1.0)
+    journal = FlakyJournal(IngestJournal(tmp_path), injector)
+    with pytest.raises(JournalUnavailable):
+        commit_with_retry(
+            journal,
+            _record(1),
+            policy=RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0),
+            sleep=lambda _s: None,
+        )
+    # Nothing was acknowledged: a recovery replay sees an empty journal.
+    assert IngestJournal(tmp_path).replay() == []
+
+
+def test_fsync_fault_leaves_unacked_record_in_indeterminate_window(tmp_path):
+    """A fault *at fsync* means the frame's bytes may already be durable
+    even though the commit was never acknowledged.  The journal does not
+    pretend otherwise: a reopen may surface the record, and the session
+    layer absorbs such un-acked records idempotently during recovery."""
+    injector = FaultInjector().arm_random("journal.fsync", rate=1.0)
+    journal = FlakyJournal(IngestJournal(tmp_path), injector)
+    with pytest.raises(JournalUnavailable):
+        commit_with_retry(
+            journal,
+            _record(1),
+            policy=RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0),
+            sleep=lambda _s: None,
+        )
+    # Not acknowledged on this handle...
+    assert journal.journal.last_seq == 0
+    # ...but the complete frame landed, so a reopen sees it.
+    assert [r.seq for r in IngestJournal(tmp_path).replay()] == [1]
+
+
+def test_torn_flavor_leaves_half_frame_that_reopen_truncates(tmp_path):
+    inner = IngestJournal(tmp_path)
+    inner.commit(_record(1))  # acknowledged before the faults start
+    injector = FaultInjector().arm_random("journal.append", rate=1.0)
+    journal = FlakyJournal(inner, injector, flavors=("torn",))
+    with pytest.raises(JournalUnavailable):
+        commit_with_retry(
+            journal,
+            _record(2),
+            policy=RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0),
+            sleep=lambda _s: None,
+        )
+    # The spilled half-frame is scrubbed on the next open; the
+    # acknowledged prefix survives byte-for-byte.
+    assert [r.seq for r in IngestJournal(tmp_path).replay()] == [1]
+
+
+def test_enospc_flavor_surfaces_as_oserror(tmp_path):
+    import errno
+
+    injector = FaultInjector().arm("journal.append", at=1)
+    journal = FlakyJournal(
+        IngestJournal(tmp_path), injector, flavors=("enospc",)
+    )
+    with pytest.raises(OSError) as info:
+        journal.commit(_record(1))
+    assert info.value.errno == errno.ENOSPC
+
+
+def test_journal_trace_events(tmp_path):
+    sink = RingBufferSink()
+    journal = IngestJournal(tmp_path, tracer=Tracer([sink]), segment_records=1)
+    journal.commit(_record(1))
+    journal.commit(_record(2))
+    journal.replay()
+    journal.compact(1)
+    names = [event.name for event in sink]
+    for expected in (
+        "journal.append",
+        "journal.fsync",
+        "journal.replay",
+        "journal.compact",
+    ):
+        assert expected in names, names

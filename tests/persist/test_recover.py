@@ -1,0 +1,270 @@
+"""Crash recovery: journal replay after faults at every durability site.
+
+Each test stages a crash — an injected fault at ``journal.append`` /
+``journal.fsync`` / ``journal.replay`` or at a checkpoint boundary —
+then recovers into a *fresh* session (simulating a restart) and checks
+the recovered fixpoint digest against a cold recompute over the initial
+EDB plus every *acknowledged* ingest.  That digest equality is the
+crash-consistency contract: an acked ingest is never lost, an un-acked
+one never half-applied.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.persist import (
+    CheckpointStore,
+    FlakyStore,
+    RetryPolicy,
+    Session,
+    fixpoint_digest,
+)
+from repro.persist.journal import (
+    FlakyJournal,
+    IngestJournal,
+    JournalMismatch,
+    JournalUnavailable,
+)
+from repro.robustness import Budget, BudgetExceededError, FaultInjector
+
+PROGRAM_TEXT = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    q(Y) :- path(1, Y).
+"""
+EDGES = [(1, 2), (2, 3), (3, 4)]
+
+#: zero-sleep policy so exhaustion tests stay fast
+FAST = RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0)
+
+
+def _program():
+    return parse_program(PROGRAM_TEXT, query="q")
+
+
+def _database(extra=()):
+    return Database.from_rows({"edge": list(EDGES) + list(extra)})
+
+
+def _cold_digest(extra=(), program=None, database=None):
+    """Digest of a from-scratch recompute over initial EDB + ``extra``."""
+    result = evaluate(
+        program or _program(), database or _database(extra)
+    )
+    return fixpoint_digest([("recovery", result.idb)])
+
+
+def _digest(outcome):
+    return fixpoint_digest([("recovery", outcome.result.idb)])
+
+
+@pytest.mark.parametrize("engine", ["slots", "interpreted"])
+@pytest.mark.parametrize("storage", ["rows", "columnar"])
+def test_checkpoint_crash_recovers_every_acked_ingest(tmp_path, engine, storage):
+    """Kill after ack but before the covering checkpoint: the journal
+    suffix alone must carry the ingest across the restart."""
+    injector = FaultInjector()
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    session = Session(
+        _program(),
+        _database(),
+        store=store,
+        engine=engine,
+        storage=storage,
+        retry=FAST,
+    )
+    session.run()
+    session.ingest([("edge", (4, 5))])  # acked and checkpoint-covered
+    injector.arm_random("checkpoint.save", rate=1.0)
+    outcome = session.ingest([("edge", (5, 6))])  # acked, checkpoint lost
+    assert outcome.fallback_chain  # degraded: no durable checkpoint
+    # -- restart --------------------------------------------------------
+    fresh = Session(
+        _program(),
+        _database(),
+        store=CheckpointStore(tmp_path),
+        engine=engine,
+        storage=storage,
+    )
+    recovered = fresh.recover()
+    assert recovered.mode == "recovered"
+    assert recovered.replayed >= 1
+    assert _digest(recovered) == _cold_digest([(4, 5), (5, 6)])
+
+
+def test_append_crash_leaves_state_unmutated(tmp_path):
+    """A journal failure *before* the fsync is a clean refusal: nothing
+    is acknowledged, nothing is mutated, recovery sees no trace."""
+    store = CheckpointStore(tmp_path)
+    session = Session(_program(), _database(), store=store, retry=FAST)
+    session.run()
+    injector = FaultInjector().arm_random("journal.append", rate=1.0)
+    session.journal = FlakyJournal(session.journal, injector)
+    with pytest.raises(JournalUnavailable):
+        session.ingest([("edge", (4, 5))])
+    assert (4, 5) not in session.database.relation("edge").rows()
+    recovered = Session(_program(), _database(), store=store).recover()
+    assert recovered.replayed == 0
+    assert _digest(recovered) == _cold_digest()
+
+
+def test_fsync_crash_window_recovers_acked_or_acked_plus_inflight(tmp_path):
+    """A crash at fsync is indeterminate: the frame may or may not be
+    durable.  Recovery must land on exactly one of the two admissible
+    states — acked-only, or acked plus the in-flight record — never a
+    torn hybrid."""
+    store = CheckpointStore(tmp_path)
+    session = Session(_program(), _database(), store=store, retry=FAST)
+    session.run()
+    injector = FaultInjector().arm_random("journal.fsync", rate=1.0)
+    session.journal = FlakyJournal(session.journal, injector)
+    with pytest.raises(JournalUnavailable):
+        session.ingest([("edge", (4, 5))])
+    recovered = Session(_program(), _database(), store=store).recover()
+    assert _digest(recovered) in {_cold_digest(), _cold_digest([(4, 5)])}
+
+
+def test_crash_during_replay_is_retryable(tmp_path):
+    """A fault while *reading* the journal during recovery aborts that
+    recovery without consuming anything: the next attempt replays the
+    identical suffix."""
+    store = CheckpointStore(tmp_path)
+    Session(_program(), _database(), store=store).run()
+    # A store-less writer shares the journal: its ingest is acked but
+    # never checkpoint-covered, exactly the state a crash leaves behind.
+    writer = Session(
+        _program(),
+        _database(),
+        journal=IngestJournal(tmp_path / "journal"),
+    )
+    writer.ingest([("edge", (4, 5))])
+    injector = FaultInjector().arm("journal.replay", at=1)
+    flaky = FlakyJournal(
+        IngestJournal(CheckpointStore(tmp_path).directory / "journal"), injector
+    )
+    crashed = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path), journal=flaky
+    )
+    with pytest.raises(OSError):
+        crashed.recover()
+    retry = Session(_program(), _database(), store=CheckpointStore(tmp_path))
+    recovered = retry.recover()
+    assert recovered.replayed == 1
+    assert _digest(recovered) == _cold_digest([(4, 5)])
+
+
+def test_recover_twice_is_idempotent(tmp_path):
+    store = CheckpointStore(tmp_path)
+    Session(_program(), _database(), store=store).run()
+    writer = Session(
+        _program(),
+        _database(),
+        journal=IngestJournal(tmp_path / "journal"),
+    )
+    writer.ingest([("edge", (4, 5))])
+    first = Session(_program(), _database(), store=store).recover()
+    assert first.replayed == 1
+    second = Session(_program(), _database(), store=store).recover()
+    # The first recovery checkpointed and compacted; the second restores
+    # warm with nothing left to replay — and the fixpoint is unchanged.
+    assert second.replayed == 0
+    assert _digest(second) == _digest(first) == _cold_digest([(4, 5)])
+
+
+def test_foreign_journal_raises_mismatch(tmp_path):
+    """A journal whose records chain from a different workload must be
+    rejected, not silently replayed into the wrong fixpoint."""
+    store = CheckpointStore(tmp_path)
+    Session(_program(), _database(), store=store).run()
+    writer = Session(
+        _program(),
+        _database(),
+        journal=IngestJournal(tmp_path / "journal"),
+    )
+    writer.ingest([("edge", (9, 10))])
+    foreign = parse_program(
+        PROGRAM_TEXT + "\n    r(X) :- edge(X, X).\n", query="q"
+    )
+    impostor = Session(foreign, _database(), store=store)
+    with pytest.raises(JournalMismatch):
+        impostor.recover()
+
+
+def test_budget_trip_mid_recompute_fallback_is_recoverable(tmp_path):
+    """Regression for the mutate-before-decision ordering bug: an ingest
+    that journals, mutates, then trips its budget inside the recompute
+    fallback leaves no durable checkpoint of the new state — but the
+    journal already holds the record, so a restart recovers the full
+    fixpoint including the interrupted ingest."""
+    negation = parse_program(
+        """
+        reach(X) :- source(X).
+        reach(Y) :- reach(X), edge(X, Y).
+        ok(X) :- reach(X), not blocked(X).
+        """,
+        query="ok",
+    )
+    database = Database.from_rows(
+        {"source": [(1,)], "edge": list(EDGES), "blocked": [(3,)]}
+    )
+    store = CheckpointStore(tmp_path)
+    Session(negation, database, store=store).run()
+    # Negation forces the recompute fallback on ingest; a one-fact budget
+    # trips it after the journal fsync and the EDB mutation.
+    tripper = Session(
+        negation, database, store=store, budget=Budget(max_facts=1)
+    )
+    with pytest.raises(BudgetExceededError):
+        tripper.ingest([("edge", (4, 5))])
+    journal = IngestJournal(store.directory / "journal")
+    assert journal.last_seq >= 1  # the record was acknowledged pre-trip
+    recovered = Session(negation, database, store=store).recover()
+    cold = evaluate(
+        negation,
+        Database.from_rows(
+            {
+                "source": [(1,)],
+                "edge": list(EDGES) + [(4, 5)],
+                "blocked": [(3,)],
+            }
+        ),
+    )
+    assert _digest(recovered) == fixpoint_digest([("recovery", cold.idb)])
+
+
+@pytest.mark.parametrize("storage", ["rows", "columnar"])
+def test_recovery_after_compaction_uses_self_contained_checkpoint(
+    tmp_path, storage
+):
+    """Once a covering checkpoint lands and the journal is compacted,
+    the checkpoint itself must carry the ingested EDB rows — recovery
+    from the initial database alone still yields the full fixpoint."""
+    store = CheckpointStore(tmp_path)
+    session = Session(_program(), _database(), store=store, storage=storage)
+    session.run()
+    session.ingest([("edge", (4, 5))])
+    session.ingest([("edge", (5, 6))])
+    assert session.journal_info()["lag"] == 0  # fully compacted
+    recovered = Session(
+        _program(), _database(), store=store, storage=storage
+    ).recover()
+    assert recovered.replayed == 0
+    assert _digest(recovered) == _cold_digest([(4, 5), (5, 6)])
+
+
+def test_journal_only_recovery_without_any_checkpoint(tmp_path):
+    """No complete checkpoint at all (every save failed): recovery
+    degrades to a full run over initial EDB + journal suffix."""
+    injector = FaultInjector().arm_random("checkpoint.save", rate=1.0)
+    store = FlakyStore(CheckpointStore(tmp_path), injector)
+    session = Session(_program(), _database(), store=store, retry=FAST)
+    session.run()
+    session.ingest([("edge", (4, 5))])
+    recovered = Session(
+        _program(), _database(), store=CheckpointStore(tmp_path)
+    ).recover()
+    assert recovered.replayed == 1
+    assert recovered.fallback_chain
+    assert _digest(recovered) == _cold_digest([(4, 5)])

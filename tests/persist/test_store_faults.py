@@ -94,6 +94,33 @@ def test_latest_walks_past_quarantined_to_older_valid(tmp_path):
     assert len(store.paths()) == 1
 
 
+def test_double_quarantine_keeps_both_forensic_copies(tmp_path):
+    """Regression: quarantining a *recreated* file of the same name must
+    not clobber the earlier ``.corrupt`` copy — each gets a unique
+    suffix and both stay on disk for forensics."""
+    store = CheckpointStore(tmp_path)
+    (ckpt,) = _checkpoints(1)
+    path = store.save(ckpt)
+    first_bytes = path.read_bytes()[:50]
+    path.write_bytes(first_bytes)
+    with pytest.raises(CheckpointCorrupt):
+        store.load(path)
+    # The same sequence number is written again (a retry after the
+    # torn save) and gets corrupted again.
+    path = store.save(ckpt)
+    second_bytes = path.read_bytes()[:60]
+    path.write_bytes(second_bytes)
+    with pytest.raises(CheckpointCorrupt):
+        store.load(path)
+    first = path.with_name(path.name + ".corrupt")
+    second = path.with_name(path.name + ".corrupt.1")
+    assert first.exists() and second.exists()
+    assert first.read_bytes() == first_bytes
+    assert second.read_bytes() == second_bytes
+    # Neither forensic copy is ever offered as a checkpoint again.
+    assert store.paths() == []
+
+
 def test_workload_mismatch_quarantined(tmp_path):
     store = CheckpointStore(tmp_path)
     (ckpt,) = _checkpoints(1)
